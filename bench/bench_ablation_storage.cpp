@@ -1,0 +1,108 @@
+// Extension experiment D: storage-sizing ablations for the design choices
+// DESIGN.md calls out.
+//
+//  D1  Symmetric (Repeat) encoding: instruction counts per algorithm with
+//      and without the reference-register fold, and the storage area the
+//      fold saves (the Repeat hardware costs one reference register + one
+//      instruction slot; it saves k instructions per symmetric pair).
+//  D2  Microcode depth (Z) sweep: unit area vs. the algorithm families a
+//      given Z can host.
+//  D3  pFSM buffer-depth sweep: the full-rate buffer dominates the unit,
+//      so depth is the pFSM's primary cost knob.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "mbist_pfsm/compiler.h"
+#include "mbist_ucode/assembler.h"
+
+int main() {
+  using namespace pmbist;
+  using namespace pmbist::bench;
+  const auto lib = netlist::TechLibrary::cmos5s();
+
+  Checker c;
+
+  // --- D1: symmetric encoding ----------------------------------------------
+  std::printf("=== D1: Repeat/reference-register encoding ===\n\n");
+  std::printf("  %-14s %10s %10s %8s\n", "algorithm", "folded", "flat",
+              "saved");
+  int max_folded = 0;
+  int max_flat = 0;
+  for (const auto& alg : march::all_algorithms()) {
+    const auto folded = mbist_ucode::assemble(alg);
+    const auto flat =
+        mbist_ucode::assemble(alg, {.symmetric_encoding = false});
+    std::printf("  %-14s %10d %10d %8d\n", alg.name().c_str(),
+                folded.program.size(), flat.program.size(),
+                flat.program.size() - folded.program.size());
+    max_folded = std::max(max_folded, folded.program.size());
+    max_flat = std::max(max_flat, flat.program.size());
+    if (folded.used_repeat)
+      c.check(folded.program.size() < flat.program.size(),
+              alg.name() + ": the fold shrinks the program");
+  }
+  std::printf("\n  worst-case storage depth: folded Z=%d, flat Z=%d\n",
+              max_folded, max_flat);
+  c.check(max_folded <= 32 && max_flat > 32,
+          "the fold is what lets every algorithm fit the Z=32 storage unit");
+
+  // The area value of the fold: storage sized for the worst case.
+  auto unit_ge = [&](int z) {
+    return mbist_ucode::microcode_area(
+               {.geometry = kBitOriented, .storage_depth = z})
+        .total_ge(lib);
+  };
+  const double folded_area = unit_ge(max_folded);
+  const double flat_area = unit_ge(max_flat);
+  std::printf("  unit area at worst-case depth: folded %.1f GE, flat %.1f "
+              "GE (%.1f%% saved)\n\n",
+              folded_area, flat_area,
+              100.0 * (flat_area - folded_area) / flat_area);
+  c.check(folded_area < flat_area,
+          "symmetric encoding pays for the reference register many times "
+          "over");
+
+  // --- D2: microcode depth sweep ---------------------------------------------
+  std::printf("=== D2: microcode storage depth (Z) sweep ===\n\n");
+  std::printf("  %4s %12s %12s   hosted algorithms\n", "Z", "full (GE)",
+              "adj. (GE)");
+  for (int z : {8, 12, 16, 24, 32, 48}) {
+    mbist_ucode::AreaConfig cfg{.geometry = kBitOriented, .storage_depth = z};
+    const double full = mbist_ucode::microcode_area(cfg).total_ge(lib);
+    cfg.storage_cell = netlist::StorageCellClass::ScanOnly;
+    const double adj = mbist_ucode::microcode_area(cfg).total_ge(lib);
+    int hosted = 0;
+    for (const auto& alg : march::all_algorithms())
+      if (mbist_ucode::assemble(alg).program.size() <= z) ++hosted;
+    std::printf("  %4d %12.1f %12.1f   %d/%zu\n", z, full, adj, hosted,
+                march::all_algorithms().size());
+  }
+  std::printf("\n");
+  c.check(unit_ge(16) < unit_ge(32), "unit area is monotone in Z");
+
+  // --- D3: pFSM buffer depth sweep --------------------------------------------
+  std::printf("=== D3: pFSM buffer depth sweep ===\n\n");
+  std::printf("  %6s %12s   hosted algorithms\n", "depth", "unit (GE)");
+  double prev = 0;
+  bool monotone = true;
+  for (int depth : {8, 10, 12, 16, 24}) {
+    const double ge =
+        mbist_pfsm::pfsm_area({.geometry = kBitOriented,
+                               .buffer_depth = depth})
+            .total_ge(lib);
+    int hosted = 0;
+    for (const auto& alg : march::all_algorithms()) {
+      if (!mbist_pfsm::is_mappable(alg)) continue;
+      if (mbist_pfsm::compile(alg).program.size() <= depth) ++hosted;
+    }
+    std::printf("  %6d %12.1f   %d/%zu\n", depth, ge, hosted,
+                march::all_algorithms().size());
+    if (ge <= prev) monotone = false;
+    prev = ge;
+  }
+  std::printf("\n");
+  c.check(monotone, "pFSM unit area is monotone in buffer depth");
+
+  return c.finish("bench_ablation_storage");
+}

@@ -1,0 +1,116 @@
+#pragma once
+// Shared helpers for the table/figure reproduction benches: fixed paper
+// configurations, formatting, and a self-check harness that turns each
+// bench into a regression gate (non-zero exit when a reproduced shape
+// claim fails).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "march/library.h"
+#include "mbist_hardwired/area.h"
+#include "mbist_pfsm/area.h"
+#include "mbist_ucode/area.h"
+#include "netlist/tech_library.h"
+
+namespace pmbist::bench {
+
+/// The paper's memory configurations: Section 3 evaluates bit-oriented
+/// single-port memories first (Table 1), then word-oriented and multiport
+/// extensions (Table 2).  1K words is a representative embedded-array size.
+inline constexpr memsim::MemoryGeometry kBitOriented{
+    .address_bits = 10, .word_bits = 1, .num_ports = 1};
+inline constexpr memsim::MemoryGeometry kWordOriented{
+    .address_bits = 10, .word_bits = 8, .num_ports = 1};
+inline constexpr memsim::MemoryGeometry kMultiport{
+    .address_bits = 10, .word_bits = 8, .num_ports = 2};
+
+/// Storage sizing used throughout: the microcode unit holds 32 10-bit
+/// instructions (enough for every library algorithm including the ++
+/// variants with the data/port loop tail); the pFSM buffer holds 16 9-bit
+/// instructions (enough for every SM-mappable algorithm).
+inline constexpr int kUcodeDepth = 32;
+inline constexpr int kPfsmDepth = 16;
+
+/// Self-check bookkeeping.
+class Checker {
+ public:
+  void check(bool ok, const std::string& claim) {
+    ++total_;
+    if (ok) {
+      std::printf("  [ok]   %s\n", claim.c_str());
+    } else {
+      ++failed_;
+      std::printf("  [FAIL] %s\n", claim.c_str());
+    }
+  }
+
+  /// Prints the verdict; returns the process exit code.
+  int finish(const char* bench_name) {
+    std::printf("\n%s: %d/%d reproduction checks passed\n", bench_name,
+                total_ - failed_, total_);
+    return failed_ == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+  }
+
+ private:
+  int total_ = 0;
+  int failed_ = 0;
+};
+
+struct MethodArea {
+  std::string method;
+  std::string flexibility;
+  double ge;
+  double um2;
+};
+
+/// Computes the (method x area) rows of Tables 1/2 for one geometry.
+/// `adjusted_storage` selects Table 3's scan-only microcode storage cells.
+inline std::vector<MethodArea> method_areas(
+    const memsim::MemoryGeometry& geometry, bool adjusted_storage) {
+  const auto lib = netlist::TechLibrary::cmos5s();
+  std::vector<MethodArea> rows;
+
+  mbist_ucode::AreaConfig uc{.geometry = geometry,
+                             .storage_depth = kUcodeDepth};
+  if (adjusted_storage)
+    uc.storage_cell = netlist::StorageCellClass::ScanOnly;
+  const auto ur = mbist_ucode::microcode_area(uc);
+  rows.push_back({adjusted_storage ? "Microcode-Based (adj.)"
+                                   : "Microcode-Based",
+                  "HIGH", ur.total_ge(lib), ur.total_area_um2(lib)});
+
+  const auto pr = mbist_pfsm::pfsm_area(
+      {.geometry = geometry, .buffer_depth = kPfsmDepth});
+  rows.push_back(
+      {"Prog. FSM-Based", "MEDIUM", pr.total_ge(lib), pr.total_area_um2(lib)});
+
+  for (const auto& alg : march::paper_table_algorithms()) {
+    const auto hr = mbist_hardwired::hardwired_area(alg, {.geometry = geometry});
+    rows.push_back(
+        {alg.name(), "LOW", hr.total_ge(lib), hr.total_area_um2(lib)});
+  }
+  return rows;
+}
+
+inline void print_area_table(const char* title,
+                             const std::vector<MethodArea>& rows) {
+  std::printf("%s\n", title);
+  std::printf("  %-24s %-8s %14s %14s\n", "Method", "Flex.",
+              "Int. Area (GE)", "Size (um^2)");
+  for (const auto& r : rows)
+    std::printf("  %-24s %-8s %14.1f %14.0f\n", r.method.c_str(),
+                r.flexibility.c_str(), r.ge, r.um2);
+  std::printf("\n");
+}
+
+inline double row_ge(const std::vector<MethodArea>& rows,
+                     const std::string& method) {
+  for (const auto& r : rows)
+    if (r.method == method) return r.ge;
+  std::fprintf(stderr, "missing row: %s\n", method.c_str());
+  std::abort();
+}
+
+}  // namespace pmbist::bench

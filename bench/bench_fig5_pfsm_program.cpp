@@ -1,0 +1,47 @@
+// Figure 5 reproduction: the programmable-FSM instruction sequence for
+// March C — six SM components (SM0, four SM1 passes, SM5) followed by the
+// data-background and port loop-control instructions, executed by the
+// 7-state lower controller of Fig. 4(a).
+
+#include "bench_common.h"
+#include "bist/controller.h"
+#include "march/expand.h"
+#include "mbist_pfsm/controller.h"
+
+int main() {
+  using namespace pmbist;
+  using namespace pmbist::bench;
+
+  std::printf("=== Figure 5: March C programmable-FSM program ===\n\n");
+  const auto alg = march::march_c();
+  const auto result = mbist_pfsm::compile(alg);
+  std::printf("%s\n", result.program.listing().c_str());
+
+  Checker c;
+  const auto& code = result.program.instructions();
+  c.check(code.size() == 8, "March C compiles to 8 instructions (Fig. 5)");
+  c.check(code[0].mode == 0 && !code[0].data_inv,
+          "instruction 1 is SM0(up, d=0): write 0 sweep");
+  c.check(code[1].mode == 1 && code[2].mode == 1 && code[3].mode == 1 &&
+              code[4].mode == 1,
+          "instructions 2-5 are the four SM1 passes");
+  c.check(!code[1].addr_down && !code[2].addr_down && code[3].addr_down &&
+              code[4].addr_down,
+          "SM1 passes run up, up, down, down");
+  c.check(!code[1].data_inv && code[2].data_inv && !code[3].data_inv &&
+              code[4].data_inv,
+          "SM1 data parameters alternate d=0,1,0,1");
+  c.check(code[5].mode == 5, "instruction 6 is SM5(up): read sweep");
+  c.check(code[6].ctrl && !code[6].ctrl_op && code[7].ctrl && code[7].ctrl_op,
+          "instructions 7-8 are the path-A data loop and path-B port loop");
+
+  // The lower controller realizes the program cycle-accurately.
+  mbist_pfsm::PfsmController ctrl{
+      {.geometry = kBitOriented, .buffer_depth = kPfsmDepth}};
+  ctrl.load(result.program);
+  const auto stream = bist::collect_ops(ctrl, 1'000'000);
+  c.check(stream == march::expand(alg, kBitOriented),
+          "the two-level controller replays March C exactly");
+
+  return c.finish("bench_fig5_pfsm_program");
+}

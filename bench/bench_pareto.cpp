@@ -1,0 +1,108 @@
+// Extension experiment: the test-length / guaranteed-coverage frontier.
+//
+// Each march algorithm buys a set of *guaranteed* fault-class detections
+// (the static qualifier's G verdicts) for a price in operations per cell.
+// A test engineer with a programmable controller picks a point on this
+// frontier per test phase — wafer sort wants short tests, final test wants
+// coverage, burn-in adds retention.  This bench prints the frontier and
+// checks that the library is well-formed: no algorithm is strictly
+// dominated by a *shorter* one (every extra operation buys something —
+// except the deliberately redundant teaching variants).
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bench_common.h"
+#include "march/analysis.h"
+
+int main() {
+  using namespace pmbist;
+  using namespace pmbist::bench;
+  using march::Detection;
+
+  struct Point {
+    std::string name;
+    int ops;
+    int guaranteed;
+    std::set<memsim::FaultClass> classes;
+  };
+
+  const auto& classes = memsim::all_fault_classes();
+  std::vector<Point> points;
+  for (const auto& alg : march::all_algorithms()) {
+    Point p{alg.name(), alg.ops_per_cell(), 0, {}};
+    for (auto cls : classes) {
+      if (march::analyze(alg, cls) == Detection::Guaranteed) {
+        ++p.guaranteed;
+        p.classes.insert(cls);
+      }
+    }
+    points.push_back(std::move(p));
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.ops < b.ops; });
+
+  std::printf("=== Test length vs guaranteed coverage ===\n\n");
+  std::printf("  %-16s %6s %12s\n", "algorithm", "ops/n", "guaranteed");
+  int best_so_far = -1;
+  std::vector<std::string> frontier;
+  for (const auto& p : points) {
+    const bool on_frontier = p.guaranteed > best_so_far;
+    std::printf("  %-16s %6d %9d/%zu %s\n", p.name.c_str(), p.ops,
+                p.guaranteed, classes.size(), on_frontier ? " <- frontier" : "");
+    if (on_frontier) {
+      frontier.push_back(p.name);
+      best_so_far = p.guaranteed;
+    }
+  }
+  std::printf("\n");
+
+  Checker c;
+  c.check(frontier.size() >= 4,
+          "the frontier has several distinct cost/coverage points");
+  c.check(frontier.front() == "MATS",
+          "MATS anchors the cheap end of the frontier");
+  // The frontier is what the programmable controller monetizes: a single
+  // hardwired controller can sit on exactly one of these points.
+  auto find = [&](const char* name) -> const Point& {
+    for (const auto& p : points)
+      if (p.name == name) return p;
+    std::abort();
+  };
+  c.check(find("March C").classes.contains(memsim::FaultClass::CFid) &&
+              !find("MATS+").classes.contains(memsim::FaultClass::CFid),
+          "March C's extra 5n over MATS+ buys the coupling guarantees");
+  c.check(find("March C++").guaranteed > find("March C+").guaranteed &&
+              find("March C+").guaranteed > find("March C").guaranteed,
+          "the paper's enhancement chain climbs the frontier");
+  // Strict-domination audit (informational): a longer algorithm whose
+  // guarantee set is a subset of a shorter one's looks dominated — but the
+  // per-class metric is deliberately blind to *linked*-fault coverage,
+  // which is exactly what March A / B / LR buy with their longer elements
+  // (see bench_fault_coverage's linked section: March A and LR score 100%
+  // where March C scores ~86%).  The audit therefore demonstrates why
+  // single-fault class counts alone must not drive algorithm choice.
+  int dominated = 0;
+  for (const auto& longer : points) {
+    for (const auto& shorter : points) {
+      if (shorter.ops >= longer.ops || shorter.name == longer.name) continue;
+      if (std::includes(shorter.classes.begin(), shorter.classes.end(),
+                        longer.classes.begin(), longer.classes.end())) {
+        ++dominated;
+        std::printf("  note: %s (%dn) is dominated by %s (%dn)\n",
+                    longer.name.c_str(), longer.ops, shorter.name.c_str(),
+                    shorter.ops);
+        break;
+      }
+    }
+  }
+  std::printf("\n");
+  c.check(dominated >= 3,
+          "the single-fault metric 'dominates' the linked-fault algorithms "
+          "(March A/B/LR) — evidence the metric alone is insufficient");
+  c.check(!frontier.empty() && frontier.back() == "March C++",
+          "March C++ tops the guaranteed-coverage frontier");
+
+  return c.finish("bench_pareto");
+}

@@ -1,0 +1,112 @@
+// Extension experiment C: simulation/synthesis throughput micro-benchmarks
+// (google-benchmark).  These measure the reproduction infrastructure
+// itself: cycle-accurate controller stepping, behavioral fault simulation,
+// the assembler/compiler, and the Quine-McCluskey synthesis pass.
+
+#include <benchmark/benchmark.h>
+
+#include "bist/session.h"
+#include "march/coverage.h"
+#include "march/library.h"
+#include "mbist_hardwired/area.h"
+#include "mbist_hardwired/controller.h"
+#include "mbist_pfsm/controller.h"
+#include "mbist_ucode/area.h"
+#include "mbist_ucode/controller.h"
+
+namespace {
+
+using namespace pmbist;
+
+const memsim::MemoryGeometry kGeom{.address_bits = 12, .word_bits = 8,
+                                   .num_ports = 1};
+
+void BM_MicrocodeControllerRun(benchmark::State& state) {
+  mbist_ucode::MicrocodeController ctrl{{.geometry = kGeom}};
+  ctrl.load_algorithm(march::march_c());
+  memsim::SramModel mem{kGeom, 1};
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto r = bist::run_session(ctrl, mem);
+    benchmark::DoNotOptimize(r.failures.data());
+    cycles += r.cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_MicrocodeControllerRun)->Unit(benchmark::kMillisecond);
+
+void BM_PfsmControllerRun(benchmark::State& state) {
+  mbist_pfsm::PfsmController ctrl{{.geometry = kGeom}};
+  ctrl.load_algorithm(march::march_c());
+  memsim::SramModel mem{kGeom, 1};
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto r = bist::run_session(ctrl, mem);
+    benchmark::DoNotOptimize(r.failures.data());
+    cycles += r.cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_PfsmControllerRun)->Unit(benchmark::kMillisecond);
+
+void BM_HardwiredControllerRun(benchmark::State& state) {
+  mbist_hardwired::HardwiredController ctrl{march::march_c(),
+                                            {.geometry = kGeom}};
+  memsim::SramModel mem{kGeom, 1};
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto r = bist::run_session(ctrl, mem);
+    benchmark::DoNotOptimize(r.failures.data());
+    cycles += r.cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_HardwiredControllerRun)->Unit(benchmark::kMillisecond);
+
+void BM_FaultSimulationCampaign(benchmark::State& state) {
+  const memsim::MemoryGeometry g{.address_bits = 6};
+  const march::CoverageOptions opts{.seed = 7,
+                                    .max_instances_per_class = 32};
+  for (auto _ : state) {
+    const auto cell = march::evaluate_coverage(
+        march::march_c(), memsim::FaultClass::CFid, g, opts);
+    benchmark::DoNotOptimize(cell.detected);
+  }
+}
+BENCHMARK(BM_FaultSimulationCampaign)->Unit(benchmark::kMillisecond);
+
+void BM_Assembler(benchmark::State& state) {
+  const auto alg = march::march_a_plus_plus();
+  for (auto _ : state) {
+    const auto r = mbist_ucode::assemble(alg);
+    benchmark::DoNotOptimize(r.program.size());
+  }
+}
+BENCHMARK(BM_Assembler);
+
+void BM_ReferenceExpansion(benchmark::State& state) {
+  const memsim::MemoryGeometry g{.address_bits = 12, .word_bits = 8,
+                                 .num_ports = 2};
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    const auto stream = march::expand(march::march_c(), g);
+    benchmark::DoNotOptimize(stream.data());
+    ops += stream.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ReferenceExpansion)->Unit(benchmark::kMillisecond);
+
+void BM_HardwiredSynthesis(benchmark::State& state) {
+  const auto alg = march::march_a_plus_plus();
+  for (auto _ : state) {
+    const auto report =
+        mbist_hardwired::hardwired_area(alg, {.geometry = kGeom});
+    benchmark::DoNotOptimize(report.blocks().data());
+  }
+}
+BENCHMARK(BM_HardwiredSynthesis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

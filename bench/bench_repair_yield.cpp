@@ -1,0 +1,96 @@
+// Extension experiment: repair yield vs defect density.
+//
+// The production payoff of BIST diagnostics (the paper's Sec. 1 argument)
+// is redundancy repair: the fail bitmap feeds the redundancy analyzer and
+// defective dies become sellable.  This bench sweeps the defect count on a
+// 16x16 array with 2 spare rows + 2 spare columns and measures the
+// fraction of dies the full inject->BIST->bitmap->allocate->repair->retest
+// loop recovers.
+
+#include "bench_common.h"
+#include "bist/session.h"
+#include "march/expand.h"
+#include "mbist_ucode/controller.h"
+#include "repair/repaired_memory.h"
+
+int main() {
+  using namespace pmbist;
+  using namespace pmbist::bench;
+  using memsim::Address;
+
+  const memsim::MemoryGeometry geom{.address_bits = 8, .word_bits = 1,
+                                    .num_ports = 1};
+  const memsim::ArrayTopology topo{
+      8, 4, memsim::AddressScrambler::scrambled(8, 99)};
+  const repair::RedundancyConfig config{.spare_rows = 2, .spare_cols = 2};
+  constexpr int kDiesPerPoint = 40;
+
+  mbist_ucode::MicrocodeController bist{{.geometry = geom}};
+  bist.load_algorithm(march::march_c());
+
+  std::printf("=== Repair yield vs defect count (256x1 array, 2+2 spares, "
+              "%d dies/point) ===\n\n",
+              kDiesPerPoint);
+  std::printf("  %8s %10s %10s %12s\n", "defects", "repaired", "verified",
+              "yield");
+
+  Checker c;
+  std::uint64_t rng_state = 12345;
+  auto rnd = [&rng_state]() {
+    rng_state = rng_state * 6364136223846793005ull + 1442695040888963407ull;
+    return rng_state >> 33;
+  };
+
+  double prev_yield = 1.1;
+  bool roughly_monotone = true;
+  int yield1 = 0;
+  double yield12 = 1.0;
+  for (int defects : {1, 2, 3, 4, 6, 8, 12}) {
+    int repaired = 0;
+    int verified = 0;
+    for (int die = 0; die < kDiesPerPoint; ++die) {
+      memsim::FaultyMemory defective{geom, rnd()};
+      for (int d = 0; d < defects; ++d) {
+        const auto addr = static_cast<Address>(rnd() % geom.num_words());
+        if (rnd() & 1)
+          defective.add_fault(memsim::StuckAtFault{{addr, 0}, (rnd() & 1) != 0});
+        else
+          defective.add_fault(memsim::TransitionFault{{addr, 0}, (rnd() & 1) != 0});
+      }
+      const auto before =
+          bist::run_session(bist, defective, {.max_failures = 1024});
+      if (before.passed()) {
+        // Duplicate-address faults can cancel observable behaviour; count
+        // as trivially good die.
+        ++repaired;
+        ++verified;
+        continue;
+      }
+      diag::FailBitmap bm{geom};
+      bm.accumulate(before.failures);
+      const auto solution = repair::allocate_redundancy(bm, topo, config);
+      if (!solution.repairable) continue;
+      ++repaired;
+      repair::RepairedMemory fixed{defective, topo, solution};
+      if (bist::run_session(bist, fixed).passed()) ++verified;
+    }
+    const double yield = static_cast<double>(verified) / kDiesPerPoint;
+    std::printf("  %8d %10d %10d %11.1f%%\n", defects, repaired, verified,
+                100.0 * yield);
+    if (defects == 1) yield1 = verified;
+    if (defects == 12) yield12 = yield;
+    if (yield > prev_yield + 0.101) roughly_monotone = false;
+    prev_yield = yield;
+    c.check(verified == repaired,
+            std::to_string(defects) +
+                " defects: every allocated repair passes the retest");
+  }
+  std::printf("\n");
+
+  c.check(yield1 == kDiesPerPoint, "single defects are always repairable");
+  c.check(yield12 < 1.0,
+          "beyond the spare budget, unrepairable dies appear");
+  c.check(roughly_monotone, "yield decays (roughly) with defect density");
+
+  return c.finish("bench_repair_yield");
+}

@@ -1,0 +1,68 @@
+// Table 3 reproduction: "Adjusted Size of Microcode-Based Controller".
+//
+// The paper redesigns the microcode storage unit with IBM scan-only
+// storage cells — legal because the microcode storage holds static
+// instructions "with no dependence on the functional clock", unlike the
+// pFSM buffer, which shifts every march component and therefore must keep
+// full-rate cells.  The cells are "approximately 4 to 5 times smaller";
+// the redesign shrinks the whole controller by roughly half (the paper's
+// partially-garbled "approximately 6_%" observation; our model lands at
+// ~50% because the storage unit is ~2/3 of the unit), and brings the
+// microcode unit's overhead into the neighbourhood of the enhanced
+// non-programmable controllers.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace pmbist;
+  using namespace pmbist::bench;
+  const auto lib = netlist::TechLibrary::cmos5s();
+
+  std::printf("=== Table 3: adjusted microcode-based controller (scan-only "
+              "storage cells) ===\n\n");
+  std::printf("  scan-only cell shrink factor: %.2fx (paper: 4-5x)\n\n",
+              lib.scan_only_shrink_factor());
+
+  struct Row {
+    const char* label;
+    memsim::MemoryGeometry geometry;
+  };
+  const Row rows[] = {{"Bit-Oriented", kBitOriented},
+                      {"Word-Oriented", kWordOriented},
+                      {"Multiport", kMultiport}};
+
+  Checker c;
+  std::printf("  %-16s %16s %16s %12s\n", "Configuration", "full-scan (GE)",
+              "adjusted (GE)", "reduction");
+  for (const auto& row : rows) {
+    mbist_ucode::AreaConfig cfg{.geometry = row.geometry,
+                                .storage_depth = kUcodeDepth};
+    const double full = mbist_ucode::microcode_area(cfg).total_ge(lib);
+    cfg.storage_cell = netlist::StorageCellClass::ScanOnly;
+    const double adj = mbist_ucode::microcode_area(cfg).total_ge(lib);
+    const double reduction = (full - adj) / full;
+    std::printf("  %-16s %16.1f %16.1f %11.1f%%\n", row.label, full, adj,
+                100.0 * reduction);
+    c.check(reduction > 0.40 && reduction < 0.70,
+            std::string(row.label) +
+                ": storage redesign cuts the unit by roughly half");
+  }
+  std::printf("\n");
+
+  // Post-adjustment comparisons the paper draws from Tables 1-3.
+  const auto adjusted = method_areas(kBitOriented, true);
+  const auto plain = method_areas(kBitOriented, false);
+  c.check(row_ge(adjusted, "Microcode-Based (adj.)") <
+              row_ge(plain, "Prog. FSM-Based"),
+          "adjusted microcode < programmable FSM (with better flexibility)");
+  const double adj_ge = row_ge(adjusted, "Microcode-Based (adj.)");
+  const double hw_app = row_ge(plain, "March A++");
+  const double hw_c = row_ge(plain, "March C");
+  c.check((adj_ge - hw_app) < (adj_ge - hw_c),
+          "adjusted microcode is 'comparable' with the enhanced "
+          "non-programmable units (gap shrinks toward A++)");
+  std::printf("  gap to hardwired March C  : %8.1f GE\n", adj_ge - hw_c);
+  std::printf("  gap to hardwired March A++: %8.1f GE\n\n", adj_ge - hw_app);
+
+  return c.finish("bench_table3_adjusted_microcode");
+}

@@ -1,0 +1,32 @@
+#include "bist/controller.h"
+
+#include <stdexcept>
+
+namespace pmbist::bist {
+
+march::OpStream collect_ops(Controller& controller, std::uint64_t max_cycles) {
+  controller.reset();
+  march::OpStream out;
+  std::uint64_t cycles = 0;
+  while (!controller.done()) {
+    if (++cycles > max_cycles)
+      throw std::runtime_error("controller '" + controller.name() +
+                               "' exceeded the cycle bound");
+    if (auto op = controller.step()) out.push_back(*op);
+  }
+  return out;
+}
+
+std::uint64_t count_cycles(Controller& controller, std::uint64_t max_cycles) {
+  controller.reset();
+  std::uint64_t cycles = 0;
+  while (!controller.done()) {
+    if (++cycles > max_cycles)
+      throw std::runtime_error("controller '" + controller.name() +
+                               "' exceeded the cycle bound");
+    (void)controller.step();
+  }
+  return cycles;
+}
+
+}  // namespace pmbist::bist

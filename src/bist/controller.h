@@ -1,0 +1,57 @@
+#pragma once
+// Common interface of all cycle-accurate BIST controllers.
+//
+// A controller is a clocked machine: each step() models one functional
+// clock cycle and yields at most one memory operation (or a pause event).
+// Controllers never branch on read data — march test flow is data
+// independent; the comparator only latches pass/fail — so step() takes no
+// response and a controller's op stream is a pure function of its program
+// and the memory geometry.  That property is what the equivalence tests
+// exploit: collect_ops(controller) must equal march::expand(algorithm).
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "march/expand.h"
+
+namespace pmbist::bist {
+
+/// Cycle-accurate BIST controller.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Human-readable designation ("microcode-based", "March C hardwired"...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Returns to the power-on state (instruction counter / FSM state reset,
+  /// datapath cleared).  The loaded program is retained.
+  virtual void reset() = 0;
+
+  /// True once the test has terminated.
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// Advances one clock cycle.  Returns the memory operation issued this
+  /// cycle, or nullopt for overhead cycles (state transitions, setup).
+  virtual std::optional<march::MemOp> step() = 0;
+
+ protected:
+  Controller() = default;
+};
+
+/// Runs a controller to completion (bounded by `max_cycles`) and collects
+/// the full op stream it issues.  Throws std::runtime_error if the bound is
+/// hit — a controller that never terminates is a bug.
+[[nodiscard]] march::OpStream collect_ops(Controller& controller,
+                                          std::uint64_t max_cycles);
+
+/// Cycle count of a full run (overhead cycles included), for test-time
+/// benches.  Throws like collect_ops on runaway controllers.
+[[nodiscard]] std::uint64_t count_cycles(Controller& controller,
+                                         std::uint64_t max_cycles);
+
+}  // namespace pmbist::bist

@@ -1,0 +1,115 @@
+#include "bist/misr.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "march/expand.h"
+
+namespace pmbist::bist {
+
+Word Misr::polynomial(int width) {
+  // Galois (right-shift) tap masks; primitive for the tabulated widths.
+  switch (width) {
+    case 1: return 0x1;
+    case 2: return 0x3;
+    case 3: return 0x6;
+    case 4: return 0xC;
+    case 5: return 0x14;
+    case 6: return 0x30;
+    case 7: return 0x60;
+    case 8: return 0xB8;
+    case 16: return 0xB400;
+    case 24: return 0xE10000;
+    case 32: return 0xA3000000u;
+    case 64: return 0xD800000000000000ull;
+    default: break;
+  }
+  if (width < 1 || width > 64)
+    throw std::invalid_argument("MISR width must be 1..64");
+  // Two top taps: x^w + x^(w-1) + 1 — adequate compaction default.
+  return (Word{0x3} << (width - 2));
+}
+
+Misr::Misr(int width, Word seed)
+    : width_{width},
+      poly_{polynomial(width)},
+      mask_{width >= 64 ? ~Word{0} : ((Word{1} << width) - 1)} {
+  reset(seed);
+}
+
+void Misr::reset(Word seed) {
+  state_ = seed & mask_;
+  count_ = 0;
+}
+
+void Misr::absorb(Word value) {
+  const bool feedback = state_ & 1u;
+  state_ >>= 1;
+  if (feedback) state_ ^= poly_;
+  state_ = (state_ ^ value) & mask_;
+  ++count_;
+}
+
+netlist::GateInventory Misr::area(int width) {
+  netlist::GateInventory inv =
+      netlist::register_bank(width, netlist::RegisterKind::Scan);
+  // Feedback XOR per tap, input XOR per bit, plus the final compare
+  // against the golden signature.
+  inv.add(netlist::Cell::Xor2, __builtin_popcountll(polynomial(width)));
+  inv += netlist::xor_bank(width);
+  inv += netlist::equality_comparator(width);
+  return inv;
+}
+
+Word golden_signature(const march::MarchAlgorithm& alg,
+                      const memsim::MemoryGeometry& geometry, int misr_width,
+                      Word seed) {
+  Misr misr{misr_width, seed};
+  for (const auto& op : march::expand(alg, geometry))
+    if (op.kind == march::MemOp::Kind::Read) misr.absorb(op.data);
+  return misr.signature();
+}
+
+MisrSessionResult run_session_misr(Controller& controller,
+                                   memsim::Memory& memory, int misr_width,
+                                   Word golden, Word seed,
+                                   const SessionOptions& options) {
+  controller.reset();
+  MisrSessionResult result;
+  result.golden = golden;
+  Misr misr{misr_width, seed};
+
+  std::size_t op_index = 0;
+  while (!controller.done()) {
+    if (result.session.cycles >= options.max_cycles) return result;
+    ++result.session.cycles;
+    const auto op = controller.step();
+    if (!op) continue;
+    switch (op->kind) {
+      case march::MemOp::Kind::Pause:
+        memory.advance_time_ns(op->pause_ns);
+        ++result.session.pauses;
+        break;
+      case march::MemOp::Kind::Write:
+        memory.write(op->port, op->addr, op->data);
+        ++result.session.writes;
+        break;
+      case march::MemOp::Kind::Read: {
+        const Word actual = memory.read(op->port, op->addr);
+        ++result.session.reads;
+        misr.absorb(actual);
+        if (actual != op->data &&
+            result.session.failures.size() < options.max_failures)
+          result.session.failures.push_back(
+              march::Failure{op_index, *op, actual});
+        break;
+      }
+    }
+    ++op_index;
+  }
+  result.session.completed = true;
+  result.signature = misr.signature();
+  return result;
+}
+
+}  // namespace pmbist::bist

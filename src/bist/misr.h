@@ -1,0 +1,81 @@
+#pragma once
+// MISR (multiple-input signature register) response compaction.
+//
+// The paper's BIST datapath uses a deterministic comparator (expected data
+// is regenerated on chip).  The classic alternative — standard in BIST
+// practice (Bardell/McAnney/Savir, the paper's ref [1]) — compacts all
+// read responses into an LFSR signature and compares one word at the end:
+// cheaper observation wiring, no per-cycle expected-data distribution, at
+// the cost of a 2^-w aliasing probability and the loss of per-cell failure
+// data (which is why diagnostics-oriented BIST, the paper's focus, keeps
+// the comparator).  Both datapaths are modeled so the trade-off can be
+// measured (bench_misr_compaction).
+//
+// March read responses are data-independent (every algorithm starts with a
+// write sweep), so the golden signature is computed by folding the
+// *expected* read values of the reference expansion — exactly what a
+// signature-prediction tool would emit.
+
+#include "bist/controller.h"
+#include "bist/session.h"
+#include "netlist/components.h"
+
+namespace pmbist::bist {
+
+using memsim::Word;
+
+/// Galois LFSR-based multiple-input signature register, 1..64 bits wide.
+/// Feedback polynomials are primitive for the tabulated widths
+/// (1-8, 16, 24, 32, 64); other widths use a maximal-position two-tap
+/// default, which is sufficient for compaction (not necessarily
+/// maximal-length).
+class Misr {
+ public:
+  explicit Misr(int width, Word seed = 0);
+
+  void reset(Word seed = 0);
+  /// Folds one read response into the signature (one clock of the MISR).
+  void absorb(Word value);
+
+  [[nodiscard]] Word signature() const noexcept { return state_; }
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] std::uint64_t absorbed() const noexcept { return count_; }
+
+  /// Feedback polynomial (tap mask) used for `width`.
+  [[nodiscard]] static Word polynomial(int width);
+  /// Structural cost: scan flip-flops + feedback XORs + input XOR stage.
+  [[nodiscard]] static netlist::GateInventory area(int width);
+
+ private:
+  int width_;
+  Word poly_;
+  Word mask_;
+  Word state_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Golden signature for `alg` over `geometry`: the fold of all expected
+/// read values of the reference expansion, in order.
+[[nodiscard]] Word golden_signature(const march::MarchAlgorithm& alg,
+                                    const memsim::MemoryGeometry& geometry,
+                                    int misr_width, Word seed = 0);
+
+/// Result of a signature-compacted BIST run.  The comparator-based session
+/// result is carried along so verdicts can be compared.
+struct MisrSessionResult {
+  SessionResult session;  ///< comparator view (failure log etc.)
+  Word signature = 0;     ///< MISR state after the run
+  Word golden = 0;        ///< expected signature
+  [[nodiscard]] bool signature_pass() const noexcept {
+    return session.completed && signature == golden;
+  }
+};
+
+/// Runs `controller` against `memory`, compacting every read into a MISR
+/// of `misr_width` bits while also keeping the comparator verdict.
+MisrSessionResult run_session_misr(Controller& controller,
+                                   memsim::Memory& memory, int misr_width,
+                                   Word golden, Word seed = 0,
+                                   const SessionOptions& options = {});
+
+}  // namespace pmbist::bist

@@ -1,0 +1,35 @@
+#pragma once
+// BistSession: drives a controller against a memory under test, applying
+// each issued operation, comparing read data, and logging failures — the
+// role of the BIST unit's comparator and fail-capture logic.
+
+#include "bist/controller.h"
+#include "march/coverage.h"
+#include "memsim/memory.h"
+
+namespace pmbist::bist {
+
+/// Outcome of one BIST run.
+struct SessionResult {
+  bool completed = false;  ///< controller terminated within the cycle bound
+  std::uint64_t cycles = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t pauses = 0;
+  std::vector<march::Failure> failures;
+
+  [[nodiscard]] bool passed() const noexcept {
+    return completed && failures.empty();
+  }
+};
+
+struct SessionOptions {
+  std::uint64_t max_cycles = 1'000'000'000;
+  std::size_t max_failures = 64;  ///< failure-log capacity (run continues)
+};
+
+/// Runs `controller` to completion against `memory`.
+SessionResult run_session(Controller& controller, memsim::Memory& memory,
+                          const SessionOptions& options = {});
+
+}  // namespace pmbist::bist

@@ -1,0 +1,59 @@
+#include "diag/bitmap.h"
+
+#include <sstream>
+
+namespace pmbist::diag {
+
+void FailBitmap::accumulate(std::span<const march::Failure> failures) {
+  for (const auto& f : failures) {
+    const memsim::Word diff =
+        (f.op.data ^ f.actual) & geometry_.word_mask();
+    for (int b = 0; b < geometry_.word_bits; ++b) {
+      if ((diff >> b) & 1u) {
+        ++counts_[{f.op.addr, b}];
+        ++total_events_;
+      }
+    }
+  }
+}
+
+int FailBitmap::fail_count(memsim::Address addr, int bit) const {
+  const auto it = counts_.find({addr, bit});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<memsim::BitRef> FailBitmap::failing_cells() const {
+  std::vector<memsim::BitRef> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, n] : counts_)
+    if (n > 0) out.push_back(memsim::BitRef{key.first, key.second});
+  return out;
+}
+
+std::map<memsim::Address, int> FailBitmap::row_histogram() const {
+  std::map<memsim::Address, int> out;
+  for (const auto& [key, n] : counts_) out[key.first] += n;
+  return out;
+}
+
+std::map<int, int> FailBitmap::column_histogram() const {
+  std::map<int, int> out;
+  for (const auto& [key, n] : counts_) out[key.second] += n;
+  return out;
+}
+
+std::string FailBitmap::render() const {
+  std::ostringstream os;
+  os << "fail bitmap (" << total_events_ << " failing-bit events)\n";
+  const auto rows = row_histogram();
+  for (const auto& [addr, n] : rows) {
+    os << "  addr " << addr << " : ";
+    for (int b = geometry_.word_bits - 1; b >= 0; --b)
+      os << (fail_count(addr, b) > 0 ? 'X' : '.');
+    os << "  (" << n << ")\n";
+  }
+  if (rows.empty()) os << "  (clean)\n";
+  return os.str();
+}
+
+}  // namespace pmbist::diag

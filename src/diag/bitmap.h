@@ -1,0 +1,47 @@
+#pragma once
+// Fail-bitmap construction for diagnostics and process monitoring — the
+// application domain the paper cites (ref [9], Schanstra et al.) as a key
+// motivation for programmable BIST: the same controller that runs
+// production tests can capture per-cell failure data in bring-up.
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "march/coverage.h"
+
+namespace pmbist::diag {
+
+/// Per-cell failure statistics accumulated from one or more runs.
+class FailBitmap {
+ public:
+  explicit FailBitmap(memsim::MemoryGeometry geometry)
+      : geometry_{geometry} {}
+
+  /// Accumulates every failing bit of every logged failure.
+  void accumulate(std::span<const march::Failure> failures);
+
+  [[nodiscard]] const memsim::MemoryGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+  [[nodiscard]] int fail_count(memsim::Address addr, int bit) const;
+  [[nodiscard]] std::vector<memsim::BitRef> failing_cells() const;
+  [[nodiscard]] int total_events() const noexcept { return total_events_; }
+
+  /// Failures per word address (word-line histogram).
+  [[nodiscard]] std::map<memsim::Address, int> row_histogram() const;
+  /// Failures per bit position (bit-line histogram).
+  [[nodiscard]] std::map<int, int> column_histogram() const;
+
+  /// ASCII rendering: one row per address with failing bits marked 'X'
+  /// (addresses with no failures are elided).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  memsim::MemoryGeometry geometry_;
+  std::map<std::pair<memsim::Address, int>, int> counts_;
+  int total_events_ = 0;
+};
+
+}  // namespace pmbist::diag

@@ -1,0 +1,114 @@
+#include "diag/classify.h"
+
+#include <algorithm>
+
+#include "march/expand.h"
+#include "march/library.h"
+
+namespace pmbist::diag {
+
+using memsim::FaultClass;
+
+namespace {
+
+// Collects the failing cells and expected-polarity profile of a signature.
+struct Signature {
+  std::set<memsim::BitRef> cells;
+  bool failed_expect0 = false;  ///< some failing read expected a 0 bit
+  bool failed_expect1 = false;  ///< some failing read expected a 1 bit
+};
+
+Signature summarize(const memsim::MemoryGeometry& g,
+                    const std::vector<march::Failure>& failures) {
+  Signature s;
+  for (const auto& f : failures) {
+    const memsim::Word diff = (f.op.data ^ f.actual) & g.word_mask();
+    for (int b = 0; b < g.word_bits; ++b) {
+      if (!((diff >> b) & 1u)) continue;
+      s.cells.insert(memsim::BitRef{f.op.addr, b});
+      if ((f.op.data >> b) & 1u)
+        s.failed_expect1 = true;
+      else
+        s.failed_expect0 = true;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Diagnosis classify_signatures(
+    const memsim::MemoryGeometry& geometry,
+    const std::vector<march::Failure>& march_c,
+    const std::vector<march::Failure>& march_c_plus,
+    const std::vector<march::Failure>& march_c_plus_plus) {
+  Diagnosis d;
+  const Signature sc = summarize(geometry, march_c);
+  const Signature scp = summarize(geometry, march_c_plus);
+  const Signature scpp = summarize(geometry, march_c_plus_plus);
+
+  d.any_failure =
+      !sc.cells.empty() || !scp.cells.empty() || !scpp.cells.empty();
+  if (!d.any_failure) return d;
+
+  std::set<memsim::BitRef> all = sc.cells;
+  all.insert(scp.cells.begin(), scp.cells.end());
+  all.insert(scpp.cells.begin(), scpp.cells.end());
+  d.suspect_cells.assign(all.begin(), all.end());
+
+  if (sc.cells.empty() && !scp.cells.empty()) {
+    // Only the retention-enhanced algorithm sees it.
+    d.candidates.insert(FaultClass::DRF);
+    return d;
+  }
+  if (sc.cells.empty() && scp.cells.empty() && !scpp.cells.empty()) {
+    // Only repeated reads see it.
+    d.candidates.insert(FaultClass::DRDF);
+    return d;
+  }
+
+  std::set<memsim::Address> addrs;
+  for (const auto& c : all) addrs.insert(c.addr);
+
+  if (addrs.size() > 1) {
+    // Multiple failing addresses: decoder faults and coupling both produce
+    // multi-address signatures.
+    d.candidates.insert(FaultClass::AF);
+    d.candidates.insert(FaultClass::CFin);
+    d.candidates.insert(FaultClass::CFid);
+    d.candidates.insert(FaultClass::CFst);
+    return d;
+  }
+
+  // Single-cell signatures.
+  if (sc.failed_expect1 && !sc.failed_expect0) {
+    d.candidates.insert(FaultClass::SAF);  // SA0
+    d.candidates.insert(FaultClass::TF);   // up-transition
+  } else if (sc.failed_expect0 && !sc.failed_expect1) {
+    d.candidates.insert(FaultClass::SAF);  // SA1
+    d.candidates.insert(FaultClass::TF);   // down-transition
+  } else {
+    // Both polarities at one cell: destructive reads, single-cell coupling
+    // victims, stuck-open residue effects.
+    d.candidates.insert(FaultClass::RDF);
+    d.candidates.insert(FaultClass::SOF);
+    d.candidates.insert(FaultClass::CFin);
+    d.candidates.insert(FaultClass::CFid);
+    d.candidates.insert(FaultClass::CFst);
+  }
+  return d;
+}
+
+Diagnosis diagnose(memsim::Memory& memory) {
+  const auto& g = memory.geometry();
+  auto run = [&](const march::MarchAlgorithm& alg) {
+    const auto stream = march::expand(alg, g);
+    return march::run_stream(stream, memory, /*max_failures=*/256).failures;
+  };
+  const auto fc = run(march::march_c());
+  const auto fcp = run(march::march_c_plus());
+  const auto fcpp = run(march::march_c_plus_plus());
+  return classify_signatures(g, fc, fcp, fcpp);
+}
+
+}  // namespace pmbist::diag

@@ -1,0 +1,49 @@
+#pragma once
+// Heuristic fault classification from BIST failure signatures.
+//
+// A programmable BIST controller can run a *suite* of algorithms against
+// the same device and combine the failure signatures — the diagnostic use
+// case that justifies the programmable architecture's extra area (paper,
+// Sec. 1).  The classifier runs March C (the base detector), March C+
+// (adds retention) and March C++ (adds deceptive-read coverage) and applies
+// signature rules:
+//
+//   * clean on March C but failing on C+'s post-pause reads  -> DRF
+//   * clean on March C/C+ but failing on C++'s repeated reads -> DRDF
+//   * one cell failing only reads that expect 1              -> {SA0, TF-up}
+//   * one cell failing only reads that expect 0              -> {SA1, TF-down}
+//     (stuck-at and the matching transition fault are march-
+//      indistinguishable once the initializing write is w0/w1)
+//   * one cell failing reads of both polarities              -> {CF victim,
+//                                                                RDF, ...}
+//   * multiple failing addresses                             -> {AF, CF}
+//
+// The result is a candidate set, never a single guess — march tests bound,
+// but do not always pinpoint, the defect mechanism.
+
+#include <set>
+
+#include "memsim/faulty_memory.h"
+#include "march/coverage.h"
+
+namespace pmbist::diag {
+
+struct Diagnosis {
+  bool any_failure = false;
+  std::set<memsim::FaultClass> candidates;
+  std::vector<memsim::BitRef> suspect_cells;
+};
+
+/// Runs the diagnostic suite against `memory` and classifies the combined
+/// failure signature.  The memory is exercised (written) in the process.
+[[nodiscard]] Diagnosis diagnose(memsim::Memory& memory);
+
+/// Classifies pre-collected signatures (exposed for unit tests):
+/// failures of March C, March C+ and March C++ runs, in that order.
+[[nodiscard]] Diagnosis classify_signatures(
+    const memsim::MemoryGeometry& geometry,
+    const std::vector<march::Failure>& march_c,
+    const std::vector<march::Failure>& march_c_plus,
+    const std::vector<march::Failure>& march_c_plus_plus);
+
+}  // namespace pmbist::diag

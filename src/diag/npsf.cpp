@@ -1,0 +1,41 @@
+#include "diag/npsf.h"
+
+namespace pmbist::diag {
+
+march::OpStream npsf_screen(const memsim::ArrayTopology& topology) {
+  const int address_bits = topology.scrambler().address_bits();
+  const auto num_words = memsim::Address{1} << address_bits;
+  march::OpStream out;
+
+  // Initialize the whole array (power-up contents are undefined).
+  for (memsim::Address a = 0; a < num_words; ++a)
+    out.push_back(march::MemOp::write(0, a, 0));
+
+  for (memsim::Address base = 0; base < num_words; ++base) {
+    const auto nbrs = topology.neighbors(base);
+    const auto patterns = std::uint32_t{1} << nbrs.size();
+    for (std::uint32_t p = 0; p < patterns; ++p) {
+      // Apply the neighborhood pattern.
+      for (std::size_t i = 0; i < nbrs.size(); ++i)
+        out.push_back(march::MemOp::write(0, nbrs[i], (p >> i) & 1u));
+      // The base must hold both values under this pattern.
+      out.push_back(march::MemOp::write(0, base, 0));
+      out.push_back(march::MemOp::read(0, base, 0));
+      out.push_back(march::MemOp::write(0, base, 1));
+      out.push_back(march::MemOp::read(0, base, 1));
+    }
+    // Restore the neighborhood to 0 for the next base cell.
+    for (memsim::Address n : nbrs)
+      out.push_back(march::MemOp::write(0, n, 0));
+    out.push_back(march::MemOp::write(0, base, 0));
+  }
+  return out;
+}
+
+march::RunResult run_npsf_screen(const memsim::ArrayTopology& topology,
+                                 memsim::Memory& memory,
+                                 std::size_t max_failures) {
+  return march::run_stream(npsf_screen(topology), memory, max_failures);
+}
+
+}  // namespace pmbist::diag

@@ -1,0 +1,35 @@
+#pragma once
+// Exhaustive neighborhood-pattern screen for static NPSFs.
+//
+// March tests cannot guarantee NPSF detection: a march element writes the
+// whole array to a uniform value per pass, so most of the 2^k neighborhood
+// patterns are never applied around a given base cell.  The screen below
+// is the direct (non-tiled) pattern-sensitivity test: for every base cell
+// and every pattern of its physical von Neumann neighborhood, apply the
+// pattern, then verify the base holds both a 0 and a 1.
+//
+// Cost: for a k-neighbor topology, about (k + 4) * 2^k operations per
+// cell — ~288n for k=4 — versus 10n for March C.  This is precisely the
+// kind of test-cost/coverage trade the programmable controller lets a
+// product make per test phase (the paper's wafer-vs-final-test argument);
+// note that the screen is *not* a march test (writes depend on the
+// physical neighborhood), so it exceeds even the microcode controller's
+// ISA: it represents the off-chip / enhanced-BIST end of the spectrum.
+
+#include "march/coverage.h"
+#include "memsim/topology.h"
+
+namespace pmbist::diag {
+
+/// Builds the exhaustive pattern-screen op stream for the topology.
+/// Detects every static NPSF with von Neumann neighborhoods (and, being a
+/// superset of a scan test, all SAFs).
+[[nodiscard]] march::OpStream npsf_screen(
+    const memsim::ArrayTopology& topology);
+
+/// Convenience: runs the screen against a memory.
+[[nodiscard]] march::RunResult run_npsf_screen(
+    const memsim::ArrayTopology& topology, memsim::Memory& memory,
+    std::size_t max_failures = 64);
+
+}  // namespace pmbist::diag

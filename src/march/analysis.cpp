@@ -1,0 +1,195 @@
+#include "march/analysis.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "march/library.h"
+
+namespace pmbist::march {
+namespace {
+
+using memsim::Address;
+using memsim::BitRef;
+using memsim::Fault;
+using memsim::FaultClass;
+
+// Canonical qualification array: 4 bit-oriented words.  Fault instances
+// are placed on every cell position — interior cells expose misses that
+// element-boundary sense-residue effects would hide, boundary cells expose
+// the residue corner cases — so Guaranteed really means "every position,
+// every power-up".  The power-up sweep toggles the two cells named by the
+// instance (kCellA/kCellB by default; the actual participants for
+// coupling/decoder instances).
+constexpr MemoryGeometry kCanon{.address_bits = 2, .word_bits = 1,
+                                .num_ports = 1};
+constexpr Address kCellA = 1;
+constexpr Address kCellB = 2;
+
+std::uint64_t min_pause_ns(const MarchAlgorithm& alg) {
+  std::uint64_t ns = 0;
+  for (const auto& e : alg.elements())
+    if (e.is_pause && (ns == 0 || e.pause_ns < ns)) ns = e.pause_ns;
+  return ns;
+}
+
+// One qualification instance: the fault plus the (up to two) cells whose
+// power-up values the sweep must toggle.
+struct Instance {
+  Fault fault;
+  Address a = kCellA;
+  Address b = kCellB;
+};
+
+std::vector<Instance> instances(FaultClass cls, const MarchAlgorithm& alg) {
+  std::vector<Instance> out;
+  const Address cells[] = {0, kCellA, kCellB, 3};
+  const std::pair<Address, Address> pairs[] = {
+      {kCellA, kCellB}, {kCellB, kCellA}, {0, 3}, {3, 0}};
+  auto other = [](Address c) { return c == kCellA ? kCellB : kCellA; };
+  switch (cls) {
+    case FaultClass::SAF:
+      for (Address c : cells)
+        for (bool v : {false, true})
+          out.push_back({memsim::StuckAtFault{{c, 0}, v}, c, other(c)});
+      break;
+    case FaultClass::TF:
+      for (Address c : cells)
+        for (bool rising : {false, true})
+          out.push_back({memsim::TransitionFault{{c, 0}, rising}, c,
+                         other(c)});
+      break;
+    case FaultClass::CFin:
+      for (auto [a, v] : pairs)
+        for (bool rising : {false, true})
+          out.push_back(
+              {memsim::InversionCouplingFault{{a, 0}, {v, 0}, rising}, a, v});
+      break;
+    case FaultClass::CFid:
+      for (auto [a, v] : pairs)
+        for (bool rising : {false, true})
+          for (bool forced : {false, true})
+            out.push_back({memsim::IdempotentCouplingFault{
+                               {a, 0}, {v, 0}, rising, forced},
+                           a, v});
+      break;
+    case FaultClass::CFst:
+      for (auto [a, v] : pairs)
+        for (bool state : {false, true})
+          for (bool forced : {false, true})
+            out.push_back({memsim::StateCouplingFault{
+                               {a, 0}, {v, 0}, state, forced},
+                           a, v});
+      break;
+    case FaultClass::AF:
+      for (auto [x, y] : pairs) {
+        out.push_back({memsim::AddressDecoderFault{x, {}}, x, y});
+        out.push_back({memsim::AddressDecoderFault{x, {y}}, x, y});
+        out.push_back({memsim::AddressDecoderFault{x, {x, y}}, x, y});
+      }
+      break;
+    case FaultClass::SOF:
+      for (Address c : cells)
+        out.push_back({memsim::StuckOpenFault{{c, 0}}, c, other(c)});
+      break;
+    case FaultClass::DRF: {
+      // Detectable only if the algorithm pauses at all; size the hold time
+      // below the shortest pause, mirroring the campaign's convention.
+      const std::uint64_t pause = min_pause_ns(alg);
+      const std::uint64_t hold =
+          pause > 0 ? pause / 2 : kDefaultPauseNs / 2;
+      for (Address c : cells)
+        for (bool leak : {false, true})
+          out.push_back(
+              {memsim::DataRetentionFault{{c, 0}, leak, hold}, c, other(c)});
+      break;
+    }
+    case FaultClass::IRF:
+      for (Address c : cells)
+        out.push_back({memsim::IncorrectReadFault{{c, 0}}, c, other(c)});
+      break;
+    case FaultClass::WDF:
+      for (Address c : cells)
+        out.push_back({memsim::WriteDisturbFault{{c, 0}}, c, other(c)});
+      break;
+    case FaultClass::RDF:
+      for (Address c : cells)
+        out.push_back(
+            {memsim::ReadDestructiveFault{{c, 0}, false}, c, other(c)});
+      break;
+    case FaultClass::DRDF:
+      for (Address c : cells)
+        out.push_back(
+            {memsim::ReadDestructiveFault{{c, 0}, true}, c, other(c)});
+      break;
+    case FaultClass::NPSF:
+    case FaultClass::PF:
+      // Not qualifiable on the canonical single-port array; these classes
+      // have dedicated topology-/port-aware experiments.
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(Detection d) {
+  switch (d) {
+    case Detection::None: return "none";
+    case Detection::Partial: return "partial";
+    case Detection::Guaranteed: return "guaranteed";
+  }
+  return "?";
+}
+
+Detection analyze(const MarchAlgorithm& alg, FaultClass cls) {
+  const OpStream stream = expand(alg, kCanon);
+  int detected = 0;
+  int total = 0;
+  for (const auto& inst : instances(cls, alg)) {
+    // Every power-up assignment of the two participating cells.
+    for (unsigned combo = 0; combo < 4; ++combo) {
+      std::vector<Word> contents(kCanon.num_words(), 0);
+      contents[inst.a] = combo & 1u;
+      contents[inst.b] = (combo >> 1) & 1u;
+      memsim::FaultyMemory mem{kCanon, std::move(contents)};
+      mem.add_fault(inst.fault);
+      ++total;
+      if (!run_stream(stream, mem, /*max_failures=*/1).passed()) ++detected;
+    }
+  }
+  if (detected == 0) return Detection::None;
+  if (detected == total) return Detection::Guaranteed;
+  return Detection::Partial;
+}
+
+std::map<FaultClass, Detection> analyze_all(const MarchAlgorithm& alg) {
+  std::map<FaultClass, Detection> out;
+  for (FaultClass cls : memsim::all_fault_classes())
+    out[cls] = analyze(alg, cls);
+  return out;
+}
+
+std::string format_analysis_table(
+    std::span<const MarchAlgorithm> algorithms,
+    std::span<const FaultClass> classes) {
+  std::ostringstream os;
+  os << std::left << std::setw(16) << "algorithm";
+  for (FaultClass c : classes)
+    os << std::right << std::setw(6) << memsim::fault_class_name(c);
+  os << "\n";
+  for (const auto& alg : algorithms) {
+    os << std::left << std::setw(16) << alg.name();
+    for (FaultClass c : classes) {
+      const Detection d = analyze(alg, c);
+      const char mark = d == Detection::Guaranteed ? 'G'
+                        : d == Detection::Partial  ? 'p'
+                                                   : '-';
+      os << std::right << std::setw(6) << mark;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pmbist::march

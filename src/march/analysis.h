@@ -1,0 +1,51 @@
+#pragma once
+// Static march-algorithm qualification: which fault classes does an
+// algorithm *guarantee* to detect?
+//
+// Fault-simulation campaigns (coverage.h) measure detection over sampled
+// instances and random power-up states, so lucky detections inflate the
+// ratio above the guaranteed floor (e.g. MATS catches some falling
+// transition faults only when power-up leaves the cell at 1).  A test
+// engineer choosing an algorithm needs the guarantee, not the luck.
+//
+// The qualifier decides the guarantee *exactly* for this library's fault
+// models by exhausting a canonical small configuration: a 4-word
+// bit-oriented array, every fault instance of the class placed on interior
+// cells (so element-boundary sense-residue effects cannot mask a miss),
+// and every relevant power-up assignment of the participating cells.
+// Detection of single-cell and pairwise faults depends only on the
+// per-cell operation sequences and the relative traversal order of the
+// participating cells — both of which the canonical array preserves — so:
+//
+//   Guaranteed  = every (instance x power-up) combination is detected
+//   None        = no combination is detected
+//   Partial     = anything in between (detection depends on fault
+//                 parameters, cell position or power-up luck)
+//
+// tests/test_analysis.cpp cross-validates these verdicts against the
+// sampled fault-simulation campaign for the whole algorithm library.
+
+#include <map>
+
+#include "march/coverage.h"
+
+namespace pmbist::march {
+
+enum class Detection : std::uint8_t { None, Partial, Guaranteed };
+
+[[nodiscard]] std::string_view to_string(Detection d);
+
+/// Qualifies `alg` against one fault class.
+[[nodiscard]] Detection analyze(const MarchAlgorithm& alg,
+                                memsim::FaultClass cls);
+
+/// Qualifies `alg` against every fault class.
+[[nodiscard]] std::map<memsim::FaultClass, Detection> analyze_all(
+    const MarchAlgorithm& alg);
+
+/// Fixed-width text table over a set of algorithms (G / p / - cells).
+[[nodiscard]] std::string format_analysis_table(
+    std::span<const MarchAlgorithm> algorithms,
+    std::span<const memsim::FaultClass> classes);
+
+}  // namespace pmbist::march

@@ -1,0 +1,170 @@
+#include "march/march.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pmbist::march {
+
+std::string_view to_string(AddressOrder o) {
+  switch (o) {
+    case AddressOrder::Up: return "up";
+    case AddressOrder::Down: return "down";
+    case AddressOrder::Any: return "any";
+  }
+  return "?";
+}
+
+AddressOrder complement(AddressOrder o) {
+  switch (o) {
+    case AddressOrder::Up: return AddressOrder::Down;
+    case AddressOrder::Down: return AddressOrder::Up;
+    case AddressOrder::Any: return AddressOrder::Any;
+  }
+  return o;
+}
+
+std::string MarchOp::to_string() const {
+  std::string s(is_read() ? "r" : "w");
+  s += data ? "1" : "0";
+  return s;
+}
+
+MarchElement MarchElement::pause(std::uint64_t ns) {
+  MarchElement e;
+  e.is_pause = true;
+  e.pause_ns = ns;
+  return e;
+}
+
+std::string MarchElement::to_string() const {
+  if (is_pause) {
+    std::ostringstream os;
+    os << "pause(" << pause_ns << "ns)";
+    return os.str();
+  }
+  std::ostringstream os;
+  os << march::to_string(order) << "(";
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    os << (i ? "," : "") << ops[i].to_string();
+  os << ")";
+  return os.str();
+}
+
+MarchElement up(std::vector<MarchOp> ops) {
+  return MarchElement{AddressOrder::Up, std::move(ops), false, 0};
+}
+MarchElement down(std::vector<MarchOp> ops) {
+  return MarchElement{AddressOrder::Down, std::move(ops), false, 0};
+}
+MarchElement any(std::vector<MarchOp> ops) {
+  return MarchElement{AddressOrder::Any, std::move(ops), false, 0};
+}
+
+MarchAlgorithm::MarchAlgorithm(std::string name,
+                               std::vector<MarchElement> elements)
+    : name_{std::move(name)}, elements_{std::move(elements)} {}
+
+int MarchAlgorithm::ops_per_cell() const noexcept {
+  int n = 0;
+  for (const auto& e : elements_)
+    if (!e.is_pause) n += static_cast<int>(e.ops.size());
+  return n;
+}
+
+int MarchAlgorithm::reads_per_cell() const noexcept {
+  int n = 0;
+  for (const auto& e : elements_)
+    for (const auto& op : e.ops)
+      if (op.is_read()) ++n;
+  return n;
+}
+
+int MarchAlgorithm::march_element_count() const noexcept {
+  int n = 0;
+  for (const auto& e : elements_)
+    if (!e.is_pause) ++n;
+  return n;
+}
+
+std::string MarchAlgorithm::to_string() const {
+  std::ostringstream os;
+  os << "{ ";
+  for (std::size_t i = 0; i < elements_.size(); ++i)
+    os << (i ? "; " : "") << elements_[i].to_string();
+  os << " }";
+  return os.str();
+}
+
+std::string MarchAlgorithm::validate() const {
+  if (elements_.empty()) return "algorithm has no elements";
+  for (const auto& e : elements_) {
+    if (e.is_pause) {
+      if (!e.ops.empty()) return "pause element must have no operations";
+      continue;
+    }
+    if (e.ops.empty()) return "march element has no operations";
+  }
+  for (const auto& e : elements_) {
+    if (e.is_pause) continue;
+    if (e.ops.front().is_read())
+      return "first march element must start with a write "
+             "(power-up contents are undefined)";
+    break;
+  }
+  return {};
+}
+
+int final_data_value(const MarchAlgorithm& alg) {
+  // Every element applies to all cells, so the last write op in the last
+  // element containing a write determines the uniform final value.
+  for (auto eit = alg.elements().rbegin(); eit != alg.elements().rend();
+       ++eit) {
+    if (eit->is_pause) continue;
+    for (auto oit = eit->ops.rbegin(); oit != eit->ops.rend(); ++oit)
+      if (!oit->is_read()) return oit->data ? 1 : 0;
+  }
+  return -1;
+}
+
+MarchAlgorithm with_retention(const MarchAlgorithm& alg,
+                              std::uint64_t pause_ns, std::string new_name) {
+  const int d = final_data_value(alg);
+  if (d < 0)
+    throw std::logic_error("with_retention: algorithm '" + alg.name() +
+                           "' leaves no deterministic uniform value");
+  const MarchOp read_d{MarchOp::Kind::Read, d == 1};
+  const MarchOp write_nd{MarchOp::Kind::Write, d != 1};
+  const MarchOp read_nd{MarchOp::Kind::Read, d != 1};
+
+  std::vector<MarchElement> elements = alg.elements();
+  elements.push_back(MarchElement::pause(pause_ns));
+  elements.push_back(any({read_d, write_nd, read_nd}));
+  elements.push_back(MarchElement::pause(pause_ns));
+  elements.push_back(any({read_nd}));
+  return MarchAlgorithm{std::move(new_name), std::move(elements)};
+}
+
+MarchAlgorithm with_triple_reads(const MarchAlgorithm& alg,
+                                 std::string new_name) {
+  std::vector<MarchElement> elements;
+  elements.reserve(alg.elements().size());
+  for (const auto& e : alg.elements()) {
+    if (e.is_pause) {
+      elements.push_back(e);
+      continue;
+    }
+    MarchElement out;
+    out.order = e.order;
+    for (const auto& op : e.ops) {
+      if (op.is_read()) {
+        out.ops.insert(out.ops.end(), 3, op);
+      } else {
+        out.ops.push_back(op);
+      }
+    }
+    elements.push_back(std::move(out));
+  }
+  return MarchAlgorithm{std::move(new_name), std::move(elements)};
+}
+
+}  // namespace pmbist::march

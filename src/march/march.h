@@ -1,0 +1,123 @@
+#pragma once
+// March test algorithm representation.
+//
+// A march algorithm is a sequence of march elements; each element applies
+// the same short sequence of read/write operations to every cell, walking
+// the address space up, down, or in either order.  Example (the paper's
+// Eq. 1, March C):
+//
+//   { any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0) }
+//
+// Data-retention variants insert `pause` elements (a delay with no memory
+// operations) — the "Hold" components the paper adds for March C+/A+.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmbist::march {
+
+/// Address traversal order of one march element.
+enum class AddressOrder : std::uint8_t {
+  Up,    ///< 0 .. n-1
+  Down,  ///< n-1 .. 0
+  Any,   ///< order irrelevant (controllers use Up)
+};
+
+[[nodiscard]] std::string_view to_string(AddressOrder o);
+
+/// Complements Up<->Down; Any stays Any.  Used by the symmetric-encoding
+/// machinery (the microcode Repeat instruction XORs the address order).
+[[nodiscard]] AddressOrder complement(AddressOrder o);
+
+/// One read or write operation inside a march element.  `data` is the
+/// march data value d in {0,1}; word-oriented memories expand d against a
+/// background pattern (d=0 -> background, d=1 -> complemented background).
+struct MarchOp {
+  enum class Kind : std::uint8_t { Write, Read } kind = Kind::Write;
+  bool data = false;
+
+  [[nodiscard]] bool is_read() const noexcept { return kind == Kind::Read; }
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const MarchOp&, const MarchOp&) = default;
+};
+
+/// Shorthand constructors: w0, w1, r0, r1.
+[[nodiscard]] constexpr MarchOp w0() { return {MarchOp::Kind::Write, false}; }
+[[nodiscard]] constexpr MarchOp w1() { return {MarchOp::Kind::Write, true}; }
+[[nodiscard]] constexpr MarchOp r0() { return {MarchOp::Kind::Read, false}; }
+[[nodiscard]] constexpr MarchOp r1() { return {MarchOp::Kind::Read, true}; }
+
+/// One march element: an address order plus an op sequence applied to each
+/// cell — or a pause (delay) element used by data-retention tests.
+struct MarchElement {
+  AddressOrder order = AddressOrder::Up;
+  std::vector<MarchOp> ops;
+  bool is_pause = false;
+  std::uint64_t pause_ns = 0;
+
+  [[nodiscard]] static MarchElement pause(std::uint64_t ns);
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const MarchElement&, const MarchElement&) = default;
+};
+
+/// Convenience element builders.
+[[nodiscard]] MarchElement up(std::vector<MarchOp> ops);
+[[nodiscard]] MarchElement down(std::vector<MarchOp> ops);
+[[nodiscard]] MarchElement any(std::vector<MarchOp> ops);
+
+/// A complete, named march algorithm.
+class MarchAlgorithm {
+ public:
+  MarchAlgorithm() = default;
+  MarchAlgorithm(std::string name, std::vector<MarchElement> elements);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<MarchElement>& elements() const noexcept {
+    return elements_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return elements_.empty(); }
+
+  /// Total reads+writes applied per cell per pass (the "nN" complexity
+  /// coefficient; pause elements contribute 0).
+  [[nodiscard]] int ops_per_cell() const noexcept;
+  /// Number of read operations per cell per pass.
+  [[nodiscard]] int reads_per_cell() const noexcept;
+  /// Number of non-pause elements.
+  [[nodiscard]] int march_element_count() const noexcept;
+
+  /// Canonical text form, re-parseable by march::parse().
+  [[nodiscard]] std::string to_string() const;
+
+  /// Structural sanity: non-empty non-pause elements, first op of the first
+  /// element is a write (required for a deterministic expected value after
+  /// undefined power-up).  Empty string when valid.
+  [[nodiscard]] std::string validate() const;
+
+  friend bool operator==(const MarchAlgorithm&,
+                         const MarchAlgorithm&) = default;
+
+ private:
+  std::string name_;
+  std::vector<MarchElement> elements_;
+};
+
+/// Transform: appends the paper's data-retention tail
+/// [pause; any(rD,w!D,r!D); pause; any(r!D)] where D is the data value the
+/// algorithm leaves in every cell.  Requires the algorithm to leave a
+/// uniform final value (true of all library algorithms).
+[[nodiscard]] MarchAlgorithm with_retention(const MarchAlgorithm& alg,
+                                            std::uint64_t pause_ns,
+                                            std::string new_name);
+
+/// Transform: replaces every read by three consecutive identical reads
+/// (the paper's "++" variants, targeting disconnected pull-up/down devices,
+/// modeled as deceptive read-destructive faults).
+[[nodiscard]] MarchAlgorithm with_triple_reads(const MarchAlgorithm& alg,
+                                               std::string new_name);
+
+/// The march data value left in every cell after a full pass, or -1 if the
+/// final state is not uniform/deterministic.
+[[nodiscard]] int final_data_value(const MarchAlgorithm& alg);
+
+}  // namespace pmbist::march

@@ -1,0 +1,146 @@
+#include "march/parser.h"
+
+#include <cctype>
+
+namespace pmbist::march {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  MarchAlgorithm run(std::string name) {
+    skip_ws();
+    const bool braced = consume_if('{');
+    std::vector<MarchElement> elements;
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() == '}') break;
+      elements.push_back(parse_element());
+      skip_ws();
+      if (!consume_if(';')) break;
+    }
+    skip_ws();
+    if (braced && !consume_if('}')) fail("expected '}'");
+    skip_ws();
+    if (!at_end()) fail("unexpected trailing input");
+    if (elements.empty()) fail("no march elements");
+    return MarchAlgorithm{std::move(name), std::move(elements)};
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError{msg, pos_};
+  }
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return at_end() ? '\0' : text_[pos_]; }
+  char get() {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+  bool consume_if(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!consume_if(c)) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (!at_end() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  std::string parse_word() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (!at_end() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ == start) fail("expected a keyword");
+    return std::string{text_.substr(start, pos_ - start)};
+  }
+
+  std::uint64_t parse_number() {
+    skip_ws();
+    if (!std::isdigit(static_cast<unsigned char>(peek())))
+      fail("expected a number");
+    std::uint64_t v = 0;
+    while (!at_end() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      v = v * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+    return v;
+  }
+
+  MarchOp parse_op() {
+    skip_ws();
+    const char kind = get();
+    if (kind != 'r' && kind != 'w') fail("expected 'r' or 'w'");
+    const char d = get();
+    if (d != '0' && d != '1') fail("expected '0' or '1'");
+    return MarchOp{kind == 'r' ? MarchOp::Kind::Read : MarchOp::Kind::Write,
+                   d == '1'};
+  }
+
+  MarchElement parse_element() {
+    const std::size_t word_pos = pos_;
+    const std::string word = parse_word();
+    if (word == "pause") {
+      std::uint64_t ns = 100'000'000;  // default pause: 100 ms
+      skip_ws();
+      if (consume_if('(')) {
+        const std::uint64_t n = parse_number();
+        const std::string unit = parse_word();
+        if (unit == "ns")
+          ns = n;
+        else if (unit == "us")
+          ns = n * 1'000;
+        else if (unit == "ms")
+          ns = n * 1'000'000;
+        else
+          fail("expected time unit ns/us/ms");
+        skip_ws();
+        expect(')');
+      }
+      return MarchElement::pause(ns);
+    }
+
+    AddressOrder order;
+    if (word == "up")
+      order = AddressOrder::Up;
+    else if (word == "down")
+      order = AddressOrder::Down;
+    else if (word == "any")
+      order = AddressOrder::Any;
+    else {
+      pos_ = word_pos;
+      fail("expected 'up', 'down', 'any' or 'pause', got '" + word + "'");
+    }
+
+    skip_ws();
+    expect('(');
+    std::vector<MarchOp> ops;
+    ops.push_back(parse_op());
+    skip_ws();
+    while (consume_if(',')) {
+      ops.push_back(parse_op());
+      skip_ws();
+    }
+    expect(')');
+    return MarchElement{order, std::move(ops), false, 0};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+MarchAlgorithm parse(std::string_view text, std::string name) {
+  return Parser{text}.run(std::move(name));
+}
+
+}  // namespace pmbist::march

@@ -1,0 +1,44 @@
+#pragma once
+// Text DSL for march algorithms.
+//
+// Grammar (whitespace-insensitive; ';' separates elements; a surrounding
+// '{ }' is optional):
+//
+//   algorithm := [ '{' ] element ( ';' element )* [ ';' ] [ '}' ]
+//   element   := order '(' op ( ',' op )* ')'
+//              | 'pause' [ '(' number unit ')' ]
+//   order     := 'up' | 'down' | 'any'
+//   op        := ('r' | 'w') ('0' | '1')
+//   unit      := 'ns' | 'us' | 'ms'
+//
+// Examples:
+//   "any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0)"
+//   "{ any(w0); pause(100us); any(r0) }"
+//
+// parse() throws march::ParseError with position information on malformed
+// input, making the DSL safe to expose to interactive tooling.
+
+#include <stdexcept>
+
+#include "march/march.h"
+
+namespace pmbist::march {
+
+/// Error thrown on malformed DSL input; message includes offset context.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t offset)
+      : std::runtime_error{message + " (at offset " +
+                           std::to_string(offset) + ")"},
+        offset_{offset} {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parses the DSL into an algorithm named `name`.
+[[nodiscard]] MarchAlgorithm parse(std::string_view text,
+                                   std::string name = "custom");
+
+}  // namespace pmbist::march

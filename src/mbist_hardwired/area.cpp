@@ -1,0 +1,28 @@
+#include "mbist_hardwired/area.h"
+
+#include <algorithm>
+
+#include "bist/datapath.h"
+
+namespace pmbist::mbist_hardwired {
+
+netlist::AreaReport hardwired_area(const march::MarchAlgorithm& alg,
+                                   const AreaConfig& config) {
+  const auto fsm =
+      generate_fsm(alg, HardwiredFeatures::for_geometry(config.geometry));
+  const auto synth = netlist::synthesize(fsm);
+
+  netlist::AreaReport report{"hardwired BIST unit (" + alg.name() + ")"};
+  report.add_block("controller FSM (" + std::to_string(fsm.num_states()) +
+                       " states)",
+                   synth.inventory);
+
+  const bool has_pause = std::any_of(
+      alg.elements().begin(), alg.elements().end(),
+      [](const march::MarchElement& e) { return e.is_pause; });
+  if (config.include_datapath)
+    bist::add_datapath_blocks(report, config.geometry, has_pause);
+  return report;
+}
+
+}  // namespace pmbist::mbist_hardwired

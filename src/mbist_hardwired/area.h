@@ -1,0 +1,23 @@
+#pragma once
+// Area model of hardwired BIST controllers: the generated FSM is
+// synthesized (netlist/fsm_synth) and combined with the shared datapath.
+// Enhancing the algorithm (C -> C+ -> C++) grows the FSM state count and
+// hence the synthesized logic — the paper's observation 3.
+
+#include "march/march.h"
+#include "mbist_hardwired/generator.h"
+#include "netlist/gate_inventory.h"
+
+namespace pmbist::mbist_hardwired {
+
+struct AreaConfig {
+  memsim::MemoryGeometry geometry{};
+  bool include_datapath = true;
+};
+
+/// Hierarchical area report of the hardwired BIST unit for `alg`.  The
+/// pause timer is included exactly when the algorithm has pause elements.
+[[nodiscard]] netlist::AreaReport hardwired_area(
+    const march::MarchAlgorithm& alg, const AreaConfig& config);
+
+}  // namespace pmbist::mbist_hardwired

@@ -1,0 +1,71 @@
+#include "mbist_hardwired/controller.h"
+
+namespace pmbist::mbist_hardwired {
+
+HardwiredController::HardwiredController(const march::MarchAlgorithm& alg,
+                                         const HardwiredConfig& config)
+    : algorithm_name_{alg.name()},
+      config_{config},
+      fsm_{generate_fsm(alg,
+                        HardwiredFeatures::for_geometry(config.geometry))},
+      addr_{config.geometry.address_bits},
+      data_{config.geometry.word_bits},
+      port_{config.geometry.num_ports} {
+  // Retention algorithms carry their pause duration in the elements.
+  for (const auto& e : alg.elements())
+    if (e.is_pause) config_.pause_ns = e.pause_ns;
+  reset();
+}
+
+void HardwiredController::reset() {
+  state_ = 0;  // Idle (reset state)
+  pause_done_ = false;
+  done_ = false;
+  addr_.init(march::AddressOrder::Up);
+  data_.reset();
+  port_.reset();
+}
+
+std::optional<march::MemOp> HardwiredController::step() {
+  if (done_) return std::nullopt;
+
+  const std::uint32_t out = fsm_.outputs_of(state_);
+
+  // Memory operation / pause issued in this state.
+  std::optional<march::MemOp> op;
+  if (out & kOutReadEn) {
+    op = march::MemOp::read(port_.current(), addr_.current(),
+                            data_.data_for(out & kOutDataVal));
+  } else if (out & kOutWriteEn) {
+    op = march::MemOp::write(port_.current(), addr_.current(),
+                             data_.data_for(out & kOutDataVal));
+  } else if ((out & kOutPauseStart) && !pause_done_) {
+    op = march::MemOp::pause(config_.pause_ns);
+    pause_done_ = true;  // timer modeled as expiring before the next cycle
+  }
+
+  // Sample the condition inputs.
+  std::uint32_t in = kInStart;
+  if (addr_.at_last()) in |= kInLastAddr;
+  if (pause_done_) in |= kInPauseDone;
+  if (data_.at_last()) in |= kInLastBg;
+  if (port_.at_last()) in |= kInLastPort;
+
+  const int next = fsm_.step(state_, in);
+
+  // Datapath side effects at the clock edge.
+  if (out & kOutAddrInit)
+    addr_.init((out & kOutAddrDirDown) ? march::AddressOrder::Down
+                                       : march::AddressOrder::Up);
+  if ((out & kOutAddrAdvance) && !addr_.at_last()) addr_.step();
+  if (out & kOutBgInc) data_.next();
+  if (out & kOutBgReset) data_.reset();
+  if (out & kOutPortInc) port_.next();
+  if ((out & kOutPauseStart) && next != state_) pause_done_ = false;
+
+  state_ = next;
+  if (fsm_.outputs_of(state_) & kOutDone) done_ = true;
+  return op;
+}
+
+}  // namespace pmbist::mbist_hardwired

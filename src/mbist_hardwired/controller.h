@@ -1,0 +1,51 @@
+#pragma once
+// Cycle-accurate behavioral model of a hardwired BIST controller: it
+// interprets the generated Moore FSM (generator.h) against the shared
+// datapath, one state per cycle.  Because the same FSM is what the area
+// model synthesizes, simulated behaviour and reported overhead are
+// guaranteed to describe the same machine.
+
+#include "bist/controller.h"
+#include "bist/datapath.h"
+#include "march/library.h"
+#include "mbist_hardwired/generator.h"
+
+namespace pmbist::mbist_hardwired {
+
+struct HardwiredConfig {
+  memsim::MemoryGeometry geometry{};
+  std::uint64_t pause_ns = march::kDefaultPauseNs;
+};
+
+class HardwiredController final : public bist::Controller {
+ public:
+  /// Builds the controller for one fixed algorithm (that is the point of a
+  /// non-programmable controller).  Loop-back features derive from the
+  /// geometry.
+  HardwiredController(const march::MarchAlgorithm& alg,
+                      const HardwiredConfig& config);
+
+  [[nodiscard]] std::string name() const override {
+    return "hardwired " + algorithm_name_;
+  }
+  void reset() override;
+  [[nodiscard]] bool done() const override { return done_; }
+  std::optional<march::MemOp> step() override;
+
+  [[nodiscard]] const netlist::MooreFsm& fsm() const noexcept { return fsm_; }
+
+ private:
+  std::string algorithm_name_;
+  HardwiredConfig config_;
+  netlist::MooreFsm fsm_;
+
+  bist::AddressGenerator addr_;
+  bist::DataGenerator data_;
+  bist::PortSequencer port_;
+
+  int state_ = 0;
+  bool pause_done_ = false;
+  bool done_ = false;
+};
+
+}  // namespace pmbist::mbist_hardwired

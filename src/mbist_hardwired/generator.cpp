@@ -1,0 +1,123 @@
+#include "mbist_hardwired/generator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pmbist::mbist_hardwired {
+
+using march::AddressOrder;
+using march::MarchElement;
+using netlist::Cube;
+using netlist::MooreFsm;
+
+netlist::MooreFsm generate_fsm(const march::MarchAlgorithm& alg,
+                               const HardwiredFeatures& features) {
+  if (const std::string err = alg.validate(); !err.empty())
+    throw std::invalid_argument("cannot generate hardwired controller for '" +
+                                alg.name() + "': " + err);
+
+  MooreFsm fsm{"hardwired " + alg.name(),
+               {"start", "last_addr", "pause_done", "last_bg", "last_port"},
+               {"read_en", "write_en", "data_val", "addr_advance",
+                "addr_init", "addr_dir_down", "bg_inc", "bg_reset",
+                "port_inc", "pause_start", "done"}};
+
+  const int idle = fsm.add_state("Idle", 0);
+
+  // First pass: create all states, remembering each element's entry state.
+  const auto& elements = alg.elements();
+  std::vector<int> entry(elements.size(), -1);
+  std::vector<std::vector<int>> op_states(elements.size());
+  std::vector<int> pause_states(elements.size(), -1);
+
+  for (std::size_t e = 0; e < elements.size(); ++e) {
+    const MarchElement& el = elements[e];
+    const std::string tag = "e" + std::to_string(e);
+    if (el.is_pause) {
+      pause_states[e] = fsm.add_state(tag + ".pause", kOutPauseStart);
+      entry[e] = pause_states[e];
+      continue;
+    }
+    std::uint32_t setup_out = kOutAddrInit;
+    if (el.order == AddressOrder::Down) setup_out |= kOutAddrDirDown;
+    entry[e] = fsm.add_state(tag + ".setup", setup_out);
+    for (std::size_t j = 0; j < el.ops.size(); ++j) {
+      const auto& op = el.ops[j];
+      std::uint32_t out = op.is_read() ? kOutReadEn : kOutWriteEn;
+      if (op.data) out |= kOutDataVal;
+      if (j == el.ops.size() - 1) out |= kOutAddrAdvance;
+      op_states[e].push_back(
+          fsm.add_state(tag + ".op" + std::to_string(j), out));
+    }
+  }
+
+  const int bg_adv = features.data_backgrounds
+                         ? fsm.add_state("bg_advance", kOutBgInc)
+                         : -1;
+  const int port_adv = features.multiport
+                           ? fsm.add_state("port_advance",
+                                           kOutPortInc | kOutBgReset)
+                           : -1;
+  const int done = fsm.add_state("Done", kOutDone);
+
+  // Second pass: wire transitions.
+  fsm.add_arc(idle, Cube{kInStart, kInStart}, entry.empty() ? done : entry[0]);
+
+  // Exit of the whole pass: background loop, then port loop, then Done.
+  auto wire_pass_exit = [&](int from, std::uint32_t base_value,
+                            std::uint32_t base_mask) {
+    if (bg_adv >= 0)
+      fsm.add_arc(from, Cube{base_value, base_mask | kInLastBg}, bg_adv);
+    if (port_adv >= 0)
+      fsm.add_arc(from,
+                  Cube{base_value | kInLastBg,
+                       base_mask | kInLastBg | kInLastPort},
+                  port_adv);
+    fsm.add_arc(from, Cube{base_value | kInLastBg | kInLastPort,
+                           base_mask | kInLastBg | kInLastPort},
+                done);
+  };
+
+  for (std::size_t e = 0; e < elements.size(); ++e) {
+    const MarchElement& el = elements[e];
+    const bool is_last_element = e + 1 == elements.size();
+    const int next_entry = is_last_element ? -1 : entry[e + 1];
+
+    if (el.is_pause) {
+      const int ps = pause_states[e];
+      if (is_last_element) {
+        // Exit chain guarded by pause completion.
+        wire_pass_exit(ps, kInPauseDone, kInPauseDone);
+      } else {
+        fsm.add_arc(ps, Cube{kInPauseDone, kInPauseDone}, next_entry);
+      }
+      // default: stay (waiting for the timer)
+      continue;
+    }
+
+    fsm.set_default_next(entry[e], op_states[e].front());
+    for (std::size_t j = 0; j < el.ops.size(); ++j) {
+      const int s = op_states[e][j];
+      if (j + 1 < el.ops.size()) {
+        fsm.set_default_next(s, op_states[e][j + 1]);
+        continue;
+      }
+      // Last op of the element: loop per cell, then leave the element.
+      if (is_last_element) {
+        wire_pass_exit(s, kInLastAddr, kInLastAddr);
+      } else {
+        fsm.add_arc(s, Cube{kInLastAddr, kInLastAddr}, next_entry);
+      }
+      fsm.set_default_next(s, op_states[e].front());
+    }
+  }
+
+  if (bg_adv >= 0) fsm.set_default_next(bg_adv, entry[0]);
+  if (port_adv >= 0) fsm.set_default_next(port_adv, entry[0]);
+  // Done: terminal.
+
+  assert(fsm.validate().empty());
+  return fsm;
+}
+
+}  // namespace pmbist::mbist_hardwired

@@ -1,0 +1,67 @@
+#pragma once
+// Non-programmable (hardwired) BIST controller generator: turns a march
+// algorithm into the symbolic Moore FSM a designer would hand-craft —
+// "the hardware realization of a selected memory test algorithm" (paper,
+// Sec. 1).  The same FSM object drives both the cycle-accurate behavioral
+// controller and the synthesized area model, so behaviour and overhead come
+// from a single artifact.
+//
+// FSM structure:
+//   Idle -> per element [Setup -> Op_0 .. Op_n-1 (per-cell loop)] ...
+//        -> (BgAdvance loop)? -> (PortAdvance loop)? -> Done
+// Pause elements become a single Pause state gated by the pause timer.
+//
+// Inputs : start, last_addr, pause_done, last_bg, last_port
+// Outputs: read_en, write_en, data_val, addr_advance, addr_init,
+//          addr_dir_down, bg_inc, bg_reset, port_inc, pause_start, done
+
+#include "march/march.h"
+#include "memsim/memory.h"
+#include "netlist/fsm_synth.h"
+
+namespace pmbist::mbist_hardwired {
+
+/// Input bit positions of every generated FSM.
+enum FsmInput : std::uint32_t {
+  kInStart = 1u << 0,
+  kInLastAddr = 1u << 1,
+  kInPauseDone = 1u << 2,
+  kInLastBg = 1u << 3,
+  kInLastPort = 1u << 4,
+};
+inline constexpr int kNumFsmInputs = 5;
+
+/// Output bit positions of every generated FSM.
+enum FsmOutput : std::uint32_t {
+  kOutReadEn = 1u << 0,
+  kOutWriteEn = 1u << 1,
+  kOutDataVal = 1u << 2,
+  kOutAddrAdvance = 1u << 3,
+  kOutAddrInit = 1u << 4,
+  kOutAddrDirDown = 1u << 5,
+  kOutBgInc = 1u << 6,
+  kOutBgReset = 1u << 7,
+  kOutPortInc = 1u << 8,
+  kOutPauseStart = 1u << 9,
+  kOutDone = 1u << 10,
+};
+inline constexpr int kNumFsmOutputs = 11;
+
+/// Which loop-back machinery the controller is built with.  Derive from a
+/// geometry with features_for(); the Table 2 experiments build the same
+/// algorithms with word-oriented / multiport support to measure the growth.
+struct HardwiredFeatures {
+  bool data_backgrounds = false;  ///< repeat per background (word-oriented)
+  bool multiport = false;         ///< repeat per port
+
+  [[nodiscard]] static HardwiredFeatures for_geometry(
+      const memsim::MemoryGeometry& g) {
+    return {g.word_bits > 1, g.num_ports > 1};
+  }
+};
+
+/// Generates the hardwired controller FSM for `alg`.
+[[nodiscard]] netlist::MooreFsm generate_fsm(const march::MarchAlgorithm& alg,
+                                             const HardwiredFeatures& features);
+
+}  // namespace pmbist::mbist_hardwired

@@ -1,0 +1,160 @@
+#include "mbist_pfsm/area.h"
+
+#include <bit>
+#include <cassert>
+
+#include "bist/datapath.h"
+#include "mbist_pfsm/components.h"
+#include "mbist_pfsm/isa.h"
+#include "netlist/qm.h"
+
+namespace pmbist::mbist_pfsm {
+
+using netlist::Cell;
+using netlist::Cube;
+using netlist::GateInventory;
+using netlist::MooreFsm;
+
+namespace {
+
+// Lower-controller inputs, low bit first.
+enum : std::uint32_t {
+  kStart = 1u << 0,
+  kLastOp = 1u << 1,
+  kLastAddr = 1u << 2,
+  kHold = 1u << 3,
+  kPauseDone = 1u << 4,
+};
+
+// Lower-controller Moore outputs.
+enum : std::uint32_t {
+  kOpActive = 1u << 0,
+  kOpIdx0 = 1u << 1,
+  kOpIdx1 = 1u << 2,
+  kAddrInit = 1u << 3,
+  kNextInstr = 1u << 4,
+  kDoneOut = 1u << 5,
+};
+
+}  // namespace
+
+MooreFsm lower_controller_fsm() {
+  MooreFsm fsm{"pfsm-lower",
+               {"start", "last_op", "last_addr", "hold", "pause_done"},
+               {"op_active", "op_idx0", "op_idx1", "addr_init", "next_instr",
+                "done"}};
+  const int idle = fsm.add_state("Idle", 0);
+  const int rst = fsm.add_state("Reset", kAddrInit);
+  const int rw1 = fsm.add_state("RW1", kOpActive);
+  const int rw2 = fsm.add_state("RW2", kOpActive | kOpIdx0);
+  const int rw3 = fsm.add_state("RW3", kOpActive | kOpIdx1);
+  const int rw4 = fsm.add_state("RW4", kOpActive | kOpIdx0 | kOpIdx1);
+  const int done = fsm.add_state("Done", kNextInstr | kDoneOut);
+
+  fsm.add_arc(idle, Cube{kStart, kStart}, rst);
+  fsm.set_default_next(rst, rw1);
+
+  const int rw[] = {rw1, rw2, rw3, rw4};
+  for (int k = 0; k < 4; ++k) {
+    // On the component's last op: Done at the last address, else loop back
+    // to RW1 for the next cell.
+    fsm.add_arc(rw[k], Cube{kLastOp | kLastAddr, kLastOp | kLastAddr}, done);
+    fsm.add_arc(rw[k], Cube{kLastOp, kLastOp | kLastAddr}, rw1);
+    // Otherwise the next op state (RW4 is always a last op; default self).
+    if (k < 3) fsm.set_default_next(rw[k], rw[k + 1]);
+  }
+
+  // Hold in Done while a pause is pending; otherwise run the next
+  // instruction.
+  fsm.add_arc(done, Cube{kHold, kHold | kPauseDone}, done);
+  fsm.set_default_next(done, rst);
+  return fsm;
+}
+
+const GateInventory& lower_fsm_inventory() {
+  static const GateInventory cached = [] {
+    const MooreFsm fsm = lower_controller_fsm();
+    assert(fsm.validate().empty());
+    return netlist::synthesize(fsm).inventory;
+  }();
+  return cached;
+}
+
+const GateInventory& component_decoder_inventory() {
+  static const GateInventory cached = [] {
+    // Inputs: mode[0..2], op index[3..4].  Outputs: is_read, is_write,
+    // inverted-operand, last_op.
+    constexpr int kVars = 5;
+    GateInventory inv;
+    for (int out_bit = 0; out_bit < 4; ++out_bit) {
+      netlist::TruthTable table{kVars};
+      for (std::uint32_t m = 0; m < table.size(); ++m) {
+        const auto mode = static_cast<std::size_t>(m & 0x7);
+        const auto idx = static_cast<std::size_t>((m >> 3) & 0x3);
+        const auto& comp = component_set()[mode];
+        if (idx >= comp.ops.size()) {
+          table.set(m, netlist::Tri::DontCare);
+          continue;
+        }
+        const ComponentOp& op = comp.ops[idx];
+        const bool last = idx == comp.ops.size() - 1;
+        const bool bits[4] = {op.is_read, !op.is_read, op.inverted, last};
+        table.set(m, bits[out_bit] ? netlist::Tri::One : netlist::Tri::Zero);
+      }
+      const auto minimized = netlist::minimize(table);
+      assert(table.is_implemented_by(minimized.cover));
+      inv += netlist::sop_inventory(minimized.cover);
+    }
+    return inv;
+  }();
+  return cached;
+}
+
+netlist::AreaReport pfsm_area(const AreaConfig& config) {
+  assert(config.buffer_depth >= 2);
+  const int depth = config.buffer_depth;
+  const int cells = depth * kPfsmInstructionBits;
+
+  netlist::AreaReport report{"programmable FSM-based BIST unit"};
+
+  // The buffer rotates at the functional rate (one rotation per march
+  // component), so the cells are full mux-scan flip-flops with a
+  // hold/rotate select on each D input.
+  {
+    GateInventory buffer =
+        netlist::register_bank(cells, netlist::RegisterKind::Scan);
+    buffer += netlist::mux_bank(cells);  // hold vs rotate
+    report.add_block("circular buffer", std::move(buffer));
+  }
+  {
+    // Rotation bookkeeping: position counter + wrap detection for the
+    // path A/B loop-backs.
+    const int pos_bits = std::bit_width(unsigned(depth - 1));
+    GateInventory ctrl = netlist::binary_counter(pos_bits);
+    ctrl += netlist::constant_detector(pos_bits);
+    // Loop-back steering (paths A and B) and ctrl-instruction decode.
+    ctrl.add(Cell::And2, 4);
+    ctrl.add(Cell::Or2, 2);
+    ctrl.add(Cell::Inv, 2);
+    report.add_block("loop-back control", std::move(ctrl));
+  }
+  report.add_block("lower controller (7-state FSM)", lower_fsm_inventory());
+  report.add_block("SM component decoder", component_decoder_inventory());
+  {
+    // Glue: op-index register feeding the decoder, addr-step gating,
+    // test-end flag.
+    GateInventory misc = netlist::register_bank(2, netlist::RegisterKind::Plain);
+    misc.add(Cell::HalfAdder, 1);
+    misc.add(Cell::And2, 3);
+    misc.add(Cell::Dff, 1);
+    misc.add(Cell::Or2, 1);
+    report.add_block("op sequencing / test-end", std::move(misc));
+  }
+
+  if (config.include_datapath)
+    bist::add_datapath_blocks(report, config.geometry,
+                              config.include_pause_timer);
+  return report;
+}
+
+}  // namespace pmbist::mbist_pfsm

@@ -1,0 +1,36 @@
+#pragma once
+// Structural area model of the programmable FSM-based BIST controller
+// (Fig. 3): the upper circular buffer (full-rate scan flip-flops — the
+// cells shift for each march component, so slow scan-only cells are NOT
+// usable here, unlike the microcode storage unit: this is the paper's
+// Sec. 3 argument), the synthesized 7-state lower controller, the
+// synthesized SM component decoder, and the loop-back (path A/B) control.
+
+#include "memsim/memory.h"
+#include "netlist/fsm_synth.h"
+#include "netlist/gate_inventory.h"
+
+namespace pmbist::mbist_pfsm {
+
+struct AreaConfig {
+  memsim::MemoryGeometry geometry{};
+  int buffer_depth = 16;
+  bool include_datapath = true;
+  bool include_pause_timer = true;
+};
+
+/// Hierarchical area report of the full programmable-FSM BIST unit.
+[[nodiscard]] netlist::AreaReport pfsm_area(const AreaConfig& config);
+
+/// The symbolic 7-state lower controller (Fig. 4a), exposed so tests can
+/// check its structure and synthesize it directly.
+[[nodiscard]] netlist::MooreFsm lower_controller_fsm();
+
+/// Synthesized inventory of the lower controller (cached).
+[[nodiscard]] const netlist::GateInventory& lower_fsm_inventory();
+
+/// Synthesized inventory of the SM component decoder: (mode, op index) ->
+/// {read, write, operand inversion, last-op} (cached).
+[[nodiscard]] const netlist::GateInventory& component_decoder_inventory();
+
+}  // namespace pmbist::mbist_pfsm

@@ -1,0 +1,83 @@
+#include "mbist_pfsm/compiler.h"
+
+#include "mbist_pfsm/components.h"
+
+namespace pmbist::mbist_pfsm {
+namespace {
+
+struct Compiled {
+  std::vector<PfsmInstruction> code;
+  std::uint64_t pause_ns = 0;
+  std::string error;  // empty on success
+};
+
+Compiled try_compile(const march::MarchAlgorithm& alg) {
+  Compiled out;
+  if (const std::string err = alg.validate(); !err.empty()) {
+    out.error = "invalid algorithm '" + alg.name() + "': " + err;
+    return out;
+  }
+  for (std::size_t idx = 0; idx < alg.elements().size(); ++idx) {
+    const auto& e = alg.elements()[idx];
+    if (e.is_pause) {
+      if (out.code.empty()) {
+        out.error = "leading pause element is not representable";
+        return out;
+      }
+      if (out.code.back().hold_after) {
+        out.error = "consecutive pause elements are not representable";
+        return out;
+      }
+      if (out.pause_ns != 0 && out.pause_ns != e.pause_ns) {
+        out.error = "pause elements with differing durations";
+        return out;
+      }
+      out.pause_ns = e.pause_ns;
+      out.code.back().hold_after = true;
+      continue;
+    }
+    const auto m = match_element(e);
+    if (!m) {
+      out.error = "element " + std::to_string(idx) + " '" + e.to_string() +
+                  "' of '" + alg.name() +
+                  "' matches no SM component (SM0..SM7)";
+      return out;
+    }
+    PfsmInstruction i;
+    i.addr_down = e.order == march::AddressOrder::Down;
+    i.data_inv = m->d;
+    i.cmp_inv = m->d;
+    i.mode = static_cast<std::uint8_t>(m->mode);
+    out.code.push_back(i);
+  }
+
+  PfsmInstruction data_loop;
+  data_loop.ctrl = true;
+  data_loop.ctrl_op = false;
+  out.code.push_back(data_loop);
+  PfsmInstruction port_loop;
+  port_loop.ctrl = true;
+  port_loop.ctrl_op = true;
+  out.code.push_back(port_loop);
+  return out;
+}
+
+}  // namespace
+
+CompileResult compile(const march::MarchAlgorithm& alg) {
+  Compiled c = try_compile(alg);
+  if (!c.error.empty()) throw CompileError(c.error);
+  return CompileResult{PfsmProgram{alg.name(), std::move(c.code)},
+                       c.pause_ns};
+}
+
+bool is_mappable(const march::MarchAlgorithm& alg, std::string* why) {
+  Compiled c = try_compile(alg);
+  if (!c.error.empty()) {
+    if (why) *why = c.error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pmbist::mbist_pfsm

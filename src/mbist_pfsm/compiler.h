@@ -1,0 +1,40 @@
+#pragma once
+// Compiler: march algorithm -> programmable-FSM instruction sequence.
+//
+// Each non-pause element must match one SM component (components.h); a
+// pause element sets the hold_after bit of the preceding instruction (the
+// paper's "hold the low level controller in its Done state").  The tail is
+// always the data-background loop and the port loop (paths A and B of
+// Fig. 4b).  Algorithms with elements outside the SM set do not compile —
+// the MEDIUM-flexibility limitation the paper contrasts against the
+// microcode architecture.
+
+#include <stdexcept>
+
+#include "march/march.h"
+#include "mbist_pfsm/isa.h"
+
+namespace pmbist::mbist_pfsm {
+
+/// Raised when an algorithm is not realizable on this architecture; the
+/// message names the offending element.
+class CompileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CompileResult {
+  PfsmProgram program;
+  /// Uniform pause duration of the algorithm's pause elements (0 if none).
+  std::uint64_t pause_ns = 0;
+};
+
+[[nodiscard]] CompileResult compile(const march::MarchAlgorithm& alg);
+
+/// True if every element of `alg` maps onto an SM component (and pause
+/// placement is representable).  On failure `why`, if non-null, receives
+/// the reason.
+[[nodiscard]] bool is_mappable(const march::MarchAlgorithm& alg,
+                               std::string* why = nullptr);
+
+}  // namespace pmbist::mbist_pfsm

@@ -1,0 +1,51 @@
+#include "mbist_pfsm/components.h"
+
+namespace pmbist::mbist_pfsm {
+namespace {
+
+constexpr ComponentOp R{true, false};    // r d
+constexpr ComponentOp Rn{true, true};    // r ~d
+constexpr ComponentOp W{false, false};   // w d
+constexpr ComponentOp Wn{false, true};   // w ~d
+
+}  // namespace
+
+const std::vector<MarchComponent>& component_set() {
+  static const std::vector<MarchComponent> kSet{
+      {0, {W}},                // SM0 = (w d)
+      {1, {R, Wn}},            // SM1 = (r d, w ~d)
+      {2, {R, Wn, Rn, W}},     // SM2 = (r d, w ~d, r ~d, w d)
+      {3, {R, Wn, W}},         // SM3 = (r d, w ~d, w d)
+      {4, {R, R, R}},          // SM4 = (r d, r d, r d)
+      {5, {R}},                // SM5 = (r d)
+      {6, {R, Wn, W, Wn}},     // SM6 = (r d, w ~d, w d, w ~d)
+      {7, {R, Wn, Rn}},        // SM7 = (r d, w ~d, r ~d)
+  };
+  return kSet;
+}
+
+std::vector<march::MarchOp> realize(int mode, bool d) {
+  const auto& comp = component_set().at(static_cast<std::size_t>(mode));
+  std::vector<march::MarchOp> out;
+  out.reserve(comp.ops.size());
+  for (const auto& op : comp.ops) {
+    out.push_back(march::MarchOp{op.is_read ? march::MarchOp::Kind::Read
+                                            : march::MarchOp::Kind::Write,
+                                 d != op.inverted});
+  }
+  return out;
+}
+
+std::optional<ComponentMatch> match_element(
+    const march::MarchElement& element) {
+  if (element.is_pause || element.ops.empty()) return std::nullopt;
+  for (const auto& comp : component_set()) {
+    for (bool d : {false, true}) {
+      if (realize(comp.id, d) == element.ops)
+        return ComponentMatch{comp.id, d};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pmbist::mbist_pfsm

@@ -1,0 +1,57 @@
+#pragma once
+// The eight canned march test components SM0..SM7 of the paper's Eq. 2.
+// The programmable FSM-based controller realizes exactly these patterns
+// (parameterized by address order and data value d); any march element
+// outside this set — e.g. the triple-read elements of the ++ algorithm
+// variants, or March B's 6-op element — is NOT realizable, which is why
+// the paper rates this architecture's flexibility MEDIUM.
+//
+//   SM0 = (w d)                 SM4 = (r d, r d, r d)
+//   SM1 = (r d, w ~d)           SM5 = (r d)
+//   SM2 = (r d, w ~d, r ~d, w d)
+//   SM3 = (r d, w ~d, w d)      SM6 = (r d, w ~d, w d, w ~d)
+//   SM7 = (r d, w ~d, r ~d)
+
+#include <optional>
+#include <vector>
+
+#include "march/march.h"
+
+namespace pmbist::mbist_pfsm {
+
+/// Maximum operations per component — fixed by the lower controller's four
+/// R/W states (Fig. 4a).
+inline constexpr int kMaxComponentOps = 4;
+inline constexpr int kNumComponents = 8;
+
+/// One operation of a component, relative to the data parameter d.
+struct ComponentOp {
+  bool is_read = false;
+  bool inverted = false;  ///< true: operates on ~d instead of d
+  friend bool operator==(const ComponentOp&, const ComponentOp&) = default;
+};
+
+/// A march component SMi.
+struct MarchComponent {
+  int id = 0;
+  std::vector<ComponentOp> ops;
+};
+
+/// The SM0..SM7 set, indexed by id.
+[[nodiscard]] const std::vector<MarchComponent>& component_set();
+
+/// Instantiates component `mode` with data value `d` as concrete march ops.
+[[nodiscard]] std::vector<march::MarchOp> realize(int mode, bool d);
+
+/// A successful element-to-component match.
+struct ComponentMatch {
+  int mode = 0;
+  bool d = false;
+};
+
+/// Finds the (component, d) pair realizing the element's op sequence, if
+/// any.  Pause elements never match.
+[[nodiscard]] std::optional<ComponentMatch> match_element(
+    const march::MarchElement& element);
+
+}  // namespace pmbist::mbist_pfsm

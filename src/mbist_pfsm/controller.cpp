@@ -1,0 +1,137 @@
+#include "mbist_pfsm/controller.h"
+
+namespace pmbist::mbist_pfsm {
+
+PfsmController::PfsmController(const PfsmConfig& config)
+    : config_{config},
+      addr_{config.geometry.address_bits},
+      data_{config.geometry.word_bits},
+      port_{config.geometry.num_ports} {
+  reset();
+}
+
+void PfsmController::load(PfsmProgram program) {
+  if (program.size() > config_.buffer_depth)
+    throw CompileError("program '" + program.name() + "' needs " +
+                       std::to_string(program.size()) +
+                       " instructions but the buffer holds " +
+                       std::to_string(config_.buffer_depth));
+  program_ = std::move(program);
+  reset();
+}
+
+void PfsmController::load_algorithm(const march::MarchAlgorithm& alg) {
+  CompileResult r = compile(alg);
+  if (r.pause_ns != 0) config_.pause_ns = r.pause_ns;
+  load(std::move(r.program));
+}
+
+void PfsmController::reset() {
+  pc_ = 0;
+  op_idx_ = 0;
+  pause_emitted_ = false;
+  addr_.init(march::AddressOrder::Up);
+  data_.reset();
+  port_.reset();
+  phase_ = program_.empty() ? Phase::TestEnd : Phase::Idle;
+}
+
+void PfsmController::advance_instruction() {
+  pause_emitted_ = false;
+  ++pc_;
+  if (pc_ >= program_.size()) {
+    // Circular buffer wrapped without a port-loop terminating the test —
+    // treat as test end (defensive; compiled programs always end with the
+    // port-loop instruction).
+    phase_ = Phase::TestEnd;
+    return;
+  }
+  phase_ = Phase::Reset;
+}
+
+std::optional<march::MemOp> PfsmController::step() {
+  switch (phase_) {
+    case Phase::TestEnd:
+      return std::nullopt;
+
+    case Phase::Idle:
+      phase_ = Phase::Reset;
+      return std::nullopt;
+
+    case Phase::Reset: {
+      const PfsmInstruction& instr = current();
+      if (instr.ctrl) {
+        // Loop-control instructions bypass the lower controller.
+        if (!instr.ctrl_op) {  // data-background loop (path A)
+          if (!data_.at_last()) {
+            data_.next();
+            pc_ = 0;
+            pause_emitted_ = false;
+            phase_ = Phase::Reset;
+          } else {
+            data_.reset();
+            advance_instruction();
+          }
+        } else {  // port loop / test end (path B)
+          if (!port_.at_last()) {
+            port_.next();
+            data_.reset();
+            pc_ = 0;
+            pause_emitted_ = false;
+            phase_ = Phase::Reset;
+          } else {
+            phase_ = Phase::TestEnd;
+          }
+        }
+        return std::nullopt;
+      }
+      addr_.init(instr.addr_down ? march::AddressOrder::Down
+                                 : march::AddressOrder::Up);
+      op_idx_ = 0;
+      phase_ = Phase::Op;
+      return std::nullopt;
+    }
+
+    case Phase::Op: {
+      const PfsmInstruction& instr = current();
+      const auto& comp =
+          component_set()[static_cast<std::size_t>(instr.mode)];
+      const ComponentOp& cop =
+          comp.ops[static_cast<std::size_t>(op_idx_)];
+
+      std::optional<march::MemOp> op;
+      if (cop.is_read) {
+        op = march::MemOp::read(port_.current(), addr_.current(),
+                                data_.data_for(instr.cmp_inv != cop.inverted));
+      } else {
+        op = march::MemOp::write(
+            port_.current(), addr_.current(),
+            data_.data_for(instr.data_inv != cop.inverted));
+      }
+
+      const bool last_op = op_idx_ == static_cast<int>(comp.ops.size()) - 1;
+      if (!last_op) {
+        ++op_idx_;
+      } else if (!addr_.at_last()) {
+        addr_.step();
+        op_idx_ = 0;
+      } else {
+        phase_ = Phase::Done;
+      }
+      return op;
+    }
+
+    case Phase::Done: {
+      const PfsmInstruction& instr = current();
+      if (instr.hold_after && !pause_emitted_) {
+        pause_emitted_ = true;
+        return march::MemOp::pause(config_.pause_ns);
+      }
+      advance_instruction();
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pmbist::mbist_pfsm

@@ -1,0 +1,78 @@
+#include "mbist_pfsm/isa.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "mbist_pfsm/components.h"
+
+namespace pmbist::mbist_pfsm {
+
+std::uint16_t PfsmInstruction::encode() const {
+  std::uint16_t bits = 0;
+  bits |= static_cast<std::uint16_t>(hold_after) << 0;
+  bits |= static_cast<std::uint16_t>(addr_down) << 1;
+  bits |= static_cast<std::uint16_t>(data_inv) << 2;
+  bits |= static_cast<std::uint16_t>(cmp_inv) << 3;
+  bits |= static_cast<std::uint16_t>(mode & 0x7) << 4;
+  bits |= static_cast<std::uint16_t>(ctrl) << 7;
+  bits |= static_cast<std::uint16_t>(ctrl_op) << 8;
+  return bits;
+}
+
+PfsmInstruction PfsmInstruction::decode(std::uint16_t bits) {
+  if (bits >= (1u << kPfsmInstructionBits))
+    throw std::invalid_argument("pFSM instruction exceeds 9 bits");
+  PfsmInstruction i;
+  i.hold_after = bits & 0x1;
+  i.addr_down = bits & 0x2;
+  i.data_inv = bits & 0x4;
+  i.cmp_inv = bits & 0x8;
+  i.mode = static_cast<std::uint8_t>((bits >> 4) & 0x7);
+  i.ctrl = bits & 0x80;
+  i.ctrl_op = bits & 0x100;
+  return i;
+}
+
+std::string PfsmInstruction::disassemble() const {
+  std::ostringstream os;
+  if (ctrl) {
+    os << (ctrl_op ? "PORT_LOOP" : "DATA_LOOP");
+  } else {
+    os << "SM" << static_cast<int>(mode) << " "
+       << (addr_down ? "down" : "up  ") << " d=" << (data_inv ? 1 : 0)
+       << " cmp=" << (cmp_inv ? 1 : 0);
+    if (hold_after) os << " HOLD";
+  }
+  return os.str();
+}
+
+std::vector<std::uint16_t> PfsmProgram::image() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(instructions_.size());
+  for (const auto& i : instructions_) out.push_back(i.encode());
+  return out;
+}
+
+PfsmProgram PfsmProgram::from_image(std::string name,
+                                    const std::vector<std::uint16_t>& image) {
+  std::vector<PfsmInstruction> instructions;
+  instructions.reserve(image.size());
+  for (auto word : image)
+    instructions.push_back(PfsmInstruction::decode(word));
+  return PfsmProgram{std::move(name), std::move(instructions)};
+}
+
+std::string PfsmProgram::listing() const {
+  std::ostringstream os;
+  os << "; pFSM program: " << name_ << " (" << instructions_.size()
+     << " instructions)\n";
+  for (std::size_t i = 0; i < instructions_.size(); ++i) {
+    os << std::setw(3) << i << ": 0x" << std::hex << std::setw(3)
+       << std::setfill('0') << instructions_[i].encode() << std::dec
+       << std::setfill(' ') << "  " << instructions_[i].disassemble() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pmbist::mbist_pfsm

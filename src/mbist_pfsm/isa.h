@@ -1,0 +1,69 @@
+#pragma once
+// Instruction format of the programmable FSM-based controller's upper-level
+// 2-dimensional circular buffer (paper Fig. 3-5).  Each instruction is 9
+// bits:
+//
+//   [0]   hold_after  hold the lower controller in Done after this
+//                     component completes — the data-retention pause
+//   [1]   addr_down   reference address order for the component
+//   [2]   data_inv    test-data parameter d (true/inverted background)
+//   [3]   cmp_inv     compare polarity (reference value; the lower FSM
+//                     XORs the component's internal ~d onto it)
+//   [6:4] mode        which SM component the lower FSM realizes
+//   [7]   ctrl        1 = loop-control instruction (no component is run)
+//   [8]   ctrl_op     for ctrl=1: 0 = data-background loop (path A),
+//                     1 = port loop / test end (path B)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmbist::mbist_pfsm {
+
+inline constexpr int kPfsmInstructionBits = 9;
+
+struct PfsmInstruction {
+  bool hold_after = false;
+  bool addr_down = false;
+  bool data_inv = false;
+  bool cmp_inv = false;
+  std::uint8_t mode = 0;  ///< SM component id (0..7)
+  bool ctrl = false;
+  bool ctrl_op = false;
+
+  [[nodiscard]] std::uint16_t encode() const;
+  [[nodiscard]] static PfsmInstruction decode(std::uint16_t bits);
+  [[nodiscard]] std::string disassemble() const;
+
+  friend bool operator==(const PfsmInstruction&,
+                         const PfsmInstruction&) = default;
+};
+
+/// Contents of the upper-level circular buffer.
+class PfsmProgram {
+ public:
+  PfsmProgram() = default;
+  PfsmProgram(std::string name, std::vector<PfsmInstruction> instructions)
+      : name_{std::move(name)}, instructions_{std::move(instructions)} {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<PfsmInstruction>& instructions()
+      const noexcept {
+    return instructions_;
+  }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(instructions_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return instructions_.empty(); }
+
+  [[nodiscard]] std::vector<std::uint16_t> image() const;
+  [[nodiscard]] static PfsmProgram from_image(
+      std::string name, const std::vector<std::uint16_t>& image);
+  [[nodiscard]] std::string listing() const;
+
+ private:
+  std::string name_;
+  std::vector<PfsmInstruction> instructions_;
+};
+
+}  // namespace pmbist::mbist_pfsm

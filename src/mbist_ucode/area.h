@@ -1,0 +1,51 @@
+#pragma once
+// Structural area model of the microcode-based BIST controller (Fig. 1).
+//
+// Every block of the paper's figure is elaborated into standard cells:
+// the ZxY storage unit (full-scan or — for the Table 3 "adjusted" design —
+// small scan-only cells), the ZxY:Y instruction selector, the log2(Z)+1-bit
+// instruction counter, the branch register, the 4-bit reference register,
+// and the instruction decoder, which is synthesized (Quine-McCluskey over
+// the real decode() function) rather than guessed.
+
+#include <string>
+#include <vector>
+
+#include "memsim/memory.h"
+#include "netlist/gate_inventory.h"
+#include "netlist/logic.h"
+#include "mbist_ucode/isa.h"
+
+namespace pmbist::mbist_ucode {
+
+struct AreaConfig {
+  memsim::MemoryGeometry geometry{};
+  int storage_depth = 32;  ///< Z
+  netlist::StorageCellClass storage_cell =
+      netlist::StorageCellClass::FullScan;
+  bool include_datapath = true;
+  bool include_pause_timer = true;
+};
+
+/// Hierarchical area report of the full microcode-based BIST unit.
+[[nodiscard]] netlist::AreaReport microcode_area(const AreaConfig& config);
+
+/// One synthesized decoder output: control-signal name + minimized cover
+/// over the decoder inputs (flow[0..2], addr_inc, last_addr, last_data,
+/// last_port, repeat_bit, pause_done).
+struct DecoderOutput {
+  std::string name;
+  netlist::Cover cover;
+};
+
+/// The instruction decoder's minimized covers, one per control signal
+/// (cached; each cover is assertion-checked against decode()).
+[[nodiscard]] const std::vector<DecoderOutput>& decoder_covers();
+
+/// The decoder input names, in cover variable order.
+[[nodiscard]] const std::vector<std::string>& decoder_input_names();
+
+/// Synthesized inventory of the instruction decoder alone (cached).
+[[nodiscard]] const netlist::GateInventory& decoder_inventory();
+
+}  // namespace pmbist::mbist_ucode

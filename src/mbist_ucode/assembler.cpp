@@ -1,0 +1,170 @@
+#include "mbist_ucode/assembler.h"
+
+namespace pmbist::mbist_ucode {
+namespace {
+
+using march::AddressOrder;
+using march::MarchElement;
+using march::MarchOp;
+
+struct AuxMask {
+  bool order = false;
+  bool data = false;
+  bool cmp = false;
+};
+
+// Controllers traverse don't-care ("any") elements in up order; canonicalize
+// before fold matching and emission so the Repeat complement is exact.
+std::vector<MarchElement> canonicalize(
+    const std::vector<MarchElement>& elements) {
+  std::vector<MarchElement> out = elements;
+  for (auto& e : out)
+    if (!e.is_pause && e.order == AddressOrder::Any)
+      e.order = AddressOrder::Up;
+  return out;
+}
+
+// The element as re-executed under the reference-register complement mask.
+MarchElement transform(const MarchElement& e, const AuxMask& aux) {
+  MarchElement out = e;
+  if (aux.order) out.order = march::complement(e.order);
+  for (auto& op : out.ops) {
+    if (op.is_read()) {
+      if (aux.cmp) op.data = !op.data;
+    } else {
+      if (aux.data) op.data = !op.data;
+    }
+  }
+  return out;
+}
+
+// Finds the largest k such that elements [1..k] reappear at [k+1..2k] under
+// a single complement mask.  Returns k=0 when no fold exists.
+struct Fold {
+  int k = 0;
+  AuxMask aux;
+};
+
+Fold find_fold(const std::vector<MarchElement>& elements) {
+  Fold best;
+  const int n = static_cast<int>(elements.size());
+  for (int k = (n - 1) / 2; k >= 1; --k) {
+    // Window [1 .. 2k] must be in range and pause-free.
+    if (1 + 2 * k > n) continue;
+    bool window_ok = true;
+    for (int i = 1; i <= 2 * k && window_ok; ++i)
+      if (elements[static_cast<std::size_t>(i)].is_pause) window_ok = false;
+    if (!window_ok) continue;
+
+    for (int mask = 1; mask < 8; ++mask) {
+      const AuxMask aux{(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0};
+      bool match = true;
+      for (int i = 0; i < k && match; ++i) {
+        const auto& first = elements[static_cast<std::size_t>(1 + i)];
+        const auto& second = elements[static_cast<std::size_t>(1 + k + i)];
+        if (transform(first, aux) != second) match = false;
+      }
+      if (match) {
+        best.k = k;
+        best.aux = aux;
+        return best;
+      }
+    }
+  }
+  return best;
+}
+
+void emit_element(const MarchElement& e, std::vector<Instruction>& out) {
+  if (e.is_pause) {
+    Instruction i;
+    i.flow = Flow::Pause;
+    out.push_back(i);
+    return;
+  }
+  const int n = static_cast<int>(e.ops.size());
+  for (int j = 0; j < n; ++j) {
+    const MarchOp& op = e.ops[static_cast<std::size_t>(j)];
+    Instruction i;
+    i.addr_down = e.order == AddressOrder::Down;
+    i.addr_inc = j == n - 1;
+    if (op.is_read()) {
+      i.rw = Rw::Read;
+      i.cmp_inv = op.data;
+    } else {
+      i.rw = Rw::Write;
+      i.data_inv = op.data;
+    }
+    i.flow = n == 1 ? Flow::LoopSelf
+                    : (j == n - 1 ? Flow::LoopCell : Flow::Next);
+    out.push_back(i);
+  }
+}
+
+}  // namespace
+
+AssembleResult assemble(const march::MarchAlgorithm& alg,
+                        const AssembleOptions& options) {
+  if (const std::string err = alg.validate(); !err.empty())
+    throw AssembleError("cannot assemble '" + alg.name() + "': " + err);
+
+  // All pause elements must agree on duration (single pause-timer config).
+  std::uint64_t pause_ns = 0;
+  for (const auto& e : alg.elements()) {
+    if (!e.is_pause) continue;
+    if (pause_ns == 0)
+      pause_ns = e.pause_ns;
+    else if (pause_ns != e.pause_ns)
+      throw AssembleError("'" + alg.name() +
+                          "' uses pause elements with differing durations");
+  }
+
+  const std::vector<MarchElement> elements = canonicalize(alg.elements());
+  AssembleResult result;
+  result.pause_ns = pause_ns;
+  std::vector<Instruction> code;
+
+  Fold fold;
+  // The Repeat hardware re-executes from instruction index 1, so the fold
+  // is only usable when the prefix (element 0) is a single instruction.
+  const bool prefix_is_one_instruction =
+      !elements.empty() && !elements.front().is_pause &&
+      elements.front().ops.size() == 1;
+  if (options.symmetric_encoding && prefix_is_one_instruction)
+    fold = find_fold(elements);
+
+  std::size_t next_element = 0;
+  if (fold.k > 0) {
+    emit_element(elements[0], code);
+    for (int i = 1; i <= fold.k; ++i)
+      emit_element(elements[static_cast<std::size_t>(i)], code);
+    Instruction repeat;
+    repeat.flow = Flow::Repeat;
+    repeat.addr_down = fold.aux.order;
+    repeat.data_inv = fold.aux.data;
+    repeat.cmp_inv = fold.aux.cmp;
+    code.push_back(repeat);
+    result.used_repeat = true;
+    next_element = static_cast<std::size_t>(1 + 2 * fold.k);
+  }
+  for (; next_element < elements.size(); ++next_element)
+    emit_element(elements[next_element], code);
+
+  if (options.emit_loop_tail) {
+    Instruction data_loop;
+    data_loop.flow = Flow::LoopData;
+    data_loop.data_inc = true;
+    code.push_back(data_loop);
+    Instruction port_loop;
+    port_loop.flow = Flow::LoopPort;
+    code.push_back(port_loop);
+  } else {
+    Instruction term;
+    term.flow = Flow::Terminate;
+    code.push_back(term);
+  }
+
+  result.program = MicrocodeProgram{alg.name(), std::move(code)};
+  return result;
+}
+
+}  // namespace pmbist::mbist_ucode

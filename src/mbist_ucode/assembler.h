@@ -1,0 +1,51 @@
+#pragma once
+// Assembler: march algorithm -> microcode program.
+//
+// Encoding rules (matching the paper's Fig. 2 program for March C):
+//   * a single-op element becomes one LoopSelf instruction;
+//   * an n-op element becomes n-1 Next instructions (address held) plus a
+//     final LoopCell instruction (address incremented, branch back to the
+//     element's first instruction via the branch register);
+//   * a pause element becomes a Pause instruction;
+//   * symmetric algorithms are folded: when elements [1..k] reappear as
+//     [k+1..2k] under a uniform complement of address order / test data /
+//     compare polarity, the second half is replaced by one Repeat
+//     instruction whose fields carry the complement mask (the hardware's
+//     Reset-to-1 path re-executes instructions from index 1).  This is what
+//     makes March C cost 9 instructions instead of 13.
+//   * the tail is a LoopData then a LoopPort instruction (the paper's
+//     instructions 8 and 9) unless disabled, in which case an unconditional
+//     Terminate is emitted.
+
+#include <stdexcept>
+
+#include "march/march.h"
+#include "mbist_ucode/isa.h"
+
+namespace pmbist::mbist_ucode {
+
+class AssembleError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct AssembleOptions {
+  bool symmetric_encoding = true;  ///< fold symmetric halves via Repeat
+  bool emit_loop_tail = true;      ///< append LoopData + LoopPort
+};
+
+struct AssembleResult {
+  MicrocodeProgram program;
+  bool used_repeat = false;
+  /// Uniform pause duration of the algorithm's pause elements (0 if none);
+  /// the controller's pause timer must be configured to this value.
+  std::uint64_t pause_ns = 0;
+};
+
+/// Assembles `alg`.  Throws AssembleError if the algorithm is invalid or
+/// uses pause elements with differing durations (the controller has a
+/// single pause-timer configuration).
+[[nodiscard]] AssembleResult assemble(const march::MarchAlgorithm& alg,
+                                      const AssembleOptions& options = {});
+
+}  // namespace pmbist::mbist_ucode

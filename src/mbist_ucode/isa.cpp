@@ -1,0 +1,235 @@
+#include "mbist_ucode/isa.h"
+
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace pmbist::mbist_ucode {
+
+std::string_view to_string(Flow f) {
+  switch (f) {
+    case Flow::Next: return "NEXT";
+    case Flow::LoopCell: return "LOOP_CELL";
+    case Flow::LoopSelf: return "LOOP_SELF";
+    case Flow::Repeat: return "REPEAT";
+    case Flow::Pause: return "PAUSE";
+    case Flow::LoopData: return "LOOP_DATA";
+    case Flow::LoopPort: return "LOOP_PORT";
+    case Flow::Terminate: return "TERMINATE";
+  }
+  return "?";
+}
+
+std::uint16_t Instruction::encode() const {
+  std::uint16_t bits = 0;
+  bits |= static_cast<std::uint16_t>(addr_inc) << 0;
+  bits |= static_cast<std::uint16_t>(addr_down) << 1;
+  bits |= static_cast<std::uint16_t>(data_inc) << 2;
+  bits |= static_cast<std::uint16_t>(data_inv) << 3;
+  bits |= static_cast<std::uint16_t>(cmp_inv) << 4;
+  bits |= static_cast<std::uint16_t>(rw) << 5;
+  bits |= static_cast<std::uint16_t>(flow) << 7;
+  return bits;
+}
+
+Instruction Instruction::decode(std::uint16_t bits) {
+  if (bits >= (1u << kInstructionBits))
+    throw std::invalid_argument("microcode word exceeds 10 bits");
+  const auto rw_bits = static_cast<std::uint8_t>((bits >> 5) & 0x3);
+  if (rw_bits == 3)
+    throw std::invalid_argument("microcode rw field 11 is reserved");
+  Instruction i;
+  i.addr_inc = bits & 0x1;
+  i.addr_down = bits & 0x2;
+  i.data_inc = bits & 0x4;
+  i.data_inv = bits & 0x8;
+  i.cmp_inv = bits & 0x10;
+  i.rw = static_cast<Rw>(rw_bits);
+  i.flow = static_cast<Flow>((bits >> 7) & 0x7);
+  return i;
+}
+
+std::string Instruction::disassemble() const {
+  std::ostringstream os;
+  switch (rw) {
+    case Rw::Nop: os << "--      "; break;
+    case Rw::Read: os << "r cmp=" << (cmp_inv ? 1 : 0) << " "; break;
+    case Rw::Write: os << "w dat=" << (data_inv ? 1 : 0) << " "; break;
+  }
+  os << (addr_down ? "down" : "up  ") << " "
+     << (addr_inc ? "inc " : "hold") << " ";
+  if (data_inc) os << "bg+ ";
+  os << to_string(flow);
+  return os.str();
+}
+
+std::vector<std::uint16_t> MicrocodeProgram::image() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(instructions_.size());
+  for (const auto& i : instructions_) out.push_back(i.encode());
+  return out;
+}
+
+MicrocodeProgram MicrocodeProgram::from_image(
+    std::string name, const std::vector<std::uint16_t>& image) {
+  std::vector<Instruction> instructions;
+  instructions.reserve(image.size());
+  for (auto word : image) instructions.push_back(Instruction::decode(word));
+  return MicrocodeProgram{std::move(name), std::move(instructions)};
+}
+
+std::string MicrocodeProgram::listing() const {
+  std::ostringstream os;
+  os << "; microcode program: " << name_ << " (" << instructions_.size()
+     << " instructions)\n";
+  for (std::size_t i = 0; i < instructions_.size(); ++i) {
+    os << std::setw(3) << i << ": 0x" << std::hex << std::setw(3)
+       << std::setfill('0') << instructions_[i].encode() << std::dec
+       << std::setfill(' ') << "  " << instructions_[i].disassemble() << "\n";
+  }
+  return os.str();
+}
+
+std::string MicrocodeProgram::to_hex_text() const {
+  std::ostringstream os;
+  os << "; pmbist microcode image v1\n";
+  os << "; name: " << name_ << "\n";
+  for (const auto& i : instructions_) {
+    os << std::hex << std::setw(3) << std::setfill('0') << i.encode()
+       << std::dec << std::setfill(' ') << "  ; " << i.disassemble()
+       << "\n";
+  }
+  return os.str();
+}
+
+MicrocodeProgram MicrocodeProgram::from_hex_text(std::string_view text) {
+  std::istringstream is{std::string{text}};
+  std::string line;
+  std::string name = "image";
+  std::vector<Instruction> code;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    // Strip comments and whitespace.
+    if (const auto semi = line.find(';'); semi != std::string::npos) {
+      const std::string comment = line.substr(semi + 1);
+      if (comment.find("pmbist microcode image v1") != std::string::npos)
+        saw_header = true;
+      if (const auto tag = comment.find("name:"); tag != std::string::npos) {
+        std::string n = comment.substr(tag + 5);
+        while (!n.empty() && n.front() == ' ') n.erase(n.begin());
+        while (!n.empty() && (n.back() == ' ' || n.back() == '\r'))
+          n.pop_back();
+        if (!n.empty()) name = n;
+      }
+      line.erase(semi);
+    }
+    std::string word;
+    for (char c : line)
+      if (!std::isspace(static_cast<unsigned char>(c))) word += c;
+    if (word.empty()) continue;
+    std::size_t pos = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(word, &pos, 16);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("malformed hex word: " + word);
+    }
+    if (pos != word.size())
+      throw std::invalid_argument("malformed hex word: " + word);
+    code.push_back(Instruction::decode(static_cast<std::uint16_t>(value)));
+  }
+  if (!saw_header)
+    throw std::invalid_argument("missing 'pmbist microcode image v1' header");
+  if (code.empty()) throw std::invalid_argument("image has no instructions");
+  return MicrocodeProgram{std::move(name), std::move(code)};
+}
+
+DecodeOutputs decode(Flow flow, const DecodeInputs& in) {
+  DecodeOutputs out;
+  switch (flow) {
+    case Flow::Next:
+      out.ic_inc = true;
+      out.addr_step = in.addr_inc && !in.last_addr;
+      break;
+    case Flow::LoopSelf:
+      if (!in.last_addr) {
+        out.addr_step = true;  // IC holds
+      } else {
+        out.ic_inc = true;
+        out.branch_save = true;
+        out.addr_init = true;
+      }
+      break;
+    case Flow::LoopCell:
+      if (!in.last_addr) {
+        out.addr_step = true;
+        out.ic_load_branch = true;
+      } else {
+        out.ic_inc = true;
+        out.branch_save = true;
+        out.addr_init = true;
+      }
+      break;
+    case Flow::Repeat:
+      if (!in.repeat_bit) {
+        out.repeat_set = true;
+        out.ref_load = true;
+        out.ic_reset1 = true;
+        out.addr_init = true;
+      } else {
+        out.repeat_clear = true;
+        out.ic_inc = true;
+        out.branch_save = true;  // next element group starts at IC+1
+        out.addr_init = true;
+      }
+      break;
+    case Flow::Pause:
+      if (in.pause_done) {
+        out.ic_inc = true;
+        out.branch_save = true;  // a pause ends an element group
+      } else {
+        out.pause_start = true;
+      }
+      break;
+    case Flow::LoopData:
+      if (!in.last_data) {
+        out.data_inc = true;
+        out.ic_reset0 = true;
+        out.addr_init = true;
+      } else {
+        out.data_reset = true;
+        out.ic_inc = true;
+      }
+      break;
+    case Flow::LoopPort:
+      if (!in.last_port) {
+        out.port_inc = true;
+        out.data_reset = true;
+        out.ic_reset0 = true;
+        out.addr_init = true;
+      } else {
+        out.terminate = true;
+      }
+      break;
+    case Flow::Terminate:
+      out.terminate = true;
+      break;
+  }
+  return out;
+}
+
+std::uint32_t pack(const DecodeOutputs& o) {
+  std::uint32_t bits = 0;
+  int idx = 0;
+  for (bool b : {o.ic_inc, o.ic_reset0, o.ic_reset1, o.ic_load_branch,
+                 o.branch_save, o.ref_load, o.repeat_set, o.repeat_clear,
+                 o.addr_step, o.addr_init, o.data_inc, o.data_reset,
+                 o.port_inc, o.pause_start, o.terminate}) {
+    if (b) bits |= 1u << idx;
+    ++idx;
+  }
+  return bits;
+}
+
+}  // namespace pmbist::mbist_ucode

@@ -1,0 +1,212 @@
+#include "mbist_ucode/rtl.h"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+#include "march/expand.h"
+#include "mbist_ucode/area.h"
+#include "netlist/verilog.h"
+
+namespace pmbist::mbist_ucode {
+namespace {
+
+int clog2(int n) { return n <= 1 ? 1 : std::bit_width(unsigned(n - 1)); }
+
+}  // namespace
+
+std::string emit_controller_rtl(const RtlConfig& config) {
+  const auto& g = config.geometry;
+  assert(g.word_bits >= 1 && g.word_bits <= 64);
+  const int z = config.storage_depth;
+  const int a = g.address_bits;
+  const int w = g.word_bits;
+  const int icw = clog2(z) + 1;  // +1: instruction-address exhaustion flag
+  const int brw = clog2(z);
+  const auto backgrounds = march::standard_backgrounds(w);
+  const int nbg = static_cast<int>(backgrounds.size());
+  const int bgw = clog2(nbg);
+  const int pw = clog2(g.num_ports);
+  const int tmw = clog2(config.pause_cycles + 1);
+
+  std::ostringstream os;
+
+  // --- decoder module (the verified minimized covers) ---------------------
+  std::vector<netlist::SopOutput> outs;
+  for (const auto& d : decoder_covers()) outs.push_back({d.name, d.cover});
+  os << netlist::emit_sop_module("ucode_decoder", decoder_input_names(),
+                                 outs);
+  os << "\n";
+
+  // --- top level ------------------------------------------------------------
+  os << "// Microcode-based memory BIST unit (Zarrineh/Upadhyaya Fig. 1)\n";
+  os << "// Z=" << z << " Y=" << kInstructionBits << "  memory: " << a
+     << "-bit addresses x " << w << "-bit words x " << g.num_ports
+     << " port(s)\n";
+  os << "// Golden reference: pmbist mbist_ucode::MicrocodeController.\n";
+  os << "module " << netlist::verilog_identifier(config.module_name)
+     << " (\n"
+     << "  input  wire clk,\n"
+     << "  input  wire rst,\n"
+     << "  // serial storage-unit load (scan-only cells)\n"
+     << "  input  wire scan_en,\n"
+     << "  input  wire scan_in,\n"
+     << "  output wire scan_out,\n"
+     << "  // memory under test (combinational read assumed)\n"
+     << "  output wire [" << a - 1 << ":0] mem_addr,\n"
+     << "  output wire [" << w - 1 << ":0] mem_wdata,\n"
+     << "  input  wire [" << w - 1 << ":0] mem_rdata,\n"
+     << "  output wire mem_read,\n"
+     << "  output wire mem_write,\n"
+     << "  output wire [" << pw - 1 << ":0] port_sel,\n"
+     << "  output reg  done,\n"
+     << "  output reg  fail\n"
+     << ");\n\n";
+
+  os << "  localparam Z = " << z << ";\n";
+  os << "  localparam PAUSE_CYCLES = " << config.pause_cycles << ";\n\n";
+
+  os << "  // storage unit: Z x " << kInstructionBits
+     << " scan-only cells, serial load\n";
+  os << "  reg [" << kInstructionBits - 1 << ":0] storage [0:Z-1];\n";
+  os << "  integer k;\n";
+  os << "  always @(posedge clk) begin\n"
+     << "    if (scan_en) begin\n"
+     << "      for (k = Z - 1; k > 0; k = k - 1)\n"
+     << "        storage[k] <= {storage[k][" << kInstructionBits - 2
+     << ":0], storage[k-1][" << kInstructionBits - 1 << "]};\n"
+     << "      storage[0] <= {storage[0][" << kInstructionBits - 2
+     << ":0], scan_in};\n"
+     << "    end\n"
+     << "  end\n";
+  os << "  assign scan_out = storage[Z-1][" << kInstructionBits - 1
+     << "];\n\n";
+
+  os << "  // architectural registers (Fig. 1)\n";
+  os << "  reg [" << icw - 1 << ":0] ic;          // instruction counter\n";
+  os << "  reg [" << brw - 1 << ":0] branch_reg;\n";
+  os << "  reg repeat_bit, aux_order, aux_data, aux_cmp;  // reference reg\n";
+  os << "  reg fresh;                   // element-entry address (re)init\n";
+  os << "  reg [" << a - 1 << ":0] addr_q;\n";
+  os << "  reg [" << bgw - 1 << ":0] bg_idx;\n";
+  os << "  reg [" << pw - 1 << ":0] port_q;\n";
+  os << "  reg [" << tmw - 1 << ":0] pause_cnt;\n\n";
+
+  os << "  // instruction selector + field aliases\n";
+  os << "  wire [" << kInstructionBits - 1 << ":0] instr = storage[ic["
+     << brw - 1 << ":0]];\n";
+  os << "  wire f_addr_inc  = instr[0];\n"
+     << "  wire f_addr_down = instr[1];\n"
+     << "  wire f_data_inv  = instr[3];\n"
+     << "  wire f_cmp_inv   = instr[4];\n"
+     << "  wire [1:0] f_rw  = instr[6:5];\n"
+     << "  wire [2:0] f_flow = instr[9:7];\n";
+  os << "  wire is_op_flow = (f_flow == 3'd0) || (f_flow == 3'd1) || "
+        "(f_flow == 3'd2);\n\n";
+
+  os << "  // effective element direction (reference register XOR)\n";
+  os << "  wire eff_down = f_addr_down ^ aux_order;\n";
+  os << "  wire [" << a - 1 << ":0] addr_eff = fresh ? (eff_down ? {" << a
+     << "{1'b1}} : {" << a << "{1'b0}}) : addr_q;\n";
+  os << "  assign mem_addr = addr_eff;\n";
+  os << "  wire last_addr = eff_down ? (addr_eff == {" << a
+     << "{1'b0}}) : (addr_eff == {" << a << "{1'b1}});\n\n";
+
+  os << "  // data background generator\n";
+  os << "  reg [" << w - 1 << ":0] bg;\n";
+  os << "  always @* begin\n    case (bg_idx)\n";
+  for (int i = 0; i < nbg; ++i)
+    os << "      " << bgw << "'d" << i << ": bg = " << w << "'h" << std::hex
+       << backgrounds[static_cast<std::size_t>(i)] << std::dec << ";\n";
+  os << "      default: bg = " << w << "'h0;\n    endcase\n  end\n";
+  os << "  wire last_data = (bg_idx == " << bgw << "'d" << nbg - 1 << ");\n";
+  os << "  assign mem_wdata = (f_data_inv ^ aux_data) ? ~bg : bg;\n";
+  os << "  wire [" << w - 1
+     << ":0] expected = (f_cmp_inv ^ aux_cmp) ? ~bg : bg;\n\n";
+
+  os << "  // port sequencer\n";
+  os << "  assign port_sel = port_q;\n";
+  os << "  wire last_port = (port_q == " << pw << "'d" << g.num_ports - 1
+     << ");\n\n";
+
+  os << "  // pause timer (data-retention Hold)\n";
+  os << "  wire pause_done = (pause_cnt == PAUSE_CYCLES);\n\n";
+
+  os << "  // instruction decoder (two-level minimized logic)\n";
+  os << "  wire d_ic_inc, d_ic_reset0, d_ic_reset1, d_ic_load_branch;\n"
+     << "  wire d_branch_save, d_ref_load, d_repeat_set, d_repeat_clear;\n"
+     << "  wire d_addr_step, d_addr_init, d_data_inc, d_data_reset;\n"
+     << "  wire d_port_inc, d_pause_start, d_terminate;\n";
+  os << "  ucode_decoder u_dec (\n"
+     << "    .flow0(f_flow[0]), .flow1(f_flow[1]), .flow2(f_flow[2]),\n"
+     << "    .addr_inc_f(f_addr_inc), .last_addr(last_addr),\n"
+     << "    .last_data(last_data), .last_port(last_port),\n"
+     << "    .repeat_bit(repeat_bit), .pause_done(pause_done),\n"
+     << "    .ic_inc(d_ic_inc), .ic_reset0(d_ic_reset0),\n"
+     << "    .ic_reset1(d_ic_reset1), .ic_load_branch(d_ic_load_branch),\n"
+     << "    .branch_save(d_branch_save), .ref_load(d_ref_load),\n"
+     << "    .repeat_set(d_repeat_set), .repeat_clear(d_repeat_clear),\n"
+     << "    .addr_step(d_addr_step), .addr_init(d_addr_init),\n"
+     << "    .data_inc(d_data_inc), .data_reset(d_data_reset),\n"
+     << "    .port_inc(d_port_inc), .pause_start(d_pause_start),\n"
+     << "    .terminate(d_terminate)\n  );\n\n";
+
+  os << "  wire run = !scan_en && !done && (ic < Z);\n";
+  os << "  assign mem_read  = run && is_op_flow && (f_rw == 2'd1);\n";
+  os << "  assign mem_write = run && is_op_flow && (f_rw == 2'd2);\n\n";
+
+  os << "  // read comparator: sticky fail flag\n";
+  os << "  always @(posedge clk) begin\n"
+     << "    if (rst) fail <= 1'b0;\n"
+     << "    else if (mem_read && (mem_rdata != expected)) fail <= 1'b1;\n"
+     << "  end\n\n";
+
+  os << "  // register updates — mirrors MicrocodeController::step()\n";
+  os << "  always @(posedge clk) begin\n"
+     << "    if (rst) begin\n"
+     << "      ic <= 0; branch_reg <= 0; repeat_bit <= 1'b0;\n"
+     << "      aux_order <= 1'b0; aux_data <= 1'b0; aux_cmp <= 1'b0;\n"
+     << "      fresh <= 1'b1; addr_q <= 0; bg_idx <= 0; port_q <= 0;\n"
+     << "      pause_cnt <= 0; done <= 1'b0;\n"
+     << "    end else if (run) begin\n"
+     << "      if (ic >= Z) done <= 1'b1;  // address exhaustion\n"
+     << "      // reference register / repeat bit\n"
+     << "      if (d_ref_load) begin\n"
+     << "        aux_order <= f_addr_down; aux_data <= f_data_inv;\n"
+     << "        aux_cmp <= f_cmp_inv;\n"
+     << "      end\n"
+     << "      if (d_repeat_set) repeat_bit <= 1'b1;\n"
+     << "      if (d_repeat_clear) begin\n"
+     << "        repeat_bit <= 1'b0;\n"
+     << "        aux_order <= 1'b0; aux_data <= 1'b0; aux_cmp <= 1'b0;\n"
+     << "      end\n"
+     << "      // branch register (forced IC loads mirror into it)\n"
+     << "      if (d_branch_save) branch_reg <= ic[" << brw - 1
+     << ":0] + 1'b1;\n"
+     << "      if (d_ic_reset0) branch_reg <= 0;\n"
+     << "      if (d_ic_reset1) branch_reg <= 1;\n"
+     << "      // address generator\n"
+     << "      if (d_addr_step) addr_q <= eff_down ? addr_eff - 1'b1 : "
+        "addr_eff + 1'b1;\n"
+     << "      else addr_q <= addr_eff;\n"
+     << "      fresh <= d_addr_init ? 1'b1 : (is_op_flow ? 1'b0 : fresh);\n"
+     << "      // data background / port sequencing\n"
+     << "      if (d_data_inc) bg_idx <= bg_idx + 1'b1;\n"
+     << "      if (d_data_reset) bg_idx <= 0;\n"
+     << "      if (d_port_inc) port_q <= port_q + 1'b1;\n"
+     << "      // pause timer\n"
+     << "      if (d_pause_start) pause_cnt <= pause_cnt + 1'b1;\n"
+     << "      if (d_ic_inc && (f_flow == 3'd4)) pause_cnt <= 0;\n"
+     << "      // instruction counter\n"
+     << "      if (d_terminate) done <= 1'b1;\n"
+     << "      else if (d_ic_load_branch) ic <= {1'b0, branch_reg};\n"
+     << "      else if (d_ic_reset0) ic <= 0;\n"
+     << "      else if (d_ic_reset1) ic <= 1;\n"
+     << "      else if (d_ic_inc) ic <= ic + 1'b1;\n"
+     << "    end\n"
+     << "  end\n\nendmodule\n";
+
+  return os.str();
+}
+
+}  // namespace pmbist::mbist_ucode

@@ -1,0 +1,33 @@
+#pragma once
+// Synthesizable RTL emission of the complete microcode-based BIST unit
+// (paper Fig. 1): the Z x 10 storage unit with its serial scan-load path,
+// instruction counter, branch register, reference register, the minimized
+// instruction decoder (instantiated from the same verified covers the area
+// model prices), and the shared datapath (up/down address counter, data
+// background generator, comparator, port sequencer, pause timer).
+//
+// The emitted module is a faithful transcription of the cycle-accurate
+// behavioral model in controller.cpp — one memory operation per cycle,
+// identical register-update rules — and assumes a combinational-read SRAM
+// (rdata valid in the issuing cycle).  The C++ model is the golden
+// reference; simulate the RTL against it with your simulator of choice
+// when integrating (none is bundled here).
+
+#include <string>
+
+#include "memsim/memory.h"
+
+namespace pmbist::mbist_ucode {
+
+struct RtlConfig {
+  memsim::MemoryGeometry geometry{};
+  int storage_depth = 32;        ///< Z
+  int pause_cycles = 1 << 16;    ///< retention hold, in clock cycles
+  std::string module_name = "ucode_bist_top";
+};
+
+/// Emits the decoder module (`ucode_decoder`) followed by the top-level
+/// controller module.
+[[nodiscard]] std::string emit_controller_rtl(const RtlConfig& config);
+
+}  // namespace pmbist::mbist_ucode

@@ -1,0 +1,52 @@
+#include "memsim/memory.h"
+
+#include <cassert>
+
+namespace pmbist::memsim {
+namespace {
+
+// splitmix64: cheap deterministic power-up pattern generator.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Memory::check_access(int port, Address addr) const {
+  assert(port >= 0 && port < geometry_.num_ports && "port out of range");
+  assert(addr < geometry_.num_words() && "address out of range");
+  (void)port;
+  (void)addr;
+}
+
+SramModel::SramModel(MemoryGeometry geometry, std::uint64_t powerup_seed)
+    : Memory{geometry} {
+  cells_.resize(geometry.num_words());
+  std::uint64_t s = powerup_seed;
+  for (auto& w : cells_) w = splitmix64(s) & geometry.word_mask();
+}
+
+SramModel::SramModel(MemoryGeometry geometry, Word fill_value, bool /*tag*/)
+    : Memory{geometry} {
+  cells_.assign(geometry.num_words(), fill_value & geometry.word_mask());
+}
+
+Word SramModel::read(int port, Address addr) {
+  check_access(port, addr);
+  return cells_[addr];
+}
+
+void SramModel::write(int port, Address addr, Word data) {
+  check_access(port, addr);
+  cells_[addr] = data & geometry().word_mask();
+}
+
+void SramModel::poke(Address addr, Word data) {
+  cells_.at(addr) = data & geometry().word_mask();
+}
+
+}  // namespace pmbist::memsim

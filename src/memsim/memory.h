@@ -1,0 +1,91 @@
+#pragma once
+// Behavioral memory-under-test substrate.
+//
+// The paper's BIST controllers test embedded SRAMs; we substitute a
+// behavioral model that exposes exactly the interface a BIST datapath sees:
+// per-port read/write of words, plus a time-advance hook so data-retention
+// (pause) test phases are meaningful.  Functional memory faults are modeled
+// by the FaultyMemory wrapper (faulty_memory.h); this header defines the
+// golden model and the common interface.
+
+#include <cstdint>
+#include <vector>
+
+namespace pmbist::memsim {
+
+/// Data word as stored/transferred; word widths up to 64 bits.
+using Word = std::uint64_t;
+/// Cell address.
+using Address = std::uint32_t;
+
+/// Static shape of a memory under test.
+struct MemoryGeometry {
+  int address_bits = 10;  ///< 2^address_bits words
+  int word_bits = 1;      ///< 1 = bit-oriented, >1 = word-oriented
+  int num_ports = 1;      ///< >1 = multiport
+
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    return std::size_t{1} << address_bits;
+  }
+  [[nodiscard]] Word word_mask() const noexcept {
+    return word_bits >= 64 ? ~Word{0} : ((Word{1} << word_bits) - 1);
+  }
+  [[nodiscard]] bool bit_oriented() const noexcept { return word_bits == 1; }
+  [[nodiscard]] bool multiport() const noexcept { return num_ports > 1; }
+
+  friend bool operator==(const MemoryGeometry&,
+                         const MemoryGeometry&) = default;
+};
+
+/// Abstract memory-under-test.  Ports are sequentially exercised by the
+/// BIST controllers (the paper's multiport support activates one port at a
+/// time via "Inc. Port"), so no same-cycle port contention is modeled.
+class Memory {
+ public:
+  explicit Memory(MemoryGeometry geometry) : geometry_{geometry} {}
+  virtual ~Memory() = default;
+
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+
+  [[nodiscard]] const MemoryGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+
+  /// Reads the word at `addr` through `port`.
+  [[nodiscard]] virtual Word read(int port, Address addr) = 0;
+
+  /// Writes `data` (masked to word width) at `addr` through `port`.
+  virtual void write(int port, Address addr, Word data) = 0;
+
+  /// Advances simulated wall-clock time (used by pause/data-retention test
+  /// phases; a fault-free memory ignores it).
+  virtual void advance_time_ns(std::uint64_t ns) { (void)ns; }
+
+ protected:
+  void check_access(int port, Address addr) const;
+
+ private:
+  MemoryGeometry geometry_;
+};
+
+/// Fault-free SRAM model.  Power-up contents are pseudo-random unless a
+/// fill value is given (real SRAM powers up undefined; march algorithms
+/// must not depend on initial state, and tests exploit that).
+class SramModel final : public Memory {
+ public:
+  explicit SramModel(MemoryGeometry geometry, std::uint64_t powerup_seed = 1);
+  SramModel(MemoryGeometry geometry, Word fill_value, bool /*tag*/);
+
+  [[nodiscard]] Word read(int port, Address addr) override;
+  void write(int port, Address addr, Word data) override;
+
+  /// Direct backdoor access (test/diagnosis support; no fault semantics).
+  [[nodiscard]] Word peek(Address addr) const { return cells_.at(addr); }
+  void poke(Address addr, Word data);
+
+ private:
+  std::vector<Word> cells_;
+};
+
+}  // namespace pmbist::memsim

@@ -1,0 +1,153 @@
+#include "memsim/topology.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace pmbist::memsim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+AddressScrambler::AddressScrambler(int address_bits,
+                                   std::vector<int> bit_perm,
+                                   Address xor_mask)
+    : address_bits_{address_bits},
+      bit_perm_{std::move(bit_perm)},
+      inverse_perm_(static_cast<std::size_t>(address_bits)),
+      xor_mask_{xor_mask} {
+  assert(static_cast<int>(bit_perm_.size()) == address_bits);
+  for (int i = 0; i < address_bits; ++i)
+    inverse_perm_[static_cast<std::size_t>(
+        bit_perm_[static_cast<std::size_t>(i)])] = i;
+}
+
+AddressScrambler AddressScrambler::identity(int address_bits) {
+  std::vector<int> perm(static_cast<std::size_t>(address_bits));
+  std::iota(perm.begin(), perm.end(), 0);
+  return AddressScrambler{address_bits, std::move(perm), 0};
+}
+
+AddressScrambler AddressScrambler::scrambled(int address_bits,
+                                             std::uint64_t seed) {
+  std::vector<int> perm(static_cast<std::size_t>(address_bits));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::uint64_t s = seed * 2 + 1;
+  for (int i = address_bits - 1; i > 0; --i) {
+    const auto j = static_cast<int>(splitmix64(s) %
+                                    static_cast<std::uint64_t>(i + 1));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  const Address mask =
+      static_cast<Address>(splitmix64(s)) &
+      static_cast<Address>((std::uint64_t{1} << address_bits) - 1);
+  return AddressScrambler{address_bits, std::move(perm), mask};
+}
+
+Address AddressScrambler::to_physical(Address logical) const {
+  Address out = 0;
+  for (int i = 0; i < address_bits_; ++i)
+    if ((logical >> i) & 1u)
+      out |= Address{1} << bit_perm_[static_cast<std::size_t>(i)];
+  return out ^ xor_mask_;
+}
+
+Address AddressScrambler::to_logical(Address physical) const {
+  const Address p = physical ^ xor_mask_;
+  Address out = 0;
+  for (int i = 0; i < address_bits_; ++i)
+    if ((p >> i) & 1u)
+      out |= Address{1} << inverse_perm_[static_cast<std::size_t>(i)];
+  return out;
+}
+
+bool AddressScrambler::is_identity() const noexcept {
+  if (xor_mask_ != 0) return false;
+  for (int i = 0; i < address_bits_; ++i)
+    if (bit_perm_[static_cast<std::size_t>(i)] != i) return false;
+  return true;
+}
+
+ArrayTopology::ArrayTopology(int address_bits, int row_bits,
+                             AddressScrambler scrambler)
+    : address_bits_{address_bits},
+      row_bits_{row_bits},
+      scrambler_{std::move(scrambler)} {
+  assert(row_bits >= 0 && row_bits <= address_bits);
+  assert(scrambler_.address_bits() == address_bits);
+}
+
+ArrayTopology::RowCol ArrayTopology::location(Address logical) const {
+  const Address p = scrambler_.to_physical(logical);
+  const int col_bits = address_bits_ - row_bits_;
+  return RowCol{p >> col_bits, p & ((Address{1} << col_bits) - 1)};
+}
+
+Address ArrayTopology::at(RowCol rc) const {
+  const int col_bits = address_bits_ - row_bits_;
+  return scrambler_.to_logical((rc.row << col_bits) | rc.col);
+}
+
+std::vector<Address> ArrayTopology::neighbors(Address logical) const {
+  const RowCol rc = location(logical);
+  std::vector<Address> out;
+  out.reserve(4);
+  if (rc.row > 0) out.push_back(at({rc.row - 1, rc.col}));
+  if (rc.row + 1 < static_cast<std::uint32_t>(rows()))
+    out.push_back(at({rc.row + 1, rc.col}));
+  if (rc.col > 0) out.push_back(at({rc.row, rc.col - 1}));
+  if (rc.col + 1 < static_cast<std::uint32_t>(cols()))
+    out.push_back(at({rc.row, rc.col + 1}));
+  return out;
+}
+
+std::vector<Fault> adjacent_coupling_faults(const ArrayTopology& topology,
+                                            int bit, std::uint64_t seed,
+                                            int count) {
+  std::vector<Fault> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::uint64_t s = seed * 2 + 1;
+  const auto num_words =
+      std::uint64_t{1} << topology.scrambler().address_bits();
+  while (static_cast<int>(out.size()) < count) {
+    const auto aggressor = static_cast<Address>(splitmix64(s) % num_words);
+    const auto nbrs = topology.neighbors(aggressor);
+    if (nbrs.empty()) continue;
+    const Address victim = nbrs[splitmix64(s) % nbrs.size()];
+    out.push_back(InversionCouplingFault{
+        {aggressor, bit}, {victim, bit}, (splitmix64(s) & 1) != 0});
+  }
+  return out;
+}
+
+std::vector<Fault> npsf_faults(const ArrayTopology& topology, int bit,
+                               std::uint64_t seed, int count) {
+  std::vector<Fault> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::uint64_t s = seed * 2 + 1;
+  const auto num_words =
+      std::uint64_t{1} << topology.scrambler().address_bits();
+  while (static_cast<int>(out.size()) < count) {
+    const auto base = static_cast<Address>(splitmix64(s) % num_words);
+    const auto nbrs = topology.neighbors(base);
+    if (nbrs.empty()) continue;
+    NeighborhoodPatternFault f;
+    f.base = BitRef{base, bit};
+    for (Address n : nbrs) f.neighbors.push_back(BitRef{n, bit});
+    f.pattern = static_cast<std::uint32_t>(splitmix64(s)) &
+                ((1u << nbrs.size()) - 1u);
+    f.forced_value = (splitmix64(s) & 1) != 0;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace pmbist::memsim

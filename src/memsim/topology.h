@@ -1,0 +1,91 @@
+#pragma once
+// Physical array topology and address scrambling.
+//
+// Embedded SRAMs do not lay logical addresses out linearly: row/column
+// decoders permute and fold address bits for floorplan reasons, so
+// logically adjacent addresses are usually *not* physically adjacent.
+// Coupling defects live between physically adjacent cells; a fault list
+// for a real device must therefore be generated against the physical
+// topology.  March tests are immune to the mapping (every cell pair is
+// exercised in both orders regardless of traversal), which this module
+// lets tests demonstrate — and it is the foundation any
+// neighborhood-pattern-sensitive extension would build on.
+
+#include <vector>
+
+#include "memsim/fault_model.h"
+
+namespace pmbist::memsim {
+
+/// Bijective logical->physical address mapping: a bit permutation plus an
+/// XOR folding mask (the common hardware scrambling structure).
+class AddressScrambler {
+ public:
+  /// The identity mapping.
+  static AddressScrambler identity(int address_bits);
+  /// A deterministic pseudo-random permutation + fold, from `seed`.
+  static AddressScrambler scrambled(int address_bits, std::uint64_t seed);
+
+  [[nodiscard]] Address to_physical(Address logical) const;
+  [[nodiscard]] Address to_logical(Address physical) const;
+  [[nodiscard]] int address_bits() const noexcept { return address_bits_; }
+  [[nodiscard]] bool is_identity() const noexcept;
+
+ private:
+  AddressScrambler(int address_bits, std::vector<int> bit_perm,
+                   Address xor_mask);
+
+  int address_bits_;
+  std::vector<int> bit_perm_;      ///< logical bit i drives physical bit_perm_[i]
+  std::vector<int> inverse_perm_;
+  Address xor_mask_;
+};
+
+/// Row/column organization of the physical array.
+class ArrayTopology {
+ public:
+  /// `row_bits` of the physical address select the row; the remaining
+  /// low-order bits select the column.
+  ArrayTopology(int address_bits, int row_bits, AddressScrambler scrambler);
+
+  [[nodiscard]] int rows() const noexcept { return 1 << row_bits_; }
+  [[nodiscard]] int cols() const noexcept {
+    return 1 << (address_bits_ - row_bits_);
+  }
+  [[nodiscard]] const AddressScrambler& scrambler() const noexcept {
+    return scrambler_;
+  }
+
+  struct RowCol {
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;
+    friend bool operator==(const RowCol&, const RowCol&) = default;
+  };
+  /// Physical grid location of a logical address.
+  [[nodiscard]] RowCol location(Address logical) const;
+  /// Logical address at a physical grid location.
+  [[nodiscard]] Address at(RowCol rc) const;
+
+  /// The logical addresses of the (up to 4) physically adjacent cells
+  /// (von Neumann neighborhood) of `logical`.
+  [[nodiscard]] std::vector<Address> neighbors(Address logical) const;
+
+ private:
+  int address_bits_;
+  int row_bits_;
+  AddressScrambler scrambler_;
+};
+
+/// Generates inversion-coupling faults between physically adjacent cells —
+/// the realistic coupling fault population for this topology.
+[[nodiscard]] std::vector<Fault> adjacent_coupling_faults(
+    const ArrayTopology& topology, int bit, std::uint64_t seed, int count);
+
+/// Generates static neighborhood-pattern-sensitive faults: random base
+/// cells with their physical von Neumann neighborhood, a random required
+/// pattern and forced value.
+[[nodiscard]] std::vector<Fault> npsf_faults(const ArrayTopology& topology,
+                                             int bit, std::uint64_t seed,
+                                             int count);
+
+}  // namespace pmbist::memsim

@@ -1,0 +1,111 @@
+#include "netlist/components.h"
+
+#include <cassert>
+
+namespace pmbist::netlist {
+namespace {
+
+Cell cell_for(RegisterKind kind) {
+  switch (kind) {
+    case RegisterKind::Plain: return Cell::Dff;
+    case RegisterKind::Enable: return Cell::DffEn;
+    case RegisterKind::Scan: return Cell::ScanDff;
+    case RegisterKind::ScanOnly: return Cell::ScanOnlyCell;
+  }
+  return Cell::Dff;
+}
+
+}  // namespace
+
+GateInventory register_bank(int bits, RegisterKind kind) {
+  assert(bits >= 0);
+  GateInventory inv;
+  inv.add(cell_for(kind), bits);
+  return inv;
+}
+
+GateInventory shift_register(int bits, RegisterKind kind) {
+  return register_bank(bits, kind);
+}
+
+GateInventory binary_counter(int bits) {
+  assert(bits >= 1);
+  GateInventory inv;
+  inv.add(Cell::Dff, bits);
+  // Increment chain: one half-adder slice (XOR for sum, AND for carry) per
+  // bit; the LSB slice degenerates to an inverter.
+  inv.add(Cell::HalfAdder, bits - 1);
+  inv.add(Cell::Inv, 1);
+  // Synchronous reset gating on each D input.
+  inv.add(Cell::And2, bits);
+  return inv;
+}
+
+GateInventory up_down_counter(int bits) {
+  assert(bits >= 1);
+  GateInventory inv = binary_counter(bits);
+  // Direction handling: XOR each stored bit into the carry chain so the
+  // same incrementer counts down when direction=1.
+  inv.add(Cell::Xor2, bits);
+  return inv;
+}
+
+GateInventory mux_tree(int bits, int ways) {
+  assert(bits >= 0 && ways >= 1);
+  GateInventory inv;
+  inv.add(Cell::Mux2, static_cast<long>(bits) * (ways - 1));
+  return inv;
+}
+
+GateInventory equality_comparator(int bits) {
+  assert(bits >= 1);
+  GateInventory inv;
+  inv.add(Cell::Xnor2, bits);
+  inv += constant_detector(bits);
+  return inv;
+}
+
+GateInventory constant_detector(int bits) {
+  assert(bits >= 1);
+  GateInventory inv;
+  inv.add(Cell::And2, bits - 1);
+  return inv;
+}
+
+GateInventory or_tree(int bits) {
+  assert(bits >= 1);
+  GateInventory inv;
+  inv.add(Cell::Or2, bits - 1);
+  return inv;
+}
+
+GateInventory decoder(int select_bits) {
+  assert(select_bits >= 1);
+  GateInventory inv;
+  const long outputs = 1L << select_bits;
+  // Both polarities of each select line, then an AND tree per output.
+  inv.add(Cell::Inv, select_bits);
+  inv.add(Cell::And2, outputs * (select_bits - 1));
+  if (select_bits == 1) inv.add(Cell::Buf, outputs);
+  return inv;
+}
+
+GateInventory xor_bank(int bits) {
+  GateInventory inv;
+  inv.add(Cell::Xor2, bits);
+  return inv;
+}
+
+GateInventory and_bank(int bits) {
+  GateInventory inv;
+  inv.add(Cell::And2, bits);
+  return inv;
+}
+
+GateInventory mux_bank(int bits) {
+  GateInventory inv;
+  inv.add(Cell::Mux2, bits);
+  return inv;
+}
+
+}  // namespace pmbist::netlist

@@ -1,0 +1,66 @@
+#pragma once
+// Parameterized macro components: gate inventories for the datapath blocks
+// every BIST controller in the paper is assembled from (registers, counters,
+// multiplexer trees, comparators, decoders).  Each function returns the
+// standard-cell inventory of one instance; callers compose them into
+// AreaReports.
+//
+// Cost models follow conventional ripple/tree structures:
+//   * an n-bit binary up counter is n DFFs plus an increment chain of
+//     half-adder slices;
+//   * an up/down counter adds one XOR per bit to conditionally complement
+//     the carry chain;
+//   * an n-way mux tree uses (n-1) MUX2 per routed bit;
+//   * wide AND/OR detectors are balanced 2-input trees.
+
+#include "netlist/gate_inventory.h"
+
+namespace pmbist::netlist {
+
+/// Flip-flop flavor for register banks and shift registers.
+enum class RegisterKind : std::uint8_t {
+  Plain,     ///< Dff
+  Enable,    ///< DffEn (load-enable)
+  Scan,      ///< ScanDff (mux-scan)
+  ScanOnly,  ///< ScanOnlyCell (static storage, serial load only)
+};
+
+/// `bits` parallel flip-flops of the given kind.
+[[nodiscard]] GateInventory register_bank(int bits, RegisterKind kind);
+
+/// Serial shift register of `bits` stages (same cell cost as a register
+/// bank; kept separate for readability at call sites).
+[[nodiscard]] GateInventory shift_register(int bits, RegisterKind kind);
+
+/// n-bit binary up counter with synchronous reset.
+[[nodiscard]] GateInventory binary_counter(int bits);
+
+/// n-bit binary up/down counter with synchronous reset and direction input.
+[[nodiscard]] GateInventory up_down_counter(int bits);
+
+/// Mux tree selecting one of `ways` buses of `bits` bits each.
+[[nodiscard]] GateInventory mux_tree(int bits, int ways);
+
+/// Equality comparator between two `bits`-bit buses (XNOR bank + AND tree).
+[[nodiscard]] GateInventory equality_comparator(int bits);
+
+/// Detects the all-ones (or, with inverters folded in, any constant) value
+/// on a `bits`-bit bus: a balanced AND tree.
+[[nodiscard]] GateInventory constant_detector(int bits);
+
+/// Wide OR reduction of `bits` inputs (balanced OR tree).
+[[nodiscard]] GateInventory or_tree(int bits);
+
+/// `n`-to-2^n one-hot decoder.
+[[nodiscard]] GateInventory decoder(int select_bits);
+
+/// Bank of `bits` 2-input XOR gates (polarity application).
+[[nodiscard]] GateInventory xor_bank(int bits);
+
+/// Bank of `bits` 2-input AND gates (masking / gating).
+[[nodiscard]] GateInventory and_bank(int bits);
+
+/// Bank of `bits` 2:1 muxes.
+[[nodiscard]] GateInventory mux_bank(int bits);
+
+}  // namespace pmbist::netlist

@@ -1,0 +1,135 @@
+#include "netlist/fsm_synth.h"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+#include "netlist/qm.h"
+
+namespace pmbist::netlist {
+
+MooreFsm::MooreFsm(std::string name, std::vector<std::string> input_names,
+                   std::vector<std::string> output_names)
+    : name_{std::move(name)},
+      input_names_{std::move(input_names)},
+      output_names_{std::move(output_names)} {
+  assert(num_inputs() <= 16 && num_outputs() <= 32);
+}
+
+int MooreFsm::add_state(std::string name, std::uint32_t outputs) {
+  states_.push_back(FsmState{std::move(name), outputs, {}, -1});
+  return static_cast<int>(states_.size()) - 1;
+}
+
+void MooreFsm::add_arc(int from, Cube condition, int to) {
+  states_.at(from).arcs.push_back(FsmArc{condition, to});
+}
+
+void MooreFsm::set_default_next(int from, int to) {
+  states_.at(from).default_next = to;
+}
+
+int MooreFsm::step(int state, std::uint32_t inputs) const {
+  const FsmState& s = states_.at(state);
+  for (const auto& arc : s.arcs)
+    if (arc.condition.covers(inputs)) return arc.next_state;
+  return s.default_next < 0 ? state : s.default_next;
+}
+
+std::string MooreFsm::validate() const {
+  if (states_.empty()) return "FSM has no states";
+  const std::uint32_t input_mask =
+      num_inputs() == 0 ? 0u : ((1u << num_inputs()) - 1u);
+  for (int i = 0; i < num_states(); ++i) {
+    const auto& s = states_[i];
+    if (s.default_next >= num_states()) {
+      std::ostringstream os;
+      os << "state " << s.name << ": default_next out of range";
+      return os.str();
+    }
+    for (const auto& arc : s.arcs) {
+      if (arc.next_state < 0 || arc.next_state >= num_states()) {
+        std::ostringstream os;
+        os << "state " << s.name << ": arc target out of range";
+        return os.str();
+      }
+      if ((arc.condition.mask & ~input_mask) != 0) {
+        std::ostringstream os;
+        os << "state " << s.name << ": arc condition uses unknown inputs";
+        return os.str();
+      }
+    }
+  }
+  const std::uint32_t output_mask =
+      num_outputs() >= 32 ? ~0u : ((1u << num_outputs()) - 1u);
+  for (const auto& s : states_)
+    if ((s.outputs & ~output_mask) != 0)
+      return "state " + s.name + ": outputs beyond declared width";
+  return {};
+}
+
+FsmSynthResult synthesize(const MooreFsm& fsm, const FsmSynthOptions& opts) {
+  assert(fsm.validate().empty());
+  FsmSynthResult result;
+
+  const int num_states = fsm.num_states();
+  const int state_bits =
+      num_states <= 1 ? 1 : std::bit_width(unsigned(num_states - 1));
+  result.state_bits = state_bits;
+
+  const int in_bits = fsm.num_inputs();
+  const int ns_vars = in_bits + state_bits;
+  assert(ns_vars <= kMaxLogicVars && "FSM too large for truth-table synth");
+
+  // --- next-state logic: one truth table per state bit -------------------
+  // Variable order: inputs occupy bits [0, in_bits), current-state bits
+  // occupy [in_bits, in_bits+state_bits).
+  std::vector<TruthTable> ns_tables(state_bits, TruthTable{ns_vars});
+  const std::uint32_t in_count = std::uint32_t{1} << in_bits;
+  for (std::uint32_t code = 0; code < (std::uint32_t{1} << state_bits);
+       ++code) {
+    const bool used = code < static_cast<std::uint32_t>(num_states);
+    for (std::uint32_t in = 0; in < in_count; ++in) {
+      const std::uint32_t row = (code << in_bits) | in;
+      if (!used) {
+        for (auto& t : ns_tables) t.set(row, Tri::DontCare);
+        continue;
+      }
+      const auto next =
+          static_cast<std::uint32_t>(fsm.step(static_cast<int>(code), in));
+      for (int b = 0; b < state_bits; ++b)
+        ns_tables[b].set(row, ((next >> b) & 1u) ? Tri::One : Tri::Zero);
+    }
+  }
+
+  for (auto& t : ns_tables) {
+    const MinimizeResult m = minimize(t);
+    assert(t.is_implemented_by(m.cover));
+    result.next_state_literals += m.literals;
+    result.inventory += sop_inventory(m.cover);
+  }
+
+  // --- Moore output logic: one truth table per output bit ----------------
+  for (int o = 0; o < fsm.num_outputs(); ++o) {
+    TruthTable t{state_bits};
+    for (std::uint32_t code = 0; code < (std::uint32_t{1} << state_bits);
+         ++code) {
+      if (code >= static_cast<std::uint32_t>(num_states)) {
+        t.set(code, Tri::DontCare);
+        continue;
+      }
+      const bool bit = (fsm.outputs_of(static_cast<int>(code)) >> o) & 1u;
+      t.set(code, bit ? Tri::One : Tri::Zero);
+    }
+    const MinimizeResult m = minimize(t);
+    assert(t.is_implemented_by(m.cover));
+    result.output_literals += m.literals;
+    result.inventory += sop_inventory(m.cover);
+  }
+
+  // --- state register -----------------------------------------------------
+  result.inventory += register_bank(state_bits, opts.state_register_kind);
+  return result;
+}
+
+}  // namespace pmbist::netlist

@@ -1,0 +1,108 @@
+#pragma once
+// Symbolic Moore FSM representation + synthesis into a gate inventory.
+//
+// Hardwired (non-programmable) BIST controllers are "the hardware
+// realization of a selected memory test algorithm" (paper, Sec. 1): we
+// generate a symbolic FSM from the march algorithm, then synthesize it here
+// the way a 1999 ASIC flow would — binary state encoding, per-bit
+// next-state/output truth tables, two-level minimization (Quine-McCluskey),
+// NAND-NAND implementation — and count the resulting standard cells.
+//
+// The same FSM object also drives the cycle-accurate behavioral model, so
+// the area numbers and the simulated behaviour come from a single artifact.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/components.h"
+#include "netlist/logic.h"
+
+namespace pmbist::netlist {
+
+/// A conditional transition: taken when `condition` covers the current
+/// input vector.  Arcs are evaluated in declaration order (priority).
+struct FsmArc {
+  Cube condition;  ///< over the FSM's input variables
+  int next_state = 0;
+};
+
+/// One Moore state: fixed output vector plus prioritized arcs.  If no arc
+/// matches, the machine goes to `default_next` (which defaults to self).
+struct FsmState {
+  std::string name;
+  std::uint32_t outputs = 0;
+  std::vector<FsmArc> arcs;
+  int default_next = -1;  ///< -1 means "stay in this state"
+};
+
+/// Symbolic Moore finite-state machine over named binary inputs/outputs.
+class MooreFsm {
+ public:
+  MooreFsm(std::string name, std::vector<std::string> input_names,
+           std::vector<std::string> output_names);
+
+  /// Adds a state and returns its index.  The first added state is reset.
+  int add_state(std::string name, std::uint32_t outputs);
+
+  /// Adds a prioritized arc `from --cond--> to`.
+  void add_arc(int from, Cube condition, int to);
+
+  /// Sets the else-transition of `from` (taken when no arc matches).
+  void set_default_next(int from, int to);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int num_inputs() const noexcept {
+    return static_cast<int>(input_names_.size());
+  }
+  [[nodiscard]] int num_outputs() const noexcept {
+    return static_cast<int>(output_names_.size());
+  }
+  [[nodiscard]] int num_states() const noexcept {
+    return static_cast<int>(states_.size());
+  }
+  [[nodiscard]] const FsmState& state(int i) const { return states_.at(i); }
+  [[nodiscard]] const std::vector<std::string>& input_names() const noexcept {
+    return input_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& output_names() const noexcept {
+    return output_names_;
+  }
+
+  /// Next state for (state, input vector); input bits beyond num_inputs()
+  /// must be zero.
+  [[nodiscard]] int step(int state, std::uint32_t inputs) const;
+  [[nodiscard]] std::uint32_t outputs_of(int state) const {
+    return states_.at(state).outputs;
+  }
+
+  /// Checks structural sanity (arc targets in range, cube masks within the
+  /// input width, at least one state).  Returns an empty string if valid,
+  /// else a description of the first problem.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> input_names_;
+  std::vector<std::string> output_names_;
+  std::vector<FsmState> states_;
+};
+
+struct FsmSynthOptions {
+  RegisterKind state_register_kind = RegisterKind::Scan;
+};
+
+/// Result of synthesizing a MooreFsm.
+struct FsmSynthResult {
+  GateInventory inventory;       ///< state register + all synthesized logic
+  int state_bits = 0;
+  int next_state_literals = 0;   ///< two-level literal count, next-state logic
+  int output_literals = 0;       ///< two-level literal count, output logic
+};
+
+/// Synthesizes the FSM: binary state encoding in declaration order,
+/// Quine-McCluskey per next-state/output bit, NAND-NAND costing.
+[[nodiscard]] FsmSynthResult synthesize(const MooreFsm& fsm,
+                                        const FsmSynthOptions& opts = {});
+
+}  // namespace pmbist::netlist

@@ -1,0 +1,82 @@
+#include "netlist/gate_inventory.h"
+
+#include <cassert>
+#include <sstream>
+#include <iomanip>
+
+namespace pmbist::netlist {
+
+void GateInventory::add(Cell c, long n) {
+  assert(n >= 0 && "cell counts are non-negative");
+  if (n == 0) return;
+  counts_[c] += n;
+}
+
+GateInventory& GateInventory::operator+=(const GateInventory& other) {
+  for (const auto& [cell, n] : other.counts_) counts_[cell] += n;
+  return *this;
+}
+
+GateInventory GateInventory::scaled(long factor) const {
+  assert(factor >= 0);
+  GateInventory out;
+  for (const auto& [cell, n] : counts_) out.add(cell, n * factor);
+  return out;
+}
+
+long GateInventory::count(Cell c) const noexcept {
+  auto it = counts_.find(c);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+long GateInventory::total_cells() const noexcept {
+  long total = 0;
+  for (const auto& [cell, n] : counts_) total += n;
+  return total;
+}
+
+double GateInventory::total_ge(const TechLibrary& lib) const {
+  double total = 0.0;
+  for (const auto& [cell, n] : counts_)
+    total += static_cast<double>(n) * lib.ge(cell);
+  return total;
+}
+
+double GateInventory::total_area_um2(const TechLibrary& lib) const {
+  return total_ge(lib) * lib.area_per_ge_um2();
+}
+
+std::string GateInventory::summary(const TechLibrary& lib) const {
+  std::ostringstream os;
+  for (const auto& [cell, n] : counts_)
+    os << lib.info(cell).name << ":" << n << " ";
+  os << "(" << std::fixed << std::setprecision(1) << total_ge(lib) << " GE)";
+  return os.str();
+}
+
+void AreaReport::add_block(std::string name, GateInventory inv) {
+  blocks_.push_back(AreaBlock{std::move(name), std::move(inv)});
+}
+
+GateInventory AreaReport::total() const {
+  GateInventory t;
+  for (const auto& b : blocks_) t += b.inventory;
+  return t;
+}
+
+std::string AreaReport::to_string(const TechLibrary& lib) const {
+  std::ostringstream os;
+  os << design_name_ << "  [" << lib.process_name() << "]\n";
+  os << std::fixed << std::setprecision(1);
+  for (const auto& b : blocks_) {
+    os << "  " << std::left << std::setw(28) << b.name << std::right
+       << std::setw(10) << b.inventory.total_ge(lib) << " GE  "
+       << std::setw(12) << b.inventory.total_area_um2(lib) << " um^2\n";
+  }
+  os << "  " << std::left << std::setw(28) << "TOTAL" << std::right
+     << std::setw(10) << total_ge(lib) << " GE  " << std::setw(12)
+     << total_area_um2(lib) << " um^2\n";
+  return os.str();
+}
+
+}  // namespace pmbist::netlist

@@ -1,0 +1,92 @@
+#pragma once
+// GateInventory: a counted bag of standard cells, the currency of every
+// structural area model in this project.  Controllers elaborate themselves
+// into inventories; a TechLibrary prices an inventory in gate equivalents
+// and um^2.  AreaReport groups named sub-block inventories into the
+// hierarchical tables printed by the Table 1-3 benches.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/tech_library.h"
+
+namespace pmbist::netlist {
+
+/// Counted multiset of standard cells.  Value-semantic; cheap to copy at the
+/// sizes that occur here (tens of distinct cell classes).
+class GateInventory {
+ public:
+  GateInventory() = default;
+
+  /// Adds `n` instances of `c`.  `n` may be 0 (no-op); negative counts are
+  /// not representable and are clamped away by precondition.
+  void add(Cell c, long n = 1);
+
+  /// Merges another inventory into this one.
+  GateInventory& operator+=(const GateInventory& other);
+  friend GateInventory operator+(GateInventory a, const GateInventory& b) {
+    a += b;
+    return a;
+  }
+
+  /// Returns an inventory with every count multiplied by `factor`.
+  [[nodiscard]] GateInventory scaled(long factor) const;
+
+  [[nodiscard]] long count(Cell c) const noexcept;
+  [[nodiscard]] long total_cells() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return counts_.empty(); }
+
+  [[nodiscard]] double total_ge(const TechLibrary& lib) const;
+  [[nodiscard]] double total_area_um2(const TechLibrary& lib) const;
+
+  /// One-line summary, e.g. "DFF:12 NAND2:40 ... (61.5 GE)".
+  [[nodiscard]] std::string summary(const TechLibrary& lib) const;
+
+  [[nodiscard]] const std::map<Cell, long>& counts() const noexcept {
+    return counts_;
+  }
+
+  bool operator==(const GateInventory&) const = default;
+
+ private:
+  std::map<Cell, long> counts_;
+};
+
+/// A named sub-block of a larger design, for hierarchical reporting.
+struct AreaBlock {
+  std::string name;
+  GateInventory inventory;
+};
+
+/// Hierarchical area report: an ordered list of named blocks plus totals.
+class AreaReport {
+ public:
+  explicit AreaReport(std::string design_name)
+      : design_name_{std::move(design_name)} {}
+
+  void add_block(std::string name, GateInventory inv);
+
+  [[nodiscard]] const std::string& design_name() const noexcept {
+    return design_name_;
+  }
+  [[nodiscard]] const std::vector<AreaBlock>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] GateInventory total() const;
+  [[nodiscard]] double total_ge(const TechLibrary& lib) const {
+    return total().total_ge(lib);
+  }
+  [[nodiscard]] double total_area_um2(const TechLibrary& lib) const {
+    return total().total_area_um2(lib);
+  }
+
+  /// Multi-line human-readable table: one row per block with GE and um^2.
+  [[nodiscard]] std::string to_string(const TechLibrary& lib) const;
+
+ private:
+  std::string design_name_;
+  std::vector<AreaBlock> blocks_;
+};
+
+}  // namespace pmbist::netlist

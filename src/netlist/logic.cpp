@@ -1,0 +1,156 @@
+#include "netlist/logic.h"
+
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace pmbist::netlist {
+
+std::string Cube::to_string(int num_vars) const {
+  std::ostringstream os;
+  bool first = true;
+  for (int v = 0; v < num_vars; ++v) {
+    const std::uint32_t bit = std::uint32_t{1} << v;
+    if (!(mask & bit)) continue;
+    if (!first) os << " ";
+    first = false;
+    os << "x" << v;
+    if (!(value & bit)) os << "'";
+  }
+  if (first) os << "1";  // tautology cube
+  return os.str();
+}
+
+int cover_literals(const Cover& cover) {
+  int total = 0;
+  for (const auto& c : cover) total += c.literals();
+  return total;
+}
+
+bool cover_eval(const Cover& cover, std::uint32_t minterm) {
+  for (const auto& c : cover)
+    if (c.covers(minterm)) return true;
+  return false;
+}
+
+TruthTable::TruthTable(int num_vars) : num_vars_{num_vars} {
+  assert(num_vars >= 0 && num_vars <= kMaxLogicVars);
+  rows_.assign(std::size_t{1} << num_vars, Tri::Zero);
+}
+
+void TruthTable::set(std::uint32_t minterm, Tri v) {
+  assert(minterm < size());
+  rows_[minterm] = v;
+}
+
+Tri TruthTable::get(std::uint32_t minterm) const {
+  assert(minterm < size());
+  return rows_[minterm];
+}
+
+std::vector<std::uint32_t> TruthTable::onset() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t m = 0; m < size(); ++m)
+    if (rows_[m] == Tri::One) out.push_back(m);
+  return out;
+}
+
+std::vector<std::uint32_t> TruthTable::dcset() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t m = 0; m < size(); ++m)
+    if (rows_[m] == Tri::DontCare) out.push_back(m);
+  return out;
+}
+
+bool TruthTable::is_implemented_by(const Cover& cover) const {
+  for (std::uint32_t m = 0; m < size(); ++m) {
+    const Tri want = rows_[m];
+    if (want == Tri::DontCare) continue;
+    if (cover_eval(cover, m) != (want == Tri::One)) return false;
+  }
+  return true;
+}
+
+GateInventory wide_nand(int fan_in) {
+  assert(fan_in >= 1);
+  GateInventory inv;
+  if (fan_in == 1) {
+    inv.add(Cell::Inv);
+    return inv;
+  }
+  if (fan_in == 2) {
+    inv.add(Cell::Nand2);
+    return inv;
+  }
+  if (fan_in == 3) {
+    inv.add(Cell::Nand3);
+    return inv;
+  }
+  if (fan_in == 4) {
+    inv.add(Cell::Nand4);
+    return inv;
+  }
+  // Decompose: groups of up to 4 inputs form ANDs (NANDk + INV), then a
+  // wide NAND combines the group outputs.
+  int remaining = fan_in;
+  int groups = 0;
+  while (remaining > 0) {
+    const int take = remaining >= 4 ? 4 : remaining;
+    if (take == 1) {
+      // A lone leftover input passes straight into the combining NAND.
+      ++groups;
+      remaining = 0;
+      break;
+    }
+    switch (take) {
+      case 2: inv.add(Cell::Nand2); break;
+      case 3: inv.add(Cell::Nand3); break;
+      default: inv.add(Cell::Nand4); break;
+    }
+    inv.add(Cell::Inv);
+    remaining -= take;
+    ++groups;
+  }
+  inv += wide_nand(groups);
+  return inv;
+}
+
+GateInventory sop_inventory(const Cover& cover, const SopCostOptions& opts) {
+  GateInventory inv;
+  if (cover.empty()) return inv;  // constant 0
+  for (const auto& c : cover)
+    if (c.mask == 0) return inv;  // constant 1 (tautology term)
+
+  if (!opts.free_input_complements) {
+    std::set<int> complemented;
+    for (const auto& c : cover)
+      for (int v = 0; v < kMaxLogicVars; ++v) {
+        const std::uint32_t bit = std::uint32_t{1} << v;
+        if ((c.mask & bit) && !(c.value & bit)) complemented.insert(v);
+      }
+    inv.add(Cell::Inv, static_cast<long>(complemented.size()));
+  }
+
+  for (const auto& c : cover) {
+    const int lits = c.literals();
+    if (lits >= 2) inv += wide_nand(lits);
+    // Single-literal terms feed the output NAND directly in complemented
+    // form; with free complements this costs nothing.
+    if (lits == 1 && !opts.free_input_complements) {
+      // Complement already charged above if the literal is negative; the
+      // positive literal still needs one inverter to present an active-low
+      // term to the output NAND.
+      inv.add(Cell::Inv);
+    }
+  }
+
+  const int terms = static_cast<int>(cover.size());
+  if (terms == 1) {
+    inv.add(Cell::Inv);  // single term: AND = NAND + INV
+  } else {
+    inv += wide_nand(terms);
+  }
+  return inv;
+}
+
+}  // namespace pmbist::netlist

@@ -1,0 +1,98 @@
+#pragma once
+// Two-level logic primitives: cubes, covers, and truth tables over up to 24
+// variables.  These are the input/output types of the Quine-McCluskey
+// minimizer (qm.h) and the symbolic FSM synthesizer (fsm_synth.h).
+//
+// A cube is a product term: `mask` has a 1 for every variable the cube
+// depends on (a "cared" literal) and `value` gives the required polarity of
+// each cared variable.  A cube covers minterm m iff (m & mask) == value.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/gate_inventory.h"
+
+namespace pmbist::netlist {
+
+/// Maximum supported variable count for truth-table based minimization.
+inline constexpr int kMaxLogicVars = 24;
+
+/// A product term over up to kMaxLogicVars variables.
+struct Cube {
+  std::uint32_t value = 0;  ///< required polarity of cared variables
+  std::uint32_t mask = 0;   ///< which variables are cared about
+
+  [[nodiscard]] bool covers(std::uint32_t minterm) const noexcept {
+    return (minterm & mask) == value;
+  }
+  /// Number of literals in the product term.
+  [[nodiscard]] int literals() const noexcept {
+    return __builtin_popcount(mask);
+  }
+  /// True if this cube's minterm set is a superset of `other`'s.
+  [[nodiscard]] bool contains(const Cube& other) const noexcept {
+    return (mask & ~other.mask) == 0 && ((value ^ other.value) & mask) == 0;
+  }
+  /// Render as e.g. "x0 x2' x5" for debugging; `num_vars` bounds the scan.
+  [[nodiscard]] std::string to_string(int num_vars) const;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+  friend auto operator<=>(const Cube&, const Cube&) = default;
+};
+
+/// Sum-of-products: a set of cubes whose union is the function's onset.
+using Cover = std::vector<Cube>;
+
+/// Total literal count of a cover (standard two-level cost metric).
+[[nodiscard]] int cover_literals(const Cover& cover);
+
+/// Evaluates a cover at a minterm.
+[[nodiscard]] bool cover_eval(const Cover& cover, std::uint32_t minterm);
+
+/// Ternary output value of a truth-table row.
+enum class Tri : std::uint8_t { Zero = 0, One = 1, DontCare = 2 };
+
+/// Dense single-output truth table over `num_vars` inputs.
+class TruthTable {
+ public:
+  explicit TruthTable(int num_vars);
+
+  [[nodiscard]] int num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return std::uint32_t{1} << num_vars_;
+  }
+  void set(std::uint32_t minterm, Tri v);
+  [[nodiscard]] Tri get(std::uint32_t minterm) const;
+
+  /// All minterms with value One.
+  [[nodiscard]] std::vector<std::uint32_t> onset() const;
+  /// All minterms with value DontCare.
+  [[nodiscard]] std::vector<std::uint32_t> dcset() const;
+
+  /// True if the cover computes this table exactly on all cared rows.
+  [[nodiscard]] bool is_implemented_by(const Cover& cover) const;
+
+ private:
+  int num_vars_;
+  std::vector<Tri> rows_;
+};
+
+/// Options for converting a cover to a gate inventory.
+struct SopCostOptions {
+  /// If true (default), both polarities of every input are assumed free
+  /// (typical when inputs come from flip-flops with Q/Q' outputs); otherwise
+  /// one inverter is charged per distinct complemented input.
+  bool free_input_complements = true;
+};
+
+/// Gate inventory of a two-level NAND-NAND implementation of one output.
+/// Wide terms/outputs decompose into NAND2/3/4 trees with inverters.
+[[nodiscard]] GateInventory sop_inventory(const Cover& cover,
+                                          const SopCostOptions& opts = {});
+
+/// Inventory of a wide `fan_in`-input NAND implemented from NAND2/3/4 and
+/// inverters (exposed for testing the decomposition model).
+[[nodiscard]] GateInventory wide_nand(int fan_in);
+
+}  // namespace pmbist::netlist

@@ -1,0 +1,226 @@
+#include "netlist/qm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace pmbist::netlist {
+namespace {
+
+// Packs a cube into a single 64-bit key for dedup sets.
+std::uint64_t key_of(const Cube& c) {
+  return (std::uint64_t{c.mask} << 32) | c.value;
+}
+
+}  // namespace
+
+Cover prime_implicants(int num_vars, std::span<const std::uint32_t> onset,
+                       std::span<const std::uint32_t> dcset) {
+  assert(num_vars >= 0 && num_vars <= kMaxLogicVars);
+  const std::uint32_t full_mask =
+      num_vars == 0 ? 0u
+                    : (num_vars == 32 ? ~0u : ((1u << num_vars) - 1u));
+
+  // Current generation of cubes, deduped.
+  std::vector<Cube> current;
+  {
+    std::unordered_set<std::uint64_t> seen;
+    auto push = [&](std::uint32_t m) {
+      Cube c{m & full_mask, full_mask};
+      if (seen.insert(key_of(c)).second) current.push_back(c);
+    };
+    for (auto m : onset) push(m);
+    for (auto m : dcset) push(m);
+  }
+
+  Cover primes;
+  while (!current.empty()) {
+    // Group by mask, then by popcount of value, so only adjacent groups are
+    // compared (classic QM tabulation).
+    std::map<std::uint32_t, std::map<int, std::vector<std::size_t>>> groups;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      const auto& c = current[i];
+      groups[c.mask][__builtin_popcount(c.value)].push_back(i);
+    }
+
+    std::vector<bool> combined(current.size(), false);
+    std::vector<Cube> next;
+    std::unordered_set<std::uint64_t> next_seen;
+
+    for (auto& [mask, by_count] : groups) {
+      for (auto it = by_count.begin(); it != by_count.end(); ++it) {
+        auto jt = by_count.find(it->first + 1);
+        if (jt == by_count.end()) continue;
+        for (std::size_t i : it->second) {
+          for (std::size_t j : jt->second) {
+            const std::uint32_t diff = current[i].value ^ current[j].value;
+            if (__builtin_popcount(diff) != 1) continue;
+            combined[i] = combined[j] = true;
+            Cube merged{current[i].value & ~diff, mask & ~diff};
+            if (next_seen.insert(key_of(merged)).second)
+              next.push_back(merged);
+          }
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < current.size(); ++i)
+      if (!combined[i]) primes.push_back(current[i]);
+    current = std::move(next);
+  }
+
+  std::sort(primes.begin(), primes.end());
+  primes.erase(std::unique(primes.begin(), primes.end()), primes.end());
+  return primes;
+}
+
+MinimizeResult minimize(int num_vars, std::span<const std::uint32_t> onset,
+                        std::span<const std::uint32_t> dcset) {
+  MinimizeResult result;
+  if (onset.empty()) return result;  // constant 0
+
+  // Deduplicate the onset; coverage bookkeeping is per distinct minterm.
+  std::vector<std::uint32_t> ons(onset.begin(), onset.end());
+  std::sort(ons.begin(), ons.end());
+  ons.erase(std::unique(ons.begin(), ons.end()), ons.end());
+
+  const Cover primes = prime_implicants(num_vars, ons, dcset);
+
+  // prime -> indices of onset minterms it covers
+  std::vector<std::vector<int>> covers_of(primes.size());
+  // minterm index -> primes covering it
+  std::vector<std::vector<int>> covered_by(ons.size());
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    for (std::size_t m = 0; m < ons.size(); ++m) {
+      if (primes[p].covers(ons[m])) {
+        covers_of[p].push_back(static_cast<int>(m));
+        covered_by[m].push_back(static_cast<int>(p));
+      }
+    }
+  }
+
+  std::vector<bool> minterm_done(ons.size(), false);
+  std::vector<bool> prime_used(primes.size(), false);
+  std::size_t remaining = ons.size();
+
+  auto take_prime = [&](int p) {
+    if (prime_used[p]) return;
+    prime_used[p] = true;
+    result.cover.push_back(primes[p]);
+    for (int m : covers_of[p]) {
+      if (!minterm_done[m]) {
+        minterm_done[m] = true;
+        --remaining;
+      }
+    }
+  };
+
+  // Essential primes: any minterm covered by exactly one prime.
+  for (std::size_t m = 0; m < ons.size(); ++m) {
+    assert(!covered_by[m].empty() && "onset minterm must be covered");
+    if (covered_by[m].size() == 1) take_prime(covered_by[m][0]);
+  }
+
+  // Candidate primes that still help.
+  std::vector<int> candidates;
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    if (prime_used[p]) continue;
+    for (int m : covers_of[p]) {
+      if (!minterm_done[m]) {
+        candidates.push_back(static_cast<int>(p));
+        break;
+      }
+    }
+  }
+
+  // Exact branch-and-bound covering when the residual problem is small
+  // (this is where greedy covers go wrong on cyclic cores); greedy
+  // fallback otherwise.  Branch on the uncovered minterm with the fewest
+  // covering candidates.
+  constexpr std::size_t kExactLimit = 22;
+  if (remaining > 0 && candidates.size() <= kExactLimit) {
+    std::vector<int> chosen;
+    std::vector<int> best_set;
+    bool have_best = false;
+
+    std::vector<int> cover_count(ons.size(), 0);
+    for (std::size_t m = 0; m < ons.size(); ++m)
+      if (minterm_done[m]) cover_count[m] = 1;
+
+    auto recurse = [&](auto&& self) -> void {
+      if (have_best && chosen.size() + 1 > best_set.size()) return;  // bound
+      int pick = -1;
+      std::size_t pick_options = SIZE_MAX;
+      for (std::size_t m = 0; m < ons.size(); ++m) {
+        if (cover_count[m] > 0) continue;
+        std::size_t options = 0;
+        for (int p : covered_by[m])
+          if (!prime_used[p] &&
+              std::find(chosen.begin(), chosen.end(), p) == chosen.end() &&
+              std::find(candidates.begin(), candidates.end(), p) !=
+                  candidates.end())
+            ++options;
+        if (options < pick_options) {
+          pick_options = options;
+          pick = static_cast<int>(m);
+        }
+      }
+      if (pick < 0) {  // everything covered
+        if (!have_best || chosen.size() < best_set.size()) {
+          best_set = chosen;
+          have_best = true;
+        }
+        return;
+      }
+      if (have_best && chosen.size() + 1 >= best_set.size()) return;
+      for (int p : covered_by[static_cast<std::size_t>(pick)]) {
+        if (prime_used[p]) continue;
+        if (std::find(chosen.begin(), chosen.end(), p) != chosen.end())
+          continue;
+        chosen.push_back(p);
+        for (int m : covers_of[p]) ++cover_count[m];
+        self(self);
+        for (int m : covers_of[p]) --cover_count[m];
+        chosen.pop_back();
+      }
+    };
+    recurse(recurse);
+    assert(have_best && "exact covering must find a solution");
+    for (int p : best_set) take_prime(p);
+  }
+
+  // Greedy: repeatedly pick the prime covering the most uncovered minterms,
+  // breaking ties toward fewer literals (cheaper term).
+  while (remaining > 0) {
+    int best = -1;
+    int best_gain = -1;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (prime_used[p]) continue;
+      int gain = 0;
+      for (int m : covers_of[p])
+        if (!minterm_done[m]) ++gain;
+      if (gain > best_gain ||
+          (gain == best_gain && best >= 0 &&
+           primes[p].literals() < primes[best].literals())) {
+        best = static_cast<int>(p);
+        best_gain = gain;
+      }
+    }
+    assert(best >= 0 && best_gain > 0);
+    take_prime(best);
+  }
+
+  std::sort(result.cover.begin(), result.cover.end());
+  result.literals = cover_literals(result.cover);
+  return result;
+}
+
+MinimizeResult minimize(const TruthTable& table) {
+  const auto ons = table.onset();
+  const auto dcs = table.dcset();
+  return minimize(table.num_vars(), ons, dcs);
+}
+
+}  // namespace pmbist::netlist

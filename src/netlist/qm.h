@@ -1,0 +1,37 @@
+#pragma once
+// Quine-McCluskey two-level minimization with a greedy cover selector
+// (essential primes first, then highest-coverage / fewest-literals).  This
+// is the "synthesis" step of the area models: FSM next-state and decoder
+// logic is expressed as truth tables, minimized here, and priced by
+// sop_inventory().
+//
+// Exact for prime generation; the covering step is the standard greedy
+// heuristic (adequate at the problem sizes in this project: <= ~12 inputs).
+
+#include <span>
+
+#include "netlist/logic.h"
+
+namespace pmbist::netlist {
+
+struct MinimizeResult {
+  Cover cover;
+  int literals = 0;  ///< cover_literals(cover), cached
+};
+
+/// Minimizes the single-output function with the given onset/dc-set
+/// minterms over `num_vars` variables.  Minterms outside both sets are the
+/// offset.  Returns a cover whose union equals the onset on all cared rows.
+[[nodiscard]] MinimizeResult minimize(int num_vars,
+                                      std::span<const std::uint32_t> onset,
+                                      std::span<const std::uint32_t> dcset);
+
+/// Convenience overload.
+[[nodiscard]] MinimizeResult minimize(const TruthTable& table);
+
+/// All prime implicants of the function (exposed for tests).
+[[nodiscard]] Cover prime_implicants(int num_vars,
+                                     std::span<const std::uint32_t> onset,
+                                     std::span<const std::uint32_t> dcset);
+
+}  // namespace pmbist::netlist

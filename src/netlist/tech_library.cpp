@@ -1,0 +1,51 @@
+#include "netlist/tech_library.h"
+
+namespace pmbist::netlist {
+namespace {
+
+// GE costs follow the usual static-CMOS transistor-count accounting with a
+// 2-input NAND (4 transistors) as the unit.  Sequential cells carry the
+// customary library premium for clock buffering.
+constexpr std::array<CellInfo, kNumCells> kBaseCells{{
+    /* Inv          */ {"INV", 0.50, 1.0},
+    /* Buf          */ {"BUF", 0.75, 1.0},
+    /* Nand2        */ {"NAND2", 1.00, 1.0},
+    /* Nand3        */ {"NAND3", 1.50, 1.0},
+    /* Nand4        */ {"NAND4", 2.00, 1.0},
+    /* Nor2         */ {"NOR2", 1.00, 1.0},
+    /* Nor3         */ {"NOR3", 1.50, 1.0},
+    /* And2         */ {"AND2", 1.25, 1.0},
+    /* Or2          */ {"OR2", 1.25, 1.0},
+    /* Xor2         */ {"XOR2", 2.25, 1.0},
+    /* Xnor2        */ {"XNOR2", 2.25, 1.0},
+    /* Mux2         */ {"MUX2", 1.75, 1.0},
+    /* HalfAdder    */ {"HADD", 3.50, 1.0},
+    /* Latch        */ {"LATCH", 3.00, 1.0},
+    /* Dff          */ {"DFF", 5.50, 1.0},
+    /* DffEn        */ {"DFFE", 6.75, 1.0},
+    /* ScanDff      */ {"SDFF", 7.25, 1.0},
+    // The paper: scan-only cells are "approximately 4 to 5 times smaller
+    // than regular full scan registers and operate in about 1/8 or 1/6 of
+    // functional clock rate".  7.25 / 4.5 ~= 1.61 GE.
+    /* ScanOnlyCell */ {"SOCELL", 1.61, 1.0 / 6.0},
+    /* TriBuf       */ {"TRIBUF", 1.00, 1.0},
+}};
+
+}  // namespace
+
+TechLibrary TechLibrary::cmos5s() {
+  // 48.7 um^2 per placed-and-routed NAND2 equivalent is representative of
+  // 0.35um standard-cell libraries (CMOS5S class); see EXPERIMENTS.md for
+  // the calibration note.
+  return TechLibrary{"IBM CMOS5S-class 0.35um", 48.7, kBaseCells};
+}
+
+TechLibrary TechLibrary::generic_0_6um() {
+  return TechLibrary{"generic 0.6um", 143.0, kBaseCells};
+}
+
+const CellInfo& TechLibrary::info(Cell c) const noexcept {
+  return cells_[static_cast<int>(c)];
+}
+
+}  // namespace pmbist::netlist

@@ -1,0 +1,113 @@
+#pragma once
+// Technology library: standard-cell classes with gate-equivalent (GE) and
+// area costs, modeled after a 0.35um ASIC library (IBM CMOS5S class).
+//
+// The paper (Zarrineh & Upadhyaya, DATE 1999) reports controller overhead in
+// two units: "internal area" in 2x2-input-NAND gate equivalents and absolute
+// size in um^2 for IBM CMOS5S (0.35 micron).  We reproduce both: every cell
+// has a GE cost (1 GE == one 2-input NAND), and the library converts GE to
+// um^2 with a calibrated area-per-GE constant.
+//
+// The library also models the paper's key storage-cell distinction:
+//   * full mux-scan flip-flops (regular scannable state bits), and
+//   * IBM-style "scan-only" storage cells, which the paper states are 4-5x
+//     smaller and run at 1/8 - 1/6 of the functional clock rate.  These are
+//     usable for the microcode storage unit because it holds static
+//     instructions (no functional-rate shifting), which is the basis of the
+//     paper's Table 3 "adjusted" microcode controller.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace pmbist::netlist {
+
+/// Standard-cell classes used by the structural area models.
+enum class Cell : std::uint8_t {
+  Inv,           ///< inverter
+  Buf,           ///< non-inverting buffer
+  Nand2,         ///< 2-input NAND (the gate-equivalent unit)
+  Nand3,
+  Nand4,
+  Nor2,
+  Nor3,
+  And2,
+  Or2,
+  Xor2,
+  Xnor2,
+  Mux2,          ///< 2:1 multiplexer
+  HalfAdder,     ///< XOR + AND (counter increment slice)
+  Latch,         ///< transparent latch
+  Dff,           ///< plain D flip-flop
+  DffEn,         ///< D flip-flop with clock-enable mux
+  ScanDff,       ///< mux-scan D flip-flop (full-scan register bit)
+  ScanOnlyCell,  ///< slow scan-only storage cell (4-5x smaller than ScanDff)
+  TriBuf,        ///< tri-state buffer
+};
+
+inline constexpr int kNumCells = static_cast<int>(Cell::TriBuf) + 1;
+
+/// Static per-cell data: human-readable name and GE cost.
+struct CellInfo {
+  std::string_view name;
+  double ge;                 ///< cost in 2-input-NAND gate equivalents
+  double max_clock_fraction; ///< usable fraction of the functional clock rate
+};
+
+/// Storage-cell class selected for a register file / storage unit.
+enum class StorageCellClass : std::uint8_t {
+  FullScan,  ///< regular mux-scan flip-flops (functional-rate capable)
+  ScanOnly,  ///< small slow scan-only cells (static contents only)
+};
+
+/// A technology library: cell costs plus the GE -> um^2 conversion for a
+/// specific process.  Immutable after construction.
+class TechLibrary {
+ public:
+  /// Library calibrated to a 0.35um process of the CMOS5S class.
+  /// `area_per_ge_um2` is the area of one 2-input NAND footprint including
+  /// routing overhead; 48.7 um^2 is a representative figure for 0.35um
+  /// standard-cell rows (documented in EXPERIMENTS.md).
+  static TechLibrary cmos5s();
+
+  /// A coarser/larger 0.6um-class library, used by tests to check that area
+  /// orderings are process-independent.
+  static TechLibrary generic_0_6um();
+
+  [[nodiscard]] const CellInfo& info(Cell c) const noexcept;
+  [[nodiscard]] double ge(Cell c) const noexcept { return info(c).ge; }
+  [[nodiscard]] double area_um2(Cell c) const noexcept {
+    return info(c).ge * area_per_ge_um2_;
+  }
+  [[nodiscard]] double area_per_ge_um2() const noexcept {
+    return area_per_ge_um2_;
+  }
+  [[nodiscard]] std::string_view process_name() const noexcept {
+    return process_name_;
+  }
+
+  /// The flip-flop class used for one bit of a storage unit of the given
+  /// storage-cell class.
+  [[nodiscard]] static Cell storage_cell(StorageCellClass cls) noexcept {
+    return cls == StorageCellClass::ScanOnly ? Cell::ScanOnlyCell
+                                             : Cell::ScanDff;
+  }
+
+  /// Ratio ScanDff/ScanOnlyCell area — the paper states 4-5x.
+  [[nodiscard]] double scan_only_shrink_factor() const noexcept {
+    return ge(Cell::ScanDff) / ge(Cell::ScanOnlyCell);
+  }
+
+ private:
+  TechLibrary(std::string_view process_name, double area_per_ge_um2,
+              const std::array<CellInfo, kNumCells>& cells)
+      : process_name_{process_name},
+        area_per_ge_um2_{area_per_ge_um2},
+        cells_{cells} {}
+
+  std::string_view process_name_;
+  double area_per_ge_um2_;
+  std::array<CellInfo, kNumCells> cells_;
+};
+
+}  // namespace pmbist::netlist

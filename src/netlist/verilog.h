@@ -1,0 +1,67 @@
+#pragma once
+// Verilog-2001 RTL emission for the synthesized artifacts:
+//
+//   * emit_sop_module()  — a combinational module from minimized
+//     sum-of-products covers (one assign per output), i.e. the exact logic
+//     the area model priced;
+//   * emit_fsm_module()  — a Moore FSM module (state register + prioritized
+//     transition case + Moore output assigns) from a symbolic MooreFsm,
+//     e.g. a generated hardwired BIST controller.
+//
+// Emission goes through a structured intermediate (expressions and case
+// arms) that tests verify directly against Cover/MooreFsm semantics, so
+// the printed text is a faithful rendering of the verified structure.
+
+#include <string>
+#include <vector>
+
+#include "netlist/fsm_synth.h"
+#include "netlist/logic.h"
+
+namespace pmbist::netlist {
+
+/// Renders a cube as a Verilog conjunction over `input_names`
+/// (e.g. "start & ~last_addr"); the tautology cube renders as "1'b1".
+[[nodiscard]] std::string cube_expression(
+    const Cube& cube, const std::vector<std::string>& input_names);
+
+/// Renders a cover as a disjunction of cube conjunctions; the empty cover
+/// renders as "1'b0".
+[[nodiscard]] std::string cover_expression(
+    const Cover& cover, const std::vector<std::string>& input_names);
+
+/// One output of a combinational SOP module.
+struct SopOutput {
+  std::string name;
+  Cover cover;
+};
+
+/// Emits a purely combinational module: inputs, one `assign` per output.
+[[nodiscard]] std::string emit_sop_module(
+    const std::string& module_name,
+    const std::vector<std::string>& input_names,
+    const std::vector<SopOutput>& outputs);
+
+/// Structured transition arm of one FSM state (tests verify these against
+/// MooreFsm::step before the text is rendered).
+struct FsmCaseArm {
+  int state = 0;
+  /// Prioritized (condition, next state) pairs; `conditions[i]` guards
+  /// `targets[i]`.  The final default target has no condition.
+  std::vector<Cube> conditions;
+  std::vector<int> targets;
+  int default_target = 0;
+};
+
+/// The transition structure the emitter renders (exposed for testing).
+[[nodiscard]] std::vector<FsmCaseArm> fsm_case_arms(const MooreFsm& fsm);
+
+/// Emits a Moore FSM as synthesizable RTL: synchronous active-high reset
+/// to state 0, prioritized if/else transitions, Moore outputs as assigns.
+[[nodiscard]] std::string emit_fsm_module(const MooreFsm& fsm,
+                                          const std::string& module_name);
+
+/// Sanitizes an arbitrary designation into a Verilog identifier.
+[[nodiscard]] std::string verilog_identifier(const std::string& name);
+
+}  // namespace pmbist::netlist

@@ -1,0 +1,159 @@
+#include "repair/redundancy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace pmbist::repair {
+namespace {
+
+using memsim::ArrayTopology;
+using RowCol = ArrayTopology::RowCol;
+
+struct Grid {
+  std::vector<RowCol> fails;  ///< distinct failing grid positions
+};
+
+Grid to_grid(const diag::FailBitmap& bitmap, const ArrayTopology& topology) {
+  if (bitmap.geometry().word_bits != 1)
+    throw std::invalid_argument(
+        "redundancy analysis requires a bit-oriented geometry");
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  Grid grid;
+  for (const auto& cell : bitmap.failing_cells()) {
+    const RowCol rc = topology.location(cell.addr);
+    if (seen.insert({rc.row, rc.col}).second) grid.fails.push_back(rc);
+  }
+  return grid;
+}
+
+struct Assignment {
+  std::set<std::uint32_t> rows;
+  std::set<std::uint32_t> cols;
+};
+
+bool covered(const RowCol& rc, const Assignment& a) {
+  return a.rows.contains(rc.row) || a.cols.contains(rc.col);
+}
+
+// Exhaustive final analysis: branch on the first uncovered fail.
+// Residue sizes are bounded by (spare_rows+1)*(spare_cols+1) after
+// must-repair, so the recursion is tiny.  Returns the minimal-spare
+// solution found, if any.
+bool solve(const std::vector<RowCol>& fails, int spare_rows, int spare_cols,
+           Assignment& a, Assignment& best, bool& found) {
+  const RowCol* first = nullptr;
+  for (const auto& rc : fails) {
+    if (!covered(rc, a)) {
+      first = &rc;
+      break;
+    }
+  }
+  if (first == nullptr) {
+    if (!found || a.rows.size() + a.cols.size() <
+                      best.rows.size() + best.cols.size()) {
+      best = a;
+      found = true;
+    }
+    return true;
+  }
+  bool ok = false;
+  if (spare_rows > 0) {
+    a.rows.insert(first->row);
+    ok |= solve(fails, spare_rows - 1, spare_cols, a, best, found);
+    a.rows.erase(first->row);
+  }
+  if (spare_cols > 0) {
+    a.cols.insert(first->col);
+    ok |= solve(fails, spare_rows, spare_cols - 1, a, best, found);
+    a.cols.erase(first->col);
+  }
+  return ok;
+}
+
+}  // namespace
+
+RepairSolution allocate_redundancy(const diag::FailBitmap& bitmap,
+                                   const ArrayTopology& topology,
+                                   const RedundancyConfig& config) {
+  const Grid grid = to_grid(bitmap, topology);
+  RepairSolution solution;
+  if (grid.fails.empty()) {
+    solution.repairable = true;
+    return solution;
+  }
+
+  Assignment assigned;
+  int rows_left = config.spare_rows;
+  int cols_left = config.spare_cols;
+
+  // Phase 1: iterated must-repair.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::uint32_t, int> per_row;
+    std::map<std::uint32_t, int> per_col;
+    for (const auto& rc : grid.fails) {
+      if (covered(rc, assigned)) continue;
+      ++per_row[rc.row];
+      ++per_col[rc.col];
+    }
+    for (const auto& [row, n] : per_row) {
+      if (n > cols_left) {
+        if (rows_left == 0) {
+          solution.repairable = false;
+          return solution;  // a row needs a spare row none is left for
+        }
+        assigned.rows.insert(row);
+        --rows_left;
+        changed = true;
+        break;  // recompute counts
+      }
+    }
+    if (changed) continue;
+    for (const auto& [col, n] : per_col) {
+      if (n > rows_left) {
+        if (cols_left == 0) {
+          solution.repairable = false;
+          return solution;
+        }
+        assigned.cols.insert(col);
+        --cols_left;
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Phase 2: exhaustive branch over the residue.
+  Assignment best;
+  bool found = false;
+  solve(grid.fails, rows_left, cols_left, assigned, best, found);
+  if (!found) {
+    solution.repairable = false;
+    return solution;
+  }
+  solution.repairable = true;
+  solution.rows_replaced.assign(best.rows.begin(), best.rows.end());
+  solution.cols_replaced.assign(best.cols.begin(), best.cols.end());
+  return solution;
+}
+
+bool covers_all_failures(const RepairSolution& solution,
+                         const diag::FailBitmap& bitmap,
+                         const ArrayTopology& topology) {
+  if (!solution.repairable) return false;
+  const std::set<std::uint32_t> rows(solution.rows_replaced.begin(),
+                                     solution.rows_replaced.end());
+  const std::set<std::uint32_t> cols(solution.cols_replaced.begin(),
+                                     solution.cols_replaced.end());
+  for (const auto& cell : bitmap.failing_cells()) {
+    const auto rc = topology.location(cell.addr);
+    if (!rows.contains(rc.row) && !cols.contains(rc.col)) return false;
+  }
+  return true;
+}
+
+}  // namespace pmbist::repair

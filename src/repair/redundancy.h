@@ -1,0 +1,56 @@
+#pragma once
+// Redundancy allocation (BIRA — built-in redundancy analysis).
+//
+// The paper justifies the programmable controller's area by "using the
+// memory BIST to reduce the cost of diagnostics"; in production the
+// diagnostic output (the fail bitmap) feeds redundancy allocation: spare
+// rows/columns replace defective ones, turning yield loss into repair.
+// This module implements the classic two-phase allocator over the
+// physical array topology:
+//
+//   1. must-repair: a row with more failing cells than the remaining
+//      spare columns can only be fixed by a spare row (and vice versa);
+//      iterate to fixpoint;
+//   2. final analysis: the residue is small (bounded by spares^2), so an
+//      exhaustive branch over "repair this fail by row or by column"
+//      decides repairability optimally.
+//
+// Bit-oriented arrays (word_bits == 1): spare rows/columns are grid-level
+// resources, so the analysis runs on the physical row/column grid.
+
+#include <vector>
+
+#include "diag/bitmap.h"
+#include "memsim/topology.h"
+
+namespace pmbist::repair {
+
+struct RedundancyConfig {
+  int spare_rows = 1;
+  int spare_cols = 1;
+};
+
+struct RepairSolution {
+  bool repairable = false;
+  std::vector<std::uint32_t> rows_replaced;  ///< physical row indices
+  std::vector<std::uint32_t> cols_replaced;  ///< physical column indices
+
+  [[nodiscard]] int spares_used() const noexcept {
+    return static_cast<int>(rows_replaced.size() + cols_replaced.size());
+  }
+};
+
+/// Allocates spares to cover every failing cell of `bitmap` (interpreted
+/// through `topology`).  Returns repairable=false when no assignment
+/// within the config covers all failures.  The returned solution is
+/// spare-count minimal.  Requires a bit-oriented geometry.
+[[nodiscard]] RepairSolution allocate_redundancy(
+    const diag::FailBitmap& bitmap, const memsim::ArrayTopology& topology,
+    const RedundancyConfig& config);
+
+/// True if `solution` covers every failing cell of `bitmap`.
+[[nodiscard]] bool covers_all_failures(const RepairSolution& solution,
+                                       const diag::FailBitmap& bitmap,
+                                       const memsim::ArrayTopology& topology);
+
+}  // namespace pmbist::repair

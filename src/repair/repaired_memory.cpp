@@ -1,0 +1,59 @@
+#include "repair/repaired_memory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pmbist::repair {
+
+RepairedMemory::RepairedMemory(memsim::Memory& inner,
+                               const memsim::ArrayTopology& topology,
+                               const RepairSolution& solution)
+    : Memory{inner.geometry()},
+      inner_{inner},
+      topology_{topology},
+      rows_{solution.rows_replaced},
+      cols_{solution.cols_replaced} {
+  if (!solution.repairable)
+    throw std::invalid_argument("cannot build a repaired view from an "
+                                "unrepairable solution");
+  if (geometry().word_bits != 1)
+    throw std::invalid_argument("repair view requires bit-oriented memory");
+}
+
+bool RepairedMemory::is_replaced(memsim::Address addr,
+                                 std::uint64_t* key) const {
+  const auto rc = topology_.location(addr);
+  const bool hit =
+      std::find(rows_.begin(), rows_.end(), rc.row) != rows_.end() ||
+      std::find(cols_.begin(), cols_.end(), rc.col) != cols_.end();
+  if (hit && key) *key = (std::uint64_t{rc.row} << 32) | rc.col;
+  return hit;
+}
+
+memsim::Word RepairedMemory::read(int port, memsim::Address addr) {
+  check_access(port, addr);
+  std::uint64_t key = 0;
+  if (is_replaced(addr, &key)) {
+    const auto it = spare_cells_.find(key);
+    // Spare cells power up undefined like any SRAM; model as 0.
+    return it == spare_cells_.end() ? 0 : it->second;
+  }
+  return inner_.read(port, addr);
+}
+
+void RepairedMemory::write(int port, memsim::Address addr,
+                           memsim::Word data) {
+  check_access(port, addr);
+  std::uint64_t key = 0;
+  if (is_replaced(addr, &key)) {
+    spare_cells_[key] = data & geometry().word_mask();
+    return;
+  }
+  inner_.write(port, addr, data);
+}
+
+void RepairedMemory::advance_time_ns(std::uint64_t ns) {
+  inner_.advance_time_ns(ns);
+}
+
+}  // namespace pmbist::repair

@@ -1,0 +1,43 @@
+#pragma once
+// RepairedMemory: a memory view with spare rows/columns switched in.
+//
+// Accesses whose physical row (column) was replaced are steered to healthy
+// spare storage instead of the defective array, exactly like the laser/
+// eFuse-programmed remap in silicon.  Wrapping the defective FaultyMemory
+// lets the same BIST controller re-run the original test and verify the
+// repair end-to-end (inject -> test -> bitmap -> allocate -> repair ->
+// retest).
+
+#include <map>
+
+#include "memsim/memory.h"
+#include "memsim/topology.h"
+#include "repair/redundancy.h"
+
+namespace pmbist::repair {
+
+class RepairedMemory final : public memsim::Memory {
+ public:
+  /// `inner` must outlive this view.  Requires a bit-oriented geometry and
+  /// a repairable solution.
+  RepairedMemory(memsim::Memory& inner,
+                 const memsim::ArrayTopology& topology,
+                 const RepairSolution& solution);
+
+  [[nodiscard]] memsim::Word read(int port, memsim::Address addr) override;
+  void write(int port, memsim::Address addr, memsim::Word data) override;
+  void advance_time_ns(std::uint64_t ns) override;
+
+ private:
+  /// Spare storage for a replaced cell, keyed by (row, col).
+  [[nodiscard]] bool is_replaced(memsim::Address addr,
+                                 std::uint64_t* key) const;
+
+  memsim::Memory& inner_;
+  const memsim::ArrayTopology& topology_;
+  std::vector<std::uint32_t> rows_;
+  std::vector<std::uint32_t> cols_;
+  std::map<std::uint64_t, memsim::Word> spare_cells_;
+};
+
+}  // namespace pmbist::repair

@@ -1,0 +1,157 @@
+// Shared-datapath tests: behavioral address/data/port generators, the
+// session runner, and the datapath area models.
+
+#include <gtest/gtest.h>
+
+#include "bist/datapath.h"
+#include "bist/session.h"
+#include "march/library.h"
+#include "mbist_ucode/controller.h"
+
+namespace {
+
+using namespace pmbist;
+using bist::AddressGenerator;
+using bist::DataGenerator;
+using bist::PortSequencer;
+using march::AddressOrder;
+
+TEST(AddressGenerator, UpTraversal) {
+  AddressGenerator gen{3};
+  gen.init(AddressOrder::Up);
+  EXPECT_EQ(gen.current(), 0u);
+  EXPECT_FALSE(gen.descending());
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(gen.at_last());
+    gen.step();
+  }
+  EXPECT_EQ(gen.current(), 7u);
+  EXPECT_TRUE(gen.at_last());
+}
+
+TEST(AddressGenerator, DownTraversal) {
+  AddressGenerator gen{3};
+  gen.init(AddressOrder::Down);
+  EXPECT_EQ(gen.current(), 7u);
+  EXPECT_TRUE(gen.descending());
+  for (int i = 0; i < 7; ++i) gen.step();
+  EXPECT_EQ(gen.current(), 0u);
+  EXPECT_TRUE(gen.at_last());
+}
+
+TEST(AddressGenerator, AnyMapsToUp) {
+  AddressGenerator gen{2};
+  gen.init(AddressOrder::Any);
+  EXPECT_EQ(gen.current(), 0u);
+  EXPECT_FALSE(gen.descending());
+}
+
+TEST(AddressGenerator, SingleBitMemory) {
+  AddressGenerator gen{1};
+  gen.init(AddressOrder::Up);
+  EXPECT_FALSE(gen.at_last());
+  gen.step();
+  EXPECT_TRUE(gen.at_last());
+}
+
+TEST(DataGenerator, BitOrientedHasOneBackground) {
+  DataGenerator gen{1};
+  EXPECT_EQ(gen.background_count(), 1);
+  EXPECT_TRUE(gen.at_last());
+  EXPECT_EQ(gen.data_for(false), 0u);
+  EXPECT_EQ(gen.data_for(true), 1u);
+}
+
+TEST(DataGenerator, WordBackgroundWalk) {
+  DataGenerator gen{8};
+  EXPECT_EQ(gen.background_count(), 4);
+  EXPECT_EQ(gen.background(), 0x00u);
+  EXPECT_EQ(gen.data_for(true), 0xFFu);
+  gen.next();
+  EXPECT_EQ(gen.background(), 0xAAu);
+  EXPECT_EQ(gen.data_for(true), 0x55u);
+  gen.next();
+  gen.next();
+  EXPECT_EQ(gen.background(), 0xF0u);
+  EXPECT_TRUE(gen.at_last());
+  gen.reset();
+  EXPECT_EQ(gen.background_index(), 0);
+}
+
+TEST(PortSequencer, WalksPorts) {
+  PortSequencer seq{3};
+  EXPECT_EQ(seq.current(), 0);
+  EXPECT_FALSE(seq.at_last());
+  seq.next();
+  seq.next();
+  EXPECT_EQ(seq.current(), 2);
+  EXPECT_TRUE(seq.at_last());
+  seq.reset();
+  EXPECT_EQ(seq.current(), 0);
+}
+
+TEST(PortSequencer, SinglePortCostsNothing) {
+  const auto lib = netlist::TechLibrary::cmos5s();
+  EXPECT_DOUBLE_EQ(PortSequencer::area(1).total_ge(lib), 0.0);
+  EXPECT_GT(PortSequencer::area(2).total_ge(lib), 0.0);
+}
+
+TEST(DatapathArea, ScalesWithGeometry) {
+  const auto lib = netlist::TechLibrary::cmos5s();
+  const memsim::MemoryGeometry small{.address_bits = 8, .word_bits = 1,
+                                     .num_ports = 1};
+  const memsim::MemoryGeometry big{.address_bits = 16, .word_bits = 16,
+                                   .num_ports = 4};
+  EXPECT_LT(bist::datapath_inventory(small, false).total_ge(lib),
+            bist::datapath_inventory(big, false).total_ge(lib));
+  EXPECT_LT(bist::datapath_inventory(small, false).total_ge(lib),
+            bist::datapath_inventory(small, true).total_ge(lib));
+}
+
+TEST(Session, CycleBoundReportsIncomplete) {
+  const memsim::MemoryGeometry g{.address_bits = 8};
+  mbist_ucode::MicrocodeController ctrl{{.geometry = g}};
+  ctrl.load_algorithm(march::march_c());
+  memsim::SramModel mem{g, 1};
+  const auto r = bist::run_session(ctrl, mem, {.max_cycles = 10});
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.passed());
+  EXPECT_EQ(r.cycles, 10u);
+}
+
+TEST(Session, FailureLogCapRespected) {
+  const memsim::MemoryGeometry g{.address_bits = 4};
+  mbist_ucode::MicrocodeController ctrl{{.geometry = g}};
+  ctrl.load_algorithm(march::march_c());
+  memsim::FaultyMemory mem{g, 1};
+  for (memsim::Address a = 0; a < 8; ++a)
+    mem.add_fault(memsim::StuckAtFault{{a, 0}, true});
+  const auto r = bist::run_session(ctrl, mem, {.max_failures = 3});
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.failures.size(), 3u);
+}
+
+TEST(CollectOps, ThrowsOnRunawayController) {
+  // A controller that never terminates must be caught by the bound.
+  class Runaway final : public bist::Controller {
+   public:
+    [[nodiscard]] std::string name() const override { return "runaway"; }
+    void reset() override {}
+    [[nodiscard]] bool done() const override { return false; }
+    std::optional<march::MemOp> step() override { return std::nullopt; }
+  };
+  Runaway r;
+  EXPECT_THROW((void)bist::collect_ops(r, 100), std::runtime_error);
+  EXPECT_THROW((void)bist::count_cycles(r, 100), std::runtime_error);
+}
+
+TEST(Session, EmptyProgramIsImmediatelyDone) {
+  const memsim::MemoryGeometry g{.address_bits = 4};
+  mbist_ucode::MicrocodeController ctrl{{.geometry = g}};
+  memsim::SramModel mem{g, 1};
+  const auto r = bist::run_session(ctrl, mem);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.reads + r.writes, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Cross-architecture integration tests: the three controller families must
+// be behaviourally interchangeable where their flexibility overlaps, and
+// the area models must reproduce the paper's Section 3 observations.
+
+#include <gtest/gtest.h>
+
+#include "bist/session.h"
+#include "march/library.h"
+#include "mbist_hardwired/area.h"
+#include "mbist_hardwired/controller.h"
+#include "mbist_pfsm/area.h"
+#include "mbist_pfsm/controller.h"
+#include "mbist_ucode/area.h"
+#include "mbist_ucode/controller.h"
+
+namespace {
+
+using namespace pmbist;
+using memsim::MemoryGeometry;
+
+constexpr MemoryGeometry kGeom{.address_bits = 4, .word_bits = 2,
+                               .num_ports = 2};
+
+// --- behavioural interchangeability ----------------------------------------
+
+TEST(Cross, AllThreeControllersEmitIdenticalStreams) {
+  for (const char* name : {"MATS+", "March C", "March C+", "March A+"}) {
+    const auto alg = march::by_name(name);
+
+    mbist_ucode::MicrocodeController ucode{{.geometry = kGeom}};
+    ucode.load_algorithm(alg);
+    mbist_pfsm::PfsmController pfsm{{.geometry = kGeom}};
+    pfsm.load_algorithm(alg);
+    mbist_hardwired::HardwiredController hw{alg, {.geometry = kGeom}};
+
+    const auto su = bist::collect_ops(ucode, 100'000'000);
+    const auto sp = bist::collect_ops(pfsm, 100'000'000);
+    const auto sh = bist::collect_ops(hw, 100'000'000);
+    EXPECT_EQ(su, sp) << name;
+    EXPECT_EQ(su, sh) << name;
+    EXPECT_EQ(su, march::expand(alg, kGeom)) << name;
+  }
+}
+
+TEST(Cross, IdenticalFaultVerdicts) {
+  const auto alg = march::march_c();
+  const std::vector<memsim::Fault> faults{
+      memsim::StuckAtFault{{7, 1}, true},
+      memsim::TransitionFault{{3, 0}, true},
+      memsim::InversionCouplingFault{{2, 0}, {12, 1}, false},
+      memsim::AddressDecoderFault{5, {9}},
+  };
+  for (const auto& fault : faults) {
+    auto make_mem = [&] {
+      auto mem = std::make_unique<memsim::FaultyMemory>(kGeom, 33);
+      mem->add_fault(fault);
+      return mem;
+    };
+    mbist_ucode::MicrocodeController ucode{{.geometry = kGeom}};
+    ucode.load_algorithm(alg);
+    mbist_pfsm::PfsmController pfsm{{.geometry = kGeom}};
+    pfsm.load_algorithm(alg);
+    mbist_hardwired::HardwiredController hw{alg, {.geometry = kGeom}};
+
+    auto m1 = make_mem();
+    auto m2 = make_mem();
+    auto m3 = make_mem();
+    const auto r1 = bist::run_session(ucode, *m1);
+    const auto r2 = bist::run_session(pfsm, *m2);
+    const auto r3 = bist::run_session(hw, *m3);
+    EXPECT_FALSE(r1.passed()) << memsim::describe(fault);
+    EXPECT_EQ(r1.passed(), r2.passed());
+    EXPECT_EQ(r1.passed(), r3.passed());
+    ASSERT_FALSE(r1.failures.empty());
+    ASSERT_FALSE(r2.failures.empty());
+    // Same first failing cell regardless of controller.
+    EXPECT_EQ(r1.failures.front().op.addr, r2.failures.front().op.addr);
+    EXPECT_EQ(r1.failures.front().op.addr, r3.failures.front().op.addr);
+  }
+}
+
+// The microcode controller executes one op per cycle with zero inter-element
+// overhead; the two-level pFSM pays Reset/Done cycles per component.  Both
+// must beat no useful work, and microcode must not be slower than pFSM.
+TEST(Cross, MicrocodeIsAtLeastAsFastAsPfsm) {
+  const MemoryGeometry g{.address_bits = 6};
+  for (const char* name : {"March C", "March A", "March Y"}) {
+    const auto alg = march::by_name(name);
+    mbist_ucode::MicrocodeController ucode{{.geometry = g}};
+    ucode.load_algorithm(alg);
+    mbist_pfsm::PfsmController pfsm{{.geometry = g}};
+    pfsm.load_algorithm(alg);
+    const auto cu = bist::count_cycles(ucode, 10'000'000);
+    const auto cp = bist::count_cycles(pfsm, 10'000'000);
+    EXPECT_LE(cu, cp) << name;
+    EXPECT_GE(cu, march::expanded_op_count(alg, g)) << name;
+  }
+}
+
+// --- the paper's Section 3 observations --------------------------------------
+
+struct PaperAreas {
+  double ucode_fullscan;
+  double ucode_adjusted;
+  double pfsm;
+  std::map<std::string, double> hardwired;
+};
+
+PaperAreas compute_areas(const MemoryGeometry& g) {
+  const auto lib = netlist::TechLibrary::cmos5s();
+  PaperAreas out{};
+  mbist_ucode::AreaConfig uc{.geometry = g};
+  out.ucode_fullscan = mbist_ucode::microcode_area(uc).total_ge(lib);
+  uc.storage_cell = netlist::StorageCellClass::ScanOnly;
+  out.ucode_adjusted = mbist_ucode::microcode_area(uc).total_ge(lib);
+  out.pfsm =
+      mbist_pfsm::pfsm_area({.geometry = g}).total_ge(lib);
+  for (const auto& alg : march::paper_table_algorithms())
+    out.hardwired[alg.name()] =
+        mbist_hardwired::hardwired_area(alg, {.geometry = g}).total_ge(lib);
+  return out;
+}
+
+TEST(PaperObservations, StorageRedesignShrinksMicrocodeController) {
+  // Observation 1: the scan-only storage redesign cuts the microcode unit
+  // by roughly half (the paper's garbled "approximately 6_%" figure; our
+  // model lands in the 40-70% band because the storage unit dominates).
+  const auto a = compute_areas({.address_bits = 10});
+  const double reduction =
+      (a.ucode_fullscan - a.ucode_adjusted) / a.ucode_fullscan;
+  EXPECT_GT(reduction, 0.40);
+  EXPECT_LT(reduction, 0.70);
+}
+
+TEST(PaperObservations, AdjustedMicrocodeBeatsPfsmOnAreaAndFlexibility) {
+  // Observation 2 / abstract: better flexibility AND lower overhead.
+  const auto a = compute_areas({.address_bits = 10});
+  EXPECT_LT(a.ucode_adjusted, a.pfsm);
+  // Flexibility: microcode runs the ++ algorithms, the pFSM cannot.
+  mbist_ucode::MicrocodeController ucode{
+      {.geometry = {.address_bits = 10}}};
+  EXPECT_NO_THROW(ucode.load_algorithm(march::march_c_plus_plus()));
+  EXPECT_FALSE(mbist_pfsm::is_mappable(march::march_c_plus_plus()));
+}
+
+TEST(PaperObservations, HardwiredGrowsWithEnhancement) {
+  // Observation 3.
+  const auto a = compute_areas({.address_bits = 10});
+  EXPECT_LT(a.hardwired.at("March C"), a.hardwired.at("March C+"));
+  EXPECT_LT(a.hardwired.at("March C+"), a.hardwired.at("March C++"));
+  EXPECT_LT(a.hardwired.at("March A"), a.hardwired.at("March A+"));
+  EXPECT_LT(a.hardwired.at("March A+"), a.hardwired.at("March A++"));
+}
+
+TEST(PaperObservations, GapNarrowsAsHardwiredIsEnhanced) {
+  // Observation 4: the microcode-vs-hardwired difference shrinks as the
+  // non-programmable unit's capability grows (within each algorithm
+  // family; across families the synthesized-logic sizes are close enough
+  // to wobble).
+  const auto a = compute_areas({.address_bits = 10});
+  auto gap = [&](const char* name) {
+    return a.ucode_adjusted - a.hardwired.at(name);
+  };
+  EXPECT_GT(gap("March C"), gap("March C+"));
+  EXPECT_GT(gap("March C+"), gap("March C++"));
+  EXPECT_GT(gap("March A"), gap("March A+"));
+  EXPECT_GT(gap("March A+"), gap("March A++"));
+  // Every hardwired unit is still smaller than the programmable ones
+  // (programmability is never free).
+  for (const auto& [name, ge] : a.hardwired) {
+    EXPECT_LT(ge, a.ucode_adjusted) << name;
+    EXPECT_LT(ge, a.pfsm) << name;
+  }
+}
+
+TEST(PaperObservations, Table2ExtensionsGrowEveryArchitecture) {
+  const auto bit = compute_areas({.address_bits = 10});
+  const auto word =
+      compute_areas({.address_bits = 10, .word_bits = 8, .num_ports = 1});
+  const auto multi =
+      compute_areas({.address_bits = 10, .word_bits = 8, .num_ports = 2});
+  EXPECT_LT(bit.ucode_adjusted, word.ucode_adjusted);
+  EXPECT_LT(word.ucode_adjusted, multi.ucode_adjusted);
+  EXPECT_LT(bit.pfsm, word.pfsm);
+  EXPECT_LT(bit.hardwired.at("March C"), word.hardwired.at("March C"));
+  EXPECT_LT(word.hardwired.at("March C"), multi.hardwired.at("March C"));
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Edge-case hardening across the stack: minimal geometries, fold-blocking
+// algorithm shapes, terminal behaviours, and odd-but-legal programs.
+
+#include <gtest/gtest.h>
+
+#include "bist/session.h"
+#include "march/library.h"
+#include "march/parser.h"
+#include "mbist_hardwired/controller.h"
+#include "mbist_pfsm/controller.h"
+#include "mbist_ucode/controller.h"
+
+namespace {
+
+using namespace pmbist;
+using memsim::MemoryGeometry;
+
+// --- assembler fold boundaries ----------------------------------------------
+
+TEST(EdgeAssembler, PauseInsideWindowBlocksTheFold) {
+  // Symmetric halves separated by a pause cannot fold (the window must be
+  // pause-free).
+  const auto alg = march::parse(
+      "any(w0); up(r0,w1); pause(1ms); down(r0,w1); any(r1)", "pause-split");
+  const auto r = mbist_ucode::assemble(alg);
+  EXPECT_FALSE(r.used_repeat);
+}
+
+TEST(EdgeAssembler, MultiOpFirstElementBlocksTheFold) {
+  // The Repeat hardware resets the IC to 1, so the prefix must be exactly
+  // one instruction; a two-op initializer blocks the fold even though the
+  // remaining elements mirror perfectly.
+  const auto alg = march::parse(
+      "any(w0,w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0)",
+      "fat-prefix");
+  const auto r = mbist_ucode::assemble(alg);
+  EXPECT_FALSE(r.used_repeat);
+  // Behaviour still exact.
+  const MemoryGeometry g{.address_bits = 3};
+  mbist_ucode::MicrocodeController ctrl{{.geometry = g}};
+  ctrl.load(r.program);
+  EXPECT_EQ(bist::collect_ops(ctrl, 1'000'000), march::expand(alg, g));
+}
+
+TEST(EdgeAssembler, MixedPauseDurationsRejected) {
+  const auto alg = march::parse("any(w0); pause(1ms); any(r0); pause(2ms)",
+                                "mixed-pauses");
+  EXPECT_THROW((void)mbist_ucode::assemble(alg), mbist_ucode::AssembleError);
+  EXPECT_FALSE(mbist_pfsm::is_mappable(alg));
+}
+
+TEST(EdgeAssembler, AnyOrderFoldsAsUp) {
+  // any(...) canonicalizes to up(...) before fold matching: the mirrored
+  // element must therefore be down(...) to fold.
+  const auto folds = march::parse(
+      "any(w0); any(r0,w1); down(r0,w1); any(r1)", "any-up");
+  EXPECT_TRUE(mbist_ucode::assemble(folds).used_repeat);
+  const auto no_fold = march::parse(
+      "any(w0); any(r0,w1); any(r0,w1); any(r1)", "any-any");
+  EXPECT_FALSE(mbist_ucode::assemble(no_fold).used_repeat);
+}
+
+// --- minimal geometries --------------------------------------------------------
+
+TEST(EdgeGeometry, TwoWordMemoryEquivalence) {
+  const MemoryGeometry g{.address_bits = 1, .word_bits = 1, .num_ports = 1};
+  for (const char* name : {"March C", "March A+", "March SS"}) {
+    const auto alg = march::by_name(name);
+    mbist_ucode::MicrocodeController ucode{{.geometry = g}};
+    ucode.load_algorithm(alg);
+    mbist_hardwired::HardwiredController hw{alg, {.geometry = g}};
+    const auto expected = march::expand(alg, g);
+    EXPECT_EQ(bist::collect_ops(ucode, 1'000'000), expected) << name;
+    EXPECT_EQ(bist::collect_ops(hw, 1'000'000), expected) << name;
+  }
+}
+
+TEST(EdgeGeometry, SixtyFourBitWords) {
+  const MemoryGeometry g{.address_bits = 2, .word_bits = 64, .num_ports = 1};
+  EXPECT_EQ(march::standard_backgrounds(64).size(), 7u);
+  mbist_ucode::MicrocodeController ctrl{{.geometry = g}};
+  ctrl.load_algorithm(march::mats_plus());
+  memsim::SramModel mem{g, 5};
+  EXPECT_TRUE(bist::run_session(ctrl, mem).passed());
+  EXPECT_EQ(g.word_mask(), ~memsim::Word{0});
+}
+
+// --- terminal behaviours ----------------------------------------------------------
+
+TEST(EdgeController, StepAfterDoneIsIdempotent) {
+  const MemoryGeometry g{.address_bits = 2};
+  mbist_ucode::MicrocodeController ctrl{{.geometry = g}};
+  ctrl.load_algorithm(march::mats());
+  while (!ctrl.done()) (void)ctrl.step();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ctrl.step(), std::nullopt);
+  EXPECT_TRUE(ctrl.done());
+}
+
+TEST(EdgeController, TerminateOnlyProgram) {
+  mbist_ucode::Instruction term;
+  term.flow = mbist_ucode::Flow::Terminate;
+  mbist_ucode::MicrocodeController ctrl{{.geometry = {.address_bits = 2}}};
+  ctrl.load(mbist_ucode::MicrocodeProgram{"noop", {term}});
+  EXPECT_EQ(bist::collect_ops(ctrl, 100).size(), 0u);
+}
+
+TEST(EdgeController, InstructionExhaustionEndsTheTest) {
+  // A program that simply runs off the end of the storage terminates via
+  // address exhaustion (no Terminate instruction present).
+  mbist_ucode::Instruction nop;  // Next / no memory op
+  mbist_ucode::MicrocodeController ctrl{
+      {.geometry = {.address_bits = 2}, .storage_depth = 4}};
+  ctrl.load(mbist_ucode::MicrocodeProgram{"runoff", {nop, nop}});
+  EXPECT_EQ(bist::collect_ops(ctrl, 100).size(), 0u);
+  EXPECT_TRUE(ctrl.done());
+}
+
+TEST(EdgePfsm, ExactFitBuffer) {
+  const auto r = mbist_pfsm::compile(march::march_c());
+  mbist_pfsm::PfsmController ctrl{
+      {.geometry = {.address_bits = 3}, .buffer_depth = r.program.size()}};
+  EXPECT_NO_THROW(ctrl.load(r.program));
+  EXPECT_EQ(bist::collect_ops(ctrl, 1'000'000),
+            march::expand(march::march_c(), {.address_bits = 3}));
+}
+
+TEST(EdgeHardwired, SingleElementAlgorithm) {
+  const auto alg = march::parse("any(w1)", "w1-only");
+  const MemoryGeometry g{.address_bits = 3};
+  mbist_hardwired::HardwiredController hw{alg, {.geometry = g}};
+  const auto ops = bist::collect_ops(hw, 1'000);
+  EXPECT_EQ(ops.size(), 8u);
+  for (const auto& op : ops)
+    EXPECT_EQ(op.kind, march::MemOp::Kind::Write);
+}
+
+TEST(EdgeHardwired, TrailingPauseElement) {
+  const auto alg =
+      march::parse("any(w0); any(r0); pause(1ms)", "trailing-pause");
+  const MemoryGeometry g{.address_bits = 2};
+  mbist_hardwired::HardwiredController hw{alg, {.geometry = g}};
+  const auto ops = bist::collect_ops(hw, 10'000);
+  EXPECT_EQ(ops, march::expand(alg, g));
+  EXPECT_EQ(ops.back().kind, march::MemOp::Kind::Pause);
+
+  mbist_ucode::MicrocodeController ucode{{.geometry = g}};
+  ucode.load_algorithm(alg);
+  EXPECT_EQ(bist::collect_ops(ucode, 10'000), ops);
+}
+
+// --- parser extremes -----------------------------------------------------------
+
+TEST(EdgeParser, LargePauseDurations) {
+  const auto alg = march::parse("any(w0); pause(4000ms); any(r0)", "long");
+  EXPECT_EQ(alg.elements()[1].pause_ns, 4'000'000'000ull);
+}
+
+TEST(EdgeParser, ManyOpsPerElement) {
+  std::string dsl = "any(w0); up(r0";
+  for (int i = 0; i < 30; ++i) dsl += ",w1,r1,w0,r0";
+  dsl += ")";
+  const auto alg = march::parse(dsl, "wide");
+  EXPECT_EQ(alg.elements()[1].ops.size(), 121u);
+  // Microcode handles it with a big enough storage; pFSM cannot (> 4 ops).
+  mbist_ucode::MicrocodeController ctrl{
+      {.geometry = {.address_bits = 2}, .storage_depth = 256}};
+  EXPECT_NO_THROW(ctrl.load_algorithm(alg));
+  EXPECT_FALSE(mbist_pfsm::is_mappable(alg));
+}
+
+TEST(EdgeMemory, AdvanceTimeOnGoldenModelIsNoop) {
+  memsim::SramModel mem{{.address_bits = 2}, 1};
+  mem.write(0, 1, 1);
+  mem.advance_time_ns(1'000'000'000ull);
+  EXPECT_EQ(mem.read(0, 1), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Randomized property tests ("fuzzing" with deterministic seeds): random
+// valid march algorithms are generated and pushed through the full stack —
+// assembler/compiler, cycle-accurate controllers, reference expansion,
+// transparent transform — asserting the invariants that hold for *every*
+// algorithm, not just the library ones.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bist/session.h"
+#include "diag/transparent.h"
+#include "march/library.h"
+#include "mbist_hardwired/controller.h"
+#include "mbist_pfsm/controller.h"
+#include "mbist_ucode/controller.h"
+
+namespace {
+
+using namespace pmbist;
+using memsim::MemoryGeometry;
+
+march::MarchAlgorithm random_algorithm(std::mt19937& rng,
+                                       bool allow_pauses) {
+  std::uniform_int_distribution<int> num_elements(1, 7);
+  std::uniform_int_distribution<int> num_ops(1, 5);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> order_pick(0, 2);
+
+  std::vector<march::MarchElement> elements;
+  // A valid algorithm starts with a write sweep (power-up is undefined).
+  elements.push_back(march::any({coin(rng) ? march::w1() : march::w0()}));
+
+  const int extra = num_elements(rng);
+  // March-style state tracking so reads expect the right value: after each
+  // element all cells hold the element's last written value.
+  bool cell_state = elements[0].ops[0].data;
+  for (int e = 0; e < extra; ++e) {
+    if (allow_pauses && coin(rng) == 0 && !elements.back().is_pause) {
+      elements.push_back(march::MarchElement::pause(1'000'000));
+      continue;
+    }
+    march::MarchElement el;
+    const int order = order_pick(rng);
+    el.order = order == 0 ? march::AddressOrder::Up
+               : order == 1 ? march::AddressOrder::Down
+                            : march::AddressOrder::Any;
+    const int n = num_ops(rng);
+    bool value = cell_state;
+    for (int j = 0; j < n; ++j) {
+      if (coin(rng)) {
+        el.ops.push_back(
+            march::MarchOp{march::MarchOp::Kind::Read, value});
+      } else {
+        value = coin(rng);
+        el.ops.push_back(
+            march::MarchOp{march::MarchOp::Kind::Write, value});
+      }
+    }
+    cell_state = value;
+    elements.push_back(std::move(el));
+  }
+  return march::MarchAlgorithm{"fuzz", std::move(elements)};
+}
+
+MemoryGeometry random_geometry(std::mt19937& rng) {
+  std::uniform_int_distribution<int> addr(2, 4);
+  std::uniform_int_distribution<int> word_pick(0, 2);
+  std::uniform_int_distribution<int> ports(1, 2);
+  const int words[] = {1, 2, 4};
+  return MemoryGeometry{.address_bits = addr(rng),
+                        .word_bits = words[word_pick(rng)],
+                        .num_ports = ports(rng)};
+}
+
+class FuzzEquivalence : public ::testing::TestWithParam<int> {};
+
+// Property: for any valid algorithm and geometry, the microcode and
+// hardwired controllers replay the reference expansion exactly, the folded
+// and flat microcode encodings agree, and a fault-free run passes.
+TEST_P(FuzzEquivalence, MicrocodeAndHardwiredMatchExpansion) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  const auto alg = random_algorithm(rng, /*allow_pauses=*/true);
+  ASSERT_TRUE(alg.validate().empty()) << alg.to_string();
+  const auto geometry = random_geometry(rng);
+  const auto expected = march::expand(alg, geometry);
+
+  mbist_ucode::MicrocodeController ucode{
+      {.geometry = geometry, .storage_depth = 64}};
+  ucode.load_algorithm(alg);
+  EXPECT_EQ(bist::collect_ops(ucode, 100'000'000), expected)
+      << alg.to_string();
+
+  mbist_ucode::MicrocodeController flat{
+      {.geometry = geometry, .storage_depth = 64}};
+  flat.load_algorithm(alg, {.symmetric_encoding = false});
+  EXPECT_EQ(bist::collect_ops(flat, 100'000'000), expected)
+      << alg.to_string();
+
+  mbist_hardwired::HardwiredController hw{alg, {.geometry = geometry}};
+  EXPECT_EQ(bist::collect_ops(hw, 100'000'000), expected) << alg.to_string();
+
+  memsim::SramModel mem{geometry, static_cast<std::uint64_t>(GetParam())};
+  EXPECT_TRUE(bist::run_session(ucode, mem).passed()) << alg.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence, ::testing::Range(1, 49));
+
+class FuzzPfsm : public ::testing::TestWithParam<int> {};
+
+// Property: any algorithm composed from SM components is mappable and the
+// two-level controller replays it exactly.
+TEST_P(FuzzPfsm, ComponentComposedAlgorithmsMap) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919u);
+  std::uniform_int_distribution<int> num_elements(1, 6);
+  std::uniform_int_distribution<int> comp_pick(0, 7);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  std::vector<march::MarchElement> elements;
+  elements.push_back(march::any({coin(rng) ? march::w1() : march::w0()}));
+  const int n = num_elements(rng);
+  for (int i = 0; i < n; ++i) {
+    march::MarchElement el;
+    el.order = coin(rng) ? march::AddressOrder::Up
+                         : march::AddressOrder::Down;
+    el.ops = mbist_pfsm::realize(comp_pick(rng), coin(rng));
+    elements.push_back(std::move(el));
+  }
+  // Reads in random component compositions may expect values the cells do
+  // not hold — that is fine for stream equivalence (we do not run against
+  // a memory here).
+  const march::MarchAlgorithm alg{"fuzz-sm", std::move(elements)};
+  ASSERT_TRUE(mbist_pfsm::is_mappable(alg)) << alg.to_string();
+
+  const auto geometry = random_geometry(rng);
+  mbist_pfsm::PfsmController pfsm{
+      {.geometry = geometry, .buffer_depth = 16}};
+  pfsm.load_algorithm(alg);
+  EXPECT_EQ(bist::collect_ops(pfsm, 100'000'000),
+            march::expand(alg, geometry))
+      << alg.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPfsm, ::testing::Range(1, 25));
+
+class FuzzTransparent : public ::testing::TestWithParam<int> {};
+
+// Property: the transparent transform preserves arbitrary resident data on
+// a fault-free memory, for any valid pause-free algorithm.
+TEST_P(FuzzTransparent, ContentsPreserved) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 104729u);
+  const auto alg = random_algorithm(rng, /*allow_pauses=*/false);
+  const auto geometry = random_geometry(rng);
+  ASSERT_GE(march::final_data_value(alg), 0);
+
+  memsim::SramModel mem{geometry,
+                        static_cast<std::uint64_t>(GetParam()) + 17};
+  std::vector<memsim::Word> before(geometry.num_words());
+  for (memsim::Address a = 0; a < geometry.num_words(); ++a)
+    before[a] = mem.read(0, a);
+
+  const auto r = diag::run_transparent(alg, mem);
+  EXPECT_TRUE(r.passed) << alg.to_string();
+  EXPECT_TRUE(r.contents_preserved) << alg.to_string();
+  for (memsim::Address a = 0; a < geometry.num_words(); ++a)
+    ASSERT_EQ(mem.read(0, a), before[a]) << alg.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTransparent, ::testing::Range(1, 25));
+
+// Property: a random single fault is either detected by all controllers or
+// by none (verdict parity), for March C.
+class FuzzFaultParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzFaultParity, VerdictsAgreeAcrossControllers) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31u + 5u);
+  const MemoryGeometry geometry{.address_bits = 4, .word_bits = 2,
+                                .num_ports = 1};
+  const auto classes = memsim::all_fault_classes();
+  const auto cls = classes[rng() % classes.size()];
+  const auto universe =
+      march::make_fault_universe(cls, geometry, rng(), 8);
+  const auto& fault = universe[rng() % universe.size()];
+
+  const auto alg = march::march_c_plus_plus();
+  mbist_ucode::MicrocodeController ucode{{.geometry = geometry}};
+  ucode.load_algorithm(alg);
+  mbist_hardwired::HardwiredController hw{alg, {.geometry = geometry}};
+
+  memsim::FaultyMemory m1{geometry, 3};
+  m1.add_fault(fault);
+  memsim::FaultyMemory m2{geometry, 3};
+  m2.add_fault(fault);
+
+  EXPECT_EQ(bist::run_session(ucode, m1).passed(),
+            bist::run_session(hw, m2).passed())
+      << memsim::describe(fault);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFaultParity, ::testing::Range(1, 33));
+
+}  // namespace

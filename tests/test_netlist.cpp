@@ -1,0 +1,336 @@
+// Netlist substrate tests: technology library invariants, inventory
+// arithmetic, macro-component cost models, two-level logic (wide NAND
+// decomposition, SOP costing), Quine-McCluskey correctness (including a
+// randomized property sweep), and FSM synthesis.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/components.h"
+#include "netlist/fsm_synth.h"
+#include "netlist/qm.h"
+
+namespace {
+
+using namespace pmbist::netlist;
+
+// --- technology library -----------------------------------------------------
+
+TEST(TechLibrary, Nand2IsTheGateEquivalentUnit) {
+  const auto lib = TechLibrary::cmos5s();
+  EXPECT_DOUBLE_EQ(lib.ge(Cell::Nand2), 1.0);
+  EXPECT_DOUBLE_EQ(lib.area_um2(Cell::Nand2), lib.area_per_ge_um2());
+}
+
+TEST(TechLibrary, ScanOnlyCellsMatchThePaperRatio) {
+  const auto lib = TechLibrary::cmos5s();
+  // "approximately 4 to 5 times smaller than regular full scan registers"
+  EXPECT_GE(lib.scan_only_shrink_factor(), 4.0);
+  EXPECT_LE(lib.scan_only_shrink_factor(), 5.0);
+  // "operate in about 1/8 or 1/6 of functional clock rate"
+  const double f = lib.info(Cell::ScanOnlyCell).max_clock_fraction;
+  EXPECT_GE(f, 1.0 / 8.0);
+  EXPECT_LE(f, 1.0 / 6.0);
+}
+
+TEST(TechLibrary, SequentialCellsCostMoreThanCombinational) {
+  const auto lib = TechLibrary::cmos5s();
+  EXPECT_GT(lib.ge(Cell::Dff), lib.ge(Cell::Mux2));
+  EXPECT_GT(lib.ge(Cell::ScanDff), lib.ge(Cell::Dff));
+  EXPECT_GT(lib.ge(Cell::DffEn), lib.ge(Cell::Dff));
+  EXPECT_LT(lib.ge(Cell::ScanOnlyCell), lib.ge(Cell::Dff));
+}
+
+// --- gate inventory ----------------------------------------------------------
+
+TEST(GateInventory, Arithmetic) {
+  const auto lib = TechLibrary::cmos5s();
+  GateInventory a;
+  a.add(Cell::Nand2, 3);
+  a.add(Cell::Inv, 2);
+  GateInventory b;
+  b.add(Cell::Nand2, 1);
+  const GateInventory sum = a + b;
+  EXPECT_EQ(sum.count(Cell::Nand2), 4);
+  EXPECT_EQ(sum.count(Cell::Inv), 2);
+  EXPECT_EQ(sum.total_cells(), 6);
+  EXPECT_DOUBLE_EQ(sum.total_ge(lib), 4.0 + 2 * 0.5);
+  EXPECT_EQ(sum.scaled(2).count(Cell::Nand2), 8);
+  EXPECT_EQ(a.count(Cell::Dff), 0);
+}
+
+TEST(GateInventory, AddZeroIsNoOp) {
+  GateInventory a;
+  a.add(Cell::Dff, 0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AreaReport, TotalsAndFormatting) {
+  const auto lib = TechLibrary::cmos5s();
+  AreaReport report{"unit"};
+  GateInventory block;
+  block.add(Cell::Dff, 4);
+  report.add_block("regs", block);
+  report.add_block("logic", register_bank(2, RegisterKind::Scan));
+  EXPECT_DOUBLE_EQ(report.total_ge(lib), 4 * 5.5 + 2 * 7.25);
+  const std::string s = report.to_string(lib);
+  EXPECT_NE(s.find("regs"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+}
+
+// --- components ----------------------------------------------------------------
+
+TEST(Components, CounterCostsScaleLinearly) {
+  const auto lib = TechLibrary::cmos5s();
+  const double c4 = binary_counter(4).total_ge(lib);
+  const double c8 = binary_counter(8).total_ge(lib);
+  EXPECT_GT(c8, c4);
+  EXPECT_NEAR(c8 / c4, 2.0, 0.3);
+  EXPECT_GT(up_down_counter(8).total_ge(lib), c8);
+}
+
+TEST(Components, MuxTreeCost) {
+  EXPECT_EQ(mux_tree(10, 16).count(Cell::Mux2), 150);
+  EXPECT_EQ(mux_tree(10, 1).count(Cell::Mux2), 0);
+  EXPECT_EQ(mux_tree(0, 16).count(Cell::Mux2), 0);
+}
+
+TEST(Components, ComparatorAndDetectors) {
+  const auto eq = equality_comparator(8);
+  EXPECT_EQ(eq.count(Cell::Xnor2), 8);
+  EXPECT_EQ(eq.count(Cell::And2), 7);
+  EXPECT_EQ(constant_detector(1).count(Cell::And2), 0);
+  EXPECT_EQ(or_tree(8).count(Cell::Or2), 7);
+}
+
+TEST(Components, DecoderGrowsExponentially) {
+  const auto lib = TechLibrary::cmos5s();
+  EXPECT_GT(decoder(4).total_ge(lib), 2 * decoder(3).total_ge(lib));
+}
+
+// --- wide NAND / SOP costing ------------------------------------------------
+
+TEST(Logic, WideNandSmallCases) {
+  EXPECT_EQ(wide_nand(1).count(Cell::Inv), 1);
+  EXPECT_EQ(wide_nand(2).count(Cell::Nand2), 1);
+  EXPECT_EQ(wide_nand(3).count(Cell::Nand3), 1);
+  EXPECT_EQ(wide_nand(4).count(Cell::Nand4), 1);
+}
+
+TEST(Logic, WideNandDecomposes) {
+  const auto lib = TechLibrary::cmos5s();
+  // Cost must be monotone in fan-in and superlinear past 4.
+  double prev = 0;
+  for (int k = 1; k <= 24; ++k) {
+    const double ge = wide_nand(k).total_ge(lib);
+    EXPECT_GE(ge, prev) << "fan-in " << k;
+    prev = ge;
+  }
+  EXPECT_GT(wide_nand(8).total_ge(lib), wide_nand(4).total_ge(lib) * 1.5);
+}
+
+TEST(Logic, SopInventoryEdgeCases) {
+  EXPECT_TRUE(sop_inventory({}).empty());                    // constant 0
+  EXPECT_TRUE(sop_inventory({Cube{0, 0}}).empty());          // constant 1
+  // Single literal, free complements: just the output stage.
+  const auto single = sop_inventory({Cube{1, 1}});
+  EXPECT_EQ(single.count(Cell::Inv), 1);
+}
+
+TEST(Logic, CubeSemantics) {
+  const Cube c{0b101, 0b111};  // x0 x1' x2
+  EXPECT_TRUE(c.covers(0b101));
+  EXPECT_FALSE(c.covers(0b111));
+  EXPECT_EQ(c.literals(), 3);
+  const Cube wider{0b001, 0b001};  // x0
+  EXPECT_TRUE(wider.contains(c));
+  EXPECT_FALSE(c.contains(wider));
+  EXPECT_EQ(c.to_string(3), "x0 x1' x2");
+}
+
+// --- Quine-McCluskey ----------------------------------------------------------
+
+TEST(Qm, ClassicTextbookExample) {
+  // f(a,b,c,d) = sum m(4,8,10,11,12,15) + d(9,14): minimal cover has 4
+  // terms (a textbook QM exercise).
+  const std::vector<std::uint32_t> on{4, 8, 10, 11, 12, 15};
+  const std::vector<std::uint32_t> dc{9, 14};
+  const auto r = minimize(4, on, dc);
+  TruthTable t{4};
+  for (auto m : on) t.set(m, Tri::One);
+  for (auto m : dc) t.set(m, Tri::DontCare);
+  EXPECT_TRUE(t.is_implemented_by(r.cover));
+  EXPECT_LE(r.cover.size(), 4u);
+}
+
+TEST(Qm, ConstantFunctions) {
+  EXPECT_TRUE(minimize(3, {}, {}).cover.empty());
+  const std::vector<std::uint32_t> all{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto r = minimize(3, all, {});
+  ASSERT_EQ(r.cover.size(), 1u);
+  EXPECT_EQ(r.cover[0].mask, 0u);  // tautology
+}
+
+TEST(Qm, XorHasNoSharedCubes) {
+  // 2-input XOR: onset {01, 10}; both minterms are primes.
+  const std::vector<std::uint32_t> on{1, 2};
+  const auto r = minimize(2, on, {});
+  EXPECT_EQ(r.cover.size(), 2u);
+  EXPECT_EQ(r.literals, 4);
+}
+
+TEST(Qm, DontCaresEnableLargerCubes) {
+  // onset {0}, dc {1,2,3} over 2 vars -> single tautology-ish cube.
+  const std::vector<std::uint32_t> on{0};
+  const std::vector<std::uint32_t> dc{1, 2, 3};
+  const auto r = minimize(2, on, dc);
+  ASSERT_EQ(r.cover.size(), 1u);
+  EXPECT_EQ(r.cover[0].literals(), 0);
+}
+
+// Property sweep: on random functions, the minimized cover must implement
+// the truth table exactly and never exceed the number of onset minterms.
+class QmRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QmRandomProperty, CoverImplementsFunction) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  const int vars = 3 + GetParam() % 6;  // 3..8 variables
+  TruthTable t{vars};
+  std::uniform_int_distribution<int> tri(0, 5);
+  std::size_t onset_size = 0;
+  for (std::uint32_t m = 0; m < t.size(); ++m) {
+    const int v = tri(rng);
+    if (v <= 2) {
+      t.set(m, Tri::Zero);
+    } else if (v <= 4) {
+      t.set(m, Tri::One);
+      ++onset_size;
+    } else {
+      t.set(m, Tri::DontCare);
+    }
+  }
+  const auto r = minimize(t);
+  EXPECT_TRUE(t.is_implemented_by(r.cover)) << "seed " << GetParam();
+  EXPECT_LE(r.cover.size(), onset_size);
+  EXPECT_EQ(r.literals, cover_literals(r.cover));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QmRandomProperty, ::testing::Range(1, 33));
+
+// Exactness property: for every 3-variable function (all 2^8 of them), the
+// greedy cover must match the size of the true minimum prime cover found
+// by brute force over all prime subsets.
+TEST(Qm, GreedyCoverIsMinimalForAllThreeVariableFunctions) {
+  for (std::uint32_t truth = 0; truth < 256; ++truth) {
+    std::vector<std::uint32_t> onset;
+    for (std::uint32_t m = 0; m < 8; ++m)
+      if ((truth >> m) & 1u) onset.push_back(m);
+    const auto result = minimize(3, onset, {});
+    if (onset.empty()) {
+      EXPECT_TRUE(result.cover.empty());
+      continue;
+    }
+    const auto primes = prime_implicants(3, onset, {});
+    // Brute-force the minimum cover size over all prime subsets.
+    const auto np = primes.size();
+    ASSERT_LE(np, 16u);
+    std::size_t best = np + 1;
+    for (std::uint32_t subset = 1; subset < (1u << np); ++subset) {
+      const auto size = static_cast<std::size_t>(
+          __builtin_popcount(subset));
+      if (size >= best) continue;
+      bool all_covered = true;
+      for (std::uint32_t m : onset) {
+        bool covered = false;
+        for (std::size_t p = 0; p < np && !covered; ++p)
+          if ((subset >> p) & 1u) covered = primes[p].covers(m);
+        if (!covered) {
+          all_covered = false;
+          break;
+        }
+      }
+      if (all_covered) best = size;
+    }
+    EXPECT_EQ(result.cover.size(), best)
+        << "truth table 0x" << std::hex << truth;
+  }
+}
+
+TEST(Qm, PrimeImplicantsAreAllPrime) {
+  const std::vector<std::uint32_t> on{0, 1, 2, 5, 6, 7};
+  const auto primes = prime_implicants(3, on, {});
+  // No prime may contain another.
+  for (std::size_t i = 0; i < primes.size(); ++i) {
+    for (std::size_t j = 0; j < primes.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(primes[i].contains(primes[j]));
+      }
+    }
+  }
+}
+
+// --- FSM synthesis -------------------------------------------------------------
+
+MooreFsm make_toggle_fsm() {
+  MooreFsm fsm{"toggle", {"go"}, {"out"}};
+  const int s0 = fsm.add_state("S0", 0);
+  const int s1 = fsm.add_state("S1", 1);
+  fsm.add_arc(s0, Cube{1, 1}, s1);
+  fsm.add_arc(s1, Cube{1, 1}, s0);
+  return fsm;
+}
+
+TEST(FsmSynth, BehavioralStep) {
+  const auto fsm = make_toggle_fsm();
+  EXPECT_EQ(fsm.step(0, 0), 0);  // no arc matches -> stay
+  EXPECT_EQ(fsm.step(0, 1), 1);
+  EXPECT_EQ(fsm.step(1, 1), 0);
+  EXPECT_EQ(fsm.outputs_of(1), 1u);
+}
+
+TEST(FsmSynth, ValidateCatchesBadArcs) {
+  MooreFsm fsm{"bad", {"a"}, {"o"}};
+  const int s = fsm.add_state("S", 0);
+  fsm.add_arc(s, Cube{1, 1}, 5);  // out of range
+  EXPECT_FALSE(fsm.validate().empty());
+}
+
+TEST(FsmSynth, ToggleSynthesizesTiny) {
+  const auto lib = TechLibrary::cmos5s();
+  const auto r = synthesize(make_toggle_fsm());
+  EXPECT_EQ(r.state_bits, 1);
+  // 1 scan flop + a few gates.
+  EXPECT_LT(r.inventory.total_ge(lib), 20.0);
+  EXPECT_EQ(r.inventory.count(Cell::ScanDff), 1);
+}
+
+TEST(FsmSynth, MoreStatesMoreArea) {
+  const auto lib = TechLibrary::cmos5s();
+  auto chain = [](int n) {
+    MooreFsm fsm{"chain", {"go"}, {"o0", "o1", "o2"}};
+    for (int i = 0; i < n; ++i)
+      fsm.add_state("S" + std::to_string(i),
+                    static_cast<std::uint32_t>(i % 8));
+    for (int i = 0; i < n; ++i) fsm.add_arc(i, Cube{1, 1}, (i + 1) % n);
+    return fsm;
+  };
+  const double ge4 = synthesize(chain(4)).inventory.total_ge(lib);
+  const double ge16 = synthesize(chain(16)).inventory.total_ge(lib);
+  EXPECT_GT(ge16, ge4);
+}
+
+// Property: synthesized next-state logic is checked against fsm.step()
+// inside synthesize() via assertions on the minimized covers; here we
+// additionally verify Moore-output constancy optimizes to zero gates.
+TEST(FsmSynth, ConstantOutputCostsNothing) {
+  MooreFsm fsm{"const", {"go"}, {"always1"}};
+  fsm.add_state("A", 1);
+  fsm.add_state("B", 1);
+  fsm.add_arc(0, Cube{1, 1}, 1);
+  fsm.add_arc(1, Cube{1, 1}, 0);
+  const auto r = synthesize(fsm);
+  EXPECT_EQ(r.output_literals, 0);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Neighborhood-pattern-sensitive fault tests: the fault model's forcing
+// semantics, the march family's fundamental NPSF limitation, and the
+// exhaustive pattern screen's guarantee.
+
+#include <gtest/gtest.h>
+
+#include "diag/npsf.h"
+#include "march/library.h"
+
+namespace {
+
+using namespace pmbist;
+using memsim::Address;
+using memsim::AddressScrambler;
+using memsim::ArrayTopology;
+using memsim::BitRef;
+
+constexpr memsim::MemoryGeometry kGeom{.address_bits = 4, .word_bits = 1,
+                                       .num_ports = 1};
+
+TEST(Npsf, ForcingSemantics) {
+  memsim::FaultyMemory mem{kGeom, std::vector<memsim::Word>(16, 0)};
+  memsim::NeighborhoodPatternFault f;
+  f.base = BitRef{5, 0};
+  f.neighbors = {BitRef{1, 0}, BitRef{9, 0}};
+  f.pattern = 0b01;  // neighbor 1 must hold 1, neighbor 9 must hold 0
+  f.forced_value = true;
+  mem.add_fault(f);
+
+  mem.write(0, 5, 0);
+  EXPECT_EQ(mem.read(0, 5), 0u);  // pattern absent
+  mem.write(0, 1, 1);             // pattern now present -> base forced 1
+  EXPECT_EQ(mem.read(0, 5), 1u);
+  mem.write(0, 5, 0);             // write overridden while pattern holds
+  EXPECT_EQ(mem.read(0, 5), 1u);
+  mem.write(0, 9, 1);             // pattern broken
+  mem.write(0, 5, 0);
+  EXPECT_EQ(mem.read(0, 5), 0u);
+}
+
+TEST(Npsf, RejectsMalformedFaults) {
+  memsim::FaultyMemory mem{kGeom};
+  memsim::NeighborhoodPatternFault f;
+  f.base = BitRef{5, 0};
+  EXPECT_THROW(mem.add_fault(f), std::invalid_argument);  // no neighbors
+  f.neighbors = {BitRef{5, 0}};
+  EXPECT_THROW(mem.add_fault(f), std::invalid_argument);  // base = neighbor
+}
+
+TEST(Npsf, UniverseRespectsTopology) {
+  const ArrayTopology topo{4, 2, AddressScrambler::scrambled(4, 3)};
+  const auto faults = memsim::npsf_faults(topo, 0, 3, 24);
+  ASSERT_EQ(faults.size(), 24u);
+  for (const auto& fault : faults) {
+    const auto& f = std::get<memsim::NeighborhoodPatternFault>(fault);
+    const auto nbrs = topo.neighbors(f.base.addr);
+    ASSERT_EQ(f.neighbors.size(), nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      EXPECT_EQ(f.neighbors[i].addr, nbrs[i]);
+    EXPECT_EQ(memsim::fault_class(fault), memsim::FaultClass::NPSF);
+  }
+}
+
+// The headline pair: march tests only partially detect NPSFs; the
+// exhaustive screen detects every one.
+TEST(Npsf, MarchIsPartialScreenIsComplete) {
+  const ArrayTopology topo{4, 2, AddressScrambler::identity(4)};
+  const auto faults = memsim::npsf_faults(topo, 0, 7, 48);
+  const auto march_stream = march::expand(march::march_ss(), kGeom);
+  const auto screen = diag::npsf_screen(topo);
+
+  int march_detected = 0;
+  int screen_detected = 0;
+  for (const auto& fault : faults) {
+    {
+      memsim::FaultyMemory mem{kGeom, 7};
+      mem.add_fault(fault);
+      if (!march::run_stream(march_stream, mem, 1).passed())
+        ++march_detected;
+    }
+    {
+      memsim::FaultyMemory mem{kGeom, 7};
+      mem.add_fault(fault);
+      if (!march::run_stream(screen, mem, 1).passed()) ++screen_detected;
+    }
+  }
+  EXPECT_EQ(screen_detected, static_cast<int>(faults.size()));
+  EXPECT_LT(march_detected, static_cast<int>(faults.size()));
+  EXPECT_GT(march_detected, 0);  // uniform patterns are applied by marches
+}
+
+TEST(Npsf, ScreenPassesOnHealthyMemoryAndScalesAsExpected) {
+  const ArrayTopology topo{4, 2, AddressScrambler::scrambled(4, 11)};
+  memsim::SramModel mem{kGeom, 5};
+  const auto r = diag::run_npsf_screen(topo, mem);
+  EXPECT_TRUE(r.passed());
+  // Cost: dominated by 2^4 patterns x (4 writes + 4 base ops) per cell.
+  const auto ops = diag::npsf_screen(topo).size();
+  EXPECT_GT(ops, 16u * 16u * 8u / 2);
+  EXPECT_LT(ops, 16u * 16u * 8u * 2);
+}
+
+TEST(Npsf, ScreenCatchesStuckAtsToo) {
+  const ArrayTopology topo{4, 2, AddressScrambler::identity(4)};
+  memsim::FaultyMemory mem{kGeom, 5};
+  mem.add_fault(memsim::StuckAtFault{{6, 0}, true});
+  EXPECT_FALSE(diag::run_npsf_screen(topo, mem).passed());
+}
+
+}  // namespace

@@ -1,0 +1,279 @@
+// Programmable FSM-based controller tests: SM component set fidelity
+// (Eq. 2), the compiler's Fig. 5 program shape for March C, the MEDIUM
+// flexibility boundary (which algorithms do NOT map), op-stream
+// equivalence, and area-model structure.
+
+#include <gtest/gtest.h>
+
+#include "bist/session.h"
+#include "march/library.h"
+#include "march/parser.h"
+#include "mbist_pfsm/area.h"
+#include "mbist_pfsm/controller.h"
+#include "netlist/fsm_synth.h"
+
+namespace {
+
+using namespace pmbist;
+using mbist_pfsm::PfsmController;
+using memsim::MemoryGeometry;
+
+// --- components ------------------------------------------------------------
+
+TEST(PfsmComponents, RealizeMatchesEq2) {
+  using march::r0, march::r1, march::w0, march::w1;
+  const std::vector<march::MarchOp> sm0_d0{w0()};
+  EXPECT_EQ(mbist_pfsm::realize(0, false), sm0_d0);
+  const std::vector<march::MarchOp> sm1_d0{r0(), w1()};
+  EXPECT_EQ(mbist_pfsm::realize(1, false), sm1_d0);
+  const std::vector<march::MarchOp> sm1_d1{r1(), w0()};
+  EXPECT_EQ(mbist_pfsm::realize(1, true), sm1_d1);
+  const std::vector<march::MarchOp> sm2_d0{r0(), w1(), r1(), w0()};
+  EXPECT_EQ(mbist_pfsm::realize(2, false), sm2_d0);
+  const std::vector<march::MarchOp> sm3_d1{r1(), w0(), w1()};
+  EXPECT_EQ(mbist_pfsm::realize(3, true), sm3_d1);
+  const std::vector<march::MarchOp> sm4_d0{r0(), r0(), r0()};
+  EXPECT_EQ(mbist_pfsm::realize(4, false), sm4_d0);
+  const std::vector<march::MarchOp> sm5_d1{r1()};
+  EXPECT_EQ(mbist_pfsm::realize(5, true), sm5_d1);
+  const std::vector<march::MarchOp> sm6_d0{r0(), w1(), w0(), w1()};
+  EXPECT_EQ(mbist_pfsm::realize(6, false), sm6_d0);
+  const std::vector<march::MarchOp> sm7_d0{r0(), w1(), r1()};
+  EXPECT_EQ(mbist_pfsm::realize(7, false), sm7_d0);
+}
+
+TEST(PfsmComponents, NoComponentExceedsFourOps) {
+  for (const auto& comp : mbist_pfsm::component_set())
+    EXPECT_LE(comp.ops.size(),
+              static_cast<std::size_t>(mbist_pfsm::kMaxComponentOps));
+}
+
+TEST(PfsmComponents, MatchElementRoundTrip) {
+  for (const auto& comp : mbist_pfsm::component_set()) {
+    for (bool d : {false, true}) {
+      march::MarchElement e;
+      e.order = march::AddressOrder::Up;
+      e.ops = mbist_pfsm::realize(comp.id, d);
+      const auto m = mbist_pfsm::match_element(e);
+      ASSERT_TRUE(m.has_value()) << "SM" << comp.id << " d=" << d;
+      // The matched (mode, d) must realize the same ops (the pair need not
+      // be identical — e.g. (w1) matches SM0 with d=1 only).
+      EXPECT_EQ(mbist_pfsm::realize(m->mode, m->d), e.ops);
+    }
+  }
+}
+
+TEST(PfsmComponents, UnmatchableElements) {
+  EXPECT_FALSE(mbist_pfsm::match_element(
+                   march::parse("up(r0,r0,r0,w1)").elements()[0])
+                   .has_value());
+  EXPECT_FALSE(mbist_pfsm::match_element(
+                   march::parse("up(r0,w1,r1,w0,r0,w1)").elements()[0])
+                   .has_value());
+  EXPECT_FALSE(
+      mbist_pfsm::match_element(march::MarchElement::pause(100)).has_value());
+}
+
+// --- ISA -------------------------------------------------------------------
+
+TEST(PfsmIsa, EncodeDecodeRoundTrip) {
+  for (std::uint16_t bits = 0; bits < (1u << mbist_pfsm::kPfsmInstructionBits);
+       ++bits) {
+    EXPECT_EQ(mbist_pfsm::PfsmInstruction::decode(bits).encode(), bits);
+  }
+  EXPECT_THROW((void)mbist_pfsm::PfsmInstruction::decode(1u << 9),
+               std::invalid_argument);
+}
+
+// --- compiler ---------------------------------------------------------------
+
+// The paper's Fig. 5: March C compiles to 6 component instructions plus the
+// data-background and port loop instructions.
+TEST(PfsmCompiler, MarchCMatchesFig5Shape) {
+  const auto r = mbist_pfsm::compile(march::march_c());
+  const auto& code = r.program.instructions();
+  ASSERT_EQ(code.size(), 8u);
+
+  EXPECT_EQ(code[0].mode, 0);  // SM0(up, d=0)      = w0
+  EXPECT_FALSE(code[0].data_inv);
+  EXPECT_EQ(code[1].mode, 1);  // SM1(up, d=0)      = r0,w1
+  EXPECT_FALSE(code[1].addr_down);
+  EXPECT_EQ(code[2].mode, 1);  // SM1(up, d=1)      = r1,w0
+  EXPECT_TRUE(code[2].data_inv);
+  EXPECT_EQ(code[3].mode, 1);  // SM1(down, d=0)
+  EXPECT_TRUE(code[3].addr_down);
+  EXPECT_FALSE(code[3].data_inv);
+  EXPECT_EQ(code[4].mode, 1);  // SM1(down, d=1)
+  EXPECT_TRUE(code[4].addr_down);
+  EXPECT_TRUE(code[4].data_inv);
+  EXPECT_EQ(code[5].mode, 5);  // SM5(up, d=0)      = r0
+  EXPECT_TRUE(code[6].ctrl);   // data loop (path A)
+  EXPECT_FALSE(code[6].ctrl_op);
+  EXPECT_TRUE(code[7].ctrl);   // port loop (path B)
+  EXPECT_TRUE(code[7].ctrl_op);
+}
+
+TEST(PfsmCompiler, RetentionVariantUsesHoldBit) {
+  const auto r = mbist_pfsm::compile(march::march_c_plus());
+  EXPECT_EQ(r.pause_ns, march::kDefaultPauseNs);
+  const auto& code = r.program.instructions();
+  // March C+ = 6 components of C + SM7 + SM5 + 2 loop instructions; the
+  // pauses ride on the hold bits of the preceding instructions.
+  ASSERT_EQ(code.size(), 10u);
+  EXPECT_TRUE(code[5].hold_after);   // pause after the r0 sweep
+  EXPECT_EQ(code[6].mode, 7);        // SM7(d=0) = r0,w1,r1
+  EXPECT_TRUE(code[6].hold_after);   // second pause
+  EXPECT_EQ(code[7].mode, 5);        // SM5(d=1) = r1
+  EXPECT_TRUE(code[7].data_inv);
+}
+
+// The MEDIUM-flexibility boundary: triple-read (++) variants and March B do
+// not map onto SM0..SM7; everything in the C/A/+ family does.
+TEST(PfsmCompiler, FlexibilityBoundary) {
+  std::string why;
+  EXPECT_TRUE(mbist_pfsm::is_mappable(march::march_c()));
+  EXPECT_TRUE(mbist_pfsm::is_mappable(march::march_c_plus()));
+  EXPECT_TRUE(mbist_pfsm::is_mappable(march::march_a()));
+  EXPECT_TRUE(mbist_pfsm::is_mappable(march::march_a_plus()));
+  EXPECT_TRUE(mbist_pfsm::is_mappable(march::mats_plus()));
+  EXPECT_TRUE(mbist_pfsm::is_mappable(march::march_x()));
+  EXPECT_TRUE(mbist_pfsm::is_mappable(march::march_y()));
+
+  EXPECT_TRUE(mbist_pfsm::is_mappable(march::mats_plus_plus()));
+  EXPECT_TRUE(mbist_pfsm::is_mappable(march::march_u()));
+  EXPECT_TRUE(mbist_pfsm::is_mappable(march::march_lr()));
+
+  EXPECT_FALSE(mbist_pfsm::is_mappable(march::march_c_plus_plus(), &why));
+  EXPECT_NE(why.find("SM"), std::string::npos);
+  EXPECT_FALSE(mbist_pfsm::is_mappable(march::march_a_plus_plus()));
+  EXPECT_FALSE(mbist_pfsm::is_mappable(march::march_b()));
+  EXPECT_FALSE(mbist_pfsm::is_mappable(march::march_ss()));  // 5-op elements
+  EXPECT_FALSE(mbist_pfsm::is_mappable(march::march_g()));   // 6-op element
+  EXPECT_THROW((void)mbist_pfsm::compile(march::march_b()),
+               mbist_pfsm::CompileError);
+}
+
+TEST(PfsmCompiler, RejectsOversizedProgram) {
+  PfsmController ctrl{{.geometry = {.address_bits = 3}, .buffer_depth = 4}};
+  EXPECT_THROW(ctrl.load_algorithm(march::march_c()),
+               mbist_pfsm::CompileError);
+}
+
+// --- equivalence -------------------------------------------------------------
+
+struct EquivCase {
+  const char* alg;
+  MemoryGeometry geometry;
+};
+
+class PfsmEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(PfsmEquivalence, StreamMatchesReferenceExpansion) {
+  const auto& p = GetParam();
+  const auto alg = march::by_name(p.alg);
+  PfsmController ctrl{{.geometry = p.geometry}};
+  ctrl.load_algorithm(alg);
+  const auto actual = bist::collect_ops(ctrl, 100'000'000);
+  const auto expected = march::expand(alg, p.geometry);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_EQ(actual[i], expected[i]) << "op " << i << " of " << p.alg;
+}
+
+constexpr MemoryGeometry kBit1P{.address_bits = 5, .word_bits = 1,
+                                .num_ports = 1};
+constexpr MemoryGeometry kWord1P{.address_bits = 4, .word_bits = 8,
+                                 .num_ports = 1};
+constexpr MemoryGeometry kWord2P{.address_bits = 3, .word_bits = 4,
+                                 .num_ports = 2};
+
+INSTANTIATE_TEST_SUITE_P(
+    MappableAlgorithms, PfsmEquivalence,
+    ::testing::Values(EquivCase{"MATS", kBit1P}, EquivCase{"MATS+", kBit1P},
+                      EquivCase{"March X", kBit1P},
+                      EquivCase{"March Y", kBit1P},
+                      EquivCase{"March C", kBit1P},
+                      EquivCase{"March C (orig)", kBit1P},
+                      EquivCase{"March C+", kBit1P},
+                      EquivCase{"March A", kBit1P},
+                      EquivCase{"March A+", kBit1P},
+                      EquivCase{"MATS++", kBit1P},
+                      EquivCase{"March U", kBit1P},
+                      EquivCase{"March LR", kBit1P},
+                      EquivCase{"March U", kWord2P},
+                      EquivCase{"March C", kWord1P},
+                      EquivCase{"March C+", kWord1P},
+                      EquivCase{"March A", kWord2P},
+                      EquivCase{"March C+", kWord2P},
+                      EquivCase{"MATS+", kWord2P}),
+    [](const auto& info) {
+      std::string name = info.param.alg;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name + "_a" + std::to_string(info.param.geometry.address_bits) +
+             "_w" + std::to_string(info.param.geometry.word_bits) + "_p" +
+             std::to_string(info.param.geometry.num_ports);
+    });
+
+TEST(PfsmController, PassesOnFaultFreeMemoryAndIsRerunnable) {
+  const MemoryGeometry g{.address_bits = 6, .word_bits = 4, .num_ports = 2};
+  PfsmController ctrl{{.geometry = g}};
+  ctrl.load_algorithm(march::march_a_plus());
+  memsim::SramModel mem{g, 3};
+  const auto first = bist::run_session(ctrl, mem);
+  EXPECT_TRUE(first.passed());
+  const auto second = bist::run_session(ctrl, mem);
+  EXPECT_TRUE(second.passed());
+  EXPECT_EQ(second.cycles, first.cycles);
+}
+
+// The two-level architecture pays Reset/Done overhead cycles per component
+// per pass; the op count itself matches the expansion.
+TEST(PfsmController, CycleOverheadIsPerComponent) {
+  const MemoryGeometry g{.address_bits = 4};
+  PfsmController ctrl{{.geometry = g}};
+  ctrl.load_algorithm(march::march_c());
+  const auto ops = march::expanded_op_count(march::march_c(), g);
+  const auto cycles = bist::count_cycles(ctrl, 1'000'000);
+  EXPECT_GT(cycles, ops);
+  // 6 components x (Reset+Done) + 2 ctrl + Idle + slack.
+  EXPECT_LE(cycles, ops + 6 * 2 + 2 + 2);
+}
+
+// --- area --------------------------------------------------------------------
+
+TEST(PfsmArea, LowerFsmHasSevenStates) {
+  const auto fsm = mbist_pfsm::lower_controller_fsm();
+  EXPECT_EQ(fsm.num_states(), 7);
+  EXPECT_TRUE(fsm.validate().empty());
+}
+
+TEST(PfsmArea, BufferDominatesAndScalesWithDepth) {
+  const auto lib = netlist::TechLibrary::cmos5s();
+  mbist_pfsm::AreaConfig c16{.geometry = {.address_bits = 10},
+                             .buffer_depth = 16};
+  mbist_pfsm::AreaConfig c8 = c16;
+  c8.buffer_depth = 8;
+  const auto r16 = mbist_pfsm::pfsm_area(c16);
+  const auto r8 = mbist_pfsm::pfsm_area(c8);
+  EXPECT_GT(r16.total_ge(lib), r8.total_ge(lib));
+
+  double buffer_ge = 0;
+  for (const auto& b : r16.blocks())
+    if (b.name == "circular buffer") buffer_ge = b.inventory.total_ge(lib);
+  EXPECT_GT(buffer_ge, 0.5 * r16.total_ge(lib))
+      << "the full-rate buffer should dominate the pFSM unit";
+}
+
+TEST(PfsmArea, SynthesizedBlocksAreBounded) {
+  const auto lib = netlist::TechLibrary::cmos5s();
+  const double fsm_ge = mbist_pfsm::lower_fsm_inventory().total_ge(lib);
+  EXPECT_GT(fsm_ge, 15.0);
+  EXPECT_LT(fsm_ge, 400.0);
+  const double dec_ge =
+      mbist_pfsm::component_decoder_inventory().total_ge(lib);
+  EXPECT_GT(dec_ge, 5.0);
+  EXPECT_LT(dec_ge, 200.0);
+}
+
+}  // namespace

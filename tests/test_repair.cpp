@@ -1,0 +1,181 @@
+// Redundancy-analysis and repair tests: must-repair reasoning, optimality
+// of the final analysis, pigeonhole unrepairability, and the full
+// inject -> BIST -> bitmap -> allocate -> repair -> re-BIST loop.
+
+#include <gtest/gtest.h>
+
+#include "bist/session.h"
+#include "march/library.h"
+#include "mbist_ucode/controller.h"
+#include "repair/repaired_memory.h"
+
+namespace {
+
+using namespace pmbist;
+using memsim::Address;
+using memsim::AddressScrambler;
+using memsim::ArrayTopology;
+using repair::RedundancyConfig;
+
+constexpr memsim::MemoryGeometry kGeom{.address_bits = 6, .word_bits = 1,
+                                       .num_ports = 1};
+const ArrayTopology kTopo{6, 3, AddressScrambler::identity(6)};
+// identity scrambling: addr = row*8 + col (8 rows x 8 cols)
+
+diag::FailBitmap bitmap_of(const std::vector<Address>& failing) {
+  diag::FailBitmap bm{kGeom};
+  std::vector<march::Failure> failures;
+  for (Address a : failing)
+    failures.push_back({0, march::MemOp::read(0, a, 0), 1});
+  bm.accumulate(failures);
+  return bm;
+}
+
+TEST(Redundancy, CleanBitmapNeedsNothing) {
+  const auto s = repair::allocate_redundancy(bitmap_of({}), kTopo,
+                                             {.spare_rows = 1});
+  EXPECT_TRUE(s.repairable);
+  EXPECT_EQ(s.spares_used(), 0);
+}
+
+TEST(Redundancy, SingleFailEitherSpareWorks) {
+  const auto bm = bitmap_of({19});  // row 2, col 3
+  const auto s = repair::allocate_redundancy(
+      bm, kTopo, {.spare_rows = 1, .spare_cols = 1});
+  EXPECT_TRUE(s.repairable);
+  EXPECT_EQ(s.spares_used(), 1);
+  EXPECT_TRUE(repair::covers_all_failures(s, bm, kTopo));
+}
+
+TEST(Redundancy, MustRepairRow) {
+  // Three fails in row 2 with only one spare column: the row MUST be
+  // replaced.
+  const auto bm = bitmap_of({16, 18, 21});  // row 2, cols 0,2,5
+  const auto s = repair::allocate_redundancy(
+      bm, kTopo, {.spare_rows = 1, .spare_cols = 1});
+  ASSERT_TRUE(s.repairable);
+  ASSERT_EQ(s.rows_replaced.size(), 1u);
+  EXPECT_EQ(s.rows_replaced[0], 2u);
+  EXPECT_TRUE(repair::covers_all_failures(s, bm, kTopo));
+}
+
+TEST(Redundancy, MustRepairColumn) {
+  // Three fails in column 5 with only one spare row.
+  const auto bm = bitmap_of({5, 13, 29});  // rows 0,1,3 col 5
+  const auto s = repair::allocate_redundancy(
+      bm, kTopo, {.spare_rows = 1, .spare_cols = 1});
+  ASSERT_TRUE(s.repairable);
+  ASSERT_EQ(s.cols_replaced.size(), 1u);
+  EXPECT_EQ(s.cols_replaced[0], 5u);
+}
+
+TEST(Redundancy, DiagonalPigeonhole) {
+  // k spares total cannot repair k+1 fails that share no row or column.
+  const auto bm = bitmap_of({0, 9, 18});  // (0,0) (1,1) (2,2)
+  const auto no = repair::allocate_redundancy(
+      bm, kTopo, {.spare_rows = 1, .spare_cols = 1});
+  EXPECT_FALSE(no.repairable);
+  const auto yes = repair::allocate_redundancy(
+      bm, kTopo, {.spare_rows = 2, .spare_cols = 1});
+  EXPECT_TRUE(yes.repairable);
+  EXPECT_EQ(yes.spares_used(), 3);
+}
+
+TEST(Redundancy, SolutionIsSpareMinimal) {
+  // A full row of fails plus one isolated fail: 1 row + 1 (row or col).
+  const auto bm = bitmap_of({8, 9, 10, 11, 36});  // row 1 + (4,4)
+  const auto s = repair::allocate_redundancy(
+      bm, kTopo, {.spare_rows = 2, .spare_cols = 2});
+  ASSERT_TRUE(s.repairable);
+  EXPECT_EQ(s.spares_used(), 2);
+}
+
+TEST(Redundancy, RejectsWordOrientedGeometry) {
+  diag::FailBitmap bm{{.address_bits = 4, .word_bits = 8, .num_ports = 1}};
+  const ArrayTopology topo{4, 2, AddressScrambler::identity(4)};
+  EXPECT_THROW((void)repair::allocate_redundancy(bm, topo, {}),
+               std::invalid_argument);
+}
+
+TEST(RepairedMemory, SteersReplacedCellsToSpares) {
+  memsim::FaultyMemory defective{kGeom, 1};
+  defective.add_fault(memsim::StuckAtFault{{18, 0}, true});  // row 2 col 2
+  repair::RepairSolution s;
+  s.repairable = true;
+  s.rows_replaced = {2};
+  repair::RepairedMemory fixed{defective, kTopo, s};
+  fixed.write(0, 18, 0);
+  EXPECT_EQ(fixed.read(0, 18), 0u);  // spare cell, not the stuck one
+  fixed.write(0, 17, 1);             // row 2 too -> spare
+  EXPECT_EQ(fixed.read(0, 17), 1u);
+  fixed.write(0, 25, 1);             // row 3 -> the real array
+  EXPECT_EQ(defective.peek(25), 1u);
+}
+
+TEST(RepairedMemory, RejectsUnrepairableSolution) {
+  memsim::FaultyMemory mem{kGeom, 1};
+  repair::RepairSolution bad;  // repairable = false
+  EXPECT_THROW((repair::RepairedMemory{mem, kTopo, bad}),
+               std::invalid_argument);
+}
+
+// The full loop: BIST finds the defects, the bitmap feeds allocation, the
+// repaired view passes the same BIST program.
+TEST(RepairFlow, InjectTestAllocateRepairRetest) {
+  memsim::FaultyMemory defective{kGeom, 9};
+  defective.add_fault(memsim::StuckAtFault{{10, 0}, true});
+  defective.add_fault(memsim::StuckAtFault{{11, 0}, false});
+  defective.add_fault(memsim::TransitionFault{{44, 0}, true});
+
+  mbist_ucode::MicrocodeController bist{{.geometry = kGeom}};
+  bist.load_algorithm(march::march_c());
+
+  const auto before = bist::run_session(bist, defective,
+                                        {.max_failures = 256});
+  ASSERT_FALSE(before.passed());
+
+  diag::FailBitmap bm{kGeom};
+  bm.accumulate(before.failures);
+  const auto solution = repair::allocate_redundancy(
+      bm, kTopo, {.spare_rows = 2, .spare_cols = 2});
+  ASSERT_TRUE(solution.repairable);
+  EXPECT_TRUE(repair::covers_all_failures(solution, bm, kTopo));
+
+  repair::RepairedMemory fixed{defective, kTopo, solution};
+  const auto after = bist::run_session(bist, fixed);
+  EXPECT_TRUE(after.passed());
+}
+
+// Scrambled topologies change which cells share a physical row — the
+// allocator must work in physical space.
+TEST(RepairFlow, WorksUnderScrambledTopology) {
+  const ArrayTopology scrambled{6, 3, AddressScrambler::scrambled(6, 4)};
+  // Three defects in the same *physical* row.
+  const auto row_addrs = [&] {
+    std::vector<Address> out;
+    for (std::uint32_t c = 0; c < 3; ++c)
+      out.push_back(scrambled.at({5, c}));
+    return out;
+  }();
+  memsim::FaultyMemory defective{kGeom, 2};
+  for (Address a : row_addrs)
+    defective.add_fault(memsim::StuckAtFault{{a, 0}, true});
+
+  mbist_ucode::MicrocodeController bist{{.geometry = kGeom}};
+  bist.load_algorithm(march::march_c());
+  const auto before = bist::run_session(bist, defective,
+                                        {.max_failures = 256});
+  diag::FailBitmap bm{kGeom};
+  bm.accumulate(before.failures);
+
+  const auto solution = repair::allocate_redundancy(
+      bm, scrambled, {.spare_rows = 1, .spare_cols = 1});
+  ASSERT_TRUE(solution.repairable);
+  ASSERT_EQ(solution.rows_replaced.size(), 1u);
+  EXPECT_EQ(solution.rows_replaced[0], 5u);  // must-repair found the row
+
+  repair::RepairedMemory fixed{defective, scrambled, solution};
+  EXPECT_TRUE(bist::run_session(bist, fixed).passed());
+}
+
+}  // namespace

@@ -1,0 +1,17 @@
+// The umbrella header must compile standalone and expose the documented
+// entry points.
+
+#include "pmbist.h"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EntryPointsResolve) {
+  using namespace pmbist;
+  const auto alg = march::by_name("March C");
+  mbist_ucode::MicrocodeController ctrl{{.geometry = {.address_bits = 3}}};
+  ctrl.load_algorithm(alg);
+  memsim::SramModel mem{{.address_bits = 3}, 1};
+  EXPECT_TRUE(bist::run_session(ctrl, mem).passed());
+  EXPECT_EQ(march::analyze(alg, memsim::FaultClass::SAF),
+            march::Detection::Guaranteed);
+}

@@ -1,0 +1,185 @@
+// Verilog emission tests: expression rendering, the structured case-arm
+// intermediate (verified against MooreFsm::step on every state/input), and
+// the rendered RTL's structural properties for generated hardwired
+// controllers.
+
+#include <gtest/gtest.h>
+
+#include "march/library.h"
+#include "mbist_hardwired/generator.h"
+#include "mbist_pfsm/area.h"
+#include "mbist_ucode/area.h"
+#include "mbist_ucode/rtl.h"
+#include "netlist/qm.h"
+#include "netlist/verilog.h"
+
+namespace {
+
+using namespace pmbist;
+using namespace pmbist::netlist;
+
+TEST(Verilog, Identifiers) {
+  EXPECT_EQ(verilog_identifier("March C++"), "march_c");
+  EXPECT_EQ(verilog_identifier("last_addr"), "last_addr");
+  EXPECT_EQ(verilog_identifier("9lives"), "u9lives");
+  EXPECT_EQ(verilog_identifier("a  b"), "a_b");
+}
+
+TEST(Verilog, CubeExpressions) {
+  const std::vector<std::string> names{"a", "b", "c"};
+  EXPECT_EQ(cube_expression(Cube{0b101, 0b111}, names), "a & ~b & c");
+  EXPECT_EQ(cube_expression(Cube{0b001, 0b001}, names), "a");
+  EXPECT_EQ(cube_expression(Cube{0, 0}, names), "1'b1");
+}
+
+TEST(Verilog, CoverExpressions) {
+  const std::vector<std::string> names{"a", "b"};
+  EXPECT_EQ(cover_expression({}, names), "1'b0");
+  EXPECT_EQ(cover_expression({Cube{0b01, 0b01}}, names), "a");
+  EXPECT_EQ(cover_expression({Cube{0b01, 0b11}, Cube{0b10, 0b10}}, names),
+            "(a & ~b) | b");
+}
+
+TEST(Verilog, SopModuleFromMinimizedLogic) {
+  // f = majority(a,b,c); emit the minimized cover as a module.
+  TruthTable t{3};
+  for (std::uint32_t m = 0; m < 8; ++m)
+    t.set(m, __builtin_popcount(m) >= 2 ? Tri::One : Tri::Zero);
+  const auto minimized = minimize(t);
+  const auto text = emit_sop_module("majority3", {"a", "b", "c"},
+                                    {{"y", minimized.cover}});
+  EXPECT_NE(text.find("module majority3"), std::string::npos);
+  EXPECT_NE(text.find("input  wire a"), std::string::npos);
+  EXPECT_NE(text.find("assign y ="), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  // The minimized majority has exactly 3 two-literal terms.
+  EXPECT_EQ(minimized.cover.size(), 3u);
+}
+
+TEST(Verilog, FsmCaseArmsMatchStepSemantics) {
+  const auto fsm = mbist_hardwired::generate_fsm(
+      march::march_c(), {.data_backgrounds = true, .multiport = true});
+  const auto arms = fsm_case_arms(fsm);
+  ASSERT_EQ(arms.size(), static_cast<std::size_t>(fsm.num_states()));
+  const std::uint32_t in_count = 1u << fsm.num_inputs();
+  for (const auto& arm : arms) {
+    for (std::uint32_t in = 0; in < in_count; ++in) {
+      // Replay the emitted if/else chain and compare with the FSM.
+      int target = arm.default_target;
+      for (std::size_t i = 0; i < arm.conditions.size(); ++i) {
+        if (arm.conditions[i].covers(in)) {
+          target = arm.targets[i];
+          break;
+        }
+      }
+      EXPECT_EQ(target, fsm.step(arm.state, in))
+          << "state " << arm.state << " input " << in;
+    }
+  }
+}
+
+TEST(Verilog, HardwiredControllerRtlStructure) {
+  const auto fsm = mbist_hardwired::generate_fsm(march::march_c(), {});
+  const auto text = emit_fsm_module(fsm, "march_c_bist_ctrl");
+  EXPECT_NE(text.find("module march_c_bist_ctrl"), std::string::npos);
+  EXPECT_NE(text.find("input  wire clk"), std::string::npos);
+  EXPECT_NE(text.find("input  wire last_addr"), std::string::npos);
+  EXPECT_NE(text.find("output wire read_en"), std::string::npos);
+  EXPECT_NE(text.find("output wire done"), std::string::npos);
+  // One localparam per state; March C has 18.
+  std::size_t localparams = 0;
+  for (std::size_t pos = text.find("localparam"); pos != std::string::npos;
+       pos = text.find("localparam", pos + 1))
+    ++localparams;
+  EXPECT_EQ(localparams, 18u);
+  EXPECT_NE(text.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(text.find("default: state_next = S_idle;"), std::string::npos);
+  // The Done state is terminal: its arm must keep state_next at S_done.
+  EXPECT_NE(text.find("S_done: begin"), std::string::npos);
+}
+
+TEST(Verilog, MicrocodeDecoderEmitsFromVerifiedCovers) {
+  // The microcode instruction decoder's minimized covers (each asserted
+  // against decode() during synthesis) emit as one combinational module.
+  std::vector<SopOutput> outputs;
+  for (const auto& d : mbist_ucode::decoder_covers())
+    outputs.push_back({d.name, d.cover});
+  ASSERT_EQ(outputs.size(),
+            static_cast<std::size_t>(mbist_ucode::kDecodeOutputCount));
+  const auto text = emit_sop_module(
+      "ucode_decoder", mbist_ucode::decoder_input_names(), outputs);
+  EXPECT_NE(text.find("module ucode_decoder"), std::string::npos);
+  EXPECT_NE(text.find("assign ic_inc ="), std::string::npos);
+  EXPECT_NE(text.find("assign terminate ="), std::string::npos);
+  EXPECT_NE(text.find("pause_done"), std::string::npos);
+
+  // Spot-check semantics through the covers: Terminate (flow=7) asserts
+  // `terminate` regardless of conditions.
+  const auto& covers = mbist_ucode::decoder_covers();
+  const auto term = std::find_if(
+      covers.begin(), covers.end(),
+      [](const auto& d) { return d.name == "terminate"; });
+  ASSERT_NE(term, covers.end());
+  EXPECT_TRUE(cover_eval(term->cover, 0b111));   // flow=7
+  EXPECT_FALSE(cover_eval(term->cover, 0b000));  // flow=0 (Next)
+}
+
+TEST(Verilog, PfsmLowerControllerEmits) {
+  const auto text = emit_fsm_module(mbist_pfsm::lower_controller_fsm(),
+                                    "pfsm_lower_ctrl");
+  EXPECT_NE(text.find("module pfsm_lower_ctrl"), std::string::npos);
+  EXPECT_NE(text.find("S_rw1"), std::string::npos);
+  EXPECT_NE(text.find("S_done"), std::string::npos);
+}
+
+TEST(Verilog, MicrocodeTopLevelRtlStructure) {
+  const mbist_ucode::RtlConfig cfg{
+      .geometry = {.address_bits = 10, .word_bits = 8, .num_ports = 2},
+      .storage_depth = 32};
+  const auto text = mbist_ucode::emit_controller_rtl(cfg);
+  // Both modules present, decoder instantiated in the top level.
+  EXPECT_NE(text.find("module ucode_decoder"), std::string::npos);
+  EXPECT_NE(text.find("module ucode_bist_top"), std::string::npos);
+  EXPECT_NE(text.find("ucode_decoder u_dec"), std::string::npos);
+  // Fig. 1 blocks.
+  EXPECT_NE(text.find("reg [9:0] storage [0:Z-1];"), std::string::npos);
+  EXPECT_NE(text.find("branch_reg"), std::string::npos);
+  EXPECT_NE(text.find("repeat_bit, aux_order, aux_data, aux_cmp"),
+            std::string::npos);
+  EXPECT_NE(text.find("scan_out = storage[Z-1][9]"), std::string::npos);
+  // Geometry-derived pieces: 4 backgrounds for 8-bit words, 2 ports.
+  EXPECT_NE(text.find("localparam Z = 32;"), std::string::npos);
+  EXPECT_NE(text.find("8'haa"), std::string::npos);
+  EXPECT_NE(text.find("8'hf0"), std::string::npos);
+  EXPECT_NE(text.find("mem_addr"), std::string::npos);
+  EXPECT_NE(text.find("assign mem_wdata"), std::string::npos);
+  // The register-update transcription markers.
+  EXPECT_NE(text.find("mirrors MicrocodeController::step()"),
+            std::string::npos);
+  EXPECT_NE(text.find("if (d_ic_reset1) ic <= 1;"), std::string::npos);
+}
+
+TEST(Verilog, MicrocodeRtlEmitsAcrossGeometries) {
+  for (int word : {1, 4, 16}) {
+    for (int ports : {1, 2}) {
+      const mbist_ucode::RtlConfig cfg{
+          .geometry = {.address_bits = 8, .word_bits = word,
+                       .num_ports = ports}};
+      const auto text = mbist_ucode::emit_controller_rtl(cfg);
+      EXPECT_NE(text.find("endmodule"), std::string::npos)
+          << word << "x" << ports;
+    }
+  }
+}
+
+TEST(Verilog, EveryLibraryAlgorithmEmits) {
+  for (const auto& alg : march::all_algorithms()) {
+    const auto fsm = mbist_hardwired::generate_fsm(alg, {});
+    const auto text =
+        emit_fsm_module(fsm, "bist_" + verilog_identifier(alg.name()));
+    EXPECT_NE(text.find("endmodule"), std::string::npos) << alg.name();
+    EXPECT_NE(text.find("pause_start"), std::string::npos) << alg.name();
+  }
+}
+
+}  // namespace

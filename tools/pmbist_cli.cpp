@@ -1,0 +1,335 @@
+// pmbist — command-line front end to the programmable-MBIST library.
+//
+//   pmbist list
+//       Library algorithms with complexity and qualification verdicts.
+//   pmbist assemble  <algorithm|dsl> [--arch ucode|pfsm] [--flat]
+//       Compile an algorithm and print the program listing.
+//   pmbist qualify   <algorithm|dsl>
+//       Static detection guarantees per fault class.
+//   pmbist run       <algorithm|dsl> [--arch ucode|pfsm|hardwired]
+//                    [--addr-bits N] [--word-bits N] [--ports N]
+//                    [--fault CLASS] [--seed N]
+//       Cycle-accurate BIST run; optionally inject one sampled fault.
+//   pmbist area      [--addr-bits N] [--word-bits N] [--ports N]
+//       Area report of all architectures for a geometry.
+//   pmbist coverage  <algorithm|dsl> [--addr-bits N] [--samples N]
+//       Fault-simulation campaign for one algorithm.
+//   pmbist export    <algorithm|dsl> [--word-bits N] [--ports N]
+//       Emit the hardwired controller FSM for the algorithm as
+//       synthesizable Verilog on stdout.
+//   pmbist export-decoder
+//       Emit the microcode instruction decoder (minimized covers) and the
+//       programmable-FSM lower controller as Verilog.
+//
+// `assemble --hex` prints a portable microcode hex image; `run --program
+// <file>` loads such an image into the microcode controller instead of
+// assembling an algorithm.
+//
+// <algorithm|dsl> is a library name ("March C+") or an inline DSL string
+// ("any(w0); up(r0,w1); ...").
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bist/session.h"
+#include "march/analysis.h"
+#include "march/library.h"
+#include "march/parser.h"
+#include "mbist_hardwired/area.h"
+#include "mbist_hardwired/controller.h"
+#include "mbist_pfsm/area.h"
+#include "mbist_pfsm/controller.h"
+#include "mbist_ucode/area.h"
+#include "mbist_ucode/controller.h"
+#include "mbist_ucode/rtl.h"
+#include "netlist/verilog.h"
+
+namespace {
+
+using namespace pmbist;
+
+struct Options {
+  std::string command;
+  std::string algorithm;
+  std::string arch = "ucode";
+  int addr_bits = 8;
+  int word_bits = 1;
+  int ports = 1;
+  int samples = 64;
+  std::uint64_t seed = 1;
+  std::string fault_class;
+  std::string program_file;
+  bool flat = false;
+  bool hex = false;
+};
+
+[[noreturn]] void usage(const char* why = nullptr) {
+  if (why) std::fprintf(stderr, "error: %s\n\n", why);
+  std::fprintf(stderr,
+               "usage: pmbist <list|assemble|qualify|run|area|coverage> "
+               "[<algorithm|dsl>] [options]\n"
+               "  --arch ucode|pfsm|hardwired   controller architecture\n"
+               "  --addr-bits N  --word-bits N  --ports N\n"
+               "  --fault CLASS (SAF,TF,CFin,CFid,CFst,AF,SOF,DRF,IRF,WDF,"
+               "RDF,DRDF)\n"
+               "  --samples N   --seed N        --flat (no Repeat fold)\n");
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  if (argc < 2) usage();
+  opt.command = argv[1];
+  int i = 2;
+  if (i < argc && argv[i][0] != '-') opt.algorithm = argv[i++];
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--arch") opt.arch = value();
+    else if (arg == "--addr-bits") opt.addr_bits = std::atoi(value());
+    else if (arg == "--word-bits") opt.word_bits = std::atoi(value());
+    else if (arg == "--ports") opt.ports = std::atoi(value());
+    else if (arg == "--samples") opt.samples = std::atoi(value());
+    else if (arg == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--fault") opt.fault_class = value();
+    else if (arg == "--program") opt.program_file = value();
+    else if (arg == "--flat") opt.flat = true;
+    else if (arg == "--hex") opt.hex = true;
+    else usage(("unknown option " + arg).c_str());
+  }
+  return opt;
+}
+
+march::MarchAlgorithm resolve_algorithm(const std::string& name) {
+  try {
+    return march::by_name(name);
+  } catch (const std::out_of_range&) {
+    return march::parse(name, "custom");
+  }
+}
+
+memsim::MemoryGeometry geometry_of(const Options& opt) {
+  return memsim::MemoryGeometry{.address_bits = opt.addr_bits,
+                                .word_bits = opt.word_bits,
+                                .num_ports = opt.ports};
+}
+
+int cmd_list() {
+  const auto algorithms = march::all_algorithms();
+  std::printf("%-16s %5s %8s %8s\n", "algorithm", "ops/n", "ucode", "pFSM");
+  for (const auto& alg : algorithms) {
+    const auto ucode = mbist_ucode::assemble(alg);
+    std::string why;
+    const bool pfsm_ok = mbist_pfsm::is_mappable(alg, &why);
+    std::printf("%-16s %5d %7d%c %8s\n", alg.name().c_str(),
+                alg.ops_per_cell(), ucode.program.size(),
+                ucode.used_repeat ? '*' : ' ', pfsm_ok ? "yes" : "no");
+  }
+  std::printf("\n(* = Repeat-folded symmetric encoding)\n\n");
+  std::printf("static qualification (G guaranteed / p partial / - none):\n");
+  const auto& classes = memsim::all_fault_classes();
+  std::printf("%s", march::format_analysis_table(algorithms, classes).c_str());
+  return 0;
+}
+
+int cmd_assemble(const Options& opt) {
+  const auto alg = resolve_algorithm(opt.algorithm);
+  if (opt.arch == "pfsm") {
+    const auto r = mbist_pfsm::compile(alg);
+    std::printf("%s", r.program.listing().c_str());
+    return 0;
+  }
+  const auto r = mbist_ucode::assemble(
+      alg, {.symmetric_encoding = !opt.flat});
+  std::printf("%s", opt.hex ? r.program.to_hex_text().c_str()
+                            : r.program.listing().c_str());
+  return 0;
+}
+
+int cmd_qualify(const Options& opt) {
+  const auto alg = resolve_algorithm(opt.algorithm);
+  std::printf("%s = %s\n\n", alg.name().c_str(), alg.to_string().c_str());
+  for (auto cls : memsim::all_fault_classes()) {
+    std::printf("  %-5s %s\n",
+                std::string(memsim::fault_class_name(cls)).c_str(),
+                std::string(march::to_string(march::analyze(alg, cls)))
+                    .c_str());
+  }
+  return 0;
+}
+
+memsim::FaultClass class_by_name(const std::string& name) {
+  for (auto cls : memsim::all_fault_classes())
+    if (memsim::fault_class_name(cls) == name) return cls;
+  usage(("unknown fault class " + name).c_str());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) usage(("cannot open " + path).c_str());
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+int cmd_run(const Options& opt) {
+  const bool from_image = !opt.program_file.empty();
+  const auto alg = from_image ? march::march_c()  // placeholder, unused
+                              : resolve_algorithm(opt.algorithm);
+  const auto geometry = geometry_of(opt);
+
+  std::unique_ptr<bist::Controller> controller;
+  if (from_image) {
+    auto c = std::make_unique<mbist_ucode::MicrocodeController>(
+        mbist_ucode::ControllerConfig{.geometry = geometry,
+                                      .storage_depth = 64});
+    c->load(mbist_ucode::MicrocodeProgram::from_hex_text(
+        read_file(opt.program_file)));
+    std::printf("loaded image '%s' (%d instructions)\n",
+                c->program().name().c_str(), c->program().size());
+    controller = std::move(c);
+  } else if (opt.arch == "ucode") {
+    auto c = std::make_unique<mbist_ucode::MicrocodeController>(
+        mbist_ucode::ControllerConfig{.geometry = geometry,
+                                      .storage_depth = 64});
+    c->load_algorithm(alg, {.symmetric_encoding = !opt.flat});
+    controller = std::move(c);
+  } else if (opt.arch == "pfsm") {
+    auto c = std::make_unique<mbist_pfsm::PfsmController>(
+        mbist_pfsm::PfsmConfig{.geometry = geometry, .buffer_depth = 32});
+    c->load_algorithm(alg);
+    controller = std::move(c);
+  } else if (opt.arch == "hardwired") {
+    controller = std::make_unique<mbist_hardwired::HardwiredController>(
+        alg, mbist_hardwired::HardwiredConfig{.geometry = geometry});
+  } else {
+    usage("unknown --arch");
+  }
+
+  memsim::FaultyMemory memory{geometry, opt.seed};
+  if (!opt.fault_class.empty()) {
+    const auto universe = march::make_fault_universe(
+        class_by_name(opt.fault_class), geometry, opt.seed, 64);
+    const auto& fault = universe[opt.seed % universe.size()];
+    memory.add_fault(fault);
+    std::printf("injected: %s\n", memsim::describe(fault).c_str());
+  }
+
+  const auto result = bist::run_session(*controller, memory);
+  const std::string label =
+      from_image ? "hex image " + opt.program_file : alg.name();
+  std::printf("%s on %s: %s\n", controller->name().c_str(), label.c_str(),
+              result.passed() ? "PASS" : "FAIL");
+  std::printf("  cycles=%llu reads=%llu writes=%llu pauses=%llu\n",
+              static_cast<unsigned long long>(result.cycles),
+              static_cast<unsigned long long>(result.reads),
+              static_cast<unsigned long long>(result.writes),
+              static_cast<unsigned long long>(result.pauses));
+  for (std::size_t i = 0; i < result.failures.size() && i < 8; ++i) {
+    const auto& f = result.failures[i];
+    std::printf("  fail[%zu]: addr=0x%X expected=0x%llX actual=0x%llX\n", i,
+                f.op.addr, static_cast<unsigned long long>(f.op.data),
+                static_cast<unsigned long long>(f.actual));
+  }
+  return result.passed() ? 0 : 1;
+}
+
+int cmd_area(const Options& opt) {
+  const auto geometry = geometry_of(opt);
+  const auto lib = netlist::TechLibrary::cmos5s();
+
+  mbist_ucode::AreaConfig uc{.geometry = geometry};
+  std::printf("%s\n", mbist_ucode::microcode_area(uc).to_string(lib).c_str());
+  uc.storage_cell = netlist::StorageCellClass::ScanOnly;
+  std::printf("adjusted (scan-only storage): %.1f GE\n\n",
+              mbist_ucode::microcode_area(uc).total_ge(lib));
+  std::printf(
+      "%s\n",
+      mbist_pfsm::pfsm_area({.geometry = geometry}).to_string(lib).c_str());
+  for (const auto& alg : march::paper_table_algorithms()) {
+    const auto r = mbist_hardwired::hardwired_area(alg, {.geometry = geometry});
+    std::printf("hardwired %-12s: %8.1f GE  %10.0f um^2\n",
+                alg.name().c_str(), r.total_ge(lib), r.total_area_um2(lib));
+  }
+  return 0;
+}
+
+int cmd_coverage(const Options& opt) {
+  const auto alg = resolve_algorithm(opt.algorithm);
+  const auto geometry = geometry_of(opt);
+  const march::CoverageOptions copts{
+      .seed = opt.seed, .max_instances_per_class = opt.samples};
+  const std::vector<march::MarchAlgorithm> algs{alg};
+  const auto& classes = memsim::all_fault_classes();
+  const auto rows = march::coverage_matrix(algs, classes, geometry, copts);
+  std::printf("%s", march::format_coverage_table(rows, classes).c_str());
+  return 0;
+}
+
+int cmd_export_decoder() {
+  std::vector<netlist::SopOutput> outputs;
+  for (const auto& d : mbist_ucode::decoder_covers())
+    outputs.push_back({d.name, d.cover});
+  std::printf("%s\n",
+              netlist::emit_sop_module("ucode_decoder",
+                                       mbist_ucode::decoder_input_names(),
+                                       outputs)
+                  .c_str());
+  std::printf("%s",
+              netlist::emit_fsm_module(mbist_pfsm::lower_controller_fsm(),
+                                       "pfsm_lower_ctrl")
+                  .c_str());
+  return 0;
+}
+
+int cmd_export(const Options& opt) {
+  if (opt.algorithm.empty()) {
+    // No algorithm: emit the full programmable unit (storage, decoder,
+    // datapath) — it runs any algorithm, so none is needed.
+    std::printf("%s",
+                mbist_ucode::emit_controller_rtl(
+                    {.geometry = geometry_of(opt), .storage_depth = 32})
+                    .c_str());
+    return 0;
+  }
+  const auto alg = resolve_algorithm(opt.algorithm);
+  const auto fsm = mbist_hardwired::generate_fsm(
+      alg, mbist_hardwired::HardwiredFeatures::for_geometry(geometry_of(opt)));
+  std::printf("%s", netlist::emit_fsm_module(
+                        fsm, "bist_" + netlist::verilog_identifier(
+                                           alg.name()) + "_ctrl")
+                        .c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+    if (opt.command == "list") return cmd_list();
+    if (opt.command == "export-decoder") return cmd_export_decoder();
+    if (opt.algorithm.empty() && opt.command != "area" &&
+        !(opt.command == "run" && !opt.program_file.empty()) &&
+        opt.command != "export")
+      usage("this command needs an algorithm name or DSL string");
+    if (opt.command == "assemble") return cmd_assemble(opt);
+    if (opt.command == "qualify") return cmd_qualify(opt);
+    if (opt.command == "run") return cmd_run(opt);
+    if (opt.command == "area") return cmd_area(opt);
+    if (opt.command == "coverage") return cmd_coverage(opt);
+    if (opt.command == "export") return cmd_export(opt);
+    usage(("unknown command " + opt.command).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
