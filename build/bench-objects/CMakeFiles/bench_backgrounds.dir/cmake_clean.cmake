@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_backgrounds"
+  "../bench/bench_backgrounds.pdb"
+  "CMakeFiles/bench_backgrounds.dir/bench_backgrounds.cpp.o"
+  "CMakeFiles/bench_backgrounds.dir/bench_backgrounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backgrounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

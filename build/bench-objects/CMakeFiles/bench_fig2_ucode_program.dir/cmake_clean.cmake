@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_ucode_program"
+  "../bench/bench_fig2_ucode_program.pdb"
+  "CMakeFiles/bench_fig2_ucode_program.dir/bench_fig2_ucode_program.cpp.o"
+  "CMakeFiles/bench_fig2_ucode_program.dir/bench_fig2_ucode_program.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ucode_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_misr_compaction"
+  "../bench/bench_misr_compaction.pdb"
+  "CMakeFiles/bench_misr_compaction.dir/bench_misr_compaction.cpp.o"
+  "CMakeFiles/bench_misr_compaction.dir/bench_misr_compaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misr_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_npsf_screen"
+  "../bench/bench_npsf_screen.pdb"
+  "CMakeFiles/bench_npsf_screen.dir/bench_npsf_screen.cpp.o"
+  "CMakeFiles/bench_npsf_screen.dir/bench_npsf_screen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_npsf_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_program_load"
+  "../bench/bench_program_load.pdb"
+  "CMakeFiles/bench_program_load.dir/bench_program_load.cpp.o"
+  "CMakeFiles/bench_program_load.dir/bench_program_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_program_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_qualifier"
+  "../bench/bench_qualifier.pdb"
+  "CMakeFiles/bench_qualifier.dir/bench_qualifier.cpp.o"
+  "CMakeFiles/bench_qualifier.dir/bench_qualifier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qualifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

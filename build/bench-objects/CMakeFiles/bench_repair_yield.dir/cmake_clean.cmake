@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_repair_yield"
+  "../bench/bench_repair_yield.pdb"
+  "CMakeFiles/bench_repair_yield.dir/bench_repair_yield.cpp.o"
+  "CMakeFiles/bench_repair_yield.dir/bench_repair_yield.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

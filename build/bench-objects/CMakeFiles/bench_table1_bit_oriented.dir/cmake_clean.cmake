@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_bit_oriented"
+  "../bench/bench_table1_bit_oriented.pdb"
+  "CMakeFiles/bench_table1_bit_oriented.dir/bench_table1_bit_oriented.cpp.o"
+  "CMakeFiles/bench_table1_bit_oriented.dir/bench_table1_bit_oriented.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_bit_oriented.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_word_multiport"
+  "../bench/bench_table2_word_multiport.pdb"
+  "CMakeFiles/bench_table2_word_multiport.dir/bench_table2_word_multiport.cpp.o"
+  "CMakeFiles/bench_table2_word_multiport.dir/bench_table2_word_multiport.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_word_multiport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

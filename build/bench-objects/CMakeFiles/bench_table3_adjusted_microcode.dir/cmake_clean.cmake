@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_adjusted_microcode"
+  "../bench/bench_table3_adjusted_microcode.pdb"
+  "CMakeFiles/bench_table3_adjusted_microcode.dir/bench_table3_adjusted_microcode.cpp.o"
+  "CMakeFiles/bench_table3_adjusted_microcode.dir/bench_table3_adjusted_microcode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_adjusted_microcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_test_time"
+  "../bench/bench_test_time.pdb"
+  "CMakeFiles/bench_test_time.dir/bench_test_time.cpp.o"
+  "CMakeFiles/bench_test_time.dir/bench_test_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fault_diagnosis.cpp" "examples/CMakeFiles/fault_diagnosis.dir/fault_diagnosis.cpp.o" "gcc" "examples/CMakeFiles/fault_diagnosis.dir/fault_diagnosis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/pmbist_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pmbist_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/pmbist_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/pmbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbist_hardwired/CMakeFiles/pmbist_hardwired.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/pmbist_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/pmbist_repair.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

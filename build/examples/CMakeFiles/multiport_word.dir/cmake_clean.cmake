@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiport_word.dir/multiport_word.cpp.o"
+  "CMakeFiles/multiport_word.dir/multiport_word.cpp.o.d"
+  "multiport_word"
+  "multiport_word.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiport_word.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

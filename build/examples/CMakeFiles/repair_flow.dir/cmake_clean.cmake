@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_flow.dir/repair_flow.cpp.o"
+  "CMakeFiles/repair_flow.dir/repair_flow.cpp.o.d"
+  "repair_flow"
+  "repair_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netlist")
+subdirs("memsim")
+subdirs("march")
+subdirs("bist")
+subdirs("mbist_ucode")
+subdirs("mbist_pfsm")
+subdirs("mbist_hardwired")
+subdirs("diag")
+subdirs("repair")

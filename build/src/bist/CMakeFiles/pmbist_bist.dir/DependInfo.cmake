@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/controller.cpp" "src/bist/CMakeFiles/pmbist_bist.dir/controller.cpp.o" "gcc" "src/bist/CMakeFiles/pmbist_bist.dir/controller.cpp.o.d"
+  "/root/repo/src/bist/datapath.cpp" "src/bist/CMakeFiles/pmbist_bist.dir/datapath.cpp.o" "gcc" "src/bist/CMakeFiles/pmbist_bist.dir/datapath.cpp.o.d"
+  "/root/repo/src/bist/misr.cpp" "src/bist/CMakeFiles/pmbist_bist.dir/misr.cpp.o" "gcc" "src/bist/CMakeFiles/pmbist_bist.dir/misr.cpp.o.d"
+  "/root/repo/src/bist/session.cpp" "src/bist/CMakeFiles/pmbist_bist.dir/session.cpp.o" "gcc" "src/bist/CMakeFiles/pmbist_bist.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/march/CMakeFiles/pmbist_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pmbist_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pmbist_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

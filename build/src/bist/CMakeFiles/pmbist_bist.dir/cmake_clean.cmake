@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbist_bist.dir/controller.cpp.o"
+  "CMakeFiles/pmbist_bist.dir/controller.cpp.o.d"
+  "CMakeFiles/pmbist_bist.dir/datapath.cpp.o"
+  "CMakeFiles/pmbist_bist.dir/datapath.cpp.o.d"
+  "CMakeFiles/pmbist_bist.dir/misr.cpp.o"
+  "CMakeFiles/pmbist_bist.dir/misr.cpp.o.d"
+  "CMakeFiles/pmbist_bist.dir/session.cpp.o"
+  "CMakeFiles/pmbist_bist.dir/session.cpp.o.d"
+  "libpmbist_bist.a"
+  "libpmbist_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbist_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

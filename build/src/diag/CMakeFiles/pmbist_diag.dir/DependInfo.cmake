@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diag/bitmap.cpp" "src/diag/CMakeFiles/pmbist_diag.dir/bitmap.cpp.o" "gcc" "src/diag/CMakeFiles/pmbist_diag.dir/bitmap.cpp.o.d"
+  "/root/repo/src/diag/classify.cpp" "src/diag/CMakeFiles/pmbist_diag.dir/classify.cpp.o" "gcc" "src/diag/CMakeFiles/pmbist_diag.dir/classify.cpp.o.d"
+  "/root/repo/src/diag/npsf.cpp" "src/diag/CMakeFiles/pmbist_diag.dir/npsf.cpp.o" "gcc" "src/diag/CMakeFiles/pmbist_diag.dir/npsf.cpp.o.d"
+  "/root/repo/src/diag/transparent.cpp" "src/diag/CMakeFiles/pmbist_diag.dir/transparent.cpp.o" "gcc" "src/diag/CMakeFiles/pmbist_diag.dir/transparent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/march/CMakeFiles/pmbist_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pmbist_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

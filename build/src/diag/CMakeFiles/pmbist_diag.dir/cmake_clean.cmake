@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbist_diag.dir/bitmap.cpp.o"
+  "CMakeFiles/pmbist_diag.dir/bitmap.cpp.o.d"
+  "CMakeFiles/pmbist_diag.dir/classify.cpp.o"
+  "CMakeFiles/pmbist_diag.dir/classify.cpp.o.d"
+  "CMakeFiles/pmbist_diag.dir/npsf.cpp.o"
+  "CMakeFiles/pmbist_diag.dir/npsf.cpp.o.d"
+  "CMakeFiles/pmbist_diag.dir/transparent.cpp.o"
+  "CMakeFiles/pmbist_diag.dir/transparent.cpp.o.d"
+  "libpmbist_diag.a"
+  "libpmbist_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbist_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

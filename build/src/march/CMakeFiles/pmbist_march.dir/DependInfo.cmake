@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/march/analysis.cpp" "src/march/CMakeFiles/pmbist_march.dir/analysis.cpp.o" "gcc" "src/march/CMakeFiles/pmbist_march.dir/analysis.cpp.o.d"
+  "/root/repo/src/march/coverage.cpp" "src/march/CMakeFiles/pmbist_march.dir/coverage.cpp.o" "gcc" "src/march/CMakeFiles/pmbist_march.dir/coverage.cpp.o.d"
+  "/root/repo/src/march/expand.cpp" "src/march/CMakeFiles/pmbist_march.dir/expand.cpp.o" "gcc" "src/march/CMakeFiles/pmbist_march.dir/expand.cpp.o.d"
+  "/root/repo/src/march/library.cpp" "src/march/CMakeFiles/pmbist_march.dir/library.cpp.o" "gcc" "src/march/CMakeFiles/pmbist_march.dir/library.cpp.o.d"
+  "/root/repo/src/march/march.cpp" "src/march/CMakeFiles/pmbist_march.dir/march.cpp.o" "gcc" "src/march/CMakeFiles/pmbist_march.dir/march.cpp.o.d"
+  "/root/repo/src/march/parser.cpp" "src/march/CMakeFiles/pmbist_march.dir/parser.cpp.o" "gcc" "src/march/CMakeFiles/pmbist_march.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/pmbist_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

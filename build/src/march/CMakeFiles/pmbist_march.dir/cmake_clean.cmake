@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbist_march.dir/analysis.cpp.o"
+  "CMakeFiles/pmbist_march.dir/analysis.cpp.o.d"
+  "CMakeFiles/pmbist_march.dir/coverage.cpp.o"
+  "CMakeFiles/pmbist_march.dir/coverage.cpp.o.d"
+  "CMakeFiles/pmbist_march.dir/expand.cpp.o"
+  "CMakeFiles/pmbist_march.dir/expand.cpp.o.d"
+  "CMakeFiles/pmbist_march.dir/library.cpp.o"
+  "CMakeFiles/pmbist_march.dir/library.cpp.o.d"
+  "CMakeFiles/pmbist_march.dir/march.cpp.o"
+  "CMakeFiles/pmbist_march.dir/march.cpp.o.d"
+  "CMakeFiles/pmbist_march.dir/parser.cpp.o"
+  "CMakeFiles/pmbist_march.dir/parser.cpp.o.d"
+  "libpmbist_march.a"
+  "libpmbist_march.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbist_march.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbist_hardwired.dir/area.cpp.o"
+  "CMakeFiles/pmbist_hardwired.dir/area.cpp.o.d"
+  "CMakeFiles/pmbist_hardwired.dir/controller.cpp.o"
+  "CMakeFiles/pmbist_hardwired.dir/controller.cpp.o.d"
+  "CMakeFiles/pmbist_hardwired.dir/generator.cpp.o"
+  "CMakeFiles/pmbist_hardwired.dir/generator.cpp.o.d"
+  "libpmbist_hardwired.a"
+  "libpmbist_hardwired.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbist_hardwired.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pmbist_hardwired.
+# This may be replaced when dependencies are built.

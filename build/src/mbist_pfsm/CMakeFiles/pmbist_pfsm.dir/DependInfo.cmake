@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbist_pfsm/area.cpp" "src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/area.cpp.o" "gcc" "src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/area.cpp.o.d"
+  "/root/repo/src/mbist_pfsm/compiler.cpp" "src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/compiler.cpp.o" "gcc" "src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/compiler.cpp.o.d"
+  "/root/repo/src/mbist_pfsm/components.cpp" "src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/components.cpp.o" "gcc" "src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/components.cpp.o.d"
+  "/root/repo/src/mbist_pfsm/controller.cpp" "src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/controller.cpp.o" "gcc" "src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/controller.cpp.o.d"
+  "/root/repo/src/mbist_pfsm/isa.cpp" "src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/isa.cpp.o" "gcc" "src/mbist_pfsm/CMakeFiles/pmbist_pfsm.dir/isa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bist/CMakeFiles/pmbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/pmbist_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pmbist_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pmbist_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbist_pfsm.dir/area.cpp.o"
+  "CMakeFiles/pmbist_pfsm.dir/area.cpp.o.d"
+  "CMakeFiles/pmbist_pfsm.dir/compiler.cpp.o"
+  "CMakeFiles/pmbist_pfsm.dir/compiler.cpp.o.d"
+  "CMakeFiles/pmbist_pfsm.dir/components.cpp.o"
+  "CMakeFiles/pmbist_pfsm.dir/components.cpp.o.d"
+  "CMakeFiles/pmbist_pfsm.dir/controller.cpp.o"
+  "CMakeFiles/pmbist_pfsm.dir/controller.cpp.o.d"
+  "CMakeFiles/pmbist_pfsm.dir/isa.cpp.o"
+  "CMakeFiles/pmbist_pfsm.dir/isa.cpp.o.d"
+  "libpmbist_pfsm.a"
+  "libpmbist_pfsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbist_pfsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

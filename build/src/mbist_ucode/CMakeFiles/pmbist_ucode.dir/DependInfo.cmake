@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbist_ucode/area.cpp" "src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/area.cpp.o" "gcc" "src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/area.cpp.o.d"
+  "/root/repo/src/mbist_ucode/assembler.cpp" "src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/assembler.cpp.o" "gcc" "src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/assembler.cpp.o.d"
+  "/root/repo/src/mbist_ucode/controller.cpp" "src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/controller.cpp.o" "gcc" "src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/controller.cpp.o.d"
+  "/root/repo/src/mbist_ucode/isa.cpp" "src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/isa.cpp.o" "gcc" "src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/isa.cpp.o.d"
+  "/root/repo/src/mbist_ucode/rtl.cpp" "src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/rtl.cpp.o" "gcc" "src/mbist_ucode/CMakeFiles/pmbist_ucode.dir/rtl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bist/CMakeFiles/pmbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pmbist_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/pmbist_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pmbist_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

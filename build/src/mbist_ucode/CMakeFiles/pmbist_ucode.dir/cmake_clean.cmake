@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbist_ucode.dir/area.cpp.o"
+  "CMakeFiles/pmbist_ucode.dir/area.cpp.o.d"
+  "CMakeFiles/pmbist_ucode.dir/assembler.cpp.o"
+  "CMakeFiles/pmbist_ucode.dir/assembler.cpp.o.d"
+  "CMakeFiles/pmbist_ucode.dir/controller.cpp.o"
+  "CMakeFiles/pmbist_ucode.dir/controller.cpp.o.d"
+  "CMakeFiles/pmbist_ucode.dir/isa.cpp.o"
+  "CMakeFiles/pmbist_ucode.dir/isa.cpp.o.d"
+  "CMakeFiles/pmbist_ucode.dir/rtl.cpp.o"
+  "CMakeFiles/pmbist_ucode.dir/rtl.cpp.o.d"
+  "libpmbist_ucode.a"
+  "libpmbist_ucode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbist_ucode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

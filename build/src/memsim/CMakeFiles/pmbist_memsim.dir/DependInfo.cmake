@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/fault_model.cpp" "src/memsim/CMakeFiles/pmbist_memsim.dir/fault_model.cpp.o" "gcc" "src/memsim/CMakeFiles/pmbist_memsim.dir/fault_model.cpp.o.d"
+  "/root/repo/src/memsim/faulty_memory.cpp" "src/memsim/CMakeFiles/pmbist_memsim.dir/faulty_memory.cpp.o" "gcc" "src/memsim/CMakeFiles/pmbist_memsim.dir/faulty_memory.cpp.o.d"
+  "/root/repo/src/memsim/memory.cpp" "src/memsim/CMakeFiles/pmbist_memsim.dir/memory.cpp.o" "gcc" "src/memsim/CMakeFiles/pmbist_memsim.dir/memory.cpp.o.d"
+  "/root/repo/src/memsim/topology.cpp" "src/memsim/CMakeFiles/pmbist_memsim.dir/topology.cpp.o" "gcc" "src/memsim/CMakeFiles/pmbist_memsim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

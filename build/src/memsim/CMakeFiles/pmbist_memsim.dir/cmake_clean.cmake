@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbist_memsim.dir/fault_model.cpp.o"
+  "CMakeFiles/pmbist_memsim.dir/fault_model.cpp.o.d"
+  "CMakeFiles/pmbist_memsim.dir/faulty_memory.cpp.o"
+  "CMakeFiles/pmbist_memsim.dir/faulty_memory.cpp.o.d"
+  "CMakeFiles/pmbist_memsim.dir/memory.cpp.o"
+  "CMakeFiles/pmbist_memsim.dir/memory.cpp.o.d"
+  "CMakeFiles/pmbist_memsim.dir/topology.cpp.o"
+  "CMakeFiles/pmbist_memsim.dir/topology.cpp.o.d"
+  "libpmbist_memsim.a"
+  "libpmbist_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbist_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/components.cpp" "src/netlist/CMakeFiles/pmbist_netlist.dir/components.cpp.o" "gcc" "src/netlist/CMakeFiles/pmbist_netlist.dir/components.cpp.o.d"
+  "/root/repo/src/netlist/fsm_synth.cpp" "src/netlist/CMakeFiles/pmbist_netlist.dir/fsm_synth.cpp.o" "gcc" "src/netlist/CMakeFiles/pmbist_netlist.dir/fsm_synth.cpp.o.d"
+  "/root/repo/src/netlist/gate_inventory.cpp" "src/netlist/CMakeFiles/pmbist_netlist.dir/gate_inventory.cpp.o" "gcc" "src/netlist/CMakeFiles/pmbist_netlist.dir/gate_inventory.cpp.o.d"
+  "/root/repo/src/netlist/logic.cpp" "src/netlist/CMakeFiles/pmbist_netlist.dir/logic.cpp.o" "gcc" "src/netlist/CMakeFiles/pmbist_netlist.dir/logic.cpp.o.d"
+  "/root/repo/src/netlist/qm.cpp" "src/netlist/CMakeFiles/pmbist_netlist.dir/qm.cpp.o" "gcc" "src/netlist/CMakeFiles/pmbist_netlist.dir/qm.cpp.o.d"
+  "/root/repo/src/netlist/tech_library.cpp" "src/netlist/CMakeFiles/pmbist_netlist.dir/tech_library.cpp.o" "gcc" "src/netlist/CMakeFiles/pmbist_netlist.dir/tech_library.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/pmbist_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/pmbist_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbist_netlist.dir/components.cpp.o"
+  "CMakeFiles/pmbist_netlist.dir/components.cpp.o.d"
+  "CMakeFiles/pmbist_netlist.dir/fsm_synth.cpp.o"
+  "CMakeFiles/pmbist_netlist.dir/fsm_synth.cpp.o.d"
+  "CMakeFiles/pmbist_netlist.dir/gate_inventory.cpp.o"
+  "CMakeFiles/pmbist_netlist.dir/gate_inventory.cpp.o.d"
+  "CMakeFiles/pmbist_netlist.dir/logic.cpp.o"
+  "CMakeFiles/pmbist_netlist.dir/logic.cpp.o.d"
+  "CMakeFiles/pmbist_netlist.dir/qm.cpp.o"
+  "CMakeFiles/pmbist_netlist.dir/qm.cpp.o.d"
+  "CMakeFiles/pmbist_netlist.dir/tech_library.cpp.o"
+  "CMakeFiles/pmbist_netlist.dir/tech_library.cpp.o.d"
+  "CMakeFiles/pmbist_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/pmbist_netlist.dir/verilog.cpp.o.d"
+  "libpmbist_netlist.a"
+  "libpmbist_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbist_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

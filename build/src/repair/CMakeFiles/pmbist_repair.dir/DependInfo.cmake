@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/redundancy.cpp" "src/repair/CMakeFiles/pmbist_repair.dir/redundancy.cpp.o" "gcc" "src/repair/CMakeFiles/pmbist_repair.dir/redundancy.cpp.o.d"
+  "/root/repo/src/repair/repaired_memory.cpp" "src/repair/CMakeFiles/pmbist_repair.dir/repaired_memory.cpp.o" "gcc" "src/repair/CMakeFiles/pmbist_repair.dir/repaired_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diag/CMakeFiles/pmbist_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pmbist_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/pmbist_march.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

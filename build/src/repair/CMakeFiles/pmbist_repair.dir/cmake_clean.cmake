@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbist_repair.dir/redundancy.cpp.o"
+  "CMakeFiles/pmbist_repair.dir/redundancy.cpp.o.d"
+  "CMakeFiles/pmbist_repair.dir/repaired_memory.cpp.o"
+  "CMakeFiles/pmbist_repair.dir/repaired_memory.cpp.o.d"
+  "libpmbist_repair.a"
+  "libpmbist_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbist_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross.dir/test_cross.cpp.o"
+  "CMakeFiles/test_cross.dir/test_cross.cpp.o.d"
+  "test_cross"
+  "test_cross.pdb"
+  "test_cross[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardwired.dir/test_hardwired.cpp.o"
+  "CMakeFiles/test_hardwired.dir/test_hardwired.cpp.o.d"
+  "test_hardwired"
+  "test_hardwired.pdb"
+  "test_hardwired[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardwired.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

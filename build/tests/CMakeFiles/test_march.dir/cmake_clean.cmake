@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_march.dir/test_march.cpp.o"
+  "CMakeFiles/test_march.dir/test_march.cpp.o.d"
+  "test_march"
+  "test_march.pdb"
+  "test_march[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_march.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

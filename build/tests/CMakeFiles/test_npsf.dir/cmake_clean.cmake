@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npsf.dir/test_npsf.cpp.o"
+  "CMakeFiles/test_npsf.dir/test_npsf.cpp.o.d"
+  "test_npsf"
+  "test_npsf.pdb"
+  "test_npsf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

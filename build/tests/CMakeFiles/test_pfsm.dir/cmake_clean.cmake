@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfsm.dir/test_pfsm.cpp.o"
+  "CMakeFiles/test_pfsm.dir/test_pfsm.cpp.o.d"
+  "test_pfsm"
+  "test_pfsm.pdb"
+  "test_pfsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

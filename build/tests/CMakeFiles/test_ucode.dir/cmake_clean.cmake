@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ucode.dir/test_ucode.cpp.o"
+  "CMakeFiles/test_ucode.dir/test_ucode.cpp.o.d"
+  "test_ucode"
+  "test_ucode.pdb"
+  "test_ucode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ucode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim[1]_include.cmake")
+include("/root/repo/build/tests/test_march[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_ucode[1]_include.cmake")
+include("/root/repo/build/tests/test_pfsm[1]_include.cmake")
+include("/root/repo/build/tests/test_hardwired[1]_include.cmake")
+include("/root/repo/build/tests/test_diag[1]_include.cmake")
+include("/root/repo/build/tests/test_cross[1]_include.cmake")
+include("/root/repo/build/tests/test_bist[1]_include.cmake")
+include("/root/repo/build/tests/test_misr[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_verilog[1]_include.cmake")
+include("/root/repo/build/tests/test_npsf[1]_include.cmake")
+include("/root/repo/build/tests/test_repair[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_umbrella[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbist_cli.dir/pmbist_cli.cpp.o"
+  "CMakeFiles/pmbist_cli.dir/pmbist_cli.cpp.o.d"
+  "pmbist"
+  "pmbist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbist_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

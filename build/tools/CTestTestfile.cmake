@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/pmbist" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_assemble "/root/repo/build/tools/pmbist" "assemble" "March C")
+set_tests_properties(cli_assemble PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_assemble_dsl "/root/repo/build/tools/pmbist" "assemble" "any(w0); up(r0,w1); down(r1,w0)")
+set_tests_properties(cli_assemble_dsl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qualify "/root/repo/build/tools/pmbist" "qualify" "MATS+")
+set_tests_properties(cli_qualify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_pass "/root/repo/build/tools/pmbist" "run" "March C" "--addr-bits" "5" "--arch" "hardwired")
+set_tests_properties(cli_run_pass PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_fail "/root/repo/build/tools/pmbist" "run" "March C" "--addr-bits" "5" "--fault" "SAF")
+set_tests_properties(cli_run_fail PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_area "/root/repo/build/tools/pmbist" "area" "--addr-bits" "8")
+set_tests_properties(cli_area PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_coverage "/root/repo/build/tools/pmbist" "coverage" "MATS" "--addr-bits" "4" "--samples" "8")
+set_tests_properties(cli_coverage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_export "/root/repo/build/tools/pmbist" "export" "March C+")
+set_tests_properties(cli_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_export_unit "/root/repo/build/tools/pmbist" "export" "--word-bits" "8")
+set_tests_properties(cli_export_unit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_export_decoder "/root/repo/build/tools/pmbist" "export-decoder")
+set_tests_properties(cli_export_decoder PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_command "/root/repo/build/tools/pmbist" "frobnicate")
+set_tests_properties(cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_algorithm "/root/repo/build/tools/pmbist" "assemble" "March Zeta")
+set_tests_properties(cli_bad_algorithm PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
