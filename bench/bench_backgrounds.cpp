@@ -25,7 +25,7 @@ int main() {
       march::standard_backgrounds(geom.word_bits).size());
 
   std::printf("=== Data-background ablation (March C, 32 x 8 array, %zu "
-              "intra-word coupling faults) ===\n\n",
+              "intra-word coupling faults, parallel campaigns) ===\n\n",
               faults.size());
   std::printf("  %12s %12s %12s\n", "backgrounds", "ops", "detected");
 

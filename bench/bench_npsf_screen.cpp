@@ -12,6 +12,7 @@
 
 #include "bench_common.h"
 #include "diag/npsf.h"
+#include "march/campaign.h"
 #include "march/expand.h"
 
 int main() {
@@ -36,14 +37,12 @@ int main() {
   std::uint64_t screen_ops = 0;
   std::uint64_t march_ops = 0;
 
+  // The screen stream is not a march expansion, so it feeds the campaign
+  // runner directly (no cache); faults shard across all cores.
+  const march::CampaignRunner runner{{.powerup_seed = 7}};
   auto measure = [&](const char* name, const march::OpStream& stream) {
-    int detected = 0;
-    for (const auto& fault : faults) {
-      memsim::FaultyMemory mem{geom, 7};
-      mem.add_fault(fault);
-      if (!march::run_stream(stream, mem, 1).passed()) ++detected;
-    }
-    const double ratio = static_cast<double>(detected) /
+    const auto result = runner.run(stream, geom, faults);
+    const double ratio = static_cast<double>(result.detected()) /
                          static_cast<double>(faults.size());
     std::printf("  %-12s %10zu %11.1f%%\n", name, stream.size(),
                 100.0 * ratio);

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 build + test sweep, then a ThreadSanitizer
+# build that exercises the parallel campaign engine (test_campaign) for
+# data races.  Mirrors .github/workflows/ci.yml so the pipeline can be
+# reproduced locally with a single command.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== self-checking benches (campaign determinism gate included) =="
+./build/bench/bench_fault_coverage
+./build/bench/bench_qualifier
+
+echo "== tsan: parallel campaign engine =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "${JOBS}" --target test_campaign
+./build-tsan/tests/test_campaign
+
+echo "== ci.sh: all green =="

@@ -1,0 +1,59 @@
+#pragma once
+// Minimal reusable worker pool for the embarrassingly parallel loops in
+// this project (fault-simulation campaigns, qualification sweeps).
+//
+// Design constraints, in order:
+//   1. determinism — the pool never decides *what* a result is, only *who*
+//      computes it; callers write into disjoint, pre-sized slots so output
+//      is bit-identical for any worker count;
+//   2. zero new dependencies — std::thread only;
+//   3. reuse — one process-wide pool (shared_pool()) sized to the hardware,
+//      so repeated campaigns do not pay thread start-up per call.
+//
+// Tasks must not block on work scheduled in the same pool (no nested
+// parallel_shards from inside a task); the campaign engine keeps all
+// nesting at the caller level.
+
+#include <functional>
+#include <vector>
+
+namespace pmbist::common {
+
+/// Maps a user-facing jobs request to a concrete worker count:
+/// jobs <= 0 means "use the hardware" (std::thread::hardware_concurrency,
+/// never less than 1); any positive value is taken literally.
+[[nodiscard]] int resolve_jobs(int jobs);
+
+/// Fixed-size worker pool.  submit() enqueues a task; TaskGroup (below)
+/// provides completion tracking for a batch.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] int size() const noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-wide pool, lazily created with hardware_concurrency
+/// workers.  Lives for the process lifetime (never destroyed, so tasks in
+/// flight at exit cannot race teardown).
+[[nodiscard]] ThreadPool& shared_pool();
+
+/// Runs fn(shard) for every shard in [0, num_shards), using up to `jobs`
+/// workers (resolved via resolve_jobs) from the shared pool; the calling
+/// thread participates, so jobs <= 1 degenerates to a plain inline loop.
+/// Shards are claimed dynamically (load-balanced); exceptions thrown by
+/// `fn` are captured and the first one is rethrown on the caller.
+void parallel_shards(int jobs, int num_shards,
+                     const std::function<void(int)>& fn);
+
+}  // namespace pmbist::common

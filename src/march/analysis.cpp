@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/thread_pool.h"
+#include "march/campaign.h"
 #include "march/library.h"
 
 namespace pmbist::march {
@@ -163,25 +165,45 @@ Detection analyze(const MarchAlgorithm& alg, FaultClass cls) {
   return Detection::Partial;
 }
 
-std::map<FaultClass, Detection> analyze_all(const MarchAlgorithm& alg) {
+std::map<FaultClass, Detection> analyze_all(const MarchAlgorithm& alg,
+                                            int jobs) {
+  if (jobs == 0) jobs = default_campaign_jobs();
+  const auto& classes = memsim::all_fault_classes();
+  std::vector<Detection> verdicts(classes.size());
+  common::parallel_shards(jobs, static_cast<int>(classes.size()),
+                          [&](int i) {
+                            verdicts[static_cast<std::size_t>(i)] = analyze(
+                                alg, classes[static_cast<std::size_t>(i)]);
+                          });
   std::map<FaultClass, Detection> out;
-  for (FaultClass cls : memsim::all_fault_classes())
-    out[cls] = analyze(alg, cls);
+  for (std::size_t i = 0; i < classes.size(); ++i)
+    out[classes[i]] = verdicts[i];
   return out;
 }
 
 std::string format_analysis_table(
     std::span<const MarchAlgorithm> algorithms,
-    std::span<const FaultClass> classes) {
+    std::span<const FaultClass> classes, int jobs) {
+  // Sweep every (algorithm, class) pair in parallel, then format from the
+  // dense verdict grid — the table text is order-independent of jobs.
+  if (jobs == 0) jobs = default_campaign_jobs();
+  std::vector<Detection> grid(algorithms.size() * classes.size());
+  common::parallel_shards(
+      jobs, static_cast<int>(grid.size()), [&](int i) {
+        const auto a = static_cast<std::size_t>(i) / classes.size();
+        const auto c = static_cast<std::size_t>(i) % classes.size();
+        grid[static_cast<std::size_t>(i)] = analyze(algorithms[a], classes[c]);
+      });
+
   std::ostringstream os;
   os << std::left << std::setw(16) << "algorithm";
   for (FaultClass c : classes)
     os << std::right << std::setw(6) << memsim::fault_class_name(c);
   os << "\n";
-  for (const auto& alg : algorithms) {
-    os << std::left << std::setw(16) << alg.name();
-    for (FaultClass c : classes) {
-      const Detection d = analyze(alg, c);
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    os << std::left << std::setw(16) << algorithms[a].name();
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      const Detection d = grid[a * classes.size() + c];
       const char mark = d == Detection::Guaranteed ? 'G'
                         : d == Detection::Partial  ? 'p'
                                                    : '-';

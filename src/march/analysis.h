@@ -39,13 +39,16 @@ enum class Detection : std::uint8_t { None, Partial, Guaranteed };
 [[nodiscard]] Detection analyze(const MarchAlgorithm& alg,
                                 memsim::FaultClass cls);
 
-/// Qualifies `alg` against every fault class.
+/// Qualifies `alg` against every fault class.  `jobs` spreads the
+/// per-class exhaustive sweeps across workers (0 = process default, 1 =
+/// serial); verdicts are identical for any value.
 [[nodiscard]] std::map<memsim::FaultClass, Detection> analyze_all(
-    const MarchAlgorithm& alg);
+    const MarchAlgorithm& alg, int jobs = 0);
 
 /// Fixed-width text table over a set of algorithms (G / p / - cells).
+/// The (algorithm x class) sweeps run on up to `jobs` workers.
 [[nodiscard]] std::string format_analysis_table(
     std::span<const MarchAlgorithm> algorithms,
-    std::span<const memsim::FaultClass> classes);
+    std::span<const memsim::FaultClass> classes, int jobs = 0);
 
 }  // namespace pmbist::march

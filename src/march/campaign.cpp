@@ -1,0 +1,170 @@
+#include "march/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace pmbist::march {
+namespace {
+
+// Replays the stream against one injected memory, stopping at the first
+// mismatch: detection and first_failure_op are exactly what the serial
+// run_stream(..., max_failures=1) path observes, and the memory is
+// discarded afterwards, so nothing downstream sees the truncated state.
+DetectionRecord replay(std::span<const MemOp> stream, memsim::Memory& memory,
+                       std::uint32_t fault_index) {
+  DetectionRecord record;
+  record.fault_index = fault_index;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const MemOp& op = stream[i];
+    switch (op.kind) {
+      case MemOp::Kind::Pause:
+        memory.advance_time_ns(op.pause_ns);
+        break;
+      case MemOp::Kind::Write:
+        memory.write(op.port, op.addr, op.data);
+        break;
+      case MemOp::Kind::Read:
+        if (memory.read(op.port, op.addr) != op.data) {
+          record.detected = true;
+          record.first_failure_op = i;
+          return record;
+        }
+        break;
+    }
+  }
+  return record;
+}
+
+std::atomic<int> g_default_jobs{0};
+
+// Shared universe driver: one thread-local memory per worker, reset
+// between instances; each instance writes only its own record slot, so
+// the merged result is ordered by fault index and invariant under jobs.
+template <typename InjectFn>
+CampaignResult run_universe(const CampaignConfig& config,
+                            std::span<const MemOp> stream,
+                            const MemoryGeometry& geometry, int count,
+                            const InjectFn& inject) {
+  CampaignResult result;
+  result.records.resize(static_cast<std::size_t>(count));
+  if (count == 0) return result;
+
+  int jobs = config.jobs != 0 ? config.jobs : default_campaign_jobs();
+  jobs = std::min(common::resolve_jobs(jobs), count);
+
+  std::atomic<int> next{0};
+  common::parallel_shards(jobs, jobs, [&](int) {
+    memsim::FaultyMemory memory{geometry, config.powerup_seed};
+    bool fresh = true;
+    for (int i; (i = next.fetch_add(1)) < count;) {
+      if (!fresh) memory.reset(config.powerup_seed);
+      fresh = false;
+      inject(i, memory);
+      result.records[static_cast<std::size_t>(i)] =
+          replay(stream, memory, static_cast<std::uint32_t>(i));
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+int CampaignResult::detected() const noexcept {
+  int n = 0;
+  for (const auto& r : records) n += r.detected ? 1 : 0;
+  return n;
+}
+
+void set_default_campaign_jobs(int jobs) { g_default_jobs.store(jobs); }
+int default_campaign_jobs() { return g_default_jobs.load(); }
+
+CampaignResult CampaignRunner::run(std::span<const MemOp> stream,
+                                   const MemoryGeometry& geometry,
+                                   std::span<const memsim::Fault> universe)
+    const {
+  return run_universe(config_, stream, geometry,
+                      static_cast<int>(universe.size()),
+                      [&](int i, memsim::FaultyMemory& memory) {
+                        memory.add_fault(
+                            universe[static_cast<std::size_t>(i)]);
+                      });
+}
+
+CampaignResult CampaignRunner::run_groups(
+    std::span<const MemOp> stream, const MemoryGeometry& geometry,
+    std::span<const FaultGroup> universe) const {
+  return run_universe(config_, stream, geometry,
+                      static_cast<int>(universe.size()),
+                      [&](int i, memsim::FaultyMemory& memory) {
+                        for (const auto& fault :
+                             universe[static_cast<std::size_t>(i)])
+                          memory.add_fault(fault);
+                      });
+}
+
+struct StreamCache::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::shared_ptr<const OpStream>> entries;
+  Stats counters;
+};
+
+StreamCache::StreamCache() : impl_{std::make_unique<Impl>()} {}
+StreamCache::~StreamCache() = default;
+
+std::shared_ptr<const OpStream> StreamCache::get(
+    const MarchAlgorithm& alg, const MemoryGeometry& geometry) {
+  // Canonical text is the identity of an algorithm (name is presentation);
+  // two differently named but textually equal algorithms share an entry.
+  std::string key = std::to_string(geometry.address_bits) + "x" +
+                    std::to_string(geometry.word_bits) + "x" +
+                    std::to_string(geometry.num_ports) + "|" +
+                    alg.to_string();
+  {
+    std::lock_guard lock{impl_->mu};
+    if (auto it = impl_->entries.find(key); it != impl_->entries.end()) {
+      ++impl_->counters.hits;
+      return it->second;
+    }
+  }
+  // Expand outside the lock (expansion is the expensive part); a racing
+  // duplicate expansion is harmless and the first insert wins.
+  auto stream = std::make_shared<const OpStream>(expand(alg, geometry));
+  std::lock_guard lock{impl_->mu};
+  if (auto it = impl_->entries.find(key); it != impl_->entries.end()) {
+    ++impl_->counters.hits;
+    return it->second;
+  }
+  ++impl_->counters.misses;
+  if (impl_->entries.size() >= 256) impl_->entries.clear();  // runaway guard
+  impl_->entries.emplace(std::move(key), stream);
+  return stream;
+}
+
+StreamCache::Stats StreamCache::stats() const {
+  std::lock_guard lock{impl_->mu};
+  return impl_->counters;
+}
+
+void StreamCache::clear() {
+  std::lock_guard lock{impl_->mu};
+  impl_->entries.clear();
+}
+
+StreamCache& stream_cache() {
+  static StreamCache cache;
+  return cache;
+}
+
+CampaignResult run_campaign(const MarchAlgorithm& alg,
+                            const MemoryGeometry& geometry,
+                            std::span<const memsim::Fault> universe,
+                            const CampaignConfig& config) {
+  const auto stream = stream_cache().get(alg, geometry);
+  return CampaignRunner{config}.run(*stream, geometry, universe);
+}
+
+}  // namespace pmbist::march

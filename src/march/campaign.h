@@ -1,0 +1,137 @@
+#pragma once
+// Parallel fault-simulation campaign engine.
+//
+// A campaign replays one immutable reference op stream against thousands
+// of independently injected fault instances — the hottest loop in the
+// project (it dominates the coverage, qualifier, background-sweep and
+// NPSF benches).  This engine makes that loop scale with cores while
+// keeping results bit-identical to the serial path:
+//
+//   * the stream is expanded ONCE per (algorithm x geometry) and cached
+//     (stream_cache()); every worker replays the same shared, read-only
+//     vector;
+//   * the fault universe is sharded dynamically across workers; each
+//     worker owns one thread-local FaultyMemory that is cheaply reset()
+//     between instances instead of reconstructed;
+//   * every fault writes its DetectionRecord into its own pre-sized slot,
+//     so the merged result is ordered by fault index and independent of
+//     the worker count — jobs=8 is byte-identical to jobs=1 by
+//     construction (each simulation depends only on stream, geometry,
+//     power-up seed and the injected fault, never on scheduling).
+//
+// docs/CAMPAIGNS.md documents the determinism contract and how to plug in
+// a new fault universe.
+
+#include <memory>
+#include <span>
+
+#include "march/expand.h"
+#include "memsim/faulty_memory.h"
+
+namespace pmbist::march {
+
+/// A set of faults injected together into one memory instance (size 1 for
+/// plain universes; 2 for linked-fault pairs).
+using FaultGroup = std::vector<memsim::Fault>;
+
+/// Outcome of simulating one fault group against the stream.
+struct DetectionRecord {
+  static constexpr std::size_t kNoFailure = static_cast<std::size_t>(-1);
+
+  std::uint32_t fault_index = 0;        ///< index into the input universe
+  bool detected = false;                ///< any read mismatch observed
+  std::size_t first_failure_op = kNoFailure;  ///< op index of first mismatch
+
+  friend bool operator==(const DetectionRecord&,
+                         const DetectionRecord&) = default;
+};
+
+/// Merged campaign outcome; `records` is always ordered by fault index and
+/// invariant under the worker count.
+struct CampaignResult {
+  std::vector<DetectionRecord> records;
+
+  [[nodiscard]] int total() const noexcept {
+    return static_cast<int>(records.size());
+  }
+  [[nodiscard]] int detected() const noexcept;
+};
+
+struct CampaignConfig {
+  /// Worker count; 0 defers to default_campaign_jobs() (itself defaulting
+  /// to hardware concurrency).  1 forces the serial reference path.
+  int jobs = 0;
+  /// Power-up seed for every simulated memory instance (same convention as
+  /// CoverageOptions::seed / the FaultyMemory constructor).
+  std::uint64_t powerup_seed = 1;
+};
+
+/// Process-wide default used when CampaignConfig::jobs == 0; the CLI's
+/// --jobs flag sets it.  0 (the initial value) means hardware concurrency.
+void set_default_campaign_jobs(int jobs);
+[[nodiscard]] int default_campaign_jobs();
+
+/// Replays `stream` against each fault (group) of a universe, one fresh
+/// memory per instance, in parallel.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig config = {}) : config_{config} {}
+
+  /// Single-fault universe (the common case).
+  [[nodiscard]] CampaignResult run(std::span<const MemOp> stream,
+                                   const MemoryGeometry& geometry,
+                                   std::span<const memsim::Fault> universe)
+      const;
+
+  /// Multi-fault-per-instance universe (linked faults and the like).
+  [[nodiscard]] CampaignResult run_groups(
+      std::span<const MemOp> stream, const MemoryGeometry& geometry,
+      std::span<const FaultGroup> universe) const;
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  CampaignConfig config_;
+};
+
+/// Keyed cache of reference expansions (canonical algorithm text x
+/// geometry), so repeated campaigns over the same pair expand once.
+/// Thread-safe; entries are shared immutable streams.
+class StreamCache {
+ public:
+  StreamCache();
+  ~StreamCache();
+  StreamCache(const StreamCache&) = delete;
+  StreamCache& operator=(const StreamCache&) = delete;
+
+  /// Returns the cached expansion, expanding on first use.
+  [[nodiscard]] std::shared_ptr<const OpStream> get(
+      const MarchAlgorithm& alg, const MemoryGeometry& geometry);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops all entries (stats are kept); exposed for tests.
+  void clear();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide expansion cache used by run_campaign() and the
+/// coverage front ends.
+[[nodiscard]] StreamCache& stream_cache();
+
+/// One-call front end: expands `alg` over `geometry` through the shared
+/// cache and runs the campaign under `config`.
+[[nodiscard]] CampaignResult run_campaign(
+    const MarchAlgorithm& alg, const MemoryGeometry& geometry,
+    std::span<const memsim::Fault> universe, const CampaignConfig& config = {});
+
+}  // namespace pmbist::march

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "march/campaign.h"
 #include "march/library.h"
 
 namespace pmbist::march {
@@ -256,10 +257,12 @@ CoverageCell evaluate_with_backgrounds(const MarchAlgorithm& alg,
                                        const MemoryGeometry& geometry,
                                        std::span<const memsim::Fault> faults,
                                        int num_backgrounds,
-                                       std::uint64_t powerup_seed) {
+                                       std::uint64_t powerup_seed, int jobs) {
   const auto all_bgs = standard_backgrounds(geometry.word_bits);
   assert(num_backgrounds >= 1 &&
          num_backgrounds <= static_cast<int>(all_bgs.size()));
+  // Truncated-background expansions are not the canonical stream, so they
+  // bypass the shared cache and feed the runner directly.
   OpStream stream;
   for (int port = 0; port < geometry.num_ports; ++port) {
     for (int b = 0; b < num_backgrounds; ++b) {
@@ -269,50 +272,35 @@ CoverageCell evaluate_with_backgrounds(const MarchAlgorithm& alg,
       stream.insert(stream.end(), pass.begin(), pass.end());
     }
   }
-  CoverageCell cell;
-  cell.total = static_cast<int>(faults.size());
-  for (const auto& fault : faults) {
-    memsim::FaultyMemory mem{geometry, powerup_seed};
-    mem.add_fault(fault);
-    if (!run_stream(stream, mem, /*max_failures=*/1).passed())
-      ++cell.detected;
-  }
-  return cell;
+  const CampaignRunner runner{{.jobs = jobs, .powerup_seed = powerup_seed}};
+  const auto result = runner.run(stream, geometry, faults);
+  return CoverageCell{result.detected(), result.total()};
 }
 
 CoverageCell evaluate_linked_coverage(const MarchAlgorithm& alg,
                                       const MemoryGeometry& geometry,
                                       const CoverageOptions& opts) {
-  const OpStream stream = expand(alg, geometry);
+  const auto stream = stream_cache().get(alg, geometry);
   const auto universe = make_linked_cfid_universe(
       geometry, opts.seed, opts.max_instances_per_class);
-  CoverageCell cell;
-  cell.total = static_cast<int>(universe.size());
-  for (const auto& [first, second] : universe) {
-    memsim::FaultyMemory mem{geometry, opts.seed};
-    mem.add_fault(first);
-    mem.add_fault(second);
-    if (!run_stream(stream, mem, /*max_failures=*/1).passed())
-      ++cell.detected;
-  }
-  return cell;
+  std::vector<FaultGroup> groups;
+  groups.reserve(universe.size());
+  for (const auto& [first, second] : universe)
+    groups.push_back(FaultGroup{first, second});
+  const CampaignRunner runner{{.jobs = opts.jobs, .powerup_seed = opts.seed}};
+  const auto result = runner.run_groups(*stream, geometry, groups);
+  return CoverageCell{result.detected(), result.total()};
 }
 
 CoverageCell evaluate_coverage(const MarchAlgorithm& alg, FaultClass cls,
                                const MemoryGeometry& geometry,
                                const CoverageOptions& opts) {
-  const OpStream stream = expand(alg, geometry);
   const auto universe = make_fault_universe(cls, geometry, opts.seed,
                                             opts.max_instances_per_class);
-  CoverageCell cell;
-  cell.total = static_cast<int>(universe.size());
-  for (const auto& fault : universe) {
-    memsim::FaultyMemory mem{geometry, opts.seed};
-    mem.add_fault(fault);
-    const RunResult r = run_stream(stream, mem, /*max_failures=*/1);
-    if (!r.passed()) ++cell.detected;
-  }
-  return cell;
+  const auto result = run_campaign(
+      alg, geometry, universe,
+      {.jobs = opts.jobs, .powerup_seed = opts.seed});
+  return CoverageCell{result.detected(), result.total()};
 }
 
 std::vector<CoverageRow> coverage_matrix(

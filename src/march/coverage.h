@@ -7,6 +7,11 @@
 // (any read mismatch) is recorded.  This substantiates the coverage claims
 // behind the paper's algorithm family: the + variants add DRF detection,
 // the ++ variants add deceptive-read (disconnected pull-up/down) detection.
+//
+// The evaluate_* front ends below run on the parallel campaign engine
+// (campaign.h): streams are expanded once per (algorithm x geometry) and
+// fault instances are sharded across workers, with results guaranteed
+// identical to the serial path for any worker count.
 
 #include <map>
 #include <span>
@@ -77,6 +82,10 @@ struct CoverageRow {
 struct CoverageOptions {
   std::uint64_t seed = 42;
   int max_instances_per_class = 64;
+  /// Campaign worker count: 0 = process default (hardware concurrency,
+  /// overridable via set_default_campaign_jobs), 1 = serial.  Results are
+  /// identical for every value — see campaign.h for the contract.
+  int jobs = 0;
 };
 
 /// Evaluates detection of `alg` against one fault class.
@@ -92,11 +101,12 @@ struct CoverageOptions {
 
 /// Runs `alg` expanded with only the first `num_backgrounds` data
 /// backgrounds (1 = all-zeros only) against each fault of `faults`;
-/// returns the detection cell.  Ports are swept as usual.
+/// returns the detection cell.  Ports are swept as usual.  `jobs` is the
+/// campaign worker count (0 = process default).
 [[nodiscard]] CoverageCell evaluate_with_backgrounds(
     const MarchAlgorithm& alg, const MemoryGeometry& geometry,
     std::span<const memsim::Fault> faults, int num_backgrounds,
-    std::uint64_t powerup_seed = 1);
+    std::uint64_t powerup_seed = 1, int jobs = 0);
 
 /// Full matrix over algorithms x fault classes.
 [[nodiscard]] std::vector<CoverageRow> coverage_matrix(

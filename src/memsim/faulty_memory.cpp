@@ -1,5 +1,6 @@
 #include "memsim/faulty_memory.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -32,6 +33,24 @@ FaultyMemory::FaultyMemory(MemoryGeometry geometry,
   for (auto& w : cells_) w &= geometry.word_mask();
   last_write_ns_.assign(geometry.num_words(), 0);
   sense_residue_.assign(static_cast<std::size_t>(geometry.word_bits), false);
+}
+
+void FaultyMemory::reset(std::uint64_t powerup_seed) {
+  faults_.clear();
+  cell_state_.clear();
+  cfin_by_aggressor_.clear();
+  cfid_by_aggressor_.clear();
+  cfst_by_aggressor_.clear();
+  cfst_by_victim_.clear();
+  af_remap_.clear();
+  port_read_invert_.clear();
+  npsf_.clear();
+  now_ns_ = 0;
+  last_read_addr_.reset();
+  std::fill(last_write_ns_.begin(), last_write_ns_.end(), 0);
+  std::fill(sense_residue_.begin(), sense_residue_.end(), false);
+  std::uint64_t s = powerup_seed;
+  for (auto& w : cells_) w = splitmix64(s) & geometry().word_mask();
 }
 
 void FaultyMemory::add_fault(const Fault& fault) {

@@ -38,6 +38,13 @@ class FaultyMemory final : public Memory {
   /// references cells outside the geometry.
   void add_fault(const Fault& fault);
 
+  /// Returns the memory to its just-constructed state: all faults removed,
+  /// time rewound, contents re-randomized from `powerup_seed` exactly as
+  /// the constructor would.  Much cheaper than reconstructing (no
+  /// allocation); the campaign engine resets one memory per worker between
+  /// fault instances.
+  void reset(std::uint64_t powerup_seed);
+
   [[nodiscard]] const std::vector<Fault>& faults() const noexcept {
     return faults_;
   }

@@ -1,0 +1,291 @@
+// Campaign engine: serial-vs-parallel equivalence, edge cases, the
+// expanded-stream cache, the thread pool underneath, and the cheap
+// FaultyMemory reset the workers rely on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "march/campaign.h"
+#include "march/coverage.h"
+#include "march/library.h"
+
+namespace {
+
+using namespace pmbist;
+using march::CampaignConfig;
+using march::CampaignRunner;
+using memsim::FaultClass;
+
+constexpr memsim::MemoryGeometry kGeom{.address_bits = 5, .word_bits = 1,
+                                       .num_ports = 1};
+
+// --- serial vs parallel equivalence -----------------------------------
+
+class CampaignEquivalence
+    : public testing::TestWithParam<std::tuple<const char*, FaultClass>> {};
+
+TEST_P(CampaignEquivalence, JobsDoNotChangeDetections) {
+  const auto [name, cls] = GetParam();
+  const auto alg = march::by_name(name);
+  const auto universe = march::make_fault_universe(cls, kGeom, 99, 48);
+  ASSERT_FALSE(universe.empty());
+
+  const auto serial = march::run_campaign(alg, kGeom, universe, {.jobs = 1});
+  EXPECT_EQ(serial.total(), static_cast<int>(universe.size()));
+  for (const int jobs : {2, 8}) {
+    const auto parallel =
+        march::run_campaign(alg, kGeom, universe, {.jobs = jobs});
+    EXPECT_EQ(serial.records, parallel.records)
+        << name << " x " << memsim::fault_class_name(cls) << " jobs="
+        << jobs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndClasses, CampaignEquivalence,
+    testing::Combine(testing::Values("MATS+", "March C", "March C++",
+                                     "March SS"),
+                     testing::Values(FaultClass::SAF, FaultClass::TF,
+                                     FaultClass::CFid, FaultClass::AF,
+                                     FaultClass::DRDF)));
+
+TEST(Campaign, GroupUniverseEquivalence) {
+  const auto alg = march::march_lr();
+  const auto pairs = march::make_linked_cfid_universe(kGeom, 7, 32);
+  std::vector<march::FaultGroup> groups;
+  for (const auto& [a, b] : pairs)
+    groups.push_back(march::FaultGroup{a, b});
+
+  const auto stream = march::expand(alg, kGeom);
+  const auto serial =
+      CampaignRunner{{.jobs = 1}}.run_groups(stream, kGeom, groups);
+  for (const int jobs : {2, 8}) {
+    const auto parallel =
+        CampaignRunner{CampaignConfig{.jobs = jobs}}.run_groups(stream, kGeom,
+                                                                groups);
+    EXPECT_EQ(serial.records, parallel.records) << "jobs=" << jobs;
+  }
+  // March LR owns linked CFid pairs.
+  EXPECT_EQ(serial.detected(), serial.total());
+}
+
+TEST(Campaign, RecordsAreOrderedByFaultIndex) {
+  const auto universe =
+      march::make_fault_universe(FaultClass::SAF, kGeom, 3, 48);
+  const auto result =
+      march::run_campaign(march::march_c(), kGeom, universe, {.jobs = 8});
+  ASSERT_EQ(result.total(), static_cast<int>(universe.size()));
+  for (std::size_t i = 0; i < result.records.size(); ++i)
+    EXPECT_EQ(result.records[i].fault_index, i);
+}
+
+// --- edge cases -------------------------------------------------------
+
+TEST(Campaign, EmptyUniverse) {
+  const std::vector<memsim::Fault> none;
+  for (const int jobs : {0, 1, 8}) {
+    const auto result =
+        march::run_campaign(march::march_c(), kGeom, none, {.jobs = jobs});
+    EXPECT_EQ(result.total(), 0);
+    EXPECT_EQ(result.detected(), 0);
+    EXPECT_TRUE(result.records.empty());
+  }
+}
+
+TEST(Campaign, SingleFault) {
+  const std::vector<memsim::Fault> one{
+      memsim::StuckAtFault{{5, 0}, true}};
+  for (const int jobs : {1, 8}) {
+    const auto result =
+        march::run_campaign(march::march_c(), kGeom, one, {.jobs = jobs});
+    ASSERT_EQ(result.total(), 1);
+    EXPECT_TRUE(result.records[0].detected);
+    EXPECT_NE(result.records[0].first_failure_op,
+              march::DetectionRecord::kNoFailure);
+  }
+}
+
+TEST(Campaign, UndetectedFaultHasNoFailureOp) {
+  // March C has no pause, so a DRF can never decay within the run.
+  const std::vector<memsim::Fault> drf{
+      memsim::DataRetentionFault{{3, 0}, true, 1}};
+  const auto result = march::run_campaign(march::march_c(), kGeom, drf, {});
+  ASSERT_EQ(result.total(), 1);
+  EXPECT_FALSE(result.records[0].detected);
+  EXPECT_EQ(result.records[0].first_failure_op,
+            march::DetectionRecord::kNoFailure);
+}
+
+TEST(Campaign, MatchesLegacySerialEvaluation) {
+  // The campaign-backed evaluate_coverage must agree with a hand-rolled
+  // serial loop over run_stream (the pre-engine reference semantics).
+  const march::CoverageOptions opts{.seed = 11,
+                                    .max_instances_per_class = 32};
+  for (const FaultClass cls : {FaultClass::SAF, FaultClass::SOF,
+                               FaultClass::CFin}) {
+    const auto universe = march::make_fault_universe(
+        cls, kGeom, opts.seed, opts.max_instances_per_class);
+    const auto stream = march::expand(march::march_y(), kGeom);
+    int detected = 0;
+    for (const auto& fault : universe) {
+      memsim::FaultyMemory mem{kGeom, opts.seed};
+      mem.add_fault(fault);
+      if (!march::run_stream(stream, mem, 1).passed()) ++detected;
+    }
+    const auto cell =
+        march::evaluate_coverage(march::march_y(), cls, kGeom, opts);
+    EXPECT_EQ(cell.detected, detected)
+        << memsim::fault_class_name(cls);
+    EXPECT_EQ(cell.total, static_cast<int>(universe.size()));
+  }
+}
+
+// --- stream cache -----------------------------------------------------
+
+TEST(StreamCache, HitsAfterFirstExpansion) {
+  auto& cache = march::stream_cache();
+  cache.clear();
+  const auto before = cache.stats();
+
+  const auto alg = march::march_u();
+  const auto s1 = cache.get(alg, kGeom);
+  const auto mid = cache.stats();
+  EXPECT_EQ(mid.misses, before.misses + 1);
+  EXPECT_EQ(mid.hits, before.hits);
+
+  const auto s2 = cache.get(alg, kGeom);
+  const auto after = cache.stats();
+  EXPECT_EQ(after.misses, mid.misses);
+  EXPECT_EQ(after.hits, mid.hits + 1);
+  EXPECT_EQ(s1.get(), s2.get());  // the same shared immutable stream
+  EXPECT_EQ(*s1, march::expand(alg, kGeom));
+}
+
+TEST(StreamCache, GeometryIsPartOfTheKey) {
+  auto& cache = march::stream_cache();
+  cache.clear();
+  const auto alg = march::march_x();
+  const auto base = cache.stats();
+  (void)cache.get(alg, kGeom);
+  constexpr memsim::MemoryGeometry other{.address_bits = 4, .word_bits = 8,
+                                         .num_ports = 1};
+  (void)cache.get(alg, other);
+  const auto after = cache.stats();
+  EXPECT_EQ(after.misses, base.misses + 2);
+}
+
+TEST(StreamCache, NameIsNotPartOfTheKey) {
+  auto& cache = march::stream_cache();
+  cache.clear();
+  const auto base = cache.stats();
+  (void)cache.get(march::march_c(), kGeom);
+  // Same canonical text under a different name re-uses the entry.
+  march::MarchAlgorithm renamed{"renamed", march::march_c().elements()};
+  (void)cache.get(renamed, kGeom);
+  const auto after = cache.stats();
+  EXPECT_EQ(after.misses, base.misses + 1);
+  EXPECT_EQ(after.hits, base.hits + 1);
+}
+
+// --- FaultyMemory::reset ---------------------------------------------
+
+TEST(FaultyMemoryReset, EquivalentToFreshConstruction) {
+  constexpr memsim::MemoryGeometry g{.address_bits = 4, .word_bits = 8,
+                                     .num_ports = 1};
+  memsim::FaultyMemory reused{g, 123};
+  // Dirty it thoroughly: fault, writes, time, reads.
+  reused.add_fault(memsim::StuckAtFault{{2, 1}, true});
+  reused.write(0, 2, 0xFF);
+  reused.advance_time_ns(1'000'000);
+  (void)reused.read(0, 2);
+
+  reused.reset(456);
+  memsim::FaultyMemory fresh{g, 456};
+  EXPECT_TRUE(reused.faults().empty());
+  for (memsim::Address a = 0; a < g.num_words(); ++a)
+    EXPECT_EQ(reused.peek(a), fresh.peek(a)) << "addr " << a;
+  for (memsim::Address a = 0; a < g.num_words(); ++a)
+    EXPECT_EQ(reused.read(0, a), fresh.read(0, a)) << "addr " << a;
+}
+
+TEST(FaultyMemoryReset, ClearsEveryFaultKind) {
+  constexpr memsim::MemoryGeometry g{.address_bits = 4, .word_bits = 2,
+                                     .num_ports = 2};
+  memsim::FaultyMemory mem{g, 9};
+  mem.add_fault(memsim::StuckAtFault{{1, 0}, false});
+  mem.add_fault(memsim::TransitionFault{{2, 0}, true});
+  mem.add_fault(memsim::InversionCouplingFault{{3, 0}, {4, 0}, true});
+  mem.add_fault(memsim::AddressDecoderFault{5, {}});
+  mem.add_fault(memsim::PortReadFault{1, 0});
+  mem.reset(9);
+  // A reset memory behaves fault-free: write/read-back everywhere on
+  // every port.
+  for (memsim::Address a = 0; a < g.num_words(); ++a) {
+    for (int port = 0; port < g.num_ports; ++port) {
+      mem.write(port, a, a & 3u);
+      EXPECT_EQ(mem.read(port, a), (a & 3u)) << "addr " << a;
+    }
+  }
+}
+
+// --- thread pool ------------------------------------------------------
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_GE(common::resolve_jobs(0), 1);
+  EXPECT_EQ(common::resolve_jobs(3), 3);
+  EXPECT_GE(common::resolve_jobs(-5), 1);
+}
+
+TEST(ThreadPool, ParallelShardsCoversEveryShardOnce) {
+  for (const int jobs : {1, 2, 8}) {
+    constexpr int kShards = 100;
+    std::vector<std::atomic<int>> touched(kShards);
+    common::parallel_shards(jobs, kShards,
+                            [&](int s) { touched[s].fetch_add(1); });
+    for (int s = 0; s < kShards; ++s)
+      EXPECT_EQ(touched[s].load(), 1) << "shard " << s << " jobs " << jobs;
+  }
+}
+
+TEST(ThreadPool, ParallelShardsPropagatesExceptions) {
+  EXPECT_THROW(
+      common::parallel_shards(4, 16,
+                              [](int s) {
+                                if (s == 7) throw std::runtime_error{"boom"};
+                              }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitRunsTasks) {
+  common::ThreadPool pool{2};
+  EXPECT_EQ(pool.size(), 2);
+  std::atomic<int> sum{0};
+  std::atomic<int> remaining{32};
+  for (int i = 0; i < 32; ++i)
+    pool.submit([&, i] {
+      sum.fetch_add(i);
+      remaining.fetch_sub(1);
+    });
+  while (remaining.load() != 0) std::this_thread::yield();
+  EXPECT_EQ(sum.load(), 32 * 31 / 2);
+}
+
+TEST(Campaign, DefaultJobsRoundTrip) {
+  const int saved = march::default_campaign_jobs();
+  march::set_default_campaign_jobs(2);
+  EXPECT_EQ(march::default_campaign_jobs(), 2);
+  // jobs=0 configs now use the process default; results stay identical.
+  const auto universe =
+      march::make_fault_universe(FaultClass::TF, kGeom, 5, 24);
+  const auto via_default =
+      march::run_campaign(march::march_x(), kGeom, universe, {.jobs = 0});
+  const auto explicit_serial =
+      march::run_campaign(march::march_x(), kGeom, universe, {.jobs = 1});
+  EXPECT_EQ(via_default.records, explicit_serial.records);
+  march::set_default_campaign_jobs(saved);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Keeps docs/DSL.md honest: every fenced ```march block must parse and
+// round-trip through to_string(), and every ```march-error block must be
+// rejected with march::ParseError.  The doc and the parser cannot drift
+// apart without this test failing.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "march/parser.h"
+
+namespace {
+
+using namespace pmbist;
+
+struct DocExample {
+  std::string text;
+  std::size_t line;  // 1-based line of the opening fence
+  bool must_fail;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Extracts fenced code blocks tagged `march` / `march-error`.
+std::vector<DocExample> extract_examples(const std::string& doc) {
+  std::vector<DocExample> examples;
+  std::istringstream lines{doc};
+  std::string line;
+  std::size_t lineno = 0;
+  bool in_block = false;
+  DocExample current;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (!in_block) {
+      if (line == "```march" || line == "```march-error") {
+        in_block = true;
+        current = DocExample{"", lineno, line == "```march-error"};
+      }
+    } else if (line.rfind("```", 0) == 0) {
+      in_block = false;
+      examples.push_back(current);
+    } else {
+      current.text += line;
+      current.text += '\n';
+    }
+  }
+  EXPECT_FALSE(in_block) << "unterminated code fence";
+  return examples;
+}
+
+std::vector<DocExample> doc_examples(const char* relative) {
+  return extract_examples(read_file(std::string{PMBIST_SOURCE_DIR} + "/" +
+                                    relative));
+}
+
+TEST(DocExamples, DslDocHasExamples) {
+  const auto examples = doc_examples("docs/DSL.md");
+  int valid = 0, invalid = 0;
+  for (const auto& e : examples) (e.must_fail ? invalid : valid)++;
+  // The doc promises at least one round-trip example per construct and a
+  // rejection example per error class.
+  EXPECT_GE(valid, 6);
+  EXPECT_GE(invalid, 7);
+}
+
+TEST(DocExamples, ValidExamplesParseAndRoundTrip) {
+  for (const auto& e : doc_examples("docs/DSL.md")) {
+    if (e.must_fail) continue;
+    SCOPED_TRACE("docs/DSL.md:" + std::to_string(e.line));
+    march::MarchAlgorithm alg{"", {}};
+    ASSERT_NO_THROW(alg = march::parse(e.text)) << e.text;
+    EXPECT_FALSE(alg.elements().empty());
+    // Round trip: the canonical printed form re-parses to the same
+    // algorithm.
+    const auto printed = alg.to_string();
+    march::MarchAlgorithm again{"", {}};
+    ASSERT_NO_THROW(again = march::parse(printed, alg.name())) << printed;
+    EXPECT_EQ(alg, again) << printed;
+  }
+}
+
+TEST(DocExamples, ErrorExamplesAreRejected) {
+  for (const auto& e : doc_examples("docs/DSL.md")) {
+    if (!e.must_fail) continue;
+    SCOPED_TRACE("docs/DSL.md:" + std::to_string(e.line));
+    EXPECT_THROW((void)march::parse(e.text), march::ParseError) << e.text;
+  }
+}
+
+TEST(DocExamples, CampaignsDocExists) {
+  // CAMPAIGNS.md carries C++ snippets, not DSL blocks; just pin the cross
+  // references so a rename breaks loudly.
+  const auto doc = read_file(std::string{PMBIST_SOURCE_DIR} +
+                             "/docs/CAMPAIGNS.md");
+  EXPECT_NE(doc.find("determinism contract"), std::string::npos);
+  EXPECT_NE(doc.find("run_campaign"), std::string::npos);
+  for (const auto& e : extract_examples(doc)) {
+    if (!e.must_fail) {
+      EXPECT_NO_THROW((void)march::parse(e.text));
+    }
+  }
+}
+
+}  // namespace

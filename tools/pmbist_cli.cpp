@@ -23,7 +23,9 @@
 //
 // `assemble --hex` prints a portable microcode hex image; `run --program
 // <file>` loads such an image into the microcode controller instead of
-// assembling an algorithm.
+// assembling an algorithm.  `--jobs N` sets the worker count for every
+// fault-simulation / qualification path (0 = all cores, 1 = serial);
+// results are identical for any value.
 //
 // <algorithm|dsl> is a library name ("March C+") or an inline DSL string
 // ("any(w0); up(r0,w1); ...").
@@ -38,6 +40,7 @@
 
 #include "bist/session.h"
 #include "march/analysis.h"
+#include "march/campaign.h"
 #include "march/library.h"
 #include "march/parser.h"
 #include "mbist_hardwired/area.h"
@@ -61,6 +64,7 @@ struct Options {
   int word_bits = 1;
   int ports = 1;
   int samples = 64;
+  int jobs = 0;
   std::uint64_t seed = 1;
   std::string fault_class;
   std::string program_file;
@@ -71,13 +75,14 @@ struct Options {
 [[noreturn]] void usage(const char* why = nullptr) {
   if (why) std::fprintf(stderr, "error: %s\n\n", why);
   std::fprintf(stderr,
-               "usage: pmbist <list|assemble|qualify|run|area|coverage> "
-               "[<algorithm|dsl>] [options]\n"
+               "usage: pmbist <list|assemble|qualify|run|area|coverage|"
+               "export|export-decoder> [<algorithm|dsl>] [options]\n"
                "  --arch ucode|pfsm|hardwired   controller architecture\n"
                "  --addr-bits N  --word-bits N  --ports N\n"
                "  --fault CLASS (SAF,TF,CFin,CFid,CFst,AF,SOF,DRF,IRF,WDF,"
                "RDF,DRDF)\n"
-               "  --samples N   --seed N        --flat (no Repeat fold)\n");
+               "  --samples N   --seed N        --flat (no Repeat fold)\n"
+               "  --jobs N      campaign/qualifier workers (0 = all cores)\n");
   std::exit(2);
 }
 
@@ -98,6 +103,7 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--word-bits") opt.word_bits = std::atoi(value());
     else if (arg == "--ports") opt.ports = std::atoi(value());
     else if (arg == "--samples") opt.samples = std::atoi(value());
+    else if (arg == "--jobs") opt.jobs = std::atoi(value());
     else if (arg == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--fault") opt.fault_class = value();
     else if (arg == "--program") opt.program_file = value();
@@ -157,11 +163,11 @@ int cmd_assemble(const Options& opt) {
 int cmd_qualify(const Options& opt) {
   const auto alg = resolve_algorithm(opt.algorithm);
   std::printf("%s = %s\n\n", alg.name().c_str(), alg.to_string().c_str());
+  const auto verdicts = march::analyze_all(alg, opt.jobs);
   for (auto cls : memsim::all_fault_classes()) {
     std::printf("  %-5s %s\n",
                 std::string(memsim::fault_class_name(cls)).c_str(),
-                std::string(march::to_string(march::analyze(alg, cls)))
-                    .c_str());
+                std::string(march::to_string(verdicts.at(cls))).c_str());
   }
   return 0;
 }
@@ -265,8 +271,9 @@ int cmd_area(const Options& opt) {
 int cmd_coverage(const Options& opt) {
   const auto alg = resolve_algorithm(opt.algorithm);
   const auto geometry = geometry_of(opt);
-  const march::CoverageOptions copts{
-      .seed = opt.seed, .max_instances_per_class = opt.samples};
+  const march::CoverageOptions copts{.seed = opt.seed,
+                                     .max_instances_per_class = opt.samples,
+                                     .jobs = opt.jobs};
   const std::vector<march::MarchAlgorithm> algs{alg};
   const auto& classes = memsim::all_fault_classes();
   const auto rows = march::coverage_matrix(algs, classes, geometry, copts);
@@ -315,6 +322,9 @@ int cmd_export(const Options& opt) {
 int main(int argc, char** argv) {
   try {
     const Options opt = parse_args(argc, argv);
+    // --jobs applies to every campaign-backed path (run with --fault,
+    // qualify, coverage, list's qualification matrix).
+    march::set_default_campaign_jobs(opt.jobs);
     if (opt.command == "list") return cmd_list();
     if (opt.command == "export-decoder") return cmd_export_decoder();
     if (opt.algorithm.empty() && opt.command != "area" &&
