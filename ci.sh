@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 build + test sweep, then a ThreadSanitizer
-# build that exercises the parallel campaign engine (test_campaign) for
-# data races.  Mirrors .github/workflows/ci.yml so the pipeline can be
-# reproduced locally with a single command.
+# CI entry point: the tier-1 build + test sweep, the example programs, then
+# a ThreadSanitizer build that exercises the parallel engines
+# (test_campaign + test_soc) for data races.  Mirrors
+# .github/workflows/ci.yml so the pipeline can be reproduced locally with a
+# single command.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,15 +14,24 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== self-checking benches (campaign determinism gate included) =="
+echo "== examples (end-to-end API walkthroughs) =="
+for ex in quickstart fault_diagnosis custom_algorithm multiport_word \
+          online_test repair_flow soc_schedule; do
+  echo "-- ${ex}"
+  ./build/examples/"${ex}" > /dev/null
+done
+
+echo "== self-checking benches (determinism + scheduling gates included) =="
 ./build/bench/bench_fault_coverage
 ./build/bench/bench_qualifier
+./build/bench/bench_soc_schedule
 
-echo "== tsan: parallel campaign engine =="
+echo "== tsan: parallel campaign engine + soc scheduler =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target test_campaign
+cmake --build build-tsan -j "${JOBS}" --target test_campaign --target test_soc
 ./build-tsan/tests/test_campaign
+./build-tsan/tests/test_soc
 
 echo "== ci.sh: all green =="

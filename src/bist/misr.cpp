@@ -98,10 +98,12 @@ MisrSessionResult run_session_misr(Controller& controller,
         const Word actual = memory.read(op->port, op->addr);
         ++result.session.reads;
         misr.absorb(actual);
-        if (actual != op->data &&
-            result.session.failures.size() < options.max_failures)
-          result.session.failures.push_back(
-              march::Failure{op_index, *op, actual});
+        if (actual != op->data) {
+          ++result.session.mismatches;
+          if (result.session.failures.size() < options.max_failures)
+            result.session.failures.push_back(
+                march::Failure{op_index, *op, actual});
+        }
         break;
       }
     }

@@ -24,8 +24,11 @@ SessionResult run_session(Controller& controller, memsim::Memory& memory,
       case march::MemOp::Kind::Read: {
         const memsim::Word actual = memory.read(op->port, op->addr);
         ++result.reads;
-        if (actual != op->data && result.failures.size() < options.max_failures)
-          result.failures.push_back(march::Failure{op_index, *op, actual});
+        if (actual != op->data) {
+          ++result.mismatches;
+          if (result.failures.size() < options.max_failures)
+            result.failures.push_back(march::Failure{op_index, *op, actual});
+        }
         break;
       }
     }

@@ -16,11 +16,17 @@ struct SessionResult {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t pauses = 0;
+  /// Every read mismatch, counted even after the failure log fills up.
+  std::uint64_t mismatches = 0;
+  /// Captured failures; capacity-bound by SessionOptions::max_failures, so
+  /// failures.size() <= mismatches.
   std::vector<march::Failure> failures;
 
   [[nodiscard]] bool passed() const noexcept {
-    return completed && failures.empty();
+    return completed && mismatches == 0;
   }
+
+  friend bool operator==(const SessionResult&, const SessionResult&) = default;
 };
 
 struct SessionOptions {

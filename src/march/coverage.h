@@ -26,6 +26,8 @@ struct Failure {
   std::size_t op_index = 0;  ///< index into the applied stream
   MemOp op;                  ///< the read that failed (expected in op.data)
   Word actual = 0;
+
+  friend bool operator==(const Failure&, const Failure&) = default;
 };
 
 /// Result of applying an op stream to a memory.

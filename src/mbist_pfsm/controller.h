@@ -49,6 +49,13 @@ class PfsmController final : public bist::Controller {
   }
   [[nodiscard]] const PfsmConfig& config() const noexcept { return config_; }
 
+  /// Shift cycles a serial load of the current buffer contents costs — the
+  /// per-memory re-program price a shared controller pays (soc scheduler).
+  [[nodiscard]] std::uint64_t program_load_cycles() const noexcept {
+    return program_.instructions().size() *
+           static_cast<std::uint64_t>(kPfsmInstructionBits);
+  }
+
   // Introspection for white-box tests.
   enum class Phase : std::uint8_t { Idle, Reset, Op, Done, TestEnd };
   [[nodiscard]] Phase phase() const noexcept { return phase_; }

@@ -79,6 +79,13 @@ class MicrocodeController final : public bist::Controller {
     return config_;
   }
 
+  /// Shift cycles a serial scan-load of the current program costs — the
+  /// per-memory re-program price a shared controller pays (soc scheduler).
+  [[nodiscard]] std::uint64_t program_load_cycles() const noexcept {
+    return program_.image().size() *
+           static_cast<std::uint64_t>(kInstructionBits);
+  }
+
   // Introspection for white-box tests.
   [[nodiscard]] int instruction_counter() const noexcept { return ic_; }
   [[nodiscard]] int branch_register() const noexcept { return branch_; }

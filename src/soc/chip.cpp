@@ -1,0 +1,410 @@
+#include "soc/chip.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "march/coverage.h"
+
+namespace pmbist::soc {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ChipError{"chip file line " + std::to_string(line) + ": " + what};
+}
+
+/// Splits one line into tokens: double-quoted strings (kept verbatim, no
+/// escapes) or maximal non-space runs.  `#` starts a comment outside quotes.
+std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+    } else if (c == '#') {
+      break;
+    } else if (c == '"') {
+      const auto end = line.find('"', i + 1);
+      if (end == std::string::npos) fail(lineno, "unterminated quote");
+      tokens.push_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      std::size_t end = i;
+      while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+             line[end] != '#' && line[end] != '\r')
+        ++end;
+      tokens.push_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return tokens;
+}
+
+/// key=value arguments of one directive.
+class Args {
+ public:
+  Args(const std::vector<std::string>& tokens, std::size_t first,
+       std::size_t lineno)
+      : lineno_{lineno} {
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos || eq == 0)
+        fail(lineno, "expected key=value, got '" + tokens[i] + "'");
+      if (!kv_.emplace(tokens[i].substr(0, eq), tokens[i].substr(eq + 1))
+               .second)
+        fail(lineno, "duplicate key '" + tokens[i].substr(0, eq) + "'");
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv_.count(key) != 0;
+  }
+
+  [[nodiscard]] std::uint64_t u64(const std::string& key) const {
+    const auto& text = raw(key);
+    try {
+      std::size_t used = 0;
+      const auto v = std::stoull(text, &used, 0);
+      if (used != text.size()) throw std::invalid_argument{text};
+      return v;
+    } catch (const std::exception&) {
+      fail(lineno_, "bad number for " + key + ": '" + text + "'");
+    }
+  }
+  [[nodiscard]] std::uint64_t u64_or(const std::string& key,
+                                     std::uint64_t fallback) const {
+    return has(key) ? u64(key) : fallback;
+  }
+  [[nodiscard]] int num(const std::string& key) const {
+    return static_cast<int>(u64(key));
+  }
+  [[nodiscard]] int num_or(const std::string& key, int fallback) const {
+    return has(key) ? num(key) : fallback;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    const auto v = u64(key);
+    if (v > 1) fail(lineno_, key + " must be 0 or 1");
+    return v != 0;
+  }
+  [[nodiscard]] bool flag_or(const std::string& key, bool fallback) const {
+    return has(key) ? flag(key) : fallback;
+  }
+  [[nodiscard]] double real(const std::string& key) const {
+    const auto& text = raw(key);
+    try {
+      std::size_t used = 0;
+      const auto v = std::stod(text, &used);
+      if (used != text.size()) throw std::invalid_argument{text};
+      return v;
+    } catch (const std::exception&) {
+      fail(lineno_, "bad number for " + key + ": '" + text + "'");
+    }
+  }
+  /// "addr:bit" cell reference.
+  [[nodiscard]] memsim::BitRef cell(const std::string& key) const {
+    const auto& text = raw(key);
+    const auto colon = text.find(':');
+    if (colon == std::string::npos)
+      fail(lineno_, key + " must be <addr>:<bit>, got '" + text + "'");
+    try {
+      return {static_cast<memsim::Address>(
+                  std::stoull(text.substr(0, colon), nullptr, 0)),
+              static_cast<int>(std::stoull(text.substr(colon + 1), nullptr,
+                                           0))};
+    } catch (const std::exception&) {
+      fail(lineno_, "bad cell reference '" + text + "'");
+    }
+  }
+  [[nodiscard]] const std::string& raw(const std::string& key) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) fail(lineno_, "missing " + key + "=");
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::size_t lineno_;
+};
+
+memsim::FaultClass class_by_name(const std::string& name, std::size_t lineno) {
+  for (const auto cls : memsim::all_fault_classes())
+    if (memsim::fault_class_name(cls) == name) return cls;
+  fail(lineno, "unknown fault class '" + name + "'");
+}
+
+memsim::BitRef checked_cell(const Args& args, const std::string& key,
+                            const memsim::MemoryGeometry& g,
+                            std::size_t lineno) {
+  const auto c = args.cell(key);
+  if (c.addr >= g.num_words() || c.bit < 0 || c.bit >= g.word_bits)
+    fail(lineno, key + "=" + std::to_string(c.addr) + ":" +
+                     std::to_string(c.bit) + " is outside the geometry");
+  return c;
+}
+
+memsim::Fault parse_fault(const std::string& kind, const Args& args,
+                          const memsim::MemoryGeometry& g,
+                          std::size_t lineno) {
+  using namespace memsim;
+  auto cell = [&](const char* key = "cell") {
+    return checked_cell(args, key, g, lineno);
+  };
+  if (kind == "SAF") return StuckAtFault{cell(), args.flag("value")};
+  if (kind == "TF") return TransitionFault{cell(), args.flag("rising")};
+  if (kind == "CFin")
+    return InversionCouplingFault{cell("aggressor"), cell("victim"),
+                                  args.flag("rising")};
+  if (kind == "CFid")
+    return IdempotentCouplingFault{cell("aggressor"), cell("victim"),
+                                   args.flag("rising"), args.flag("forced")};
+  if (kind == "CFst")
+    return StateCouplingFault{cell("aggressor"), cell("victim"),
+                              args.flag("state"), args.flag("forced")};
+  if (kind == "AF") {
+    AddressDecoderFault af;
+    af.logical = static_cast<Address>(args.u64("logical"));
+    const auto& list = args.raw("physical");
+    if (list != "none") {
+      std::istringstream is{list};
+      std::string part;
+      while (std::getline(is, part, ','))
+        af.physical.push_back(
+            static_cast<Address>(std::stoull(part, nullptr, 0)));
+    }
+    if (af.logical >= g.num_words()) fail(lineno, "logical address too big");
+    for (const auto p : af.physical)
+      if (p >= g.num_words()) fail(lineno, "physical address too big");
+    return af;
+  }
+  if (kind == "SOF") return StuckOpenFault{cell()};
+  if (kind == "DRF")
+    return DataRetentionFault{cell(), args.flag("leak_to"),
+                              args.u64_or("hold_ns", 100'000)};
+  if (kind == "IRF") return IncorrectReadFault{cell()};
+  if (kind == "WDF") return WriteDisturbFault{cell()};
+  if (kind == "RDF") return ReadDestructiveFault{cell(), false};
+  if (kind == "DRDF") return ReadDestructiveFault{cell(), true};
+  if (kind == "PF") {
+    const int port = args.num("port"), bit = args.num("bit");
+    if (port < 1 || port >= g.num_ports || bit < 0 || bit >= g.word_bits)
+      fail(lineno, "port/bit outside the geometry");
+    return PortReadFault{port, bit};
+  }
+  if (kind == "sample") {
+    const auto cls = class_by_name(args.raw("class"), lineno);
+    const auto seed = args.u64_or("seed", 1);
+    const auto index = args.u64_or("index", 0);
+    const auto universe = march::make_fault_universe(
+        cls, g, seed, static_cast<int>(std::max<std::uint64_t>(64, index + 1)));
+    if (universe.empty())
+      fail(lineno, "empty fault universe for this class/geometry");
+    return universe[index % universe.size()];
+  }
+  fail(lineno, "unknown fault kind '" + kind + "'");
+}
+
+// --- serialization ----------------------------------------------------
+
+std::string cell_text(const memsim::BitRef& c) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u:%d", c.addr, c.bit);
+  return buf;
+}
+
+std::string fault_text(const memsim::Fault& fault) {
+  using namespace memsim;
+  std::ostringstream os;
+  struct Visitor {
+    std::ostringstream& os;
+    void operator()(const StuckAtFault& f) {
+      os << "SAF cell=" << cell_text(f.cell) << " value=" << f.value;
+    }
+    void operator()(const TransitionFault& f) {
+      os << "TF cell=" << cell_text(f.cell) << " rising=" << f.rising;
+    }
+    void operator()(const InversionCouplingFault& f) {
+      os << "CFin aggressor=" << cell_text(f.aggressor)
+         << " victim=" << cell_text(f.victim) << " rising=" << f.on_rising;
+    }
+    void operator()(const IdempotentCouplingFault& f) {
+      os << "CFid aggressor=" << cell_text(f.aggressor)
+         << " victim=" << cell_text(f.victim) << " rising=" << f.on_rising
+         << " forced=" << f.forced_value;
+    }
+    void operator()(const StateCouplingFault& f) {
+      os << "CFst aggressor=" << cell_text(f.aggressor)
+         << " victim=" << cell_text(f.victim)
+         << " state=" << f.aggressor_state << " forced=" << f.forced_value;
+    }
+    void operator()(const AddressDecoderFault& f) {
+      os << "AF logical=" << f.logical << " physical=";
+      if (f.physical.empty()) {
+        os << "none";
+      } else {
+        for (std::size_t i = 0; i < f.physical.size(); ++i)
+          os << (i ? "," : "") << f.physical[i];
+      }
+    }
+    void operator()(const StuckOpenFault& f) {
+      os << "SOF cell=" << cell_text(f.cell);
+    }
+    void operator()(const DataRetentionFault& f) {
+      os << "DRF cell=" << cell_text(f.cell) << " leak_to=" << f.leak_to
+         << " hold_ns=" << f.hold_time_ns;
+    }
+    void operator()(const IncorrectReadFault& f) {
+      os << "IRF cell=" << cell_text(f.cell);
+    }
+    void operator()(const WriteDisturbFault& f) {
+      os << "WDF cell=" << cell_text(f.cell);
+    }
+    void operator()(const ReadDestructiveFault& f) {
+      os << (f.deceptive ? "DRDF" : "RDF") << " cell=" << cell_text(f.cell);
+    }
+    void operator()(const NeighborhoodPatternFault&) {
+      throw SocError{"NPSF faults are not expressible in a chip file"};
+    }
+    void operator()(const PortReadFault& f) {
+      os << "PF port=" << f.port << " bit=" << f.bit;
+    }
+  };
+  std::visit(Visitor{os}, fault);
+  return os.str();
+}
+
+std::string real_text(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+/// Quotes an algorithm reference for the chip file (no escaping needed:
+/// neither library names nor the DSL use double quotes).
+std::string quoted(const std::string& text) { return "\"" + text + "\""; }
+
+}  // namespace
+
+ChipFile parse_chip_text(const std::string& text) {
+  ChipFile chip;
+  std::istringstream lines{text};
+  std::string line;
+  std::size_t lineno = 0;
+  bool named = false;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const auto tokens = tokenize(line, lineno);
+    if (tokens.empty()) continue;
+    const auto& directive = tokens[0];
+    try {
+      if (directive == "soc") {
+        if (tokens.size() != 2) fail(lineno, "usage: soc <name>");
+        if (named) fail(lineno, "duplicate soc directive");
+        chip.description = SocDescription{tokens[1]};
+        named = true;
+      } else if (directive == "power_budget") {
+        if (tokens.size() != 2) fail(lineno, "usage: power_budget <weight>");
+        try {
+          chip.plan.set_power_budget(std::stod(tokens[1]));
+        } catch (const std::exception&) {
+          fail(lineno, "bad power budget '" + tokens[1] + "'");
+        }
+      } else if (directive == "mem") {
+        if (tokens.size() < 3) fail(lineno, "usage: mem <name> addr_bits=N ...");
+        const Args args{tokens, 2, lineno};
+        MemoryInstance m;
+        m.name = tokens[1];
+        m.geometry = {.address_bits = args.num("addr_bits"),
+                      .word_bits = args.num_or("word_bits", 1),
+                      .num_ports = args.num_or("ports", 1)};
+        m.powerup_seed = args.u64_or("seed", 1);
+        m.row_bits = args.num_or("row_bits", -1);
+        m.scramble_seed = args.u64_or("scramble", 0);
+        m.repair = {.spare_rows = args.num_or("spare_rows", 0),
+                    .spare_cols = args.num_or("spare_cols", 0)};
+        chip.description.add(std::move(m));
+      } else if (directive == "fault") {
+        if (tokens.size() < 3) fail(lineno, "usage: fault <mem> <KIND> ...");
+        const auto* mem = chip.description.find(tokens[1]);
+        if (mem == nullptr)
+          fail(lineno, "fault names unknown memory '" + tokens[1] +
+                           "' (declare mem first)");
+        const Args args{tokens, 3, lineno};
+        chip.description.add_fault(
+            tokens[1], parse_fault(tokens[2], args, mem->geometry, lineno));
+      } else if (directive == "assign") {
+        if (tokens.size() < 4)
+          fail(lineno,
+               "usage: assign <mem> \"<algorithm>\" <ucode|pfsm|hardwired>");
+        const Args args{tokens, 4, lineno};
+        TestAssignment a;
+        a.memory = tokens[1];
+        a.algorithm = tokens[2];
+        a.controller = controller_kind_by_name(tokens[3]);
+        if (args.has("group")) a.share_group = args.raw("group");
+        if (args.has("weight")) a.power_weight = args.real("weight");
+        chip.plan.assign(std::move(a));
+      } else {
+        fail(lineno, "unknown directive '" + directive + "'");
+      }
+    } catch (const ChipError&) {
+      throw;
+    } catch (const std::exception& e) {
+      fail(lineno, e.what());
+    }
+  }
+  try {
+    chip.plan.validate(chip.description);
+  } catch (const std::exception& e) {
+    throw ChipError{std::string{"chip file: "} + e.what()};
+  }
+  return chip;
+}
+
+ChipFile load_chip_file(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) throw ChipError{"cannot open chip file '" + path + "'"};
+  std::ostringstream os;
+  os << is.rdbuf();
+  return parse_chip_text(os.str());
+}
+
+std::string to_chip_text(const SocDescription& chip, const TestPlan& plan) {
+  std::ostringstream os;
+  os << "soc " << chip.name() << "\n";
+  if (plan.power().budget > 0.0)
+    os << "power_budget " << real_text(plan.power().budget) << "\n";
+  os << "\n";
+  for (const auto& m : chip.memories()) {
+    os << "mem " << m.name << " addr_bits=" << m.geometry.address_bits;
+    if (m.geometry.word_bits != 1)
+      os << " word_bits=" << m.geometry.word_bits;
+    if (m.geometry.num_ports != 1) os << " ports=" << m.geometry.num_ports;
+    if (m.powerup_seed != 1) os << " seed=" << m.powerup_seed;
+    if (m.row_bits >= 0) os << " row_bits=" << m.row_bits;
+    if (m.scramble_seed != 0) os << " scramble=" << m.scramble_seed;
+    if (m.repair.spare_rows != 0) os << " spare_rows=" << m.repair.spare_rows;
+    if (m.repair.spare_cols != 0) os << " spare_cols=" << m.repair.spare_cols;
+    os << "\n";
+  }
+  bool any_fault = false;
+  for (const auto& m : chip.memories())
+    for (const auto& f : m.faults) {
+      if (!any_fault) os << "\n";
+      any_fault = true;
+      os << "fault " << m.name << " " << fault_text(f) << "\n";
+    }
+  os << "\n";
+  for (const auto& a : plan.assignments()) {
+    os << "assign " << a.memory << " " << quoted(a.algorithm) << " "
+       << to_string(a.controller);
+    if (!a.share_group.empty()) os << " group=" << a.share_group;
+    if (a.power_weight > 0.0) os << " weight=" << real_text(a.power_weight);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pmbist::soc

@@ -1,0 +1,53 @@
+#pragma once
+// Chip-file front end: a small line-oriented text format describing a chip
+// (its memories and defects) together with its test plan.  The complete
+// grammar, with examples, lives in docs/SOC.md; tests/test_docs.cpp parses
+// every fenced example there through this module so the doc cannot drift.
+//
+// Shape:
+//
+//   # comment
+//   soc <name>
+//   power_budget <weight>
+//   mem <name> addr_bits=N [word_bits=N] [ports=N] [seed=N] [row_bits=N]
+//              [scramble=N] [spare_rows=N] [spare_cols=N]
+//   fault <mem> <KIND> key=value...
+//   assign <mem> "<algorithm|dsl>" <ucode|pfsm|hardwired> [group=G] [weight=W]
+//
+// Fault kinds mirror memsim's models (SAF, TF, CFin, CFid, CFst, AF, SOF,
+// DRF, IRF, WDF, RDF, DRDF, PF) plus `sample`, which draws one instance
+// from the deterministic class universe (march::make_fault_universe).
+
+#include <string>
+
+#include "soc/plan.h"
+
+namespace pmbist::soc {
+
+/// Raised on any malformed chip file; the message carries the line number.
+class ChipError : public SocError {
+ public:
+  using SocError::SocError;
+};
+
+/// A parsed chip file: the catalog plus its (already validated) plan.
+struct ChipFile {
+  SocDescription description;
+  TestPlan plan;
+};
+
+/// Parses chip-file text.  Throws ChipError (with a line number) on syntax
+/// errors and on plan/description inconsistencies.
+[[nodiscard]] ChipFile parse_chip_text(const std::string& text);
+
+/// Reads and parses a chip file from disk.  Throws ChipError when the file
+/// cannot be read.
+[[nodiscard]] ChipFile load_chip_file(const std::string& path);
+
+/// Serializes a chip + plan back into chip-file text; the output re-parses
+/// to an equal ChipFile (round-trip).  Throws SocError for faults the
+/// format cannot express (NPSF).
+[[nodiscard]] std::string to_chip_text(const SocDescription& chip,
+                                       const TestPlan& plan);
+
+}  // namespace pmbist::soc

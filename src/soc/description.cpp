@@ -1,0 +1,83 @@
+#include "soc/description.h"
+
+namespace pmbist::soc {
+
+memsim::ArrayTopology MemoryInstance::topology() const {
+  const int bits = geometry.address_bits;
+  auto scrambler = scramble_seed == 0
+                       ? memsim::AddressScrambler::identity(bits)
+                       : memsim::AddressScrambler::scrambled(bits,
+                                                             scramble_seed);
+  return memsim::ArrayTopology{bits, effective_row_bits(),
+                               std::move(scrambler)};
+}
+
+SocDescription& SocDescription::add(MemoryInstance instance) {
+  if (instance.name.empty())
+    throw SocError{"memory instance needs a non-empty name"};
+  if (find(instance.name) != nullptr)
+    throw SocError{"duplicate memory instance '" + instance.name + "'"};
+  const auto& g = instance.geometry;
+  if (g.address_bits < 1 || g.address_bits > 30 || g.word_bits < 1 ||
+      g.word_bits > 64 || g.num_ports < 1)
+    throw SocError{"instance '" + instance.name + "': degenerate geometry"};
+  if (instance.row_bits >= 0 &&
+      (instance.row_bits < 1 || instance.row_bits >= g.address_bits))
+    throw SocError{"instance '" + instance.name +
+                   "': row_bits must be in [1, address_bits)"};
+  memories_.push_back(std::move(instance));
+  return *this;
+}
+
+const MemoryInstance* SocDescription::find(std::string_view name) const {
+  for (const auto& m : memories_)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+SocDescription& SocDescription::add_fault(std::string_view memory,
+                                          memsim::Fault fault) {
+  for (auto& m : memories_)
+    if (m.name == memory) {
+      m.faults.push_back(std::move(fault));
+      return *this;
+    }
+  throw SocError{"no such memory '" + std::string{memory} + "'"};
+}
+
+SocDescription demo_soc(int extra_addr_bits) {
+  const int x = extra_addr_bits;
+  const auto mem = [](std::string name, int addr_bits, int word_bits,
+                      int num_ports, std::uint64_t seed) {
+    MemoryInstance m;
+    m.name = std::move(name);
+    m.geometry = {addr_bits, word_bits, num_ports};
+    m.powerup_seed = seed;
+    return m;
+  };
+  SocDescription chip{"demo_soc"};
+  chip.add(mem("cpu_l1i", 8 + x, 8, 1, 11));
+  chip.add(mem("cpu_l1d", 8 + x, 8, 2, 12));
+  chip.add(mem("cpu_l2", 10 + x, 8, 1, 13));
+  chip.add(mem("dsp_x", 7 + x, 16, 1, 14));
+  chip.add(mem("dsp_y", 7 + x, 16, 1, 15));
+  chip.add(mem("gpu_tile", 9 + x, 4, 1, 16));
+  chip.add(mem("nic_fifo", 6 + x, 8, 2, 17));
+  // Two small repairable bit-oriented arrays shipped with defects — the
+  // BISR leg of the demo (detect -> bitmap -> allocate -> repair -> retest).
+  auto rom = mem("rom_patch", 6 + x, 1, 1, 18);
+  rom.row_bits = 3;
+  rom.scramble_seed = 7;
+  rom.faults = {memsim::StuckAtFault{{9, 0}, true}};
+  rom.repair = {.spare_rows = 1, .spare_cols = 2};
+  chip.add(std::move(rom));
+  auto sensor = mem("sensor_buf", 5 + x, 1, 1, 19);
+  sensor.row_bits = 2;
+  sensor.scramble_seed = 3;
+  sensor.faults = {memsim::TransitionFault{{5, 0}, true}};
+  sensor.repair = {.spare_rows = 1, .spare_cols = 1};
+  chip.add(std::move(sensor));
+  return chip;
+}
+
+}  // namespace pmbist::soc

@@ -1,0 +1,348 @@
+#include "soc/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "common/thread_pool.h"
+#include "diag/bitmap.h"
+#include "mbist_hardwired/controller.h"
+#include "mbist_pfsm/controller.h"
+#include "mbist_ucode/controller.h"
+#include "memsim/faulty_memory.h"
+#include "repair/repaired_memory.h"
+
+namespace pmbist::soc {
+namespace {
+
+/// Storage sizing of the shared programmable controllers: generous enough
+/// for every library algorithm and reasonable DSL programs.
+constexpr int kUcodeStorageDepth = 64;
+constexpr int kPfsmBufferDepth = 32;
+
+std::unique_ptr<bist::Controller> make_controller(
+    ControllerKind kind, const march::MarchAlgorithm& alg,
+    const memsim::MemoryGeometry& geometry, std::uint64_t* load_cycles) {
+  switch (kind) {
+    case ControllerKind::Ucode: {
+      auto c = std::make_unique<mbist_ucode::MicrocodeController>(
+          mbist_ucode::ControllerConfig{.geometry = geometry,
+                                        .storage_depth = kUcodeStorageDepth});
+      c->load_algorithm(alg);
+      if (load_cycles != nullptr) *load_cycles = c->program_load_cycles();
+      return c;
+    }
+    case ControllerKind::Pfsm: {
+      auto c = std::make_unique<mbist_pfsm::PfsmController>(
+          mbist_pfsm::PfsmConfig{.geometry = geometry,
+                                 .buffer_depth = kPfsmBufferDepth});
+      c->load_algorithm(alg);
+      if (load_cycles != nullptr) *load_cycles = c->program_load_cycles();
+      return c;
+    }
+    case ControllerKind::Hardwired:
+      if (load_cycles != nullptr) *load_cycles = 0;
+      return std::make_unique<mbist_hardwired::HardwiredController>(
+          alg, mbist_hardwired::HardwiredConfig{.geometry = geometry});
+  }
+  throw SocError{"unreachable controller kind"};
+}
+
+/// One shared-controller seat: keeps the last controller alive and, when
+/// the next session matches its kind and geometry, re-programs it in place
+/// instead of constructing a new one — the scan/buffer reload path a
+/// shared programmable controller uses between memories.
+struct ControllerSlot {
+  std::unique_ptr<bist::Controller> controller;
+  ControllerKind kind = ControllerKind::Hardwired;
+  memsim::MemoryGeometry geometry{};
+
+  bist::Controller& prepare(ControllerKind k, const march::MarchAlgorithm& alg,
+                            const memsim::MemoryGeometry& g) {
+    if (controller && kind == k && geometry == g) {
+      if (k == ControllerKind::Ucode) {
+        static_cast<mbist_ucode::MicrocodeController&>(*controller)
+            .load_algorithm(alg);
+        return *controller;
+      }
+      if (k == ControllerKind::Pfsm) {
+        static_cast<mbist_pfsm::PfsmController&>(*controller)
+            .load_algorithm(alg);
+        return *controller;
+      }
+    }
+    controller = make_controller(k, alg, g, nullptr);
+    kind = k;
+    geometry = g;
+    return *controller;
+  }
+};
+
+/// Per-assignment compiled task: resolved algorithm, instance, weight, and
+/// exact cycle costs.
+struct Task {
+  march::MarchAlgorithm alg;
+  const MemoryInstance* mem = nullptr;
+  double weight = 0.0;
+  std::uint64_t load_cycles = 0;
+  std::uint64_t test_cycles = 0;
+
+  [[nodiscard]] std::uint64_t duration() const noexcept {
+    return load_cycles + test_cycles;
+  }
+};
+
+std::vector<Task> compile_plan(const SocDescription& chip,
+                               const TestPlan& plan,
+                               const SchedulerOptions& options) {
+  plan.validate(chip);
+  const auto& assignments = plan.assignments();
+  const auto n = assignments.size();
+  std::vector<Task> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks[i].alg = resolve_algorithm(assignments[i].algorithm);
+    tasks[i].mem = chip.find(assignments[i].memory);
+    tasks[i].weight = plan.effective_weight(assignments[i], *tasks[i].mem);
+  }
+  // Exact durations: each worker steps one controller to completion (no
+  // memory involved — controller op streams are data-independent).
+  common::parallel_shards(
+      options.jobs, static_cast<int>(n), [&](int i) {
+        const auto& a = assignments[static_cast<std::size_t>(i)];
+        auto& t = tasks[static_cast<std::size_t>(i)];
+        const auto ctrl = make_controller(a.controller, t.alg,
+                                          t.mem->geometry, &t.load_cycles);
+        t.test_cycles = bist::count_cycles(*ctrl, options.max_cycles);
+      });
+  return tasks;
+}
+
+/// Greedy list scheduling under share-group and power constraints.
+/// Returns per-assignment start cycles.  Deterministic: priority is
+/// (duration desc, name asc) and time advances through completion events.
+std::vector<std::uint64_t> list_schedule(const std::vector<Task>& tasks,
+                                         const TestPlan& plan) {
+  const auto& assignments = plan.assignments();
+  const double budget = plan.power().budget;
+  const auto n = tasks.size();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (tasks[a].duration() != tasks[b].duration())
+      return tasks[a].duration() > tasks[b].duration();
+    return assignments[a].memory < assignments[b].memory;
+  });
+
+  std::vector<std::uint64_t> start(n, 0);
+  std::vector<bool> placed(n, false);
+  struct Running {
+    std::uint64_t end;
+    std::size_t index;
+  };
+  std::vector<Running> running;
+  std::set<std::string> busy_groups;
+  double power_in_use = 0.0;
+  std::uint64_t now = 0;
+  std::size_t num_placed = 0;
+
+  while (num_placed < n) {
+    for (const auto idx : order) {
+      if (placed[idx]) continue;
+      const auto& group = assignments[idx].share_group;
+      if (!group.empty() && busy_groups.count(group) != 0) continue;
+      if (budget > 0.0 && power_in_use + tasks[idx].weight > budget + 1e-9)
+        continue;
+      start[idx] = now;
+      placed[idx] = true;
+      ++num_placed;
+      running.push_back({now + tasks[idx].duration(), idx});
+      power_in_use += tasks[idx].weight;
+      if (!group.empty()) busy_groups.insert(group);
+    }
+    if (num_placed == n) break;
+    // Progress is guaranteed: validate() rejects any single session whose
+    // weight exceeds a positive budget, so something is always running.
+    std::uint64_t next = running.front().end;
+    for (const auto& r : running) next = std::min(next, r.end);
+    now = next;
+    for (std::size_t i = running.size(); i-- > 0;) {
+      if (running[i].end > now) continue;
+      const auto idx = running[i].index;
+      power_in_use -= tasks[idx].weight;
+      if (!assignments[idx].share_group.empty())
+        busy_groups.erase(assignments[idx].share_group);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  return start;
+}
+
+std::vector<ScheduledSession> make_sessions(
+    const std::vector<Task>& tasks, const TestPlan& plan,
+    const std::vector<std::uint64_t>& start) {
+  const auto& assignments = plan.assignments();
+  std::vector<ScheduledSession> sessions(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    sessions[i] = ScheduledSession{.memory = assignments[i].memory,
+                                   .algorithm = assignments[i].algorithm,
+                                   .controller = assignments[i].controller,
+                                   .share_group = assignments[i].share_group,
+                                   .power_weight = tasks[i].weight,
+                                   .load_cycles = tasks[i].load_cycles,
+                                   .test_cycles = tasks[i].test_cycles,
+                                   .start_cycle = start[i]};
+  }
+  return sessions;
+}
+
+void sort_for_display(std::vector<ScheduledSession>& sessions) {
+  std::sort(sessions.begin(), sessions.end(),
+            [](const ScheduledSession& a, const ScheduledSession& b) {
+              if (a.start_cycle != b.start_cycle)
+                return a.start_cycle < b.start_cycle;
+              return a.memory < b.memory;
+            });
+}
+
+double peak_power_of(const std::vector<ScheduledSession>& sessions) {
+  double peak = 0.0;
+  for (const auto& s : sessions) {
+    double at_start = 0.0;
+    for (const auto& other : sessions)
+      if (other.start_cycle <= s.start_cycle &&
+          s.start_cycle < other.end_cycle())
+        at_start += other.power_weight;
+    peak = std::max(peak, at_start);
+  }
+  return peak;
+}
+
+InstanceResult run_instance(const TestAssignment& assignment,
+                            const MemoryInstance& instance,
+                            const march::MarchAlgorithm& alg,
+                            ControllerSlot& slot,
+                            const SchedulerOptions& options) {
+  auto& controller = slot.prepare(assignment.controller, alg,
+                                  instance.geometry);
+  memsim::FaultyMemory memory{instance.geometry, instance.powerup_seed};
+  try {
+    for (const auto& fault : instance.faults) memory.add_fault(fault);
+  } catch (const std::exception& e) {
+    throw SocError{"instance '" + instance.name + "': " + e.what()};
+  }
+  const bist::SessionOptions session_options{
+      .max_cycles = options.max_cycles, .max_failures = options.max_failures};
+  InstanceResult result{.memory = instance.name,
+                        .session = bist::run_session(controller, memory,
+                                                     session_options),
+                        .repair = std::nullopt};
+  if (instance.repair.any() && instance.geometry.bit_oriented() &&
+      !result.session.failures.empty()) {
+    RepairOutcome outcome;
+    diag::FailBitmap bitmap{instance.geometry};
+    bitmap.accumulate(result.session.failures);
+    const auto topology = instance.topology();
+    const auto solution = repair::allocate_redundancy(
+        bitmap, topology,
+        {.spare_rows = instance.repair.spare_rows,
+         .spare_cols = instance.repair.spare_cols});
+    outcome.repairable = solution.repairable;
+    if (solution.repairable) {
+      outcome.spare_rows_used = static_cast<int>(solution.rows_replaced.size());
+      outcome.spare_cols_used = static_cast<int>(solution.cols_replaced.size());
+      repair::RepairedMemory repaired{memory, topology, solution};
+      outcome.retest_passed =
+          bist::run_session(controller, repaired, session_options).passed();
+    }
+    result.repair = outcome;
+  }
+  return result;
+}
+
+}  // namespace
+
+int SocResult::healthy_count() const noexcept {
+  int healthy = 0;
+  for (const auto& r : instances)
+    if (r.healthy()) ++healthy;
+  return healthy;
+}
+
+std::vector<ScheduledSession> Scheduler::compute_schedule(
+    const SocDescription& chip, const TestPlan& plan) const {
+  const auto tasks = compile_plan(chip, plan, options_);
+  auto sessions = make_sessions(tasks, plan, list_schedule(tasks, plan));
+  sort_for_display(sessions);
+  return sessions;
+}
+
+SocResult Scheduler::run(const SocDescription& chip,
+                         const TestPlan& plan) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto tasks = compile_plan(chip, plan, options_);
+  const auto start = list_schedule(tasks, plan);
+  const auto& assignments = plan.assignments();
+  const auto n = assignments.size();
+
+  // Execution units: one per share group (members serialized in scheduled
+  // order on one controller seat) and one per dedicated session.
+  struct Unit {
+    std::uint64_t first_start = 0;
+    std::string first_name;
+    std::vector<std::size_t> members;
+  };
+  std::vector<Unit> units;
+  std::map<std::string, std::vector<std::size_t>> grouped;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (assignments[i].share_group.empty())
+      units.push_back({start[i], assignments[i].memory, {i}});
+    else
+      grouped[assignments[i].share_group].push_back(i);
+  }
+  for (auto& [group, members] : grouped) {
+    std::sort(members.begin(), members.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (start[a] != start[b]) return start[a] < start[b];
+                return assignments[a].memory < assignments[b].memory;
+              });
+    units.push_back(
+        {start[members.front()], assignments[members.front()].memory,
+         std::move(members)});
+  }
+  std::sort(units.begin(), units.end(), [](const Unit& a, const Unit& b) {
+    if (a.first_start != b.first_start) return a.first_start < b.first_start;
+    return a.first_name < b.first_name;
+  });
+
+  std::vector<InstanceResult> results(n);
+  common::parallel_shards(
+      options_.jobs, static_cast<int>(units.size()), [&](int u) {
+        ControllerSlot slot;
+        for (const auto idx : units[static_cast<std::size_t>(u)].members)
+          results[idx] = run_instance(assignments[idx], *tasks[idx].mem,
+                                      tasks[idx].alg, slot, options_);
+      });
+
+  SocResult out;
+  out.instances = std::move(results);
+  out.schedule = make_sessions(tasks, plan, start);
+  for (const auto& s : out.schedule)
+    out.makespan_cycles = std::max(out.makespan_cycles, s.end_cycle());
+  out.peak_power = peak_power_of(out.schedule);
+  sort_for_display(out.schedule);
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+SocResult run_soc(const SocDescription& chip, const TestPlan& plan,
+                  const SchedulerOptions& options) {
+  return Scheduler{options}.run(chip, plan);
+}
+
+}  // namespace pmbist::soc

@@ -1,0 +1,145 @@
+#pragma once
+// SoC test scheduler: turns (chip, plan) into a parallel whole-chip test.
+//
+// Two-phase contract:
+//
+//   1. compute_schedule() — greedy-but-deterministic list scheduling.
+//      Session durations are EXACT controller cycle counts (the controller
+//      op stream is data-independent, so bist::count_cycles needs no
+//      memory), plus the program-(re)load cost a programmable controller
+//      pays per memory (MicrocodeController/PfsmController::
+//      program_load_cycles).  Tasks are started longest-first (ties broken
+//      by instance name) whenever (a) their share group is idle and (b) the
+//      summed toggle weight of running sessions stays within the power
+//      budget.  The schedule — start/end cycles, makespan, peak power — is
+//      a pure function of (chip, plan): it never depends on --jobs or the
+//      host machine.
+//
+//   2. run() — executes every session via bist::run_session on the shared
+//      ThreadPool.  Sessions of one share group run serially (in scheduled
+//      order) on one worker, reusing one controller object and re-loading
+//      its program per memory; dedicated sessions parallelize freely up to
+//      `jobs`.  Each result is written into its pre-sized slot, and each
+//      simulation depends only on (program, geometry, faults, power-up
+//      seed) — so a SocResult is bit-identical for any worker count, the
+//      same determinism contract as march::run_campaign.  Instances with
+//      spare rows/columns that fail get the full BISR leg: fail bitmap ->
+//      redundancy allocation -> spare switch-in -> retest.
+//
+// docs/SOC.md documents the power model, the sharing rules and this
+// scheduling contract.
+
+#include <optional>
+
+#include "bist/session.h"
+#include "repair/redundancy.h"
+#include "soc/plan.h"
+
+namespace pmbist::soc {
+
+struct SchedulerOptions {
+  /// Execution worker count: 0 = hardware concurrency, 1 = serial.
+  /// Results are identical for every value.
+  int jobs = 0;
+  /// Per-session failure-log capacity.  Truncation caps the log (and what
+  /// the repair bitmap can see), never the run.
+  std::size_t max_failures = 1024;
+  /// Runaway-controller bound per session.
+  std::uint64_t max_cycles = 1'000'000'000;
+};
+
+/// One session in the modeled schedule.
+struct ScheduledSession {
+  std::string memory;
+  std::string algorithm;
+  ControllerKind controller = ControllerKind::Ucode;
+  std::string share_group;
+  double power_weight = 0.0;
+  std::uint64_t load_cycles = 0;  ///< program (re)load before the test
+  std::uint64_t test_cycles = 0;  ///< controller run, exact
+  std::uint64_t start_cycle = 0;
+
+  [[nodiscard]] std::uint64_t duration() const noexcept {
+    return load_cycles + test_cycles;
+  }
+  [[nodiscard]] std::uint64_t end_cycle() const noexcept {
+    return start_cycle + duration();
+  }
+  friend bool operator==(const ScheduledSession&,
+                         const ScheduledSession&) = default;
+};
+
+/// BISR outcome for an instance with redundancy that logged failures.
+struct RepairOutcome {
+  bool repairable = false;
+  int spare_rows_used = 0;
+  int spare_cols_used = 0;
+  bool retest_passed = false;
+  friend bool operator==(const RepairOutcome&, const RepairOutcome&) = default;
+};
+
+/// Test (+ repair) outcome of one instance.
+struct InstanceResult {
+  std::string memory;
+  bist::SessionResult session;
+  /// Engaged iff the instance has spare resources, a bit-oriented
+  /// geometry, and the session logged failures.
+  std::optional<RepairOutcome> repair;
+
+  /// Healthy = passed outright, or repaired and retested clean.
+  [[nodiscard]] bool healthy() const noexcept {
+    return session.passed() || (repair && repair->retest_passed);
+  }
+  friend bool operator==(const InstanceResult&,
+                         const InstanceResult&) = default;
+};
+
+/// Whole-chip outcome.  Everything except `wall_seconds` is deterministic
+/// (operator== deliberately ignores wall time).
+struct SocResult {
+  std::vector<InstanceResult> instances;   ///< in plan-assignment order
+  std::vector<ScheduledSession> schedule;  ///< by start cycle, then name
+  std::uint64_t makespan_cycles = 0;       ///< modeled whole-chip test time
+  double peak_power = 0.0;  ///< max summed toggle weight of a schedule instant
+  double wall_seconds = 0.0;  ///< host execution time (not compared)
+
+  [[nodiscard]] int healthy_count() const noexcept;
+  [[nodiscard]] bool all_healthy() const noexcept {
+    return healthy_count() == static_cast<int>(instances.size());
+  }
+
+  friend bool operator==(const SocResult& a, const SocResult& b) {
+    return a.instances == b.instances && a.schedule == b.schedule &&
+           a.makespan_cycles == b.makespan_cycles &&
+           a.peak_power == b.peak_power;
+  }
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options = {}) : options_{options} {}
+
+  /// Phase 1 only: the modeled schedule, sorted by (start cycle, name).
+  /// Validates (chip, plan); throws SocError on inconsistencies.
+  [[nodiscard]] std::vector<ScheduledSession> compute_schedule(
+      const SocDescription& chip, const TestPlan& plan) const;
+
+  /// Phases 1+2: schedule, execute, repair.  Throws SocError on an invalid
+  /// plan or a fault outside its instance's geometry.
+  [[nodiscard]] SocResult run(const SocDescription& chip,
+                              const TestPlan& plan) const;
+
+  [[nodiscard]] const SchedulerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  SchedulerOptions options_;
+};
+
+/// One-call front end.
+[[nodiscard]] SocResult run_soc(const SocDescription& chip,
+                                const TestPlan& plan,
+                                const SchedulerOptions& options = {});
+
+}  // namespace pmbist::soc

@@ -131,6 +131,45 @@ TEST(Session, FailureLogCapRespected) {
   EXPECT_EQ(r.failures.size(), 3u);
 }
 
+TEST(Session, TruncationCapsTheLogNotTheRun) {
+  // max_failures bounds the captured log only: the run continues to
+  // completion, every mismatch is still counted, and passed() stays false.
+  const memsim::MemoryGeometry g{.address_bits = 4};
+  mbist_ucode::MicrocodeController ctrl{{.geometry = g}};
+  ctrl.load_algorithm(march::march_c());
+  memsim::FaultyMemory mem{g, 1};
+  for (memsim::Address a = 0; a < 8; ++a)
+    mem.add_fault(memsim::StuckAtFault{{a, 0}, true});
+
+  const auto full = bist::run_session(ctrl, mem, {.max_failures = 1u << 20});
+  const auto capped = bist::run_session(ctrl, mem, {.max_failures = 3});
+  ASSERT_GT(full.failures.size(), 3u);
+  EXPECT_EQ(full.mismatches, full.failures.size());
+
+  EXPECT_TRUE(capped.completed);
+  EXPECT_EQ(capped.failures.size(), 3u);
+  EXPECT_EQ(capped.mismatches, full.mismatches);  // counted past capacity
+  EXPECT_EQ(capped.cycles, full.cycles);          // run not cut short
+  EXPECT_EQ(capped.reads, full.reads);
+  EXPECT_FALSE(capped.passed());
+  // The captured prefix is the same failures in the same order.
+  for (std::size_t i = 0; i < capped.failures.size(); ++i)
+    EXPECT_TRUE(capped.failures[i] == full.failures[i]) << i;
+}
+
+TEST(Session, ZeroCapacityStillFailsTheSession) {
+  const memsim::MemoryGeometry g{.address_bits = 4};
+  mbist_ucode::MicrocodeController ctrl{{.geometry = g}};
+  ctrl.load_algorithm(march::march_c());
+  memsim::FaultyMemory mem{g, 1};
+  mem.add_fault(memsim::StuckAtFault{{2, 0}, true});
+  const auto r = bist::run_session(ctrl, mem, {.max_failures = 0});
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.failures.empty());
+  EXPECT_GT(r.mismatches, 0u);
+  EXPECT_FALSE(r.passed());  // an empty log is not a clean run
+}
+
 TEST(CollectOps, ThrowsOnRunawayController) {
   // A controller that never terminates must be caught by the bound.
   class Runaway final : public bist::Controller {

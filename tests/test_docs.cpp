@@ -1,7 +1,9 @@
-// Keeps docs/DSL.md honest: every fenced ```march block must parse and
-// round-trip through to_string(), and every ```march-error block must be
-// rejected with march::ParseError.  The doc and the parser cannot drift
-// apart without this test failing.
+// Keeps the docs honest: every fenced ```march block in docs/DSL.md must
+// parse and round-trip through to_string(), every ```march-error block must
+// be rejected with march::ParseError — and likewise every ```chip block in
+// docs/SOC.md must parse (and round-trip) through soc::parse_chip_text,
+// every ```chip-error block must raise ChipError.  The docs and the parsers
+// cannot drift apart without this test failing.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "march/parser.h"
+#include "soc/chip.h"
 
 namespace {
 
@@ -30,8 +33,9 @@ std::string read_file(const std::string& path) {
   return out.str();
 }
 
-// Extracts fenced code blocks tagged `march` / `march-error`.
-std::vector<DocExample> extract_examples(const std::string& doc) {
+// Extracts fenced code blocks tagged `<tag>` / `<tag>-error`.
+std::vector<DocExample> extract_examples(const std::string& doc,
+                                         const std::string& tag = "march") {
   std::vector<DocExample> examples;
   std::istringstream lines{doc};
   std::string line;
@@ -41,9 +45,9 @@ std::vector<DocExample> extract_examples(const std::string& doc) {
   while (std::getline(lines, line)) {
     ++lineno;
     if (!in_block) {
-      if (line == "```march" || line == "```march-error") {
+      if (line == "```" + tag || line == "```" + tag + "-error") {
         in_block = true;
-        current = DocExample{"", lineno, line == "```march-error"};
+        current = DocExample{"", lineno, line == "```" + tag + "-error"};
       }
     } else if (line.rfind("```", 0) == 0) {
       in_block = false;
@@ -57,9 +61,10 @@ std::vector<DocExample> extract_examples(const std::string& doc) {
   return examples;
 }
 
-std::vector<DocExample> doc_examples(const char* relative) {
-  return extract_examples(read_file(std::string{PMBIST_SOURCE_DIR} + "/" +
-                                    relative));
+std::vector<DocExample> doc_examples(const char* relative,
+                                     const std::string& tag = "march") {
+  return extract_examples(
+      read_file(std::string{PMBIST_SOURCE_DIR} + "/" + relative), tag);
 }
 
 TEST(DocExamples, DslDocHasExamples) {
@@ -93,6 +98,39 @@ TEST(DocExamples, ErrorExamplesAreRejected) {
     if (!e.must_fail) continue;
     SCOPED_TRACE("docs/DSL.md:" + std::to_string(e.line));
     EXPECT_THROW((void)march::parse(e.text), march::ParseError) << e.text;
+  }
+}
+
+TEST(DocExamples, SocDocHasExamples) {
+  const auto examples = doc_examples("docs/SOC.md", "chip");
+  int valid = 0, invalid = 0;
+  for (const auto& e : examples) (e.must_fail ? invalid : valid)++;
+  EXPECT_GE(valid, 3);
+  EXPECT_GE(invalid, 3);
+}
+
+TEST(DocExamples, ChipExamplesParseAndRoundTrip) {
+  for (const auto& e : doc_examples("docs/SOC.md", "chip")) {
+    if (e.must_fail) continue;
+    SCOPED_TRACE("docs/SOC.md:" + std::to_string(e.line));
+    soc::ChipFile chip;
+    ASSERT_NO_THROW(chip = soc::parse_chip_text(e.text)) << e.text;
+    EXPECT_FALSE(chip.description.memories().empty());
+    // The serialized form re-parses to the same chip.
+    const auto printed = soc::to_chip_text(chip.description, chip.plan);
+    soc::ChipFile again;
+    ASSERT_NO_THROW(again = soc::parse_chip_text(printed)) << printed;
+    EXPECT_EQ(again.description, chip.description) << printed;
+    EXPECT_EQ(again.plan, chip.plan) << printed;
+  }
+}
+
+TEST(DocExamples, ChipErrorExamplesAreRejected) {
+  for (const auto& e : doc_examples("docs/SOC.md", "chip")) {
+    if (!e.must_fail) continue;
+    SCOPED_TRACE("docs/SOC.md:" + std::to_string(e.line));
+    EXPECT_THROW((void)soc::parse_chip_text(e.text), soc::ChipError)
+        << e.text;
   }
 }
 

@@ -1,0 +1,349 @@
+// SoC orchestration: chip catalog, chip-file parsing, plan validation, and
+// the scheduler's contracts — share-group mutual exclusion, power-budget
+// compliance, exact durations, and jobs-independent (bit-identical) results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "soc/chip.h"
+#include "soc/scheduler.h"
+
+namespace {
+
+using namespace pmbist;
+
+// --- description ------------------------------------------------------
+
+TEST(SocDescription, RejectsBadInstances) {
+  soc::SocDescription chip{"t"};
+  EXPECT_THROW(chip.add({}), soc::SocError);  // empty name
+  soc::MemoryInstance m;
+  m.name = "a";
+  m.geometry = {.address_bits = 0, .word_bits = 1, .num_ports = 1};
+  EXPECT_THROW(chip.add(m), soc::SocError);  // degenerate geometry
+  m.geometry = {.address_bits = 4, .word_bits = 1, .num_ports = 1};
+  m.row_bits = 4;  // must be < address_bits
+  EXPECT_THROW(chip.add(m), soc::SocError);
+  m.row_bits = 2;
+  chip.add(m);
+  EXPECT_THROW(chip.add(m), soc::SocError);  // duplicate name
+  EXPECT_NE(chip.find("a"), nullptr);
+  EXPECT_EQ(chip.find("b"), nullptr);
+  EXPECT_THROW(chip.add_fault("b", memsim::StuckAtFault{{0, 0}, true}),
+               soc::SocError);
+}
+
+TEST(SocDescription, DemoChipShape) {
+  const auto chip = soc::demo_soc();
+  EXPECT_GE(chip.memories().size(), 8u);  // acceptance: >= 8 instances
+  int with_defects = 0, repairable = 0;
+  for (const auto& m : chip.memories()) {
+    if (!m.faults.empty()) ++with_defects;
+    if (m.repair.any()) ++repairable;
+  }
+  EXPECT_GE(with_defects, 2);
+  EXPECT_GE(repairable, 2);
+}
+
+// --- plan validation --------------------------------------------------
+
+soc::TestAssignment task(std::string mem, std::string alg,
+                         soc::ControllerKind kind, std::string group = {},
+                         double weight = 0.0) {
+  soc::TestAssignment a;
+  a.memory = std::move(mem);
+  a.algorithm = std::move(alg);
+  a.controller = kind;
+  a.share_group = std::move(group);
+  a.power_weight = weight;
+  return a;
+}
+
+TEST(SocPlan, ValidateCatchesEveryMistake) {
+  const auto chip = soc::demo_soc();
+
+  soc::TestPlan unknown_mem;
+  unknown_mem.assign(task("nope", "March C", soc::ControllerKind::Ucode));
+  EXPECT_THROW(unknown_mem.validate(chip), soc::SocError);
+
+  soc::TestPlan dup;
+  dup.assign(task("cpu_l2", "March C", soc::ControllerKind::Ucode));
+  EXPECT_THROW(
+      dup.assign(task("cpu_l2", "MATS+", soc::ControllerKind::Ucode)),
+      soc::SocError);
+
+  soc::TestPlan bad_alg;
+  bad_alg.assign(task("cpu_l2", "March Zeta", soc::ControllerKind::Ucode));
+  EXPECT_THROW(bad_alg.validate(chip), soc::SocError);
+
+  soc::TestPlan unmappable;  // March B does not map onto the pFSM SMs
+  unmappable.assign(task("cpu_l2", "March B", soc::ControllerKind::Pfsm));
+  EXPECT_THROW(unmappable.validate(chip), soc::SocError);
+
+  soc::TestPlan hardwired_shared;  // a hardwired engine cannot be retargeted
+  hardwired_shared.assign(
+      task("cpu_l2", "March C", soc::ControllerKind::Hardwired, "grp"));
+  EXPECT_THROW(hardwired_shared.validate(chip), soc::SocError);
+
+  soc::TestPlan tight;  // budget below a single session's weight
+  tight.assign(task("cpu_l2", "March C", soc::ControllerKind::Ucode));
+  tight.set_power_budget(1.0);
+  EXPECT_THROW(tight.validate(chip), soc::SocError);
+
+  soc::TestPlan negative;
+  negative.assign(task("cpu_l2", "March C", soc::ControllerKind::Ucode));
+  negative.set_power_budget(-2.0);
+  EXPECT_THROW(negative.validate(chip), soc::SocError);
+
+  EXPECT_NO_THROW(soc::demo_plan().validate(chip));
+}
+
+TEST(SocPlan, DefaultWeightIsWordPlusAddressBits) {
+  const auto chip = soc::demo_soc();
+  const soc::TestPlan plan;
+  const auto* l2 = chip.find("cpu_l2");
+  ASSERT_NE(l2, nullptr);
+  EXPECT_DOUBLE_EQ(
+      plan.effective_weight(task("cpu_l2", "March C",
+                                 soc::ControllerKind::Ucode),
+                            *l2),
+      10 + 8);
+  EXPECT_DOUBLE_EQ(
+      plan.effective_weight(
+          task("cpu_l2", "March C", soc::ControllerKind::Ucode, {}, 3.5),
+          *l2),
+      3.5);
+}
+
+// --- chip files -------------------------------------------------------
+
+TEST(ChipFile, ParsesMinimalChip) {
+  const auto chip = soc::parse_chip_text(
+      "soc tiny\n"
+      "mem a addr_bits=4\n"
+      "assign a \"MATS\" ucode\n");
+  EXPECT_EQ(chip.description.name(), "tiny");
+  ASSERT_EQ(chip.description.memories().size(), 1u);
+  const auto& m = chip.description.memories()[0];
+  EXPECT_EQ(m.geometry.word_bits, 1);  // defaults
+  EXPECT_EQ(m.geometry.num_ports, 1);
+  EXPECT_EQ(m.powerup_seed, 1u);
+  EXPECT_EQ(m.row_bits, -1);
+  ASSERT_EQ(chip.plan.assignments().size(), 1u);
+  EXPECT_EQ(chip.plan.assignments()[0].algorithm, "MATS");
+}
+
+TEST(ChipFile, ReportsLineNumbers) {
+  const auto expect_line = [](const std::string& text, const char* needle) {
+    try {
+      (void)soc::parse_chip_text(text);
+      FAIL() << "expected ChipError for: " << text;
+    } catch (const soc::ChipError& e) {
+      EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_line("soc t\nbogus x\n", "line 2");
+  expect_line("soc t\nmem a addr_bits=zap\n", "line 2");
+  expect_line("soc t\n\nmem a addr_bits=4 addr_bits=5\n", "duplicate key");
+  expect_line("soc t\nassign a \"MATS\n", "unterminated quote");
+  expect_line("fault a SAF cell=0:0 value=1\n", "unknown memory");
+  expect_line("soc t\nmem a addr_bits=4\nfault a SAF cell=99:0 value=1\n",
+              "outside the geometry");
+  expect_line("soc t\nmem a addr_bits=4\nassign a \"MATS\" warpdrive\n",
+              "line 3");
+  // Validation failures surface as ChipError too (plan vs description).
+  expect_line("soc t\nmem a addr_bits=4\nassign b \"MATS\" ucode\n", "b");
+}
+
+TEST(ChipFile, SampleFaultDrawsFromDeterministicUniverse) {
+  const char* text =
+      "soc t\n"
+      "mem a addr_bits=5\n"
+      "fault a sample class=CFid seed=7 index=3\n"
+      "assign a \"March C\" ucode\n";
+  const auto once = soc::parse_chip_text(text);
+  const auto again = soc::parse_chip_text(text);
+  ASSERT_EQ(once.description.memories()[0].faults.size(), 1u);
+  EXPECT_EQ(once.description, again.description);
+}
+
+TEST(ChipFile, RoundTripsTheDemoChip) {
+  const auto chip = soc::demo_soc();
+  const auto plan = soc::demo_plan();
+  const auto text = soc::to_chip_text(chip, plan);
+  const auto parsed = soc::parse_chip_text(text);
+  EXPECT_EQ(parsed.description, chip);
+  EXPECT_EQ(parsed.plan, plan);
+  // And the round-trip is a fixed point.
+  EXPECT_EQ(soc::to_chip_text(parsed.description, parsed.plan), text);
+}
+
+TEST(ChipFile, LoadRejectsMissingFile) {
+  EXPECT_THROW((void)soc::load_chip_file("/nonexistent/x.chip"),
+               soc::ChipError);
+}
+
+// --- scheduler --------------------------------------------------------
+
+double power_at(const std::vector<soc::ScheduledSession>& schedule,
+                std::uint64_t t) {
+  double sum = 0.0;
+  for (const auto& s : schedule)
+    if (s.start_cycle <= t && t < s.end_cycle()) sum += s.power_weight;
+  return sum;
+}
+
+TEST(SocScheduler, ScheduleRespectsEveryConstraint) {
+  const auto chip = soc::demo_soc();
+  const auto plan = soc::demo_plan();
+  const auto schedule = soc::Scheduler{}.compute_schedule(chip, plan);
+  ASSERT_EQ(schedule.size(), plan.assignments().size());
+
+  const double budget = plan.power().budget;
+  ASSERT_GT(budget, 0.0);
+  for (const auto& s : schedule) {
+    // Acceptance: summed weight never exceeds the budget at any instant
+    // (power is piecewise-constant, so session starts cover all instants).
+    EXPECT_LE(power_at(schedule, s.start_cycle), budget + 1e-9) << s.memory;
+  }
+  // Acceptance: two sessions of one share group never overlap.
+  for (const auto& a : schedule)
+    for (const auto& b : schedule) {
+      if (&a == &b || a.share_group.empty() ||
+          a.share_group != b.share_group)
+        continue;
+      const bool overlap =
+          a.start_cycle < b.end_cycle() && b.start_cycle < a.end_cycle();
+      EXPECT_FALSE(overlap) << a.memory << " and " << b.memory
+                            << " overlap in group " << a.share_group;
+    }
+  // Output ordering: by start cycle, then name.
+  EXPECT_TRUE(std::is_sorted(
+      schedule.begin(), schedule.end(), [](const auto& x, const auto& y) {
+        return std::tie(x.start_cycle, x.memory) <
+               std::tie(y.start_cycle, y.memory);
+      }));
+  // Programmable controllers pay a reload; hardwired engines do not.
+  for (const auto& s : schedule) {
+    if (s.controller == soc::ControllerKind::Hardwired)
+      EXPECT_EQ(s.load_cycles, 0u) << s.memory;
+    else
+      EXPECT_GT(s.load_cycles, 0u) << s.memory;
+  }
+}
+
+TEST(SocScheduler, RunMatchesScheduleAndCycleCountsExactly) {
+  const auto chip = soc::demo_soc();
+  const auto plan = soc::demo_plan();
+  const soc::Scheduler scheduler{{.jobs = 2}};
+  const auto result = scheduler.run(chip, plan);
+  EXPECT_EQ(result.schedule, scheduler.compute_schedule(chip, plan));
+
+  std::uint64_t max_end = 0;
+  for (const auto& s : result.schedule) {
+    max_end = std::max(max_end, s.end_cycle());
+    // The modeled test duration is EXACT: the executed session took
+    // precisely the scheduled cycle count.
+    const auto it = std::find_if(
+        result.instances.begin(), result.instances.end(),
+        [&](const auto& r) { return r.memory == s.memory; });
+    ASSERT_NE(it, result.instances.end());
+    EXPECT_TRUE(it->session.completed);
+    EXPECT_EQ(it->session.cycles, s.test_cycles) << s.memory;
+  }
+  EXPECT_EQ(result.makespan_cycles, max_end);
+  double peak = 0.0;
+  for (const auto& s : result.schedule)
+    peak = std::max(peak, power_at(result.schedule, s.start_cycle));
+  EXPECT_DOUBLE_EQ(result.peak_power, peak);
+}
+
+TEST(SocScheduler, ResultsAreIdenticalForAnyWorkerCount) {
+  const auto chip = soc::demo_soc();
+  const auto plan = soc::demo_plan();
+  // Acceptance: bit-identical SocResult (instances, schedule, makespan,
+  // peak power — operator== covers them all) for jobs in {1, 2, 8}.
+  const auto serial = soc::run_soc(chip, plan, {.jobs = 1});
+  EXPECT_EQ(serial, soc::run_soc(chip, plan, {.jobs = 2}));
+  EXPECT_EQ(serial, soc::run_soc(chip, plan, {.jobs = 8}));
+}
+
+TEST(SocScheduler, DetectsRepairsAndRetests) {
+  const auto chip = soc::demo_soc();
+  const auto result = soc::run_soc(chip, soc::demo_plan(), {.jobs = 2});
+  ASSERT_EQ(result.instances.size(), chip.memories().size());
+  int repaired = 0;
+  for (const auto& r : result.instances) {
+    const auto* m = chip.find(r.memory);
+    ASSERT_NE(m, nullptr);
+    if (m->faults.empty()) {
+      EXPECT_TRUE(r.session.passed()) << r.memory;
+      EXPECT_FALSE(r.repair.has_value()) << r.memory;
+    } else {
+      // Every demo defect is detectable by its assigned March test.
+      EXPECT_FALSE(r.session.passed()) << r.memory;
+      ASSERT_TRUE(r.repair.has_value()) << r.memory;
+      EXPECT_TRUE(r.repair->repairable) << r.memory;
+      EXPECT_TRUE(r.repair->retest_passed) << r.memory;
+      ++repaired;
+    }
+  }
+  EXPECT_GE(repaired, 2);
+  EXPECT_TRUE(result.all_healthy());
+  EXPECT_EQ(result.healthy_count(),
+            static_cast<int>(result.instances.size()));
+}
+
+TEST(SocScheduler, UnrepairableWithoutSpares) {
+  auto chip = soc::demo_soc();
+  soc::TestPlan plan;
+  plan.assign(task("gpu_tile", "March C", soc::ControllerKind::Ucode));
+  chip.add_fault("gpu_tile", memsim::StuckAtFault{{3, 1}, true});
+  const auto result = soc::run_soc(chip, plan, {.jobs = 1});
+  ASSERT_EQ(result.instances.size(), 1u);
+  EXPECT_FALSE(result.instances[0].session.passed());
+  EXPECT_FALSE(result.instances[0].repair.has_value());  // no spares
+  EXPECT_FALSE(result.all_healthy());
+}
+
+TEST(SocScheduler, TighterBudgetNeverShortensTheChipTest) {
+  const auto chip = soc::demo_soc();
+  auto plan = soc::demo_plan();
+  const soc::Scheduler scheduler{};
+  std::uint64_t previous = 0;
+  // 0 = unconstrained; then progressively tighter budgets.
+  for (const double budget : {0.0, 96.0, 48.0, 30.0, 23.0}) {
+    plan.set_power_budget(budget);
+    const auto schedule = scheduler.compute_schedule(chip, plan);
+    std::uint64_t makespan = 0;
+    for (const auto& s : schedule)
+      makespan = std::max(makespan, s.end_cycle());
+    EXPECT_GE(makespan, previous) << "budget " << budget;
+    previous = makespan;
+  }
+  // The tightest budget above admits only one heavy session at a time, so
+  // the chip test degenerates towards the serial sum.
+  std::uint64_t serial_sum = 0;
+  plan.set_power_budget(0.0);
+  for (const auto& s : scheduler.compute_schedule(chip, plan))
+    serial_sum += s.duration();
+  EXPECT_LT(previous, serial_sum);  // groups of light sessions still overlap
+}
+
+TEST(SocScheduler, UnconstrainedScheduleParallelizesAcrossControllers) {
+  const auto chip = soc::demo_soc();
+  auto plan = soc::demo_plan();
+  plan.set_power_budget(0.0);
+  const auto schedule = soc::Scheduler{}.compute_schedule(chip, plan);
+  std::uint64_t makespan = 0, total = 0;
+  for (const auto& s : schedule) {
+    makespan = std::max(makespan, s.end_cycle());
+    total += s.duration();
+  }
+  EXPECT_LT(makespan, total);  // strictly better than one-at-a-time
+}
+
+}  // namespace

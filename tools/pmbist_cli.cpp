@@ -20,6 +20,11 @@
 //   pmbist export-decoder
 //       Emit the microcode instruction decoder (minimized covers) and the
 //       programmable-FSM lower controller as Verilog.
+//   pmbist soc       [--chip FILE] [--jobs N] [--power-budget W]
+//                    [--max-failures N]
+//       Whole-chip BIST: schedule and run every memory of a chip file
+//       (docs/SOC.md) under power and controller-sharing constraints.
+//       Without --chip, runs the built-in 9-memory demo chip.
 //
 // `assemble --hex` prints a portable microcode hex image; `run --program
 // <file>` loads such an image into the microcode controller instead of
@@ -51,6 +56,8 @@
 #include "mbist_ucode/controller.h"
 #include "mbist_ucode/rtl.h"
 #include "netlist/verilog.h"
+#include "soc/chip.h"
+#include "soc/scheduler.h"
 
 namespace {
 
@@ -68,21 +75,42 @@ struct Options {
   std::uint64_t seed = 1;
   std::string fault_class;
   std::string program_file;
+  std::string chip_file;
+  double power_budget = -1.0;  ///< <0 = keep the chip file's budget
+  std::size_t max_failures = 1024;
   bool flat = false;
   bool hex = false;
 };
 
 [[noreturn]] void usage(const char* why = nullptr) {
   if (why) std::fprintf(stderr, "error: %s\n\n", why);
-  std::fprintf(stderr,
-               "usage: pmbist <list|assemble|qualify|run|area|coverage|"
-               "export|export-decoder> [<algorithm|dsl>] [options]\n"
-               "  --arch ucode|pfsm|hardwired   controller architecture\n"
-               "  --addr-bits N  --word-bits N  --ports N\n"
-               "  --fault CLASS (SAF,TF,CFin,CFid,CFst,AF,SOF,DRF,IRF,WDF,"
-               "RDF,DRDF)\n"
-               "  --samples N   --seed N        --flat (no Repeat fold)\n"
-               "  --jobs N      campaign/qualifier workers (0 = all cores)\n");
+  std::fprintf(
+      stderr,
+      "usage: pmbist <command> [<algorithm|dsl>] [options]\n"
+      "\n"
+      "commands:\n"
+      "  list            library algorithms, complexity, qualification\n"
+      "  assemble        compile an algorithm, print the program listing\n"
+      "  qualify         static detection guarantees per fault class\n"
+      "  run             cycle-accurate BIST run on one memory\n"
+      "  area            area report of all architectures for a geometry\n"
+      "  coverage        fault-simulation campaign for one algorithm\n"
+      "  export          hardwired/programmable controller as Verilog\n"
+      "  export-decoder  microcode decoder + pFSM lower controller Verilog\n"
+      "  soc             whole-chip scheduled BIST from a chip file\n"
+      "\n"
+      "options:\n"
+      "  --arch ucode|pfsm|hardwired   controller architecture\n"
+      "  --addr-bits N  --word-bits N  --ports N\n"
+      "  --fault CLASS (SAF,TF,CFin,CFid,CFst,AF,SOF,DRF,IRF,WDF,RDF,DRDF)\n"
+      "  --samples N   --seed N        --flat (no Repeat fold)\n"
+      "  --program FILE  hex microcode image for run\n"
+      "  --jobs N      worker count, soc/campaign/qualifier (0 = all cores)\n"
+      "\n"
+      "soc options:\n"
+      "  --chip FILE        chip description (docs/SOC.md; default: demo)\n"
+      "  --power-budget W   override the chip file's power budget\n"
+      "  --max-failures N   per-session failure-log capacity\n");
   std::exit(2);
 }
 
@@ -107,6 +135,10 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--fault") opt.fault_class = value();
     else if (arg == "--program") opt.program_file = value();
+    else if (arg == "--chip") opt.chip_file = value();
+    else if (arg == "--power-budget") opt.power_budget = std::atof(value());
+    else if (arg == "--max-failures")
+      opt.max_failures = std::strtoull(value(), nullptr, 10);
     else if (arg == "--flat") opt.flat = true;
     else if (arg == "--hex") opt.hex = true;
     else usage(("unknown option " + arg).c_str());
@@ -317,6 +349,56 @@ int cmd_export(const Options& opt) {
   return 0;
 }
 
+int cmd_soc(const Options& opt) {
+  soc::ChipFile chip;
+  if (opt.chip_file.empty()) {
+    chip = {soc::demo_soc(), soc::demo_plan()};
+    std::printf("no --chip given: running the built-in demo chip\n");
+  } else {
+    chip = soc::load_chip_file(opt.chip_file);
+  }
+  if (opt.power_budget >= 0.0) chip.plan.set_power_budget(opt.power_budget);
+
+  const auto result = soc::run_soc(
+      chip.description, chip.plan,
+      {.jobs = opt.jobs, .max_failures = opt.max_failures});
+
+  std::printf("chip '%s': %zu memories, power budget %g\n\n",
+              chip.description.name().c_str(),
+              chip.description.memories().size(), chip.plan.power().budget);
+  std::printf("%-12s %-10s %-14s %10s %10s %6s %s\n", "memory", "ctrl",
+              "algorithm", "start", "end", "weight", "group");
+  for (const auto& s : result.schedule)
+    std::printf("%-12s %-10s %-14s %10llu %10llu %6g %s\n", s.memory.c_str(),
+                std::string{soc::to_string(s.controller)}.c_str(),
+                s.algorithm.c_str(),
+                static_cast<unsigned long long>(s.start_cycle),
+                static_cast<unsigned long long>(s.end_cycle()), s.power_weight,
+                s.share_group.c_str());
+  std::printf("\nmakespan %llu cycles, peak power %g, wall %.3f s\n\n",
+              static_cast<unsigned long long>(result.makespan_cycles),
+              result.peak_power, result.wall_seconds);
+  for (const auto& r : result.instances) {
+    std::string note;
+    if (r.repair) {
+      if (!r.repair->repairable) note = "  (unrepairable)";
+      else if (r.repair->retest_passed)
+        note = "  (repaired: " + std::to_string(r.repair->spare_rows_used) +
+               " spare rows, " + std::to_string(r.repair->spare_cols_used) +
+               " spare cols; retest clean)";
+      else note = "  (repaired but retest failed)";
+    }
+    std::printf("  %-12s %s  mismatches=%llu%s\n", r.memory.c_str(),
+                r.healthy() ? "HEALTHY" : "FAULTY ",
+                static_cast<unsigned long long>(r.session.mismatches),
+                note.c_str());
+  }
+  std::printf("\nchip %s: %d/%zu memories healthy\n",
+              result.all_healthy() ? "PASS" : "FAIL", result.healthy_count(),
+              result.instances.size());
+  return result.all_healthy() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -327,6 +409,7 @@ int main(int argc, char** argv) {
     march::set_default_campaign_jobs(opt.jobs);
     if (opt.command == "list") return cmd_list();
     if (opt.command == "export-decoder") return cmd_export_decoder();
+    if (opt.command == "soc") return cmd_soc(opt);
     if (opt.algorithm.empty() && opt.command != "area" &&
         !(opt.command == "run" && !opt.program_file.empty()) &&
         opt.command != "export")
