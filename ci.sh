@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 build + test sweep, the example programs, then
-# a ThreadSanitizer build that exercises the parallel engines
-# (test_campaign + test_soc) for data races.  Mirrors
+# CI entry point: the tier-1 build + test sweep (warnings are errors), the
+# example programs, a lint sweep of every shipped input file, a
+# ThreadSanitizer build that exercises the parallel engines (test_campaign +
+# test_soc) for data races, an Address+UndefinedBehaviorSanitizer build of
+# the linter and controller suites, and (when clang-tidy is installed) a
+# static-analysis pass over the lint subsystem.  Mirrors
 # .github/workflows/ci.yml so the pipeline can be reproduced locally with a
 # single command.
 set -euo pipefail
@@ -9,8 +12,9 @@ cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-echo "== tier 1: build + full test suite =="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+echo "== tier 1: build + full test suite (-Werror) =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DPMBIST_WERROR=ON \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
@@ -21,17 +25,41 @@ for ex in quickstart fault_diagnosis custom_algorithm multiport_word \
   ./build/examples/"${ex}" > /dev/null
 done
 
+echo "== lint sweep: every shipped march / image / chip file =="
+for f in examples/*.chip examples/*.march examples/*.hex; do
+  echo "-- pmbist lint ${f}"
+  ./build/tools/pmbist lint "${f}" > /dev/null
+done
+
 echo "== self-checking benches (determinism + scheduling gates included) =="
 ./build/bench/bench_fault_coverage
 ./build/bench/bench_qualifier
 ./build/bench/bench_soc_schedule
 
 echo "== tsan: parallel campaign engine + soc scheduler =="
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMBIST_WERROR=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "${JOBS}" --target test_campaign --target test_soc
 ./build-tsan/tests/test_campaign
 ./build-tsan/tests/test_soc
+
+echo "== asan+ubsan: linter, controllers, fuzz =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMBIST_WERROR=ON \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j "${JOBS}" \
+  --target test_lint --target test_fuzz --target test_ucode --target test_pfsm
+./build-asan/tests/test_lint
+./build-asan/tests/test_fuzz
+./build-asan/tests/test_ucode
+./build-asan/tests/test_pfsm
+
+if command -v clang-tidy > /dev/null; then
+  echo "== clang-tidy: src/lint =="
+  clang-tidy -p build --warnings-as-errors='*' src/lint/*.cpp
+else
+  echo "== clang-tidy not installed; skipping (runs in the workflow) =="
+fi
 
 echo "== ci.sh: all green =="

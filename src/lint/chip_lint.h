@@ -1,0 +1,22 @@
+#pragma once
+// Chip-file semantic lint pass (CH codes).  Parses the chip text with plan
+// validation off and then reports *every* semantic problem — duplicate
+// instance names, unknown memories, unresolvable algorithms, pFSM
+// assignments outside SM0..SM7, hardwired controllers inside share groups,
+// statically infeasible power weights — plus the ship-it warnings: declared
+// but untested memories, spare resources that can never engage, defects
+// with nothing to repair them, and injected faults the assigned algorithm
+// does not guarantee to detect (via the static coverage prover).
+
+#include <string>
+
+#include "lint/diagnostics.h"
+
+namespace pmbist::lint {
+
+/// Lints chip-file text.  `unit` names the file in diagnostics; indexes are
+/// 1-based line numbers where known.
+[[nodiscard]] Report lint_chip_text(const std::string& text,
+                                    std::string unit = "chip");
+
+}  // namespace pmbist::lint

@@ -1,0 +1,174 @@
+#include "lint/diagnostics.h"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+namespace pmbist::lint {
+namespace {
+
+// The stable code registry.  Append-only; codes keep their meaning forever.
+constexpr std::array<CodeInfo, 33> kCodes{{
+    // March algorithms (MA).
+    {"MA00", Severity::Error, "march text does not parse"},
+    {"MA01", Severity::Error, "structurally invalid march algorithm"},
+    {"MA02", Severity::Error, "algorithm performs no read operations"},
+    {"MA03", Severity::Error,
+     "read expects a value no healthy cell can hold at that point"},
+    {"MA04", Severity::Warning, "ill-placed or inconsistent pause elements"},
+    {"MA05", Severity::Note, "statically proven fault-class guarantees"},
+    {"MA06", Severity::Warning,
+     "algorithm does not guarantee stuck-at detection"},
+    // Microcode programs (UC).
+    {"UC00", Severity::Error, "microcode hex image does not parse"},
+    {"UC02", Severity::Error, "program exceeds the controller storage depth"},
+    {"UC03", Severity::Error, "unreachable instruction (dead code)"},
+    {"UC04", Severity::Error,
+     "control flow runs off the end of the program"},
+    {"UC05", Severity::Error, "empty or nested Repeat window"},
+    {"UC06", Severity::Error, "no reachable read instruction"},
+    {"UC07", Severity::Warning,
+     "Repeat with an identity complement mask (reference register unused)"},
+    {"UC08", Severity::Warning, "reachable no-op memory sweep"},
+    // pFSM instruction buffers (PF).
+    {"PF00", Severity::Error, "pFSM hex image does not parse"},
+    {"PF02", Severity::Error, "program exceeds the instruction-buffer depth"},
+    {"PF03", Severity::Error, "mode bits outside SM0..SM7", true},
+    {"PF04", Severity::Error,
+     "hold on a loop-control row (hold-condition deadlock)"},
+    {"PF05", Severity::Error,
+     "no reachable port-loop row: the circular buffer never reaches Done"},
+    {"PF06", Severity::Warning, "unused buffer rows (unreachable)"},
+    {"PF07", Severity::Error, "no reachable component row (tests nothing)"},
+    // Chip files (CH).
+    {"CH01", Severity::Error, "duplicate memory instance name"},
+    {"CH02", Severity::Error, "chip file does not parse"},
+    {"CH03", Severity::Error, "assignment names an unknown memory"},
+    {"CH04", Severity::Error, "algorithm does not resolve or is invalid"},
+    {"CH05", Severity::Error, "algorithm is not pFSM-mappable"},
+    {"CH06", Severity::Error,
+     "hardwired controller inside a share group"},
+    {"CH07", Severity::Error,
+     "session power weight can never fit the budget"},
+    {"CH08", Severity::Warning, "memory is never assigned a test"},
+    {"CH09", Severity::Warning,
+     "spare resources on a word-oriented instance (repair never engages)"},
+    {"CH10", Severity::Warning,
+     "injected defects but no spare resources to repair them"},
+    {"CH11", Severity::Warning,
+     "injected fault class not guaranteed by the assigned algorithm"},
+}};
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+void Report::add(std::string_view code, std::string unit, int index,
+                 std::string message, std::string hint) {
+  Diagnostic d;
+  d.code = std::string{code};
+  d.severity = severity_of(code);
+  d.unit = std::move(unit);
+  d.index = index;
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  diagnostics_.push_back(std::move(d));
+}
+
+void Report::merge(Report other) {
+  for (auto& d : other.diagnostics_) diagnostics_.push_back(std::move(d));
+}
+
+int Report::count(Severity s) const noexcept {
+  int n = 0;
+  for (const auto& d : diagnostics_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+bool Report::has_code(std::string_view code) const noexcept {
+  for (const auto& d : diagnostics_)
+    if (d.code == code) return true;
+  return false;
+}
+
+std::span<const CodeInfo> all_codes() { return kCodes; }
+
+const CodeInfo* find_code(std::string_view code) {
+  for (const auto& info : kCodes)
+    if (info.code == code) return &info;
+  return nullptr;
+}
+
+Severity severity_of(std::string_view code) {
+  const auto* info = find_code(code);
+  return info != nullptr ? info->severity : Severity::Error;
+}
+
+std::string format_text(const Report& report) {
+  std::ostringstream os;
+  for (const auto& d : report.diagnostics()) {
+    os << to_string(d.severity) << '[' << d.code << "] " << d.unit;
+    if (d.index >= 0) os << ':' << d.index;
+    os << ": " << d.message << '\n';
+    if (!d.hint.empty()) os << "    hint: " << d.hint << '\n';
+  }
+  return os.str();
+}
+
+std::string format_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\"diagnostics\":[";
+  bool first = true;
+  for (const auto& d : report.diagnostics()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"code\":";
+    append_json_string(os, d.code);
+    os << ",\"severity\":";
+    append_json_string(os, to_string(d.severity));
+    os << ",\"unit\":";
+    append_json_string(os, d.unit);
+    os << ",\"index\":" << d.index;
+    os << ",\"message\":";
+    append_json_string(os, d.message);
+    os << ",\"hint\":";
+    append_json_string(os, d.hint);
+    os << '}';
+  }
+  os << "],\"errors\":" << report.count(Severity::Error)
+     << ",\"warnings\":" << report.count(Severity::Warning)
+     << ",\"notes\":" << report.count(Severity::Note) << "}";
+  return os.str();
+}
+
+}  // namespace pmbist::lint

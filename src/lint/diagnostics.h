@@ -1,0 +1,95 @@
+#pragma once
+// Diagnostics engine of the static verifier (`pmbist lint`).
+//
+// Every finding is a Diagnostic: a stable code (e.g. "UC03"), a severity,
+// the unit it was found in (program / algorithm / file name), an index
+// locating it inside the unit (instruction index, element index or line
+// number depending on the input kind; -1 when the finding is global), a
+// message and an optional fix hint.  A Report collects diagnostics in
+// emission order; renderers produce the CLI's text output and a JSON
+// mirror for tool exchange.
+//
+// Codes are registered in all_codes() with their default severity and a
+// one-line summary; docs/LINT.md documents every code with a triggering
+// example and tests/test_docs.cpp enforces that the registry and the doc
+// cannot drift apart.  Codes are append-only: once shipped, a code keeps
+// its meaning (scripts grep for them).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmbist::lint {
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+/// One finding.
+struct Diagnostic {
+  std::string code;                      ///< stable code, e.g. "UC03"
+  Severity severity = Severity::Error;
+  std::string unit;                      ///< program / algorithm / file name
+  int index = -1;                        ///< instruction / element / line; -1 = whole unit
+  std::string message;
+  std::string hint;                      ///< optional fix hint
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// An ordered collection of findings for one lint run.
+class Report {
+ public:
+  void add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+  void add(std::string_view code, std::string unit, int index,
+           std::string message, std::string hint = {});
+
+  void merge(Report other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return diagnostics_.empty(); }
+  [[nodiscard]] int count(Severity s) const noexcept;
+  [[nodiscard]] bool has_errors() const noexcept {
+    return count(Severity::Error) > 0;
+  }
+  [[nodiscard]] bool has_code(std::string_view code) const noexcept;
+
+  friend bool operator==(const Report&, const Report&) = default;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Registry entry for one diagnostic code.
+struct CodeInfo {
+  std::string_view code;
+  Severity severity = Severity::Error;
+  std::string_view summary;
+  /// True for codes only reachable through the C++ API (not expressible in
+  /// any on-disk input); docs enforcement pins them by presence + unit test
+  /// instead of a runnable example block.
+  bool api_only = false;
+};
+
+/// Every diagnostic code the linter can emit, grouped MA / UC / PF / CH.
+[[nodiscard]] std::span<const CodeInfo> all_codes();
+
+/// Looks up one code; nullptr when unknown.
+[[nodiscard]] const CodeInfo* find_code(std::string_view code);
+
+/// Severity of a registered code (Error for unknown codes, defensively).
+[[nodiscard]] Severity severity_of(std::string_view code);
+
+/// Text rendering, one line per diagnostic:
+///   <severity>[<code>] <unit>:<index>: <message>
+///       hint: <hint>
+[[nodiscard]] std::string format_text(const Report& report);
+
+/// JSON rendering: {"diagnostics":[...],"errors":N,"warnings":N,"notes":N}.
+[[nodiscard]] std::string format_json(const Report& report);
+
+}  // namespace pmbist::lint

@@ -1,0 +1,130 @@
+#include "lint/driver.h"
+
+#include <sstream>
+
+#include "lint/chip_lint.h"
+#include "lint/march_lint.h"
+#include "lint/program_lint.h"
+#include "march/library.h"
+#include "march/parser.h"
+#include "mbist_pfsm/isa.h"
+#include "mbist_ucode/isa.h"
+
+namespace pmbist::lint {
+namespace {
+
+bool is_chip_directive(const std::string& word) {
+  return word == "soc" || word == "mem" || word == "fault" ||
+         word == "assign" || word == "power_budget";
+}
+
+// The march parser has no comment syntax; on-disk .march files use the
+// same '#' comments as chip files, so strip them (and line breaks) here.
+std::string strip_march_comments(const std::string& text) {
+  std::istringstream lines{text};
+  std::string line;
+  std::string out;
+  while (std::getline(lines, line)) {
+    if (!out.empty()) out += ' ';
+    out += line.substr(0, line.find('#'));
+  }
+  return out;
+}
+
+Report lint_march_text(const std::string& raw, std::string unit,
+                       const LintOptions&) {
+  const std::string text = strip_march_comments(raw);
+  march::MarchAlgorithm alg;
+  try {
+    alg = march::by_name(text);
+  } catch (const std::out_of_range&) {
+    try {
+      alg = march::parse(text, unit);
+    } catch (const march::ParseError& e) {
+      Report report;
+      report.add("MA00", std::move(unit), -1, e.what(),
+                 "see docs/DSL.md for the grammar");
+      return report;
+    }
+  }
+  return lint_march(alg, {}, std::move(unit));
+}
+
+Report lint_ucode_text(const std::string& text, std::string unit,
+                       const LintOptions& options) {
+  mbist_ucode::MicrocodeProgram program;
+  try {
+    program = mbist_ucode::MicrocodeProgram::from_hex_text(text);
+  } catch (const std::exception& e) {
+    Report report;
+    report.add("UC00", std::move(unit), -1, e.what(),
+               "expected the `pmbist assemble --hex` image format");
+    return report;
+  }
+  return lint_ucode(program, {.storage_depth = options.storage_depth});
+}
+
+Report lint_pfsm_text(const std::string& text, std::string unit,
+                      const LintOptions& options) {
+  mbist_pfsm::PfsmProgram program;
+  try {
+    program = mbist_pfsm::PfsmProgram::from_hex_text(text);
+  } catch (const std::exception& e) {
+    Report report;
+    report.add("PF00", std::move(unit), -1, e.what(),
+               "expected the `pmbist assemble --arch pfsm --hex` image "
+               "format");
+    return report;
+  }
+  return lint_pfsm(program, {.buffer_depth = options.buffer_depth});
+}
+
+}  // namespace
+
+std::string_view to_string(InputKind kind) {
+  switch (kind) {
+    case InputKind::March: return "march";
+    case InputKind::UcodeImage: return "ucode";
+    case InputKind::PfsmImage: return "pfsm";
+    case InputKind::Chip: return "chip";
+  }
+  return "?";
+}
+
+InputKind detect_kind(const std::string& text) {
+  if (text.find("pmbist microcode image") != std::string::npos)
+    return InputKind::UcodeImage;
+  if (text.find("pmbist pfsm image") != std::string::npos)
+    return InputKind::PfsmImage;
+  std::istringstream lines{text};
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream words{line.substr(0, line.find('#'))};
+    std::string first;
+    if (!(words >> first)) continue;
+    return is_chip_directive(first) ? InputKind::Chip : InputKind::March;
+  }
+  return InputKind::March;
+}
+
+Report lint_text_as(InputKind kind, const std::string& text, std::string unit,
+                    const LintOptions& options) {
+  switch (kind) {
+    case InputKind::March:
+      return lint_march_text(text, std::move(unit), options);
+    case InputKind::UcodeImage:
+      return lint_ucode_text(text, std::move(unit), options);
+    case InputKind::PfsmImage:
+      return lint_pfsm_text(text, std::move(unit), options);
+    case InputKind::Chip:
+      return lint_chip_text(text, std::move(unit));
+  }
+  return {};
+}
+
+Report lint_text(const std::string& text, std::string unit,
+                 const LintOptions& options) {
+  return lint_text_as(detect_kind(text), text, std::move(unit), options);
+}
+
+}  // namespace pmbist::lint

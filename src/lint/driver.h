@@ -1,0 +1,37 @@
+#pragma once
+// Lint driver: sniffs what kind of input a piece of text is (march DSL or
+// library name, microcode hex image, pFSM hex image, chip file) and runs
+// the matching pass.  This is the engine behind `pmbist lint`, which
+// accepts any of the on-disk formats with one entry point.
+
+#include <string>
+
+#include "lint/diagnostics.h"
+
+namespace pmbist::lint {
+
+enum class InputKind : std::uint8_t { March, UcodeImage, PfsmImage, Chip };
+
+[[nodiscard]] std::string_view to_string(InputKind kind);
+
+/// Classifies text by shape: the ucode / pFSM image headers win, then any
+/// line starting with a chip directive (soc/mem/fault/assign/power_budget),
+/// otherwise march (library name or DSL).
+[[nodiscard]] InputKind detect_kind(const std::string& text);
+
+struct LintOptions {
+  int storage_depth = 32;  ///< microcode storage words (UC02)
+  int buffer_depth = 16;   ///< pFSM buffer rows (PF02)
+};
+
+/// Lints `text` as `kind`.  Never throws on malformed input — parse
+/// failures become MA00/UC00/PF00/CH02 diagnostics.
+[[nodiscard]] Report lint_text_as(InputKind kind, const std::string& text,
+                                  std::string unit,
+                                  const LintOptions& options = {});
+
+/// detect_kind + lint_text_as.
+[[nodiscard]] Report lint_text(const std::string& text, std::string unit,
+                               const LintOptions& options = {});
+
+}  // namespace pmbist::lint

@@ -1,0 +1,114 @@
+#include "lint/march_lint.h"
+
+#include <sstream>
+
+#include "lint/prover.h"
+#include "memsim/fault_model.h"
+
+namespace pmbist::lint {
+namespace {
+
+using march::MarchAlgorithm;
+
+void lint_pauses(const MarchAlgorithm& alg, const std::string& unit,
+                 Report& report) {
+  const auto& elements = alg.elements();
+  std::uint64_t pause_ns = 0;
+  bool mixed_reported = false;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const auto& e = elements[i];
+    if (!e.is_pause) continue;
+    const int idx = static_cast<int>(i);
+    if (i == 0)
+      report.add("MA04", unit, idx,
+                 "leading pause element delays an uninitialized array",
+                 "start with a write element, pause after it");
+    else if (elements[i - 1].is_pause)
+      report.add("MA04", unit, idx,
+                 "consecutive pause elements (controllers have one pause "
+                 "timer per Hold)",
+                 "merge into a single pause of the combined duration");
+    if (i + 1 == elements.size())
+      report.add("MA04", unit, idx,
+                 "final element is a pause: retention effects are never "
+                 "read back",
+                 "follow the pause with a read element");
+    if (pause_ns != 0 && e.pause_ns != pause_ns && !mixed_reported) {
+      mixed_reported = true;
+      report.add("MA04", unit, idx,
+                 "pause elements with differing durations (" +
+                     std::to_string(pause_ns) + "ns vs " +
+                     std::to_string(e.pause_ns) +
+                     "ns) need per-pause timer configs",
+                 "use one duration for every pause");
+    }
+    if (e.pause_ns != 0) pause_ns = e.pause_ns;
+  }
+}
+
+void lint_consistency(const MarchAlgorithm& alg, const std::string& unit,
+                      Report& report) {
+  // Symbolic per-cell state: every healthy cell holds `state` here (-1 =
+  // unknown, before the first write).
+  int state = -1;
+  for (std::size_t i = 0; i < alg.elements().size(); ++i) {
+    const auto& e = alg.elements()[i];
+    if (e.is_pause) continue;
+    for (const auto& op : e.ops) {
+      if (!op.is_read()) {
+        state = op.data ? 1 : 0;
+      } else if (state >= 0 && state != (op.data ? 1 : 0)) {
+        std::ostringstream os;
+        os << "element " << i << " (" << e.to_string() << ") reads expecting "
+           << op.data << " but every healthy cell holds " << state
+           << " at that point";
+        report.add("MA03", unit, static_cast<int>(i), os.str(),
+                   "fix the expected value; this test fails on good parts");
+        return;  // later reads inherit the same confusion; report once
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Report lint_march(const MarchAlgorithm& alg, const MarchLintOptions& options,
+                  std::string unit) {
+  if (unit.empty()) unit = alg.name().empty() ? "march" : alg.name();
+  Report report;
+
+  if (const auto why = alg.validate(); !why.empty()) {
+    report.add("MA01", unit, -1, why,
+               "see docs/DSL.md for the structural rules");
+    return report;  // later passes assume a structurally valid algorithm
+  }
+  if (alg.reads_per_cell() == 0)
+    report.add("MA02", unit, -1,
+               "algorithm performs no read operations and observes nothing",
+               "add read ops; a march detects faults only through reads");
+
+  lint_consistency(alg, unit, report);
+  lint_pauses(alg, unit, report);
+
+  if (options.prover_summary && !report.has_errors()) {
+    const auto proof = prove_coverage(alg);
+    std::string proven;
+    for (const auto& [cls, p] : proof.classes) {
+      if (!p.guaranteed) continue;
+      if (!proven.empty()) proven += ", ";
+      proven += std::string{memsim::fault_class_name(cls)};
+    }
+    report.add("MA05", unit, -1,
+               proven.empty()
+                   ? "statically proven guarantees: none"
+                   : "statically proven guarantees: " + proven);
+    if (const auto* saf = proof.find(memsim::FaultClass::SAF);
+        saf != nullptr && !saf->guaranteed)
+      report.add("MA06", unit, -1,
+                 "stuck-at coverage is not guaranteed: " + saf->detail,
+                 "read every cell expecting 0 and expecting 1 at least once");
+  }
+  return report;
+}
+
+}  // namespace pmbist::lint

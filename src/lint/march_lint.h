@@ -1,0 +1,23 @@
+#pragma once
+// March-algorithm lint pass (MA codes): structural validity, observability
+// (an algorithm with no reads tests nothing), read/state consistency (a
+// read expecting a value no healthy cell can hold fails on *good* parts),
+// pause placement, and the prover's guarantee summary.
+
+#include "lint/diagnostics.h"
+#include "march/march.h"
+
+namespace pmbist::lint {
+
+struct MarchLintOptions {
+  /// Emit the MA05 note summarizing the statically proven fault classes
+  /// (and MA06 when SAF is not guaranteed).
+  bool prover_summary = true;
+};
+
+/// Lints one march algorithm.  `unit` defaults to the algorithm's name.
+[[nodiscard]] Report lint_march(const march::MarchAlgorithm& alg,
+                                const MarchLintOptions& options = {},
+                                std::string unit = {});
+
+}  // namespace pmbist::lint

@@ -1,0 +1,215 @@
+#include "lint/program_lint.h"
+
+#include <string>
+#include <vector>
+
+#include "mbist_pfsm/components.h"
+
+namespace pmbist::lint {
+namespace {
+
+using mbist_ucode::Flow;
+using mbist_ucode::Rw;
+
+/// Forward reachability over the microcode flow graph (see header).
+std::vector<bool> ucode_reachable(
+    const std::vector<mbist_ucode::Instruction>& code) {
+  const int n = static_cast<int>(code.size());
+  std::vector<bool> reachable(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  auto visit = [&](int i) {
+    if (i >= 0 && i < n && !reachable[static_cast<std::size_t>(i)]) {
+      reachable[static_cast<std::size_t>(i)] = true;
+      stack.push_back(i);
+    }
+  };
+  visit(0);
+  while (!stack.empty()) {
+    const int i = stack.back();
+    stack.pop_back();
+    switch (code[static_cast<std::size_t>(i)].flow) {
+      case Flow::Terminate:
+        break;
+      case Flow::LoopPort:
+        visit(0);
+        break;
+      case Flow::LoopData:
+        visit(0);
+        visit(i + 1);
+        break;
+      case Flow::Repeat:
+        visit(1);
+        visit(i + 1);
+        break;
+      case Flow::Next:
+      case Flow::LoopCell:
+      case Flow::LoopSelf:
+      case Flow::Pause:
+        visit(i + 1);
+        break;
+    }
+  }
+  return reachable;
+}
+
+}  // namespace
+
+Report lint_ucode(const mbist_ucode::MicrocodeProgram& program,
+                  const UcodeLintOptions& options) {
+  const std::string unit = program.name().empty() ? "ucode" : program.name();
+  Report report;
+  const auto& code = program.instructions();
+  const int n = program.size();
+
+  if (n > options.storage_depth)
+    report.add("UC02", unit, -1,
+               "program needs " + std::to_string(n) +
+                   " words but the storage unit holds " +
+                   std::to_string(options.storage_depth),
+               "raise --storage-depth or shorten the program "
+               "(symmetric Repeat encoding halves symmetric algorithms)");
+
+  if (n == 0) {
+    report.add("UC06", unit, -1,
+               "empty program: the controller terminates without testing",
+               "load at least one write/read sweep");
+    return report;
+  }
+
+  const auto reachable = ucode_reachable(code);
+  bool any_read = false;
+  int reachable_repeats = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto& instr = code[static_cast<std::size_t>(i)];
+    if (!reachable[static_cast<std::size_t>(i)]) {
+      report.add("UC03", unit, i,
+                 "instruction is unreachable (dead code): " +
+                     instr.disassemble(),
+                 "remove it, or fix the flow field that skips it");
+      continue;
+    }
+    any_read = any_read || instr.rw == Rw::Read;
+
+    const bool falls_through =
+        instr.flow != Flow::Terminate && instr.flow != Flow::LoopPort;
+    if (falls_through && i + 1 == n)
+      report.add("UC04", unit, i,
+                 "control flow runs off the end of the program "
+                 "(instruction-counter exhaustion ends the test silently)",
+                 "end the program with TERMINATE or LOOP_PORT");
+
+    if (instr.flow == Flow::Repeat) {
+      ++reachable_repeats;
+      if (i <= 1)
+        report.add("UC05", unit, i,
+                   "empty Repeat window: the repeat path re-executes "
+                   "instructions [1.." +
+                       std::to_string(i - 1) + "]",
+                   "a Repeat needs at least one instruction between index 1 "
+                   "and itself");
+      else if (reachable_repeats > 1)
+        report.add("UC05", unit, i,
+                   "nested Repeat windows: the single repeat bit makes the "
+                   "two Repeats toggle each other forever (livelock)",
+                   "encode at most one symmetric fold per program");
+      else if (!instr.addr_down && !instr.data_inv && !instr.cmp_inv)
+        report.add("UC07", unit, i,
+                   "Repeat with an identity complement mask re-executes the "
+                   "window unchanged",
+                   "set the order/data/compare complement bits, or drop the "
+                   "Repeat (the algorithm is not symmetric)");
+    }
+
+    if (instr.rw == Rw::Nop &&
+        (instr.flow == Flow::Next || instr.flow == Flow::LoopCell ||
+         instr.flow == Flow::LoopSelf))
+      report.add("UC08", unit, i,
+                 "no-op memory sweep: the instruction walks addresses "
+                 "without reading or writing",
+                 "set the rw field, or remove the instruction");
+  }
+
+  if (!any_read)
+    report.add("UC06", unit, -1,
+               "no reachable read instruction: the program observes nothing",
+               "a march detects faults only through reads");
+  return report;
+}
+
+Report lint_pfsm(const mbist_pfsm::PfsmProgram& program,
+                 const PfsmLintOptions& options) {
+  const std::string unit = program.name().empty() ? "pfsm" : program.name();
+  Report report;
+  const auto& code = program.instructions();
+  const int n = program.size();
+
+  if (n > options.buffer_depth)
+    report.add("PF02", unit, -1,
+               "program needs " + std::to_string(n) +
+                   " rows but the instruction buffer holds " +
+                   std::to_string(options.buffer_depth),
+               "raise --buffer-depth or split the test");
+
+  if (n == 0) {
+    report.add("PF07", unit, -1,
+               "empty buffer: the controller ends without running a "
+               "component",
+               "load at least one SM row and a port-loop row");
+    return report;
+  }
+
+  // Row i chains to i+1; path-A rows also restart at 0 (per background),
+  // path-B rows restart at 0 (per port) and are the only exit to Done.
+  std::vector<bool> reachable(static_cast<std::size_t>(n), false);
+  bool saw_port_loop = false;
+  for (int i = 0; i < n; ++i) {
+    reachable[static_cast<std::size_t>(i)] = true;
+    const auto& row = code[static_cast<std::size_t>(i)];
+    if (row.ctrl && row.ctrl_op) {
+      saw_port_loop = true;
+      break;  // path B never falls through; rows after it never run
+    }
+  }
+
+  bool any_component = false;
+  for (int i = 0; i < n; ++i) {
+    const auto& row = code[static_cast<std::size_t>(i)];
+    if (!reachable[static_cast<std::size_t>(i)]) {
+      report.add("PF06", unit, i,
+                 "unused buffer row (after the port-loop row): " +
+                     row.disassemble(),
+                 "remove it, or move it before the port loop");
+      continue;
+    }
+    if (row.ctrl) {
+      if (row.hold_after)
+        report.add("PF04", unit, i,
+                   "hold on a loop-control row: the upper FSM would wait "
+                   "for a lower-controller Done that never comes "
+                   "(deadlock in hardware; ignored by the model)",
+                   "set hold_after on the last component row instead");
+      continue;
+    }
+    any_component = true;
+    if (row.mode >= mbist_pfsm::kNumComponents)
+      report.add("PF03", unit, i,
+                 "mode SM" + std::to_string(static_cast<int>(row.mode)) +
+                     " is outside SM0..SM7 (out of bounds in the component "
+                     "table)",
+                 "the lower controller realizes only SM0..SM7");
+  }
+
+  if (!saw_port_loop)
+    report.add("PF05", unit, -1,
+               "no reachable port-loop row: the circular buffer wraps "
+               "forever and never reaches Done",
+               "end the buffer with a path-B (port loop / test end) row");
+  if (!any_component)
+    report.add("PF07", unit, -1,
+               "no reachable component row: the buffer performs no memory "
+               "operations",
+               "add SM rows before the loop-control tail");
+  return report;
+}
+
+}  // namespace pmbist::lint

@@ -1,0 +1,44 @@
+#pragma once
+// Controller-program lint passes.
+//
+// Microcode (UC codes): the flow graph is derived from the one decode()
+// function both the behavioral controller and the synthesized decoder use
+// — successors of instruction i are i+1 (Next/LoopSelf/LoopCell/Pause and
+// the loop exits), {1, i+1} for Repeat (reset-to-1 path), {0, i+1} for
+// LoopData, {0} for LoopPort, {} for Terminate.  Back-edges (LoopCell to
+// the branch register) stay inside the already-visited op group and add no
+// reachability.  From that graph the pass finds dead code, fall-off-the-end
+// flows (instruction-counter exhaustion ends the test silently), empty or
+// nested Repeat windows (a single repeat bit livelocks on nesting), and
+// programs that never read.
+//
+// pFSM (PF codes): the upper buffer's rows chain linearly; a path-A row
+// loops to 0 per background, a path-B row loops to 0 per port and is the
+// only way to reach Done.  The pass flags holds on loop-control rows (the
+// upper FSM would wait for a lower-controller Done that never comes — the
+// behavioral model skips the hold, real hardware deadlocks), buffers with
+// no reachable path-B row (the circular buffer wraps forever), mode bits
+// outside SM0..SM7 (out-of-bounds in the component table), unused rows,
+// and buffers that run no component at all.
+
+#include "lint/diagnostics.h"
+#include "mbist_pfsm/isa.h"
+#include "mbist_ucode/isa.h"
+
+namespace pmbist::lint {
+
+struct UcodeLintOptions {
+  int storage_depth = 32;  ///< Z x Y words of the configured storage unit
+};
+
+[[nodiscard]] Report lint_ucode(const mbist_ucode::MicrocodeProgram& program,
+                                const UcodeLintOptions& options = {});
+
+struct PfsmLintOptions {
+  int buffer_depth = 16;  ///< rows of the configured instruction buffer
+};
+
+[[nodiscard]] Report lint_pfsm(const mbist_pfsm::PfsmProgram& program,
+                               const PfsmLintOptions& options = {});
+
+}  // namespace pmbist::lint

@@ -1,0 +1,221 @@
+#include "lint/prover.h"
+
+#include <array>
+#include <sstream>
+
+namespace pmbist::lint {
+namespace {
+
+using march::AddressOrder;
+using march::MarchAlgorithm;
+using march::MarchElement;
+using march::MarchOp;
+using memsim::FaultClass;
+
+constexpr std::array<FaultClass, 5> kProvable{
+    FaultClass::SAF, FaultClass::TF, FaultClass::CFin, FaultClass::CFid,
+    FaultClass::AF};
+
+/// The operation sequence one cell sees over the whole test (pause elements
+/// apply no memory operations).
+std::vector<MarchOp> per_cell_ops(const MarchAlgorithm& alg) {
+  std::vector<MarchOp> ops;
+  for (const auto& e : alg.elements()) {
+    if (e.is_pause) continue;
+    ops.insert(ops.end(), e.ops.begin(), e.ops.end());
+  }
+  return ops;
+}
+
+// --- SAF: a stuck cell always reads its stuck value ----------------------
+
+ClassProof prove_saf(const std::vector<MarchOp>& ops) {
+  bool reads_expect[2] = {false, false};  // some read expects 0 / 1
+  for (const auto& op : ops)
+    if (op.is_read()) reads_expect[op.data ? 1 : 0] = true;
+  ClassProof proof;
+  // Stuck-at-v is caught by any read expecting !v.
+  proof.guaranteed = reads_expect[0] && reads_expect[1];
+  if (proof.guaranteed) {
+    proof.detail = "reads expect both 0 and 1; every stuck cell mismatches";
+  } else {
+    const int v = reads_expect[1] ? 1 : 0;  // the unobservable stuck value
+    proof.detail = "no read expects " + std::to_string(1 - v) +
+                   ": stuck-at-" + std::to_string(v) + " cells escape";
+  }
+  return proof;
+}
+
+// --- TF: a failed up (or down) transition persists until resynced --------
+
+bool tf_detected(const std::vector<MarchOp>& ops, bool rising_fault,
+                 bool powerup) {
+  bool state = powerup;
+  for (const auto& op : ops) {
+    if (op.is_read()) {
+      if (state != op.data) return true;
+    } else if (op.data != state) {
+      const bool transition_rises = !state;
+      if (transition_rises != rising_fault) state = op.data;
+      // else: the faulty transition fails and the cell keeps its value.
+    }
+  }
+  return false;
+}
+
+ClassProof prove_tf(const std::vector<MarchOp>& ops) {
+  ClassProof proof;
+  proof.guaranteed = true;
+  for (const bool rising : {false, true}) {
+    for (const bool powerup : {false, true}) {
+      if (tf_detected(ops, rising, powerup)) continue;
+      proof.guaranteed = false;
+      proof.detail = std::string{"escape: a failed "} +
+                     (rising ? "rising" : "falling") +
+                     " transition with power-up " + (powerup ? "1" : "0") +
+                     " survives every read";
+      return proof;
+    }
+  }
+  proof.detail =
+      "every (direction x power-up) combination produces a mismatching read";
+  return proof;
+}
+
+// --- coupling faults: pairwise interleaving of aggressor and victim ------
+
+struct PairOp {
+  bool victim = false;
+  MarchOp op;
+};
+
+/// The operation stream a (aggressor, victim) pair sees.  Within a march
+/// element every cell completes the element's op group before the next cell
+/// starts, so the pair interleaves at element granularity; the traversal
+/// order decides which of the two (by address) goes first.  `victim_low` is
+/// the physical layout: true when the victim has the lower address.
+std::vector<PairOp> interleave(const MarchAlgorithm& alg, bool victim_low) {
+  std::vector<PairOp> seq;
+  for (const auto& e : alg.elements()) {
+    if (e.is_pause) continue;
+    const bool ascending = e.order != AddressOrder::Down;  // Any runs Up
+    const bool victim_first = ascending ? victim_low : !victim_low;
+    for (const bool victim : {victim_first, !victim_first})
+      for (const auto& op : e.ops) seq.push_back({victim, op});
+  }
+  return seq;
+}
+
+/// Simulates one coupling-fault instance over the pair stream.  The
+/// aggressor is healthy; a directed aggressor write-transition corrupts the
+/// victim (CFin: inverts it; CFid: forces it to `forced`).  Victim writes
+/// overwrite the corruption; a victim read mismatching its expected value
+/// detects the fault.
+bool coupling_detected(const std::vector<PairOp>& seq, bool idempotent,
+                       bool on_rising, bool forced, bool aggressor0,
+                       bool victim0) {
+  bool va = aggressor0;
+  bool vv = victim0;
+  for (const auto& p : seq) {
+    if (!p.victim) {
+      if (p.op.is_read()) continue;
+      const bool old = va;
+      va = p.op.data;
+      if (old != va && va == on_rising) vv = idempotent ? forced : !vv;
+    } else if (p.op.is_read()) {
+      if (vv != p.op.data) return true;
+    } else {
+      vv = p.op.data;
+    }
+  }
+  return false;
+}
+
+ClassProof prove_coupling(const MarchAlgorithm& alg, bool idempotent) {
+  const std::vector<PairOp> streams[2] = {interleave(alg, false),
+                                          interleave(alg, true)};
+  ClassProof proof;
+  proof.guaranteed = true;
+  const int forced_cases = idempotent ? 2 : 1;
+  for (int layout = 0; layout < 2; ++layout) {
+    for (const bool on_rising : {false, true}) {
+      for (int fc = 0; fc < forced_cases; ++fc) {
+        for (const bool a0 : {false, true}) {
+          for (const bool v0 : {false, true}) {
+            if (coupling_detected(streams[layout], idempotent, on_rising,
+                                  fc != 0, a0, v0))
+              continue;
+            proof.guaranteed = false;
+            std::ostringstream os;
+            os << "escape: <" << (on_rising ? "up" : "down") << ';';
+            if (idempotent) os << (fc != 0 ? "1" : "0");
+            else os << "invert";
+            os << "> with victim " << (layout == 0 ? "above" : "below")
+               << " the aggressor, power-up a=" << a0 << " v=" << v0;
+            proof.detail = os.str();
+            return proof;
+          }
+        }
+      }
+    }
+  }
+  proof.detail = "all layouts, triggers and power-ups produce a mismatch";
+  return proof;
+}
+
+// --- AF: van de Goor's structural condition ------------------------------
+
+/// True when the element ascends (Any runs Up), starts with a read of `x`,
+/// and its last write writes `!x` (trailing reads after that write are
+/// fine — reads do not disturb the addressed cell).
+bool af_half(const MarchElement& e, bool ascending, bool x) {
+  if (e.is_pause || e.ops.empty()) return false;
+  const bool is_ascending = e.order != AddressOrder::Down;
+  if (is_ascending != ascending) return false;
+  if (!e.ops.front().is_read() || e.ops.front().data != x) return false;
+  for (auto it = e.ops.rbegin(); it != e.ops.rend(); ++it)
+    if (!it->is_read()) return it->data == !x;
+  return false;  // no write at all
+}
+
+ClassProof prove_af(const MarchAlgorithm& alg) {
+  ClassProof proof;
+  for (const bool x : {false, true}) {
+    bool has_up = false, has_down = false;
+    for (const auto& e : alg.elements()) {
+      has_up = has_up || af_half(e, /*ascending=*/true, x);
+      has_down = has_down || af_half(e, /*ascending=*/false, !x);
+    }
+    if (has_up && has_down) {
+      std::ostringstream os;
+      os << "contains up(r" << x << ",...,w" << !x << ") and down(r" << !x
+         << ",...,w" << x << ")";
+      proof.guaranteed = true;
+      proof.detail = os.str();
+      return proof;
+    }
+  }
+  proof.detail =
+      "missing an ascending (rx,...,wx') / descending (rx',...,wx) element "
+      "pair";
+  return proof;
+}
+
+}  // namespace
+
+std::span<const FaultClass> provable_classes() { return kProvable; }
+
+CoverageProof prove_coverage(const MarchAlgorithm& alg) {
+  const auto ops = per_cell_ops(alg);
+  CoverageProof proof;
+  proof.classes.emplace_back(FaultClass::SAF, prove_saf(ops));
+  proof.classes.emplace_back(FaultClass::TF, prove_tf(ops));
+  proof.classes.emplace_back(FaultClass::CFin,
+                             prove_coupling(alg, /*idempotent=*/false));
+  proof.classes.emplace_back(FaultClass::CFid,
+                             prove_coupling(alg, /*idempotent=*/true));
+  proof.classes.emplace_back(FaultClass::AF, prove_af(alg));
+  return proof;
+}
+
+}  // namespace pmbist::lint

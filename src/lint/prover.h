@@ -1,0 +1,63 @@
+#pragma once
+// Static march-coverage prover: derives guaranteed fault-class detection
+// from the *structure* of a march algorithm, without fault simulation.
+//
+// For the single-cell classes (SAF, TF) and the pairwise coupling classes
+// (CFin, CFid) the proof is a symbolic execution of the per-cell operation
+// sequence the march applies: detection of these faults depends only on
+// the sequence of reads/writes each participating cell sees and — for
+// coupling faults — on the relative traversal order of aggressor and
+// victim, so a march element maps to an exact small-state machine.  The
+// prover exhausts every fault parameter and every power-up assignment of
+// the participating cells; a class is *guaranteed* iff every combination
+// produces at least one mismatching read.
+//
+// Address-decoder faults (AF) use van de Goor's structural condition: the
+// test must contain an ascending element (rx, ..., last write wx') and a
+// descending element (rx', ..., last write wx) — don't-care orders are
+// traversed ascending by every controller in this repo and are
+// canonicalized the same way here.
+//
+// tests/test_lint.cpp pins the prover against the simulation-backed
+// exhaustive qualifier (march::analyze) over the whole algorithm library:
+// guaranteed here ⇔ Detection::Guaranteed there, for every provable
+// class.  The prover is the static half of that agreement; it never runs
+// a memory model.
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "march/march.h"
+#include "memsim/fault_model.h"
+
+namespace pmbist::lint {
+
+/// Verdict for one fault class.
+struct ClassProof {
+  bool guaranteed = false;
+  /// Human-readable witness: the structural condition met, or the first
+  /// escaping (parameter x power-up) combination.
+  std::string detail;
+};
+
+/// Proof results over every provable class, in provable_classes() order.
+struct CoverageProof {
+  std::vector<std::pair<memsim::FaultClass, ClassProof>> classes;
+
+  [[nodiscard]] const ClassProof* find(memsim::FaultClass cls) const {
+    for (const auto& [c, proof] : classes)
+      if (c == cls) return &proof;
+    return nullptr;
+  }
+};
+
+/// The fault classes the prover decides: SAF, TF, CFin, CFid, AF.
+[[nodiscard]] std::span<const memsim::FaultClass> provable_classes();
+
+/// Proves the guaranteed fault classes of `alg`.  The algorithm must be
+/// structurally valid (MarchAlgorithm::validate() empty).
+[[nodiscard]] CoverageProof prove_coverage(const march::MarchAlgorithm& alg);
+
+}  // namespace pmbist::lint

@@ -32,7 +32,10 @@ netlist::MooreFsm generate_fsm(const march::MarchAlgorithm& alg,
 
   for (std::size_t e = 0; e < elements.size(); ++e) {
     const MarchElement& el = elements[e];
-    const std::string tag = "e" + std::to_string(e);
+    // Built with += (not "e" + to_string(e)): GCC 12 -O3 issues a bogus
+    // -Wrestrict on operator+(const char*, string&&) (PR 105329).
+    std::string tag = "e";
+    tag += std::to_string(e);
     if (el.is_pause) {
       pause_states[e] = fsm.add_state(tag + ".pause", kOutPauseStart);
       entry[e] = pause_states[e];

@@ -21,15 +21,20 @@ Compiled try_compile(const march::MarchAlgorithm& alg) {
     const auto& e = alg.elements()[idx];
     if (e.is_pause) {
       if (out.code.empty()) {
-        out.error = "leading pause element is not representable";
+        out.error = "element " + std::to_string(idx) +
+                    ": a leading pause element is not representable";
         return out;
       }
       if (out.code.back().hold_after) {
-        out.error = "consecutive pause elements are not representable";
+        out.error = "element " + std::to_string(idx) +
+                    ": consecutive pause elements are not representable";
         return out;
       }
       if (out.pause_ns != 0 && out.pause_ns != e.pause_ns) {
-        out.error = "pause elements with differing durations";
+        out.error = "element " + std::to_string(idx) + ": pause duration " +
+                    std::to_string(e.pause_ns) +
+                    "ns differs from the earlier " +
+                    std::to_string(out.pause_ns) + "ns";
         return out;
       }
       out.pause_ns = e.pause_ns;

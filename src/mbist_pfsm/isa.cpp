@@ -1,5 +1,6 @@
 #include "mbist_pfsm/isa.h"
 
+#include <cctype>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
@@ -58,9 +59,77 @@ PfsmProgram PfsmProgram::from_image(std::string name,
                                     const std::vector<std::uint16_t>& image) {
   std::vector<PfsmInstruction> instructions;
   instructions.reserve(image.size());
-  for (auto word : image)
-    instructions.push_back(PfsmInstruction::decode(word));
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    try {
+      instructions.push_back(PfsmInstruction::decode(image[i]));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument{"instruction " + std::to_string(i) + ": " +
+                                  e.what()};
+    }
+  }
   return PfsmProgram{std::move(name), std::move(instructions)};
+}
+
+std::string PfsmProgram::to_hex_text() const {
+  std::ostringstream os;
+  os << "; pmbist pfsm image v1\n";
+  os << "; name: " << name_ << "\n";
+  for (const auto& i : instructions_) {
+    os << std::hex << std::setw(3) << std::setfill('0') << i.encode()
+       << std::dec << std::setfill(' ') << "  ; " << i.disassemble() << "\n";
+  }
+  return os.str();
+}
+
+PfsmProgram PfsmProgram::from_hex_text(std::string_view text) {
+  std::istringstream is{std::string{text}};
+  std::string line;
+  std::string name = "image";
+  std::vector<PfsmInstruction> code;
+  bool saw_header = false;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (const auto semi = line.find(';'); semi != std::string::npos) {
+      const std::string comment = line.substr(semi + 1);
+      if (comment.find("pmbist pfsm image v1") != std::string::npos)
+        saw_header = true;
+      if (const auto tag = comment.find("name:"); tag != std::string::npos) {
+        std::string n = comment.substr(tag + 5);
+        while (!n.empty() && n.front() == ' ') n.erase(n.begin());
+        while (!n.empty() && (n.back() == ' ' || n.back() == '\r'))
+          n.pop_back();
+        if (!n.empty()) name = n;
+      }
+      line.erase(semi);
+    }
+    std::string word;
+    for (char c : line)
+      if (!std::isspace(static_cast<unsigned char>(c))) word += c;
+    if (word.empty()) continue;
+    std::size_t pos = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(word, &pos, 16);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != word.size() || value > 0xffff)
+      throw std::invalid_argument{"line " + std::to_string(lineno) +
+                                  ": malformed hex word '" + word + "'"};
+    try {
+      code.push_back(PfsmInstruction::decode(static_cast<std::uint16_t>(
+          value)));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument{"instruction " + std::to_string(code.size()) +
+                                  " (line " + std::to_string(lineno) + "): " +
+                                  e.what()};
+    }
+  }
+  if (!saw_header)
+    throw std::invalid_argument{"missing '; pmbist pfsm image v1' header"};
+  if (code.empty()) throw std::invalid_argument{"image has no instructions"};
+  return PfsmProgram{std::move(name), std::move(code)};
 }
 
 std::string PfsmProgram::listing() const {

@@ -57,9 +57,22 @@ class PfsmProgram {
   [[nodiscard]] bool empty() const noexcept { return instructions_.empty(); }
 
   [[nodiscard]] std::vector<std::uint16_t> image() const;
+  /// Decodes a raw image.  Throws std::invalid_argument naming the
+  /// offending instruction index on out-of-range words.
   [[nodiscard]] static PfsmProgram from_image(
       std::string name, const std::vector<std::uint16_t>& image);
   [[nodiscard]] std::string listing() const;
+
+  /// Portable hex-image text mirroring MicrocodeProgram::to_hex_text():
+  /// a `; pmbist pfsm image v1` header, the program name, then one 3-digit
+  /// hex word per line with a disassembly comment.  Round-trips through
+  /// from_hex_text(); the on-disk format of `pmbist assemble --arch pfsm
+  /// --hex`.
+  [[nodiscard]] std::string to_hex_text() const;
+
+  /// Parses hex-image text.  Throws std::invalid_argument naming the
+  /// offending line / instruction index on malformed input.
+  [[nodiscard]] static PfsmProgram from_hex_text(std::string_view text);
 
  private:
   std::string name_;

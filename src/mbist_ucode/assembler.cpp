@@ -109,13 +109,17 @@ AssembleResult assemble(const march::MarchAlgorithm& alg,
 
   // All pause elements must agree on duration (single pause-timer config).
   std::uint64_t pause_ns = 0;
-  for (const auto& e : alg.elements()) {
+  for (std::size_t idx = 0; idx < alg.elements().size(); ++idx) {
+    const auto& e = alg.elements()[idx];
     if (!e.is_pause) continue;
     if (pause_ns == 0)
       pause_ns = e.pause_ns;
     else if (pause_ns != e.pause_ns)
-      throw AssembleError("'" + alg.name() +
-                          "' uses pause elements with differing durations");
+      throw AssembleError(
+          "'" + alg.name() + "' element " + std::to_string(idx) +
+          ": pause duration " + std::to_string(e.pause_ns) +
+          "ns differs from the earlier " + std::to_string(pause_ns) +
+          "ns (one pause-timer config per program)");
   }
 
   const std::vector<MarchElement> elements = canonicalize(alg.elements());

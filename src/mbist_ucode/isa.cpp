@@ -75,7 +75,14 @@ MicrocodeProgram MicrocodeProgram::from_image(
     std::string name, const std::vector<std::uint16_t>& image) {
   std::vector<Instruction> instructions;
   instructions.reserve(image.size());
-  for (auto word : image) instructions.push_back(Instruction::decode(word));
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    try {
+      instructions.push_back(Instruction::decode(image[i]));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument{"instruction " + std::to_string(i) + ": " +
+                                  e.what()};
+    }
+  }
   return MicrocodeProgram{std::move(name), std::move(instructions)};
 }
 
@@ -109,7 +116,9 @@ MicrocodeProgram MicrocodeProgram::from_hex_text(std::string_view text) {
   std::string name = "image";
   std::vector<Instruction> code;
   bool saw_header = false;
+  std::size_t lineno = 0;
   while (std::getline(is, line)) {
+    ++lineno;
     // Strip comments and whitespace.
     if (const auto semi = line.find(';'); semi != std::string::npos) {
       const std::string comment = line.substr(semi + 1);
@@ -133,11 +142,18 @@ MicrocodeProgram MicrocodeProgram::from_hex_text(std::string_view text) {
     try {
       value = std::stoul(word, &pos, 16);
     } catch (const std::exception&) {
-      throw std::invalid_argument("malformed hex word: " + word);
+      pos = 0;
     }
-    if (pos != word.size())
-      throw std::invalid_argument("malformed hex word: " + word);
-    code.push_back(Instruction::decode(static_cast<std::uint16_t>(value)));
+    if (pos != word.size() || value > 0xffff)
+      throw std::invalid_argument("line " + std::to_string(lineno) +
+                                  ": malformed hex word '" + word + "'");
+    try {
+      code.push_back(Instruction::decode(static_cast<std::uint16_t>(value)));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument{"instruction " + std::to_string(code.size()) +
+                                  " (line " + std::to_string(lineno) + "): " +
+                                  e.what()};
+    }
   }
   if (!saw_header)
     throw std::invalid_argument("missing 'pmbist microcode image v1' header");

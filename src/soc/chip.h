@@ -36,9 +36,17 @@ struct ChipFile {
   TestPlan plan;
 };
 
+struct ChipParseOptions {
+  /// Run TestPlan::validate at the end (the default).  The linter parses
+  /// with this off so it can report every semantic problem itself instead
+  /// of stopping at the first one.
+  bool validate_plan = true;
+};
+
 /// Parses chip-file text.  Throws ChipError (with a line number) on syntax
 /// errors and on plan/description inconsistencies.
-[[nodiscard]] ChipFile parse_chip_text(const std::string& text);
+[[nodiscard]] ChipFile parse_chip_text(const std::string& text,
+                                       const ChipParseOptions& options = {});
 
 /// Reads and parses a chip file from disk.  Throws ChipError when the file
 /// cannot be read.

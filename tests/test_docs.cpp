@@ -2,16 +2,23 @@
 // parse and round-trip through to_string(), every ```march-error block must
 // be rejected with march::ParseError — and likewise every ```chip block in
 // docs/SOC.md must parse (and round-trip) through soc::parse_chip_text,
-// every ```chip-error block must raise ChipError.  The docs and the parsers
-// cannot drift apart without this test failing.
+// every ```chip-error block must raise ChipError.  docs/LINT.md blocks
+// tagged ```lint-<kind>:<CODE> are run through the linter and must emit
+// the named diagnostic code, and every registered code must have such a
+// block (api-only codes are pinned by prose mention + a unit test in
+// test_lint.cpp).  The docs and the tools cannot drift apart without this
+// test failing.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/diagnostics.h"
+#include "lint/driver.h"
 #include "march/parser.h"
 #include "soc/chip.h"
 
@@ -65,6 +72,84 @@ std::vector<DocExample> doc_examples(const char* relative,
                                      const std::string& tag = "march") {
   return extract_examples(
       read_file(std::string{PMBIST_SOURCE_DIR} + "/" + relative), tag);
+}
+
+// A ```lint-<kind>:<CODE>[:storage-depth=N][:buffer-depth=N] block from
+// docs/LINT.md: linting `text` as `kind` must emit `code`.
+struct LintExample {
+  std::string kind;
+  std::string code;
+  std::string text;
+  std::size_t line = 0;  // 1-based line of the opening fence
+  lint::LintOptions options;
+};
+
+std::vector<LintExample> lint_doc_examples() {
+  const auto doc = read_file(std::string{PMBIST_SOURCE_DIR} +
+                             "/docs/LINT.md");
+  std::vector<LintExample> examples;
+  std::istringstream lines{doc};
+  std::string line;
+  std::size_t lineno = 0;
+  bool in_block = false;
+  LintExample current;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (!in_block) {
+      if (line.rfind("```lint-", 0) != 0) continue;
+      in_block = true;
+      current = LintExample{};
+      current.line = lineno;
+      // Split the info string "lint-<kind>:<CODE>[:key=value]..." fields.
+      std::string info = line.substr(8);  // after "```lint-"
+      std::vector<std::string> fields;
+      std::size_t start = 0;
+      while (start <= info.size()) {
+        const auto colon = info.find(':', start);
+        fields.push_back(info.substr(start, colon - start));
+        if (colon == std::string::npos) break;
+        start = colon + 1;
+      }
+      if (fields.size() < 2) {
+        ADD_FAILURE() << "docs/LINT.md:" << lineno << ": " << line;
+        in_block = false;
+        continue;
+      }
+      current.kind = fields[0];
+      current.code = fields[1];
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        const auto eq = fields[i].find('=');
+        if (eq == std::string::npos) {
+          ADD_FAILURE() << "docs/LINT.md:" << lineno << ": bad option "
+                        << fields[i];
+          continue;
+        }
+        const std::string key = fields[i].substr(0, eq);
+        const int value = std::atoi(fields[i].c_str() + eq + 1);
+        if (key == "storage-depth") current.options.storage_depth = value;
+        else if (key == "buffer-depth") current.options.buffer_depth = value;
+        else ADD_FAILURE() << "docs/LINT.md:" << lineno << ": unknown option "
+                           << key;
+      }
+    } else if (line.rfind("```", 0) == 0) {
+      in_block = false;
+      examples.push_back(current);
+    } else {
+      current.text += line;
+      current.text += '\n';
+    }
+  }
+  EXPECT_FALSE(in_block) << "unterminated lint code fence";
+  return examples;
+}
+
+lint::InputKind lint_kind_of(const std::string& kind) {
+  if (kind == "march") return lint::InputKind::March;
+  if (kind == "ucode") return lint::InputKind::UcodeImage;
+  if (kind == "pfsm") return lint::InputKind::PfsmImage;
+  if (kind == "chip") return lint::InputKind::Chip;
+  ADD_FAILURE() << "unknown lint block kind " << kind;
+  return lint::InputKind::March;
 }
 
 TEST(DocExamples, DslDocHasExamples) {
@@ -131,6 +216,43 @@ TEST(DocExamples, ChipErrorExamplesAreRejected) {
     SCOPED_TRACE("docs/SOC.md:" + std::to_string(e.line));
     EXPECT_THROW((void)soc::parse_chip_text(e.text), soc::ChipError)
         << e.text;
+  }
+}
+
+TEST(DocExamples, LintExamplesEmitTheirCode) {
+  for (const auto& e : lint_doc_examples()) {
+    SCOPED_TRACE("docs/LINT.md:" + std::to_string(e.line));
+    ASSERT_NE(lint::find_code(e.code), nullptr)
+        << "block names unregistered code " << e.code;
+    const auto report = lint::lint_text_as(lint_kind_of(e.kind), e.text,
+                                           "doc-example", e.options);
+    EXPECT_TRUE(report.has_code(e.code))
+        << "block does not trigger " << e.code << "; got:\n"
+        << lint::format_text(report);
+    // The auto-detector must agree with the block's declared kind, since
+    // `pmbist lint` relies on it.
+    EXPECT_EQ(lint::detect_kind(e.text), lint_kind_of(e.kind));
+  }
+}
+
+TEST(DocExamples, EveryLintCodeIsDocumented) {
+  const auto examples = lint_doc_examples();
+  const auto doc = read_file(std::string{PMBIST_SOURCE_DIR} +
+                             "/docs/LINT.md");
+  for (const auto& info : lint::all_codes()) {
+    const std::string code{info.code};
+    if (info.api_only) {
+      // Not expressible in any on-disk input; pinned by prose here and a
+      // unit test in test_lint.cpp.
+      EXPECT_NE(doc.find(code), std::string::npos)
+          << code << " is not mentioned in docs/LINT.md";
+      continue;
+    }
+    bool documented = false;
+    for (const auto& e : examples) documented |= e.code == code;
+    EXPECT_TRUE(documented)
+        << code << " has no ```lint-<kind>:" << code
+        << " example block in docs/LINT.md";
   }
 }
 

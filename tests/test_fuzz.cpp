@@ -10,9 +10,13 @@
 
 #include "bist/session.h"
 #include "diag/transparent.h"
+#include "lint/driver.h"
+#include "lint/march_lint.h"
+#include "lint/program_lint.h"
 #include "march/library.h"
 #include "mbist_hardwired/controller.h"
 #include "mbist_pfsm/controller.h"
+#include "mbist_ucode/assembler.h"
 #include "mbist_ucode/controller.h"
 
 namespace {
@@ -198,5 +202,108 @@ TEST_P(FuzzFaultParity, VerdictsAgreeAcrossControllers) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFaultParity, ::testing::Range(1, 33));
+
+class FuzzLintMarch : public ::testing::TestWithParam<int> {};
+
+// Property: linting any valid random algorithm never crashes, is
+// deterministic, and reports errors only for the one defect the generator
+// can produce (an algorithm with zero reads -> MA02).
+TEST_P(FuzzLintMarch, ValidAlgorithmsLintWithoutSpuriousErrors) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 2671u);
+  const auto alg = random_algorithm(rng, /*allow_pauses=*/true);
+  ASSERT_TRUE(alg.validate().empty()) << alg.to_string();
+
+  const auto report = lint::lint_march(alg);
+  EXPECT_EQ(report, lint::lint_march(alg)) << alg.to_string();
+  if (alg.reads_per_cell() == 0) {
+    EXPECT_TRUE(report.has_code("MA02")) << alg.to_string();
+  } else {
+    EXPECT_FALSE(report.has_errors())
+        << alg.to_string() << "\n" << lint::format_text(report);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLintMarch, ::testing::Range(1, 49));
+
+class FuzzLintUcode : public ::testing::TestWithParam<int> {};
+
+// Property: the assembler's output for any valid random algorithm is clean
+// microcode — the program linter finds no structural defects (modulo UC06
+// when the algorithm itself never reads).
+TEST_P(FuzzLintUcode, AssembledProgramsAreClean) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 4391u);
+  const auto alg = random_algorithm(rng, /*allow_pauses=*/true);
+  const auto r = mbist_ucode::assemble(alg);
+
+  const auto report = lint::lint_ucode(r.program, {.storage_depth = 64});
+  EXPECT_EQ(report, lint::lint_ucode(r.program, {.storage_depth = 64}));
+  if (alg.reads_per_cell() == 0) {
+    EXPECT_TRUE(report.has_code("UC06")) << r.program.listing();
+  } else {
+    EXPECT_FALSE(report.has_errors())
+        << r.program.listing() << lint::format_text(report);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLintUcode, ::testing::Range(1, 49));
+
+class FuzzLintImages : public ::testing::TestWithParam<int> {};
+
+// Property: the program linters accept *any* decodable image without
+// crashing and produce identical reports on identical inputs — garbage in,
+// diagnostics (not exceptions) out.
+TEST_P(FuzzLintImages, RandomImagesLintDeterministically) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 6101u);
+  std::uniform_int_distribution<int> len(1, 20);
+
+  std::vector<std::uint16_t> ucode_words(static_cast<std::size_t>(len(rng)));
+  for (auto& w : ucode_words) {
+    w = static_cast<std::uint16_t>(rng() & 0x3ff);
+    if (((w >> 5) & 0x3) == 3) w &= ~(1u << 5);  // avoid the reserved rw
+  }
+  const auto program = mbist_ucode::MicrocodeProgram::from_image(
+      "fuzz", ucode_words);
+  const auto report = lint::lint_ucode(program, {.storage_depth = 16});
+  EXPECT_EQ(report, lint::lint_ucode(program, {.storage_depth = 16}));
+  for (const auto& d : report.diagnostics())
+    EXPECT_NE(lint::find_code(d.code), nullptr) << d.code;
+
+  std::vector<std::uint16_t> pfsm_words(static_cast<std::size_t>(len(rng)));
+  for (auto& w : pfsm_words) w = static_cast<std::uint16_t>(rng() & 0x1ff);
+  const auto pfsm = mbist_pfsm::PfsmProgram::from_image("fuzz", pfsm_words);
+  const auto preport = lint::lint_pfsm(pfsm, {.buffer_depth = 16});
+  EXPECT_EQ(preport, lint::lint_pfsm(pfsm, {.buffer_depth = 16}));
+  for (const auto& d : preport.diagnostics())
+    EXPECT_NE(lint::find_code(d.code), nullptr) << d.code;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLintImages, ::testing::Range(1, 49));
+
+class FuzzLintText : public ::testing::TestWithParam<int> {};
+
+// Property: the lint driver never throws, whatever bytes it is handed —
+// malformed input of every kind degrades to parse diagnostics.
+TEST_P(FuzzLintText, ArbitraryTextNeverThrows) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7699u);
+  std::uniform_int_distribution<int> len(0, 200);
+  // Mostly characters the grammars care about, plus arbitrary printables.
+  const std::string alphabet =
+      "updownanyrw01();, \n\t#;=\"softmempausassign0123456789abcdefxyz";
+  std::string text(static_cast<std::size_t>(len(rng)), ' ');
+  for (auto& c : text) c = alphabet[rng() % alphabet.size()];
+  // Sometimes steer into the image paths.
+  switch (rng() % 4) {
+    case 0: text = "; pmbist microcode image v1\n" + text; break;
+    case 1: text = "; pmbist pfsm image v1\n" + text; break;
+    case 2: text = "soc fuzz\n" + text; break;
+    default: break;
+  }
+  const auto report = lint::lint_text(text, "fuzz");
+  EXPECT_EQ(report, lint::lint_text(text, "fuzz"));
+  for (const auto& d : report.diagnostics())
+    EXPECT_NE(lint::find_code(d.code), nullptr) << d.code;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLintText, ::testing::Range(1, 65));
 
 }  // namespace

@@ -1,0 +1,404 @@
+// The static verifier (`pmbist lint`).
+//
+// The acceptance-critical suite is ProverVsQualifier: for every library
+// algorithm and every provable fault class, the lint prover's *guaranteed*
+// verdict must coincide exactly with the exhaustive simulation-based
+// qualifier (march::analyze) — the prover reasons structurally, the
+// qualifier by brute force, and they may never disagree.  On top of that,
+// guaranteed classes must show 100% detection in the sampled
+// fault-simulation campaign.
+//
+// The rest pins the diagnostics engine, each lint pass on crafted inputs
+// (including the on-disk corpus under tests/lint_cases/ that the CLI
+// WILL_FAIL tests also run), input-kind sniffing, determinism, and the
+// error-location contract of the assembler / compiler / image loaders.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/chip_lint.h"
+#include "lint/diagnostics.h"
+#include "lint/driver.h"
+#include "lint/march_lint.h"
+#include "lint/program_lint.h"
+#include "lint/prover.h"
+#include "march/analysis.h"
+#include "march/coverage.h"
+#include "march/library.h"
+#include "march/parser.h"
+#include "mbist_pfsm/compiler.h"
+#include "mbist_ucode/assembler.h"
+
+namespace {
+
+using namespace pmbist;
+
+std::string read_case(const std::string& name) {
+  const std::string path =
+      std::string{PMBIST_SOURCE_DIR} + "/tests/lint_cases/" + name;
+  std::ifstream in{path};
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+lint::Report lint_case(const std::string& name) {
+  return lint::lint_text(read_case(name), name);
+}
+
+// ---------------------------------------------------------------------------
+// Prover vs the exhaustive qualifier and the fault-simulation campaign.
+
+TEST(Prover, AgreesWithQualifierOnEveryLibraryAlgorithm) {
+  for (const auto& alg : march::all_algorithms()) {
+    const auto proof = lint::prove_coverage(alg);
+    for (const auto cls : lint::provable_classes()) {
+      const auto* p = proof.find(cls);
+      ASSERT_NE(p, nullptr) << alg.name();
+      const bool qualified =
+          march::analyze(alg, cls) == march::Detection::Guaranteed;
+      EXPECT_EQ(p->guaranteed, qualified)
+          << alg.name() << " / " << memsim::fault_class_name(cls)
+          << ": prover says " << (p->guaranteed ? "guaranteed" : "partial")
+          << " (" << p->detail << ") but the exhaustive qualifier says "
+          << (qualified ? "guaranteed" : "not guaranteed");
+    }
+  }
+}
+
+TEST(Prover, GuaranteedClassesReachFullSimulatedCoverage) {
+  const memsim::MemoryGeometry geometry{.address_bits = 4,
+                                        .word_bits = 1,
+                                        .num_ports = 1};
+  for (const auto& alg : march::all_algorithms()) {
+    const auto proof = lint::prove_coverage(alg);
+    for (const auto& [cls, p] : proof.classes) {
+      if (!p.guaranteed) continue;
+      const auto cell = march::evaluate_coverage(alg, cls, geometry,
+                                                 {.seed = 7,
+                                                  .max_instances_per_class = 32,
+                                                  .jobs = 1});
+      ASSERT_GT(cell.total, 0) << alg.name();
+      EXPECT_EQ(cell.detected, cell.total)
+          << alg.name() << " / " << memsim::fault_class_name(cls)
+          << ": proven guaranteed but the campaign missed instances";
+    }
+  }
+}
+
+TEST(Prover, EveryProofCarriesAWitness) {
+  const auto proof = lint::prove_coverage(march::mats());
+  ASSERT_EQ(proof.classes.size(), lint::provable_classes().size());
+  for (const auto& [cls, p] : proof.classes)
+    EXPECT_FALSE(p.detail.empty()) << memsim::fault_class_name(cls);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics engine.
+
+TEST(Diagnostics, RegistryIsWellFormed) {
+  EXPECT_GE(lint::all_codes().size(), 30u);
+  for (const auto& info : lint::all_codes()) {
+    EXPECT_EQ(info.code.size(), 4u) << info.code;
+    EXPECT_FALSE(info.summary.empty()) << info.code;
+    EXPECT_EQ(lint::find_code(info.code), &info);
+    EXPECT_EQ(lint::severity_of(info.code), info.severity);
+  }
+  EXPECT_EQ(lint::find_code("ZZ99"), nullptr);
+  EXPECT_EQ(lint::severity_of("ZZ99"), lint::Severity::Error);
+}
+
+TEST(Diagnostics, ReportCountsAndRenderers) {
+  lint::Report report;
+  report.add("MA03", "unit_a", 2, "impossible read", "fix the data");
+  report.add("MA04", "unit_a", -1, "odd pause");
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_code("MA03"));
+  EXPECT_FALSE(report.has_code("MA05"));
+  EXPECT_EQ(report.count(lint::Severity::Error), 1);
+  EXPECT_EQ(report.count(lint::Severity::Warning), 1);
+
+  const auto text = lint::format_text(report);
+  EXPECT_NE(text.find("error[MA03] unit_a:2: impossible read"),
+            std::string::npos);
+  EXPECT_NE(text.find("hint: fix the data"), std::string::npos);
+  // index -1 renders without a :index segment.
+  EXPECT_NE(text.find("warning[MA04] unit_a: odd pause"), std::string::npos);
+
+  const auto json = lint::format_json(report);
+  EXPECT_NE(json.find("\"code\":\"MA03\""), std::string::npos);
+  EXPECT_NE(json.find("\"index\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonEscapesSpecials) {
+  lint::Report report;
+  report.add("MA00", "a\"b\\c", -1, "line1\nline2");
+  const auto json = lint::format_json(report);
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// March pass.
+
+TEST(MarchLint, CleanLibraryAlgorithmsHaveNoFindings) {
+  for (const auto& alg : march::all_algorithms()) {
+    const auto report = lint::lint_march(alg);
+    EXPECT_FALSE(report.has_errors()) << alg.name() << "\n"
+                                      << lint::format_text(report);
+    // Every library algorithm guarantees SAF, so MA06 never fires.
+    EXPECT_FALSE(report.has_code("MA06")) << alg.name();
+    EXPECT_TRUE(report.has_code("MA05")) << alg.name();
+  }
+}
+
+TEST(MarchLint, CraftedDefectsEmitTheirCodes) {
+  const auto lint_dsl = [](const char* dsl) {
+    return lint::lint_march(march::parse(dsl, "t"));
+  };
+  EXPECT_TRUE(lint_dsl("up(r0); up(w0)").has_code("MA01"));
+  EXPECT_TRUE(lint_dsl("up(w0); down(w1)").has_code("MA02"));
+  EXPECT_TRUE(lint_dsl("up(w0); up(r1)").has_code("MA03"));
+  EXPECT_TRUE(lint_dsl("any(w0); pause(100ns); any(r0); pause(200ns); any(r0)")
+                  .has_code("MA04"));
+  EXPECT_TRUE(lint_dsl("up(w0); up(r0)").has_code("MA06"));
+}
+
+// ---------------------------------------------------------------------------
+// Program passes (ucode + pFSM), including the on-disk corpus the CLI
+// WILL_FAIL tests exercise end to end.
+
+struct CorpusCase {
+  const char* file;
+  const char* code;
+};
+
+TEST(ProgramLint, CorpusCasesEmitTheirStableCodes) {
+  const CorpusCase cases[] = {
+      {"dead_code.ucode.hex", "UC03"},
+      {"runs_off_end.ucode.hex", "UC04"},
+      {"empty_repeat.ucode.hex", "UC05"},
+      {"nested_repeat.ucode.hex", "UC05"},
+      {"no_reads.ucode.hex", "UC06"},
+      {"oversized.ucode.hex", "UC02"},
+      {"deadlock.pfsm.hex", "PF04"},
+      {"no_port_loop.pfsm.hex", "PF05"},
+      {"dup_mem.chip", "CH01"},
+      {"unknown_mem.chip", "CH03"},
+      {"infeasible_power.chip", "CH07"},
+      {"inconsistent.march", "MA03"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.file);
+    const auto report = lint_case(c.file);
+    EXPECT_TRUE(report.has_code(c.code)) << lint::format_text(report);
+    EXPECT_TRUE(report.has_errors());
+  }
+}
+
+TEST(ProgramLint, AssembledLibraryProgramsAreClean) {
+  for (const auto& alg : march::all_algorithms()) {
+    const auto r = mbist_ucode::assemble(alg);
+    const auto report = lint::lint_ucode(r.program, {.storage_depth = 32});
+    EXPECT_FALSE(report.has_errors()) << alg.name() << "\n"
+                                      << lint::format_text(report);
+    EXPECT_EQ(report.count(lint::Severity::Warning), 0)
+        << alg.name() << "\n" << lint::format_text(report);
+  }
+}
+
+TEST(ProgramLint, CompiledPfsmProgramsAreClean) {
+  for (const auto& alg : march::all_algorithms()) {
+    if (!mbist_pfsm::is_mappable(alg)) continue;
+    const auto r = mbist_pfsm::compile(alg);
+    const auto report = lint::lint_pfsm(r.program, {.buffer_depth = 16});
+    EXPECT_FALSE(report.has_errors()) << alg.name() << "\n"
+                                      << lint::format_text(report);
+    EXPECT_EQ(report.count(lint::Severity::Warning), 0)
+        << alg.name() << "\n" << lint::format_text(report);
+  }
+}
+
+TEST(ProgramLint, RoundTripThroughHexTextIsClean) {
+  const auto r = mbist_ucode::assemble(march::march_c());
+  const auto again =
+      mbist_ucode::MicrocodeProgram::from_hex_text(r.program.to_hex_text());
+  EXPECT_EQ(again.image(), r.program.image());
+  EXPECT_EQ(again.name(), r.program.name());
+  EXPECT_TRUE(lint::lint_ucode(again).empty());
+
+  const auto p = mbist_pfsm::compile(march::mats_plus());
+  const auto pagain =
+      mbist_pfsm::PfsmProgram::from_hex_text(p.program.to_hex_text());
+  EXPECT_EQ(pagain.image(), p.program.image());
+  EXPECT_EQ(pagain.name(), p.program.name());
+  EXPECT_TRUE(lint::lint_pfsm(pagain).empty());
+}
+
+TEST(ProgramLint, Pf03ModeRangeIsApiOnlyAndDetected) {
+  // The hex encoding holds the mode in 3 bits, so PF03 cannot appear from
+  // any on-disk image — it guards programs built directly in C++.
+  const auto* info = lint::find_code("PF03");
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->api_only);
+
+  mbist_pfsm::PfsmInstruction component;
+  component.mode = 9;  // outside SM0..SM7
+  mbist_pfsm::PfsmInstruction data_loop;
+  data_loop.ctrl = true;
+  mbist_pfsm::PfsmInstruction port_loop;
+  port_loop.ctrl = true;
+  port_loop.ctrl_op = true;
+  const mbist_pfsm::PfsmProgram program{"bad_mode",
+                                        {component, data_loop, port_loop}};
+  const auto report = lint::lint_pfsm(program);
+  EXPECT_TRUE(report.has_code("PF03")) << lint::format_text(report);
+  EXPECT_TRUE(report.has_errors());
+}
+
+// ---------------------------------------------------------------------------
+// Chip pass on the shipped example.
+
+TEST(ChipLint, DemoChipHasNoErrors) {
+  std::ifstream in{std::string{PMBIST_SOURCE_DIR} +
+                   "/examples/soc_demo.chip"};
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto report = lint::lint_chip_text(text.str(), "soc_demo.chip");
+  EXPECT_FALSE(report.has_errors()) << lint::format_text(report);
+  // The demo deliberately pairs a TF defect with MATS+ (TF not guaranteed)
+  // to exercise repair; the linter calls that out as an escape warning.
+  EXPECT_TRUE(report.has_code("CH11")) << lint::format_text(report);
+}
+
+// ---------------------------------------------------------------------------
+// Driver: sniffing, never-throws, determinism.
+
+TEST(Driver, DetectsEveryInputKind) {
+  EXPECT_EQ(lint::detect_kind("March C"), lint::InputKind::March);
+  EXPECT_EQ(lint::detect_kind("up(w0); up(r0)"), lint::InputKind::March);
+  EXPECT_EQ(lint::detect_kind("# comment\nsoc x\nmem a addr_bits=4 seed=1\n"),
+            lint::InputKind::Chip);
+  EXPECT_EQ(lint::detect_kind("; pmbist microcode image v1\n141\n"),
+            lint::InputKind::UcodeImage);
+  EXPECT_EQ(lint::detect_kind("; pmbist pfsm image v1\n000\n"),
+            lint::InputKind::PfsmImage);
+  EXPECT_EQ(lint::detect_kind(""), lint::InputKind::March);
+}
+
+TEST(Driver, MalformedInputsBecomeParseDiagnosticsNotThrows) {
+  EXPECT_TRUE(lint::lint_text("n@t a march", "u").has_code("MA00"));
+  EXPECT_TRUE(lint::lint_text("; pmbist microcode image v1\nxyz\n", "u")
+                  .has_code("UC00"));
+  EXPECT_TRUE(lint::lint_text("; pmbist pfsm image v1\nzzz\n", "u")
+                  .has_code("PF00"));
+  EXPECT_TRUE(lint::lint_text("soc x\nfrobnicate\n", "u").has_code("CH02"));
+}
+
+TEST(Driver, MarchFilesMayCarryHashComments) {
+  const auto report = lint::lint_text(
+      "# March C in a file\nany(w0); up(r0,w1); up(r1,w0);\n"
+      "down(r0,w1); down(r1,w0); any(r0)  # trailing comment\n",
+      "commented.march");
+  EXPECT_FALSE(report.has_errors()) << lint::format_text(report);
+  EXPECT_TRUE(report.has_code("MA05"));
+}
+
+TEST(Driver, ReportsAreDeterministic) {
+  const char* inputs[] = {
+      "March C",
+      "up(w0); up(r1)",
+      "; pmbist microcode image v1\n141\n121\n",
+      "soc x\nmem a addr_bits=4 seed=1\nassign b \"March C\" ucode\n",
+  };
+  for (const char* text : inputs) {
+    const auto a = lint::lint_text(text, "unit");
+    const auto b = lint::lint_text(text, "unit");
+    EXPECT_EQ(a, b) << text;
+  }
+}
+
+TEST(Driver, HonorsDepthOptions) {
+  const std::string image = read_case("oversized.ucode.hex");
+  EXPECT_TRUE(lint::lint_text(image, "u", {.storage_depth = 32})
+                  .has_code("UC02"));
+  EXPECT_FALSE(lint::lint_text(image, "u", {.storage_depth = 64})
+                   .has_code("UC02"));
+
+  const auto p = mbist_pfsm::compile(march::mats_plus());
+  const auto hex = p.program.to_hex_text();
+  EXPECT_TRUE(lint::lint_text(hex, "u", {.buffer_depth = 4})
+                  .has_code("PF02"));
+  EXPECT_FALSE(lint::lint_text(hex, "u", {.buffer_depth = 16})
+                   .has_code("PF02"));
+}
+
+// ---------------------------------------------------------------------------
+// Error-location contract: assembler, compiler and image loaders name the
+// offending instruction / element / line.
+
+TEST(ErrorLocations, AssemblerNamesThePauseElement) {
+  const auto alg =
+      march::parse("any(w0); pause(100ns); any(r0); pause(200ns); any(r0)",
+                   "mixed_pauses");
+  try {
+    (void)mbist_ucode::assemble(alg);
+    FAIL() << "expected AssembleError";
+  } catch (const mbist_ucode::AssembleError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("element 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("200ns"), std::string::npos) << what;
+    EXPECT_NE(what.find("100ns"), std::string::npos) << what;
+  }
+}
+
+TEST(ErrorLocations, PfsmCompilerNamesTheElement) {
+  const auto alg =
+      march::parse("pause(5ns); any(w0); any(r0)", "leading_pause");
+  try {
+    (void)mbist_pfsm::compile(alg);
+    FAIL() << "expected CompileError";
+  } catch (const mbist_pfsm::CompileError& e) {
+    EXPECT_NE(std::string{e.what()}.find("element 0"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ErrorLocations, ImageLoadersNameInstructionAndLine) {
+  try {
+    (void)mbist_ucode::MicrocodeProgram::from_hex_text(
+        "; pmbist microcode image v1\n141\nxyz\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos)
+        << e.what();
+  }
+  try {
+    // 0x3e0: rw field 11 is reserved -> decode error on instruction 1.
+    (void)mbist_ucode::MicrocodeProgram::from_image("bad", {0x141, 0x3e0});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("instruction 1"), std::string::npos)
+        << e.what();
+  }
+  try {
+    // 0x3ff exceeds the 9-bit pFSM encoding -> decode error, line named.
+    (void)mbist_pfsm::PfsmProgram::from_hex_text(
+        "; pmbist pfsm image v1\n000\n3ff\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("instruction 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+}
+
+}  // namespace

@@ -309,9 +309,12 @@ TEST(FsmSynth, MoreStatesMoreArea) {
   const auto lib = TechLibrary::cmos5s();
   auto chain = [](int n) {
     MooreFsm fsm{"chain", {"go"}, {"o0", "o1", "o2"}};
-    for (int i = 0; i < n; ++i)
-      fsm.add_state("S" + std::to_string(i),
-                    static_cast<std::uint32_t>(i % 8));
+    for (int i = 0; i < n; ++i) {
+      // += instead of "S" + to_string(i): GCC 12 -O3 bogus -Wrestrict.
+      std::string name = "S";
+      name += std::to_string(i);
+      fsm.add_state(name, static_cast<std::uint32_t>(i % 8));
+    }
     for (int i = 0; i < n; ++i) fsm.add_arc(i, Cube{1, 1}, (i + 1) % n);
     return fsm;
   };

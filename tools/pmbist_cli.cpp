@@ -25,6 +25,11 @@
 //       Whole-chip BIST: schedule and run every memory of a chip file
 //       (docs/SOC.md) under power and controller-sharing constraints.
 //       Without --chip, runs the built-in 9-memory demo chip.
+//   pmbist lint      <file|algorithm|dsl> [--json] [--storage-depth N]
+//                    [--buffer-depth N]
+//       Static verifier: march algorithms, microcode hex images, pFSM hex
+//       images and chip files (kind auto-detected; docs/LINT.md lists the
+//       diagnostic codes).  Exits nonzero when errors are found.
 //
 // `assemble --hex` prints a portable microcode hex image; `run --program
 // <file>` loads such an image into the microcode controller instead of
@@ -44,6 +49,8 @@
 #include <vector>
 
 #include "bist/session.h"
+#include "lint/diagnostics.h"
+#include "lint/driver.h"
 #include "march/analysis.h"
 #include "march/campaign.h"
 #include "march/library.h"
@@ -80,6 +87,9 @@ struct Options {
   std::size_t max_failures = 1024;
   bool flat = false;
   bool hex = false;
+  bool json = false;
+  int storage_depth = 32;
+  int buffer_depth = 16;
 };
 
 [[noreturn]] void usage(const char* why = nullptr) {
@@ -98,6 +108,7 @@ struct Options {
       "  export          hardwired/programmable controller as Verilog\n"
       "  export-decoder  microcode decoder + pFSM lower controller Verilog\n"
       "  soc             whole-chip scheduled BIST from a chip file\n"
+      "  lint            static verifier for march / ucode / pFSM / chip\n"
       "\n"
       "options:\n"
       "  --arch ucode|pfsm|hardwired   controller architecture\n"
@@ -110,7 +121,12 @@ struct Options {
       "soc options:\n"
       "  --chip FILE        chip description (docs/SOC.md; default: demo)\n"
       "  --power-budget W   override the chip file's power budget\n"
-      "  --max-failures N   per-session failure-log capacity\n");
+      "  --max-failures N   per-session failure-log capacity\n"
+      "\n"
+      "lint options:\n"
+      "  --json             machine-readable diagnostics on stdout\n"
+      "  --storage-depth N  microcode storage words assumed (default 32)\n"
+      "  --buffer-depth N   pFSM buffer rows assumed (default 16)\n");
   std::exit(2);
 }
 
@@ -141,6 +157,9 @@ Options parse_args(int argc, char** argv) {
       opt.max_failures = std::strtoull(value(), nullptr, 10);
     else if (arg == "--flat") opt.flat = true;
     else if (arg == "--hex") opt.hex = true;
+    else if (arg == "--json") opt.json = true;
+    else if (arg == "--storage-depth") opt.storage_depth = std::atoi(value());
+    else if (arg == "--buffer-depth") opt.buffer_depth = std::atoi(value());
     else usage(("unknown option " + arg).c_str());
   }
   return opt;
@@ -182,7 +201,8 @@ int cmd_assemble(const Options& opt) {
   const auto alg = resolve_algorithm(opt.algorithm);
   if (opt.arch == "pfsm") {
     const auto r = mbist_pfsm::compile(alg);
-    std::printf("%s", r.program.listing().c_str());
+    std::printf("%s", opt.hex ? r.program.to_hex_text().c_str()
+                              : r.program.listing().c_str());
     return 0;
   }
   const auto r = mbist_ucode::assemble(
@@ -349,6 +369,35 @@ int cmd_export(const Options& opt) {
   return 0;
 }
 
+int cmd_lint(const Options& opt) {
+  // The positional argument is a path when it opens as a file, otherwise
+  // inline text (a library algorithm name or DSL string).
+  std::string text;
+  std::string unit;
+  if (std::ifstream probe{opt.algorithm}; probe) {
+    std::ostringstream os;
+    os << probe.rdbuf();
+    text = os.str();
+    unit = opt.algorithm;
+  } else {
+    text = opt.algorithm;
+    unit = "input";
+  }
+  const lint::LintOptions lopts{.storage_depth = opt.storage_depth,
+                                .buffer_depth = opt.buffer_depth};
+  const lint::Report report = lint::lint_text(text, unit, lopts);
+  if (opt.json) {
+    std::printf("%s\n", lint::format_json(report).c_str());
+  } else {
+    std::printf("%s", lint::format_text(report).c_str());
+    std::printf("%s: %d error(s), %d warning(s), %d note(s)\n", unit.c_str(),
+                report.count(lint::Severity::Error),
+                report.count(lint::Severity::Warning),
+                report.count(lint::Severity::Note));
+  }
+  return report.has_errors() ? 1 : 0;
+}
+
 int cmd_soc(const Options& opt) {
   soc::ChipFile chip;
   if (opt.chip_file.empty()) {
@@ -420,6 +469,7 @@ int main(int argc, char** argv) {
     if (opt.command == "area") return cmd_area(opt);
     if (opt.command == "coverage") return cmd_coverage(opt);
     if (opt.command == "export") return cmd_export(opt);
+    if (opt.command == "lint") return cmd_lint(opt);
     usage(("unknown command " + opt.command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
