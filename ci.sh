@@ -56,8 +56,8 @@ cmake --build build-asan -j "${JOBS}" \
 ./build-asan/tests/test_pfsm
 
 if command -v clang-tidy > /dev/null; then
-  echo "== clang-tidy: src/lint =="
-  clang-tidy -p build --warnings-as-errors='*' src/lint/*.cpp
+  echo "== clang-tidy: src/ =="
+  clang-tidy -p build --warnings-as-errors='*' src/*/*.cpp
 else
   echo "== clang-tidy not installed; skipping (runs in the workflow) =="
 fi

@@ -76,7 +76,7 @@ void lint_fault_escapes(const std::string& unit, const soc::TestAssignment& a,
                         const MarchAlgorithm& alg, int lineno,
                         Report& report) {
   const CoverageProof proof = prove_coverage(alg);
-  bool warned[static_cast<int>(memsim::FaultClass::PF) + 1] = {};
+  bool warned[static_cast<int>(memsim::FaultClass::LF) + 1] = {};
   for (const auto& fault : mem.faults) {
     const auto cls = memsim::fault_class(fault);
     auto& once = warned[static_cast<int>(cls)];

@@ -8,7 +8,7 @@ namespace pmbist::lint {
 namespace {
 
 // The stable code registry.  Append-only; codes keep their meaning forever.
-constexpr std::array<CodeInfo, 33> kCodes{{
+constexpr std::array<CodeInfo, 38> kCodes{{
     // March algorithms (MA).
     {"MA00", Severity::Error, "march text does not parse"},
     {"MA01", Severity::Error, "structurally invalid march algorithm"},
@@ -40,6 +40,16 @@ constexpr std::array<CodeInfo, 33> kCodes{{
      "no reachable port-loop row: the circular buffer never reaches Done"},
     {"PF06", Severity::Warning, "unused buffer rows (unreachable)"},
     {"PF07", Severity::Error, "no reachable component row (tests nothing)"},
+    // Translation validation (EQ) — `pmbist lint --against <algorithm>`.
+    {"EQ00", Severity::Error,
+     "--against source does not resolve or does not apply to this input"},
+    {"EQ01", Severity::Error,
+     "image is not liftable to a march algorithm"},
+    {"EQ02", Severity::Error,
+     "image does not realize the --against algorithm (counterexample trace)"},
+    {"EQ03", Severity::Warning,
+     "image lacks the data-background or port loop tail"},
+    {"EQ04", Severity::Note, "image proven equivalent to the source algorithm"},
     // Chip files (CH).
     {"CH01", Severity::Error, "duplicate memory instance name"},
     {"CH02", Severity::Error, "chip file does not parse"},

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "lint/chip_lint.h"
+#include "lint/equiv.h"
+#include "lint/lifter.h"
 #include "lint/march_lint.h"
 #include "lint/program_lint.h"
 #include "march/library.h"
@@ -31,8 +33,84 @@ std::string strip_march_comments(const std::string& text) {
   return out;
 }
 
+/// Resolves a --against source (library name or march DSL, '#' comments
+/// allowed).  Returns false after adding EQ00 when it does not resolve.
+bool resolve_against(const std::string& raw, const std::string& unit,
+                     march::MarchAlgorithm& out, Report& report) {
+  const std::string text = strip_march_comments(raw);
+  try {
+    out = march::by_name(text);
+    return true;
+  } catch (const std::out_of_range&) {
+  }
+  try {
+    out = march::parse(text, "--against");
+    return true;
+  } catch (const march::ParseError& e) {
+    report.add("EQ00", unit, -1,
+               std::string{"--against source does not resolve: "} + e.what(),
+               "pass a library algorithm name or march DSL text");
+    return false;
+  }
+}
+
+/// Pause duration the source algorithm uses (an image encodes *that* a
+/// pause happens, not for how long), defaulting to the library convention.
+std::uint64_t source_pause_ns(const march::MarchAlgorithm& alg) {
+  for (const auto& e : alg.elements())
+    if (e.is_pause) return e.pause_ns;
+  return march::kDefaultPauseNs;
+}
+
+/// Translation validation: maps the equivalence verdict for a lifted image
+/// onto the EQ diagnostics.
+void check_against(const LiftResult& lifted,
+                   const march::MarchAlgorithm& source,
+                   const std::string& unit, Report& report) {
+  const EquivResult verdict = check_equivalence(lifted, source);
+  switch (verdict.kind) {
+    case EquivKind::Unliftable:
+      report.add("EQ01", unit, verdict.index,
+                 "image is not liftable to a march algorithm: " +
+                     verdict.detail,
+                 "see docs/EQUIV.md for the liftable subset");
+      return;
+    case EquivKind::Mismatch: {
+      std::string message = verdict.detail;
+      for (const auto& line : verdict.trace) message += "\n      " + line;
+      report.add("EQ02", unit, -1, std::move(message),
+                 "the trace shows the first op a tester would see diverge");
+      break;
+    }
+    case EquivKind::Equivalent:
+      report.add("EQ04", unit, -1, verdict.detail);
+      break;
+  }
+  if (lifted.ok && !lifted.full_structure()) {
+    const char* missing =
+        !lifted.has_data_loop
+            ? (lifted.has_port_loop ? "data-background loop"
+                                    : "data-background and port loops")
+            : "port loop";
+    report.add("EQ03", unit, -1,
+               std::string{"image runs a single pass: it lacks the "} +
+                   missing +
+                   " (word-oriented / multiport memories would be "
+                   "under-tested)",
+               "append the loop tail (`pmbist assemble` emits it by "
+               "default)");
+  }
+}
+
 Report lint_march_text(const std::string& raw, std::string unit,
-                       const LintOptions&) {
+                       const LintOptions& options) {
+  Report report;
+  if (!options.against.empty()) {
+    report.add("EQ00", unit, -1,
+               "--against applies to controller images; this input is a "
+               "march algorithm",
+               "compare march algorithms directly with `pmbist expand`");
+  }
   const std::string text = strip_march_comments(raw);
   march::MarchAlgorithm alg;
   try {
@@ -41,13 +119,13 @@ Report lint_march_text(const std::string& raw, std::string unit,
     try {
       alg = march::parse(text, unit);
     } catch (const march::ParseError& e) {
-      Report report;
       report.add("MA00", std::move(unit), -1, e.what(),
                  "see docs/DSL.md for the grammar");
       return report;
     }
   }
-  return lint_march(alg, {}, std::move(unit));
+  report.merge(lint_march(alg, {}, std::move(unit)));
+  return report;
 }
 
 Report lint_ucode_text(const std::string& text, std::string unit,
@@ -61,7 +139,18 @@ Report lint_ucode_text(const std::string& text, std::string unit,
                "expected the `pmbist assemble --hex` image format");
     return report;
   }
-  return lint_ucode(program, {.storage_depth = options.storage_depth});
+  Report report = lint_ucode(program, {.storage_depth = options.storage_depth});
+  if (!options.against.empty()) {
+    march::MarchAlgorithm source;
+    Report eq;
+    if (resolve_against(options.against, unit, source, eq)) {
+      const LiftResult lifted =
+          lift_ucode(program, {.pause_ns = source_pause_ns(source)});
+      check_against(lifted, source, unit, eq);
+    }
+    report.merge(std::move(eq));
+  }
+  return report;
 }
 
 Report lint_pfsm_text(const std::string& text, std::string unit,
@@ -76,7 +165,18 @@ Report lint_pfsm_text(const std::string& text, std::string unit,
                "format");
     return report;
   }
-  return lint_pfsm(program, {.buffer_depth = options.buffer_depth});
+  Report report = lint_pfsm(program, {.buffer_depth = options.buffer_depth});
+  if (!options.against.empty()) {
+    march::MarchAlgorithm source;
+    Report eq;
+    if (resolve_against(options.against, unit, source, eq)) {
+      const LiftResult lifted =
+          lift_pfsm(program, {.pause_ns = source_pause_ns(source)});
+      check_against(lifted, source, unit, eq);
+    }
+    report.merge(std::move(eq));
+  }
+  return report;
 }
 
 }  // namespace
@@ -116,8 +216,16 @@ Report lint_text_as(InputKind kind, const std::string& text, std::string unit,
       return lint_ucode_text(text, std::move(unit), options);
     case InputKind::PfsmImage:
       return lint_pfsm_text(text, std::move(unit), options);
-    case InputKind::Chip:
-      return lint_chip_text(text, std::move(unit));
+    case InputKind::Chip: {
+      Report report;
+      if (!options.against.empty())
+        report.add("EQ00", unit, -1,
+                   "--against applies to controller images; this input is a "
+                   "chip file",
+                   "lint the assigned programs individually");
+      report.merge(lint_chip_text(text, std::move(unit)));
+      return report;
+    }
   }
   return {};
 }

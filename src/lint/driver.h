@@ -22,6 +22,13 @@ enum class InputKind : std::uint8_t { March, UcodeImage, PfsmImage, Chip };
 struct LintOptions {
   int storage_depth = 32;  ///< microcode storage words (UC02)
   int buffer_depth = 16;   ///< pFSM buffer rows (PF02)
+  /// Translation validation: march source (library name or DSL text) the
+  /// image must realize.  When non-empty and the input is a controller
+  /// image, the lifter recovers the algorithm the image applies and the
+  /// equivalence checker proves it equal to this source (EQ04) or reports
+  /// EQ01/EQ02 with a counterexample trace.  EQ00 when the source does not
+  /// resolve or the input is not a controller image.
+  std::string against;
 };
 
 /// Lints `text` as `kind`.  Never throws on malformed input — parse

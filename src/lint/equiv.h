@@ -1,0 +1,55 @@
+#pragma once
+// Equivalence checker over lifted controller images: proves that the
+// algorithm a lifter recovered from an image (lifter.h) equals a source
+// march algorithm up to element canonicalization, and builds a readable
+// counterexample operation trace when it does not.
+//
+// Canonical form: don't-care address orders (Any) run ascending in every
+// controller of this repo, so the source is canonicalized Any -> Up before
+// comparison; the lifted side is always concrete.  Two algorithms whose
+// canonical element lists are equal expand to the same operation stream on
+// every geometry, which is the repo's ground-truth notion of controller
+// correctness (march::expand).  When the element lists differ but the
+// expanded streams agree on the probe geometries, the checker still rules
+// Equivalent (the split into elements differs; the applied ops do not).
+//
+// The counterexample trace is computed by expanding both sides on a small
+// probe geometry and printing the ops around the first divergence — the
+// exact reads/writes a tester would see disagree on silicon.
+
+#include <string>
+#include <vector>
+
+#include "lint/lifter.h"
+#include "march/march.h"
+
+namespace pmbist::lint {
+
+enum class EquivKind : std::uint8_t { Equivalent, Mismatch, Unliftable };
+
+[[nodiscard]] std::string_view to_string(EquivKind k);
+
+struct EquivResult {
+  EquivKind kind = EquivKind::Unliftable;
+  /// One-line verdict: the proof, the mismatch summary, or the unliftable
+  /// reason.
+  std::string detail;
+  /// Mismatch counterexample: one line per op around the first divergence.
+  std::vector<std::string> trace;
+  /// Unliftable: offending instruction index (-1 when structural).
+  int index = -1;
+};
+
+/// Returns `alg` with every Any order rewritten to Up (the direction every
+/// controller uses for don't-care elements).  Name and pauses unchanged.
+[[nodiscard]] march::MarchAlgorithm canonicalize(
+    const march::MarchAlgorithm& alg);
+
+/// Proves `lifted` (from lift_ucode / lift_pfsm) equivalent to `source`,
+/// or produces the counterexample.  Loop-structure completeness
+/// (LiftResult::full_structure) is reported separately by the caller; this
+/// checker compares what the image applies per (port, background) pass.
+[[nodiscard]] EquivResult check_equivalence(const LiftResult& lifted,
+                                            const march::MarchAlgorithm& source);
+
+}  // namespace pmbist::lint

@@ -1,0 +1,172 @@
+#include "lint/fix.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "lint/lifter.h"
+#include "lint/program_lint.h"
+
+namespace pmbist::lint {
+namespace {
+
+using mbist_ucode::Flow;
+using mbist_ucode::Instruction;
+using mbist_ucode::MicrocodeProgram;
+using mbist_ucode::Rw;
+using mbist_pfsm::PfsmInstruction;
+using mbist_pfsm::PfsmProgram;
+
+/// Number of reachable instructions.  Control either advances to i+1,
+/// branches backwards (LOOP_CELL/LOOP_SELF to the branch register, Repeat
+/// to 1, LOOP_DATA/LOOP_PORT to 0 — all inside the already-visited prefix)
+/// or stops (TERMINATE, exhausted LOOP_PORT), so the reachable set is
+/// exactly the prefix up to and including the first TERMINATE / LOOP_PORT.
+std::size_t ucode_reachable_prefix(const std::vector<Instruction>& code) {
+  for (std::size_t i = 0; i < code.size(); ++i)
+    if (code[i].flow == Flow::Terminate || code[i].flow == Flow::LoopPort)
+      return i + 1;
+  return code.size();
+}
+
+/// A no-op sweep candidate: an op-flow instruction whose rw field is NOP.
+/// Whether removing it preserves behavior depends on context (a NOP leader
+/// carries the element's address order; a NOP LOOP_SELF mid-group truncates
+/// the group), so candidates are verified through the lifter, not assumed.
+bool is_nop_sweep(const Instruction& instr) {
+  return instr.rw == Rw::Nop &&
+         (instr.flow == Flow::Next || instr.flow == Flow::LoopCell ||
+          instr.flow == Flow::LoopSelf);
+}
+
+/// True when removing the candidate left an image that provably applies the
+/// same op stream and lints no worse than the original.
+bool removal_is_safe(const MicrocodeProgram& before,
+                     const MicrocodeProgram& after) {
+  const LiftResult lifted_before = lift_ucode(before);
+  if (!lifted_before.ok) return false;  // nothing to verify against
+  const LiftResult lifted_after = lift_ucode(after);
+  if (!lifted_after.ok ||
+      lifted_after.algorithm.elements() != lifted_before.algorithm.elements() ||
+      lifted_after.has_data_loop != lifted_before.has_data_loop ||
+      lifted_after.has_port_loop != lifted_before.has_port_loop)
+    return false;
+  // Renumbering can re-anchor a Repeat window (its reset-to-1 path is an
+  // absolute index): reject any removal that introduces new findings, e.g.
+  // an emptied Repeat window (UC05).
+  const Report before_lint = lint_ucode(before);
+  const Report after_lint = lint_ucode(after);
+  return after_lint.count(Severity::Error) <=
+             before_lint.count(Severity::Error) &&
+         after_lint.count(Severity::Warning) <=
+             before_lint.count(Severity::Warning);
+}
+
+std::string plural(std::size_t n, const char* noun) {
+  return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+}
+
+}  // namespace
+
+FixOutcome fix_ucode(MicrocodeProgram& program) {
+  std::vector<Instruction> code = program.instructions();
+
+  const std::size_t reachable = ucode_reachable_prefix(code);
+  const std::size_t dead = code.size() - reachable;
+  code.resize(reachable);
+
+  std::size_t swept = 0;
+  MicrocodeProgram current{program.name(), code};
+  for (std::size_t i = code.size(); i-- > 0;) {
+    if (!is_nop_sweep(code[i])) continue;
+    std::vector<Instruction> shrunk = code;
+    shrunk.erase(shrunk.begin() + static_cast<std::ptrdiff_t>(i));
+    MicrocodeProgram candidate{program.name(), shrunk};
+    if (!removal_is_safe(current, candidate)) continue;
+    code = std::move(shrunk);
+    current = std::move(candidate);
+    ++swept;
+  }
+
+  FixOutcome outcome;
+  outcome.changed = dead > 0 || swept > 0;
+  if (!outcome.changed) {
+    outcome.summary = "no mechanical fixes apply";
+    return outcome;
+  }
+  if (dead > 0)
+    outcome.summary = "dropped " + plural(dead, "unreachable instruction");
+  if (swept > 0) {
+    if (!outcome.summary.empty()) outcome.summary += ", ";
+    outcome.summary += "removed " + plural(swept, "no-op sweep");
+  }
+  program = MicrocodeProgram{program.name(), std::move(code)};
+  return outcome;
+}
+
+FixOutcome fix_pfsm(PfsmProgram& program) {
+  const auto& rows = program.instructions();
+  std::size_t used = rows.size();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].ctrl && rows[i].ctrl_op) {  // path B ends the walk
+      used = i + 1;
+      break;
+    }
+  }
+
+  FixOutcome outcome;
+  if (used == rows.size()) {
+    outcome.summary = "no mechanical fixes apply";
+    return outcome;
+  }
+  outcome.changed = true;
+  outcome.summary =
+      "dropped " + plural(rows.size() - used, "unused trailing row");
+  std::vector<PfsmInstruction> kept{rows.begin(),
+                                    rows.begin() + static_cast<std::ptrdiff_t>(used)};
+  program = PfsmProgram{program.name(), std::move(kept)};
+  return outcome;
+}
+
+FixResult fix_text(const std::string& text, const std::string& unit) {
+  FixResult result;
+  switch (detect_kind(text)) {
+    case InputKind::UcodeImage: {
+      mbist_ucode::MicrocodeProgram program;
+      try {
+        program = mbist_ucode::MicrocodeProgram::from_hex_text(text);
+      } catch (const std::exception& e) {
+        result.summary = unit + ": cannot fix an unparseable image: " + e.what();
+        return result;
+      }
+      FixOutcome outcome = fix_ucode(program);
+      result.changed = outcome.changed;
+      result.summary = std::move(outcome.summary);
+      if (result.changed) result.text = program.to_hex_text();
+      return result;
+    }
+    case InputKind::PfsmImage: {
+      mbist_pfsm::PfsmProgram program;
+      try {
+        program = mbist_pfsm::PfsmProgram::from_hex_text(text);
+      } catch (const std::exception& e) {
+        result.summary = unit + ": cannot fix an unparseable image: " + e.what();
+        return result;
+      }
+      FixOutcome outcome = fix_pfsm(program);
+      result.changed = outcome.changed;
+      result.summary = std::move(outcome.summary);
+      if (result.changed) result.text = program.to_hex_text();
+      return result;
+    }
+    case InputKind::March:
+    case InputKind::Chip:
+      result.summary =
+          unit + ": --fix applies to controller images only (march and chip "
+                 "findings need semantic changes)";
+      return result;
+  }
+  return result;
+}
+
+}  // namespace pmbist::lint

@@ -1,0 +1,53 @@
+#pragma once
+// Mechanical autofix for controller images (`pmbist lint --fix`).
+//
+// The fixable subset is deliberately narrow: transformations that provably
+// preserve the op stream the controller applies.
+//
+//   - microcode: drop unreachable instructions (the dead suffix after the
+//     first reachable TERMINATE / LOOP_PORT — never executed), then remove
+//     reachable no-op sweeps (rw=NOP walk instructions).  Every no-op
+//     removal renumbers the instructions after it, which shifts Repeat
+//     windows and branch targets, so each candidate is verified through
+//     the translation-validation lifter: the removal is kept only when the
+//     shrunk image lifts to the identical march algorithm with the same
+//     loop structure and does not lint worse than the original.
+//   - pFSM: drop the unused rows after the first path-B (port loop / test
+//     end) row — the circular buffer never runs them.
+//
+// March and chip inputs have no mechanical subset (their fix hints are
+// semantic); fix_text reports them unfixable rather than guessing.
+
+#include <string>
+
+#include "lint/driver.h"
+#include "mbist_pfsm/isa.h"
+#include "mbist_ucode/isa.h"
+
+namespace pmbist::lint {
+
+struct FixOutcome {
+  bool changed = false;
+  std::string summary;  ///< human-readable description of what was removed
+};
+
+/// Fixes `program` in place (dead-code truncation + lifter-verified no-op
+/// removal).  Never throws.
+FixOutcome fix_ucode(mbist_ucode::MicrocodeProgram& program);
+
+/// Drops the unused rows after the first port-loop row.  Never throws.
+FixOutcome fix_pfsm(mbist_pfsm::PfsmProgram& program);
+
+struct FixResult {
+  bool changed = false;
+  std::string text;     ///< rewritten hex image (valid when changed)
+  std::string summary;  ///< what was fixed, or why nothing was
+};
+
+/// Sniffs the input kind and applies the matching mechanical fix.  March /
+/// chip inputs and unparseable images return changed=false with the reason
+/// in `summary`.  Never throws.
+[[nodiscard]] FixResult fix_text(const std::string& text,
+                                 const std::string& unit);
+
+}  // namespace pmbist::lint

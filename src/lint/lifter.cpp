@@ -1,0 +1,237 @@
+#include "lint/lifter.h"
+
+#include <string>
+
+#include "mbist_pfsm/components.h"
+
+namespace pmbist::lint {
+namespace {
+
+using march::AddressOrder;
+using march::MarchElement;
+using march::MarchOp;
+using mbist_ucode::Flow;
+using mbist_ucode::Rw;
+
+LiftResult fail(int index, std::string why) {
+  LiftResult r;
+  r.ok = false;
+  r.index = index;
+  r.why = std::move(why);
+  return r;
+}
+
+bool is_op_flow(Flow f) {
+  return f == Flow::Next || f == Flow::LoopCell || f == Flow::LoopSelf;
+}
+
+}  // namespace
+
+// The microcode lifter mirrors MicrocodeController::step() with the address
+// generator abstracted away: a fresh op-flow run `leader .. closer` is one
+// march element applied to every cell iff the closer loops back to the
+// leader (LOOP_CELL re-enters at the branch register, which holds the
+// leader index in every well-formed program) or is a single-instruction
+// LOOP_SELF group.  Everything the hardware would make geometry-dependent
+// — an address step mid-group, a loop-back past the leader, ops that run
+// on one cell only — is rejected as unliftable.
+LiftResult lift_ucode(const mbist_ucode::MicrocodeProgram& p,
+                      const LiftOptions& options) {
+  const auto& code = p.instructions();
+  const int size = p.size();
+
+  int ic = 0;
+  int branch = 0;
+  bool repeat = false;
+  bool aux_order = false, aux_data = false, aux_cmp = false;
+  bool after_data_loop = false;
+
+  LiftResult result;
+  std::vector<MarchElement> elements;
+
+  // Every instruction is visited at most twice (the Repeat re-walk); the
+  // cap is a defensive bound against livelocking flow (e.g. UC05's nested
+  // Repeat) so the lifter terminates on arbitrary images.
+  const int max_steps = 4 * size + 16;
+  int steps = 0;
+
+  while (ic < size) {
+    if (++steps > max_steps)
+      return fail(ic, "control flow never makes progress (livelocked Repeat "
+                      "window)");
+    const auto& instr = code[static_cast<std::size_t>(ic)];
+
+    if (is_op_flow(instr.flow)) {
+      if (after_data_loop)
+        return fail(ic, "operation after the data-background loop would run "
+                        "once instead of once per background");
+      const int leader = ic;
+      const bool down = instr.addr_down ^ aux_order;
+      std::vector<MarchOp> ops;
+      auto append_op = [&](const mbist_ucode::Instruction& i) {
+        if (i.rw == Rw::Read)
+          ops.push_back({MarchOp::Kind::Read, i.cmp_inv != aux_cmp});
+        else if (i.rw == Rw::Write)
+          ops.push_back({MarchOp::Kind::Write, i.data_inv != aux_data});
+      };
+
+      int j = ic;
+      while (j < size &&
+             code[static_cast<std::size_t>(j)].flow == Flow::Next) {
+        const auto& body = code[static_cast<std::size_t>(j)];
+        if (body.addr_inc)
+          return fail(j, "NEXT with addr-inc steps the address mid-element "
+                         "(ops land on different cells)");
+        append_op(body);
+        ++j;
+      }
+      if (j >= size) {
+        // The NEXT chain hits instruction-counter exhaustion: the ops ran
+        // on the element's first cell only.  Invisible if they were all
+        // no-ops, unliftable otherwise.
+        if (!ops.empty())
+          return fail(leader, "element op group runs off the end of the "
+                              "program (ops touch the first cell only)");
+        ic = j;
+        break;
+      }
+      const auto& closer = code[static_cast<std::size_t>(j)];
+      if (closer.flow == Flow::LoopSelf) {
+        if (!ops.empty())
+          return fail(j, "LOOP_SELF closes a multi-op group (the preceding "
+                         "ops run on the first cell only)");
+        append_op(closer);
+      } else if (closer.flow == Flow::LoopCell) {
+        if (branch != leader)
+          return fail(j, "LOOP_CELL re-enters at instruction " +
+                             std::to_string(branch) +
+                             " instead of the element leader " +
+                             std::to_string(leader));
+        append_op(closer);
+      } else {
+        // The op group fell through to a control instruction without a
+        // cell loop: its ops ran on the first cell only.
+        return fail(j, "element op group is not closed by LOOP_CELL or "
+                       "LOOP_SELF (ops would run on one cell only)");
+      }
+      if (!ops.empty()) {
+        MarchElement e;
+        e.order = down ? AddressOrder::Down : AddressOrder::Up;
+        e.ops = std::move(ops);
+        elements.push_back(std::move(e));
+      }
+      ic = j + 1;
+      branch = j + 1;
+      continue;
+    }
+
+    switch (instr.flow) {
+      case Flow::Repeat:
+        if (after_data_loop)
+          return fail(ic, "Repeat after the data-background loop");
+        if (!repeat) {
+          repeat = true;
+          aux_order = instr.addr_down;
+          aux_data = instr.data_inv;
+          aux_cmp = instr.cmp_inv;
+          ic = 1;
+          branch = 1;
+        } else {
+          repeat = false;
+          aux_order = aux_data = aux_cmp = false;
+          ++ic;
+          branch = ic;
+        }
+        break;
+      case Flow::Pause:
+        if (after_data_loop)
+          return fail(ic, "pause after the data-background loop");
+        elements.push_back(MarchElement::pause(options.pause_ns));
+        ++ic;
+        branch = ic;
+        break;
+      case Flow::LoopData:
+        if (repeat)
+          return fail(ic, "data-background loop inside an open Repeat "
+                          "window");
+        if (result.has_data_loop)
+          return fail(ic, "second data-background loop (the restarted pass "
+                          "would replay the first loop)");
+        result.has_data_loop = true;
+        after_data_loop = true;
+        ++ic;
+        break;
+      case Flow::LoopPort:
+        if (repeat)
+          return fail(ic, "port loop inside an open Repeat window");
+        result.has_port_loop = true;
+        ic = size;  // everything after the port loop is dead
+        break;
+      case Flow::Terminate:
+        ic = size;
+        break;
+      case Flow::Next:
+      case Flow::LoopCell:
+      case Flow::LoopSelf:
+        break;  // handled above
+    }
+  }
+
+  result.ok = true;
+  result.algorithm = march::MarchAlgorithm{p.name(), std::move(elements)};
+  return result;
+}
+
+// The pFSM lifter walks the circular buffer once: component rows expand
+// through the SM component table with the row's polarity bits applied per
+// op (the lower FSM XORs the component's internal ~d onto cmp_inv for
+// reads and data_inv for writes), hold_after appends a pause element, the
+// first path-A row marks the data-background loop and the first path-B row
+// marks the port loop and ends the walk (rows after it are dead).
+LiftResult lift_pfsm(const mbist_pfsm::PfsmProgram& p,
+                     const LiftOptions& options) {
+  LiftResult result;
+  std::vector<MarchElement> elements;
+
+  const auto& rows = p.instructions();
+  for (int i = 0; i < p.size(); ++i) {
+    const auto& row = rows[static_cast<std::size_t>(i)];
+    if (row.ctrl) {
+      if (!row.ctrl_op) {  // path A: data-background loop
+        if (result.has_data_loop)
+          return fail(i, "second data-background loop row (the restarted "
+                         "pass would replay the first loop)");
+        result.has_data_loop = true;
+      } else {  // path B: port loop / test end
+        result.has_port_loop = true;
+        break;  // rows after the port loop are dead
+      }
+      continue;
+    }
+    if (result.has_data_loop)
+      return fail(i, "component row after the data-background loop would "
+                     "run once instead of once per background");
+    if (row.mode >= mbist_pfsm::kNumComponents)
+      return fail(i, "mode " + std::to_string(row.mode) +
+                         " outside SM0..SM7");
+    const auto& comp =
+        mbist_pfsm::component_set()[static_cast<std::size_t>(row.mode)];
+    MarchElement e;
+    e.order = row.addr_down ? AddressOrder::Down : AddressOrder::Up;
+    for (const auto& cop : comp.ops) {
+      if (cop.is_read)
+        e.ops.push_back({MarchOp::Kind::Read, row.cmp_inv != cop.inverted});
+      else
+        e.ops.push_back({MarchOp::Kind::Write, row.data_inv != cop.inverted});
+    }
+    elements.push_back(std::move(e));
+    if (row.hold_after)
+      elements.push_back(MarchElement::pause(options.pause_ns));
+  }
+
+  result.ok = true;
+  result.algorithm = march::MarchAlgorithm{p.name(), std::move(elements)};
+  return result;
+}
+
+}  // namespace pmbist::lint

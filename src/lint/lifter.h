@@ -1,0 +1,74 @@
+#pragma once
+// Translation-validation lifter: symbolically executes a controller image
+// (microcode storage unit or pFSM instruction buffer) and lifts it back
+// into the canonical march::MarchAlgorithm it realizes.
+//
+// The lifter is an abstract interpreter over the same decode()/phase
+// semantics the behavioral controllers use, but with the address, data and
+// port generators left symbolic: instead of walking 2^address_bits cells it
+// recognizes the element structure (leader .. closer op groups, the Repeat
+// window with its reference-register polarity mask, the Pause timer, and
+// the data-background / port loop-back paths) and emits one MarchElement
+// per recognized group.  The result is geometry-independent: if the lift
+// succeeds, the image applies exactly `expand(algorithm, g)` for every
+// geometry g (restricted to a single pass when the loop tail is absent —
+// see LiftResult::has_data_loop / has_port_loop).
+//
+// The lifter is sound, not complete: images whose behavior depends on the
+// geometry (an address step mid-element, a loop-back to the middle of a
+// previous group, a component row after the data loop, ...) are rejected
+// as unliftable with the offending instruction named.  equiv.h builds the
+// MISMATCH/UNLIFTABLE diagnostics and the round-trip gate
+// `lift(assemble(A)) == A` on top of this.
+
+#include <string>
+
+#include "march/march.h"
+#include "mbist_pfsm/isa.h"
+#include "mbist_ucode/isa.h"
+
+namespace pmbist::lint {
+
+struct LiftOptions {
+  /// Duration assigned to lifted pause elements.  The image encodes *that*
+  /// a pause happens but not for how long (one timer config per program),
+  /// so callers validating against a source algorithm pass the source's
+  /// pause duration here.
+  std::uint64_t pause_ns = 100'000'000;
+};
+
+struct LiftResult {
+  /// True when the image was recognized as a march program.
+  bool ok = false;
+  /// When !ok: why the image is not liftable, naming the instruction.
+  std::string why;
+  /// When !ok: the offending instruction index (-1 when structural).
+  int index = -1;
+
+  /// When ok: the lifted algorithm (named after the program).
+  march::MarchAlgorithm algorithm;
+  /// When ok: true when the image ends in the data-background loop-back
+  /// (microcode LOOP_DATA / pFSM path A) so word-oriented memories see
+  /// every background.
+  bool has_data_loop = false;
+  /// When ok: true when the image ends in the port loop-back (microcode
+  /// LOOP_PORT / pFSM path B) so every port is tested.
+  bool has_port_loop = false;
+
+  /// Full loop structure: the image repeats per background and per port,
+  /// matching march::expand() on every geometry.
+  [[nodiscard]] bool full_structure() const noexcept {
+    return has_data_loop && has_port_loop;
+  }
+};
+
+/// Lifts a microcode image.  Never throws; unliftable images return
+/// ok=false with a reason.
+[[nodiscard]] LiftResult lift_ucode(const mbist_ucode::MicrocodeProgram& p,
+                                    const LiftOptions& options = {});
+
+/// Lifts a pFSM instruction-buffer image.  Never throws.
+[[nodiscard]] LiftResult lift_pfsm(const mbist_pfsm::PfsmProgram& p,
+                                   const LiftOptions& options = {});
+
+}  // namespace pmbist::lint

@@ -3,6 +3,8 @@
 #include <array>
 #include <sstream>
 
+#include "march/expand.h"
+
 namespace pmbist::lint {
 namespace {
 
@@ -10,11 +12,14 @@ using march::AddressOrder;
 using march::MarchAlgorithm;
 using march::MarchElement;
 using march::MarchOp;
+using march::MemOp;
+using memsim::Address;
 using memsim::FaultClass;
 
-constexpr std::array<FaultClass, 5> kProvable{
-    FaultClass::SAF, FaultClass::TF, FaultClass::CFin, FaultClass::CFid,
-    FaultClass::AF};
+constexpr std::array<FaultClass, 9> kProvable{
+    FaultClass::SAF,  FaultClass::TF,  FaultClass::CFin,
+    FaultClass::CFid, FaultClass::AF,  FaultClass::SOF,
+    FaultClass::RDF,  FaultClass::DRDF, FaultClass::LF};
 
 /// The operation sequence one cell sees over the whole test (pause elements
 /// apply no memory operations).
@@ -201,6 +206,273 @@ ClassProof prove_af(const MarchAlgorithm& alg) {
   return proof;
 }
 
+// --- position-sensitive classes: exhaustive walk of the canonical stream -
+//
+// SOF, DRDF and linked faults depend on more than the per-cell op sequence:
+// the sense-amplifier residue is written by *other* cells' reads, weak-cell
+// back-to-back reads are broken by any intervening operation, and a linked
+// pair's masking depends on the order the two aggressors and the victim are
+// visited.  For these the prover expands the algorithm on the qualifier's
+// canonical 4-word bit array and walks the exact operation stream with a
+// hand-rolled automaton per fault instance — every placement, every fault
+// parameter, every power-up of the participating cells — so the verdict is
+// exact and agrees with march::analyze by construction.
+
+constexpr memsim::MemoryGeometry kProverGeom{.address_bits = 2,
+                                             .word_bits = 1, .num_ports = 1};
+constexpr int kNumCells = 4;
+
+/// The qualifier's companion cell: the second cell whose power-up the
+/// sweep toggles for single-cell instances.
+Address companion(Address c) { return c == 1 ? 2 : 1; }
+
+bool expected(const MemOp& op) { return op.data != 0; }
+
+/// Stuck-open cell: reads of the open cell return the column's
+/// sense-amplifier residue (last value any *healthy* read sensed; open
+/// reads do not refresh it), writes to it are lost.
+bool sof_detected(const march::OpStream& stream, Address open_cell,
+                  unsigned combo) {
+  bool v[kNumCells] = {};
+  v[open_cell] = (combo & 1u) != 0;
+  v[companion(open_cell)] = (combo >> 1 & 1u) != 0;
+  bool residue = false;  // power-up state of the sense amplifier
+  for (const auto& op : stream) {
+    switch (op.kind) {
+      case MemOp::Kind::Pause:
+        break;
+      case MemOp::Kind::Write:
+        if (op.addr != open_cell) v[op.addr] = expected(op);
+        break;
+      case MemOp::Kind::Read:
+        if (op.addr == open_cell) {
+          if (residue != expected(op)) return true;
+        } else {
+          if (v[op.addr] != expected(op)) return true;
+          residue = v[op.addr];
+        }
+        break;
+    }
+  }
+  return false;
+}
+
+ClassProof prove_sof(const MarchAlgorithm& alg) {
+  const auto stream = march::expand(alg, kProverGeom);
+  ClassProof proof;
+  for (Address c = 0; c < kNumCells; ++c) {
+    for (unsigned combo = 0; combo < 4; ++combo) {
+      if (sof_detected(stream, c, combo)) continue;
+      std::ostringstream os;
+      os << "escape: the open cell at address " << c
+         << " always reads back the matching sense residue (power-up "
+         << (combo & 1u) << '/' << (combo >> 1 & 1u) << ')';
+      proof.detail = os.str();
+      return proof;
+    }
+  }
+  proof.guaranteed = true;
+  proof.detail =
+      "every open-cell placement leaves a stale sense residue that some "
+      "read observes";
+  return proof;
+}
+
+/// Read-destructive cell: every read senses the complement and flips the
+/// cell.
+bool rdf_detected(const march::OpStream& stream, Address cell,
+                  unsigned combo) {
+  bool v[kNumCells] = {};
+  v[cell] = (combo & 1u) != 0;
+  v[companion(cell)] = (combo >> 1 & 1u) != 0;
+  for (const auto& op : stream) {
+    switch (op.kind) {
+      case MemOp::Kind::Pause:
+        break;
+      case MemOp::Kind::Write:
+        v[op.addr] = expected(op);
+        break;
+      case MemOp::Kind::Read:
+        if (op.addr == cell) {
+          const bool sensed = !v[cell];
+          v[cell] = sensed;
+          if (sensed != expected(op)) return true;
+        } else if (v[op.addr] != expected(op)) {
+          return true;
+        }
+        break;
+    }
+  }
+  return false;
+}
+
+ClassProof prove_rdf(const MarchAlgorithm& alg) {
+  const auto stream = march::expand(alg, kProverGeom);
+  ClassProof proof;
+  for (Address c = 0; c < kNumCells; ++c) {
+    for (unsigned combo = 0; combo < 4; ++combo) {
+      if (rdf_detected(stream, c, combo)) continue;
+      std::ostringstream os;
+      os << "escape: the destructive cell at address " << c
+         << " is never read (power-up " << (combo & 1u) << '/'
+         << (combo >> 1 & 1u) << ')';
+      proof.detail = os.str();
+      return proof;
+    }
+  }
+  proof.guaranteed = true;
+  proof.detail = "every cell is read somewhere; the first read of the "
+                 "destructive cell senses the complement";
+  return proof;
+}
+
+/// Deceptive (weak-cell) read-destructive fault: only a read immediately
+/// following a read of the same cell misreads; any write or pause lets the
+/// cell recover, and the cell itself is undisturbed.
+bool drdf_detected(const march::OpStream& stream, Address cell,
+                   unsigned combo) {
+  bool v[kNumCells] = {};
+  v[cell] = (combo & 1u) != 0;
+  v[companion(cell)] = (combo >> 1 & 1u) != 0;
+  int last_read = -1;
+  for (const auto& op : stream) {
+    switch (op.kind) {
+      case MemOp::Kind::Pause:
+        last_read = -1;
+        break;
+      case MemOp::Kind::Write:
+        v[op.addr] = expected(op);
+        last_read = -1;
+        break;
+      case MemOp::Kind::Read: {
+        const bool back_to_back = last_read == static_cast<int>(op.addr);
+        const bool sensed = (op.addr == cell && back_to_back)
+                                ? !v[op.addr]
+                                : v[op.addr];
+        if (sensed != expected(op)) return true;
+        last_read = static_cast<int>(op.addr);
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+ClassProof prove_drdf(const MarchAlgorithm& alg) {
+  const auto stream = march::expand(alg, kProverGeom);
+  ClassProof proof;
+  for (Address c = 0; c < kNumCells; ++c) {
+    for (unsigned combo = 0; combo < 4; ++combo) {
+      if (drdf_detected(stream, c, combo)) continue;
+      std::ostringstream os;
+      os << "escape: the weak cell at address " << c
+         << " sees no mismatching back-to-back read (power-up "
+         << (combo & 1u) << '/' << (combo >> 1 & 1u) << ')';
+      proof.detail = os.str();
+      return proof;
+    }
+  }
+  proof.guaranteed = true;
+  proof.detail =
+      "every cell placement is covered by consecutive same-cell reads";
+  return proof;
+}
+
+/// One linked coupling fault of a pair: inversion (CFin) or idempotent
+/// (CFid, forcing `forced`), triggered by the named aggressor transition.
+struct LinkedHalf {
+  Address aggressor = 0;
+  bool on_rising = false;
+  bool idempotent = false;
+  bool forced = false;
+};
+
+/// Walks the canonical stream with both halves of a linked pair installed
+/// on the shared victim, mirroring FaultyMemory's write semantics: a
+/// committed aggressor transition applies the half's corruption after the
+/// write, victim writes overwrite it, and any mismatching read detects.
+bool linked_detected(const march::OpStream& stream, const LinkedHalf& h1,
+                     const LinkedHalf& h2, Address victim, unsigned combo) {
+  bool v[kNumCells] = {};
+  v[h1.aggressor] = (combo & 1u) != 0;
+  v[h2.aggressor] = (combo >> 1 & 1u) != 0;
+  v[victim] = (combo >> 2 & 1u) != 0;
+  auto trigger = [&](const LinkedHalf& h, Address addr, bool rising) {
+    if (addr != h.aggressor || rising != h.on_rising) return;
+    v[victim] = h.idempotent ? h.forced : !v[victim];
+  };
+  for (const auto& op : stream) {
+    switch (op.kind) {
+      case MemOp::Kind::Pause:
+        break;
+      case MemOp::Kind::Write: {
+        const bool old = v[op.addr];
+        v[op.addr] = expected(op);
+        if (old != v[op.addr]) {
+          trigger(h1, op.addr, v[op.addr]);
+          trigger(h2, op.addr, v[op.addr]);
+        }
+        break;
+      }
+      case MemOp::Kind::Read:
+        if (v[op.addr] != expected(op)) return true;
+        break;
+    }
+  }
+  return false;
+}
+
+std::string linked_escape(const LinkedHalf& h1, const LinkedHalf& h2,
+                          Address victim, unsigned combo) {
+  auto half = [](std::ostringstream& os, const LinkedHalf& h) {
+    os << '<' << (h.on_rising ? "up" : "down") << ';';
+    if (h.idempotent) os << (h.forced ? '1' : '0');
+    else os << "invert";
+    os << '>';
+  };
+  std::ostringstream os;
+  os << "escape: linked pair a" << h1.aggressor;
+  half(os, h1);
+  os << " + a" << h2.aggressor;
+  half(os, h2);
+  os << " on victim " << victim << " masks every read (power-up "
+     << (combo & 1u) << '/' << (combo >> 1 & 1u) << '/' << (combo >> 2 & 1u)
+     << ')';
+  return os.str();
+}
+
+ClassProof prove_lf(const MarchAlgorithm& alg) {
+  const auto stream = march::expand(alg, kProverGeom);
+  ClassProof proof;
+  for (Address a1 = 0; a1 < kNumCells; ++a1) {
+    for (Address a2 = 0; a2 < kNumCells; ++a2) {
+      for (Address victim = 0; victim < kNumCells; ++victim) {
+        if (a1 == a2 || a1 == victim || a2 == victim) continue;
+        // CFid pairs with opposite forced values, mirroring the qualifier
+        // (inversion pairs cancel inside every march element when both
+        // aggressors precede the victim, so they are not part of LF).
+        for (const bool r1 : {false, true}) {
+          for (const bool r2 : {false, true}) {
+            for (const bool f1 : {false, true}) {
+              const LinkedHalf h1{a1, r1, true, f1};
+              const LinkedHalf h2{a2, r2, true, !f1};
+              for (unsigned combo = 0; combo < 8; ++combo) {
+                if (linked_detected(stream, h1, h2, victim, combo)) continue;
+                proof.detail = linked_escape(h1, h2, victim, combo);
+                return proof;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  proof.guaranteed = true;
+  proof.detail = "every linked CFin/CFid pair sharing a victim mismatches "
+                 "some read in every placement and power-up";
+  return proof;
+}
+
 }  // namespace
 
 std::span<const FaultClass> provable_classes() { return kProvable; }
@@ -215,6 +487,10 @@ CoverageProof prove_coverage(const MarchAlgorithm& alg) {
   proof.classes.emplace_back(FaultClass::CFid,
                              prove_coupling(alg, /*idempotent=*/true));
   proof.classes.emplace_back(FaultClass::AF, prove_af(alg));
+  proof.classes.emplace_back(FaultClass::SOF, prove_sof(alg));
+  proof.classes.emplace_back(FaultClass::RDF, prove_rdf(alg));
+  proof.classes.emplace_back(FaultClass::DRDF, prove_drdf(alg));
+  proof.classes.emplace_back(FaultClass::LF, prove_lf(alg));
   return proof;
 }
 

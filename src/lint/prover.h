@@ -18,6 +18,15 @@
 // traversed ascending by every controller in this repo and are
 // canonicalized the same way here.
 //
+// The position-sensitive classes — stuck-open cells (SOF, detection rides
+// on the column's sense-amplifier residue written by *other* cells' reads),
+// read-destructive and deceptive read-destructive cells (RDF/DRDF, the
+// latter needing back-to-back same-cell reads) and linked faults (LF, two
+// coupling faults sharing a victim whose second corruption can mask the
+// first) — are decided by expanding the algorithm on the qualifier's
+// canonical 4-word array and walking the exact operation stream with a
+// per-fault automaton over every placement, parameter and power-up.
+//
 // tests/test_lint.cpp pins the prover against the simulation-backed
 // exhaustive qualifier (march::analyze) over the whole algorithm library:
 // guaranteed here ⇔ Detection::Guaranteed there, for every provable
@@ -53,7 +62,8 @@ struct CoverageProof {
   }
 };
 
-/// The fault classes the prover decides: SAF, TF, CFin, CFid, AF.
+/// The fault classes the prover decides: SAF, TF, CFin, CFid, AF, SOF,
+/// RDF, DRDF, LF.
 [[nodiscard]] std::span<const memsim::FaultClass> provable_classes();
 
 /// Proves the guaranteed fault classes of `alg`.  The algorithm must be

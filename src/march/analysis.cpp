@@ -35,12 +35,12 @@ std::uint64_t min_pause_ns(const MarchAlgorithm& alg) {
   return ns;
 }
 
-// One qualification instance: the fault plus the (up to two) cells whose
-// power-up values the sweep must toggle.
+// One qualification instance: the fault set (a single fault for the simple
+// classes, a linked pair for LF) plus the cells whose power-up values the
+// sweep must toggle.
 struct Instance {
-  Fault fault;
-  Address a = kCellA;
-  Address b = kCellB;
+  std::vector<Fault> faults;
+  std::vector<Address> cells;
 };
 
 std::vector<Instance> instances(FaultClass cls, const MarchAlgorithm& alg) {
@@ -49,50 +49,50 @@ std::vector<Instance> instances(FaultClass cls, const MarchAlgorithm& alg) {
   const std::pair<Address, Address> pairs[] = {
       {kCellA, kCellB}, {kCellB, kCellA}, {0, 3}, {3, 0}};
   auto other = [](Address c) { return c == kCellA ? kCellB : kCellA; };
+  auto add = [&out](Fault f, Address a, Address b) {
+    out.push_back({{std::move(f)}, {a, b}});
+  };
   switch (cls) {
     case FaultClass::SAF:
       for (Address c : cells)
         for (bool v : {false, true})
-          out.push_back({memsim::StuckAtFault{{c, 0}, v}, c, other(c)});
+          add(memsim::StuckAtFault{{c, 0}, v}, c, other(c));
       break;
     case FaultClass::TF:
       for (Address c : cells)
         for (bool rising : {false, true})
-          out.push_back({memsim::TransitionFault{{c, 0}, rising}, c,
-                         other(c)});
+          add(memsim::TransitionFault{{c, 0}, rising}, c, other(c));
       break;
     case FaultClass::CFin:
       for (auto [a, v] : pairs)
         for (bool rising : {false, true})
-          out.push_back(
-              {memsim::InversionCouplingFault{{a, 0}, {v, 0}, rising}, a, v});
+          add(memsim::InversionCouplingFault{{a, 0}, {v, 0}, rising}, a, v);
       break;
     case FaultClass::CFid:
       for (auto [a, v] : pairs)
         for (bool rising : {false, true})
           for (bool forced : {false, true})
-            out.push_back({memsim::IdempotentCouplingFault{
-                               {a, 0}, {v, 0}, rising, forced},
-                           a, v});
+            add(memsim::IdempotentCouplingFault{{a, 0}, {v, 0}, rising,
+                                                forced},
+                a, v);
       break;
     case FaultClass::CFst:
       for (auto [a, v] : pairs)
         for (bool state : {false, true})
           for (bool forced : {false, true})
-            out.push_back({memsim::StateCouplingFault{
-                               {a, 0}, {v, 0}, state, forced},
-                           a, v});
+            add(memsim::StateCouplingFault{{a, 0}, {v, 0}, state, forced}, a,
+                v);
       break;
     case FaultClass::AF:
       for (auto [x, y] : pairs) {
-        out.push_back({memsim::AddressDecoderFault{x, {}}, x, y});
-        out.push_back({memsim::AddressDecoderFault{x, {y}}, x, y});
-        out.push_back({memsim::AddressDecoderFault{x, {x, y}}, x, y});
+        add(memsim::AddressDecoderFault{x, {}}, x, y);
+        add(memsim::AddressDecoderFault{x, {y}}, x, y);
+        add(memsim::AddressDecoderFault{x, {x, y}}, x, y);
       }
       break;
     case FaultClass::SOF:
       for (Address c : cells)
-        out.push_back({memsim::StuckOpenFault{{c, 0}}, c, other(c)});
+        add(memsim::StuckOpenFault{{c, 0}}, c, other(c));
       break;
     case FaultClass::DRF: {
       // Detectable only if the algorithm pauses at all; size the hold time
@@ -102,27 +102,48 @@ std::vector<Instance> instances(FaultClass cls, const MarchAlgorithm& alg) {
           pause > 0 ? pause / 2 : kDefaultPauseNs / 2;
       for (Address c : cells)
         for (bool leak : {false, true})
-          out.push_back(
-              {memsim::DataRetentionFault{{c, 0}, leak, hold}, c, other(c)});
+          add(memsim::DataRetentionFault{{c, 0}, leak, hold}, c, other(c));
       break;
     }
     case FaultClass::IRF:
       for (Address c : cells)
-        out.push_back({memsim::IncorrectReadFault{{c, 0}}, c, other(c)});
+        add(memsim::IncorrectReadFault{{c, 0}}, c, other(c));
       break;
     case FaultClass::WDF:
       for (Address c : cells)
-        out.push_back({memsim::WriteDisturbFault{{c, 0}}, c, other(c)});
+        add(memsim::WriteDisturbFault{{c, 0}}, c, other(c));
       break;
     case FaultClass::RDF:
       for (Address c : cells)
-        out.push_back(
-            {memsim::ReadDestructiveFault{{c, 0}, false}, c, other(c)});
+        add(memsim::ReadDestructiveFault{{c, 0}, false}, c, other(c));
       break;
     case FaultClass::DRDF:
       for (Address c : cells)
-        out.push_back(
-            {memsim::ReadDestructiveFault{{c, 0}, true}, c, other(c)});
+        add(memsim::ReadDestructiveFault{{c, 0}, true}, c, other(c));
+      break;
+    case FaultClass::LF:
+      // Linked faults: two idempotent coupling faults sharing a victim
+      // with distinct aggressors and opposite forced values, so the second
+      // forcing can mask the first's corruption before a read observes it
+      // (the same linked-pair shape as make_linked_cfid_universe).
+      // Inversion pairs are deliberately excluded: with both aggressors on
+      // the same side of the victim and equal triggers the two inversions
+      // cancel inside *every* march element, so no march algorithm can
+      // guarantee them and the class would be vacuously unprovable.
+      for (Address a1 : cells)
+        for (Address a2 : cells)
+          for (Address v : cells) {
+            if (a1 == a2 || a1 == v || a2 == v) continue;
+            for (bool r1 : {false, true})
+              for (bool r2 : {false, true})
+                for (bool f1 : {false, true})
+                  out.push_back(
+                      {{memsim::IdempotentCouplingFault{
+                            {a1, 0}, {v, 0}, r1, f1},
+                        memsim::IdempotentCouplingFault{
+                            {a2, 0}, {v, 0}, r2, !f1}},
+                       {a1, a2, v}});
+          }
       break;
     case FaultClass::NPSF:
     case FaultClass::PF:
@@ -149,13 +170,14 @@ Detection analyze(const MarchAlgorithm& alg, FaultClass cls) {
   int detected = 0;
   int total = 0;
   for (const auto& inst : instances(cls, alg)) {
-    // Every power-up assignment of the two participating cells.
-    for (unsigned combo = 0; combo < 4; ++combo) {
+    // Every power-up assignment of the participating cells.
+    const unsigned combos = 1u << inst.cells.size();
+    for (unsigned combo = 0; combo < combos; ++combo) {
       std::vector<Word> contents(kCanon.num_words(), 0);
-      contents[inst.a] = combo & 1u;
-      contents[inst.b] = (combo >> 1) & 1u;
+      for (std::size_t i = 0; i < inst.cells.size(); ++i)
+        contents[inst.cells[i]] = (combo >> i) & 1u;
       memsim::FaultyMemory mem{kCanon, std::move(contents)};
-      mem.add_fault(inst.fault);
+      for (const auto& fault : inst.faults) mem.add_fault(fault);
       ++total;
       if (!run_stream(stream, mem, /*max_failures=*/1).passed()) ++detected;
     }

@@ -193,8 +193,10 @@ std::vector<Fault> make_fault_universe(FaultClass cls,
       break;
     case FaultClass::NPSF:
     case FaultClass::PF:
-      // Topology-/port-specific populations have dedicated generators
-      // (memsim::npsf_faults, explicit PortReadFault construction).
+    case FaultClass::LF:
+      // Topology-/port-specific and composite populations have dedicated
+      // generators (memsim::npsf_faults, explicit PortReadFault
+      // construction, make_linked_cfid_universe).
       break;
   }
   return out;

@@ -126,9 +126,15 @@ PfsmProgram PfsmProgram::from_hex_text(std::string_view text) {
                                   e.what()};
     }
   }
+  // Same wording as the microcode loader (modulo the architecture token),
+  // including on truncated input — pinned by ErrorLocations tests.
   if (!saw_header)
-    throw std::invalid_argument{"missing '; pmbist pfsm image v1' header"};
-  if (code.empty()) throw std::invalid_argument{"image has no instructions"};
+    throw std::invalid_argument{"missing 'pmbist pfsm image v1' header "
+                                "(scanned " + std::to_string(lineno) +
+                                " line(s))"};
+  if (code.empty())
+    throw std::invalid_argument{"image has no instructions (" +
+                                std::to_string(lineno) + " line(s) scanned)"};
   return PfsmProgram{std::move(name), std::move(code)};
 }
 

@@ -155,9 +155,16 @@ MicrocodeProgram MicrocodeProgram::from_hex_text(std::string_view text) {
                                   e.what()};
     }
   }
+  // Truncated input reports the same scan detail as malformed input: the
+  // pFSM loader words these identically (modulo the architecture token) so
+  // tooling can treat both formats uniformly.
   if (!saw_header)
-    throw std::invalid_argument("missing 'pmbist microcode image v1' header");
-  if (code.empty()) throw std::invalid_argument("image has no instructions");
+    throw std::invalid_argument("missing 'pmbist microcode image v1' header "
+                                "(scanned " + std::to_string(lineno) +
+                                " line(s))");
+  if (code.empty())
+    throw std::invalid_argument("image has no instructions (" +
+                                std::to_string(lineno) + " line(s) scanned)");
   return MicrocodeProgram{std::move(name), std::move(code)};
 }
 

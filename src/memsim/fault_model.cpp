@@ -63,6 +63,7 @@ std::string_view fault_class_name(FaultClass c) {
     case FaultClass::DRDF: return "DRDF";
     case FaultClass::NPSF: return "NPSF";
     case FaultClass::PF: return "PF";
+    case FaultClass::LF: return "LF";
   }
   return "?";
 }

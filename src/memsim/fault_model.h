@@ -183,6 +183,13 @@ enum class FaultClass : std::uint8_t {
   DRDF,
   NPSF,  ///< neighborhood pattern sensitive (excluded, topology-specific)
   PF,    ///< port-circuitry fault (excluded from all_fault_classes())
+  LF,    ///< linked faults: two idempotent coupling faults sharing a victim
+         ///< (opposite forced values, distinct aggressors), where the
+         ///< second can mask the first's corruption before a read sees it.
+         ///< A composite class — instances are *pairs* of the single-fault
+         ///< models above — so it is excluded from all_fault_classes()
+         ///< (campaign universes enumerate single faults); the qualifier
+         ///< (march::analyze) and the static prover decide it exhaustively.
 };
 
 [[nodiscard]] FaultClass fault_class(const Fault& f);

@@ -74,8 +74,8 @@ std::vector<DocExample> doc_examples(const char* relative,
       read_file(std::string{PMBIST_SOURCE_DIR} + "/" + relative), tag);
 }
 
-// A ```lint-<kind>:<CODE>[:storage-depth=N][:buffer-depth=N] block from
-// docs/LINT.md: linting `text` as `kind` must emit `code`.
+// A ```lint-<kind>:<CODE>[:storage-depth=N][:buffer-depth=N][:against=SRC]
+// block from docs/LINT.md: linting `text` as `kind` must emit `code`.
 struct LintExample {
   std::string kind;
   std::string code;
@@ -125,9 +125,13 @@ std::vector<LintExample> lint_doc_examples() {
           continue;
         }
         const std::string key = fields[i].substr(0, eq);
-        const int value = std::atoi(fields[i].c_str() + eq + 1);
-        if (key == "storage-depth") current.options.storage_depth = value;
-        else if (key == "buffer-depth") current.options.buffer_depth = value;
+        const std::string value = fields[i].substr(eq + 1);
+        if (key == "storage-depth")
+          current.options.storage_depth = std::atoi(value.c_str());
+        else if (key == "buffer-depth")
+          current.options.buffer_depth = std::atoi(value.c_str());
+        else if (key == "against")  // no colons in names, spaces are fine
+          current.options.against = value;
         else ADD_FAILURE() << "docs/LINT.md:" << lineno << ": unknown option "
                            << key;
       }

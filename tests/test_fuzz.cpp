@@ -11,6 +11,8 @@
 #include "bist/session.h"
 #include "diag/transparent.h"
 #include "lint/driver.h"
+#include "lint/equiv.h"
+#include "lint/lifter.h"
 #include "lint/march_lint.h"
 #include "lint/program_lint.h"
 #include "march/library.h"
@@ -305,5 +307,135 @@ TEST_P(FuzzLintText, ArbitraryTextNeverThrows) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLintText, ::testing::Range(1, 65));
+
+class FuzzLifter : public ::testing::TestWithParam<int> {};
+
+// Differential translation validation: for any valid random algorithm, the
+// assembled image (both encodings) lifts back, and the equivalence verdict
+// coincides with ground-truth stream equality under march::expand.
+TEST_P(FuzzLifter, UcodeVerdictMatchesStreamEquality) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 9241u);
+  const auto alg = random_algorithm(rng, /*allow_pauses=*/true);
+  const MemoryGeometry probe{.address_bits = 3, .word_bits = 2,
+                             .num_ports = 2};
+  for (const bool symmetric : {true, false}) {
+    const auto r = mbist_ucode::assemble(
+        alg, {.symmetric_encoding = symmetric, .emit_loop_tail = true});
+    lint::LiftOptions options;
+    if (r.pause_ns != 0) options.pause_ns = r.pause_ns;
+    const auto lifted = lint::lift_ucode(r.program, options);
+    ASSERT_TRUE(lifted.ok)
+        << lifted.why << "\n" << alg.to_string() << r.program.listing();
+    const auto verdict = lint::check_equivalence(lifted, alg);
+    const bool streams_equal =
+        march::expand(lifted.algorithm, probe) == march::expand(alg, probe);
+    EXPECT_TRUE(streams_equal) << alg.to_string();
+    EXPECT_EQ(verdict.kind == lint::EquivKind::Equivalent, streams_equal)
+        << verdict.detail << "\n" << alg.to_string();
+  }
+}
+
+// Cross-check: lifting A's image and validating it against an unrelated
+// random algorithm B must rule Equivalent exactly when the two expand to
+// the same op stream (usually they do not, and the verdict carries a
+// counterexample trace).
+TEST_P(FuzzLifter, CrossVerdictMatchesStreamEquality) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 11587u);
+  const auto a = random_algorithm(rng, /*allow_pauses=*/true);
+  const auto b = random_algorithm(rng, /*allow_pauses=*/true);
+  const auto r = mbist_ucode::assemble(a);
+  lint::LiftOptions options;
+  if (r.pause_ns != 0) options.pause_ns = r.pause_ns;
+  const auto lifted = lint::lift_ucode(r.program, options);
+  ASSERT_TRUE(lifted.ok) << lifted.why;
+
+  const auto verdict = lint::check_equivalence(lifted, b);
+  const MemoryGeometry probes[] = {
+      {.address_bits = 2, .word_bits = 1, .num_ports = 1},
+      {.address_bits = 3, .word_bits = 2, .num_ports = 2},
+  };
+  bool streams_equal = true;
+  for (const auto& g : probes)
+    streams_equal = streams_equal &&
+                    march::expand(lifted.algorithm, g) ==
+                        march::expand(lint::canonicalize(b), g);
+  EXPECT_EQ(verdict.kind == lint::EquivKind::Equivalent, streams_equal)
+      << verdict.detail << "\na: " << a.to_string()
+      << "b: " << b.to_string();
+  if (verdict.kind == lint::EquivKind::Mismatch) {
+    EXPECT_FALSE(verdict.trace.empty());
+  }
+}
+
+// pFSM side of the round trip, over random component compositions.
+TEST_P(FuzzLifter, PfsmRoundTripHolds) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 13693u);
+  std::uniform_int_distribution<int> num_elements(1, 6);
+  std::uniform_int_distribution<int> comp_pick(0, 7);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  std::vector<march::MarchElement> elements;
+  elements.push_back(march::any({coin(rng) ? march::w1() : march::w0()}));
+  const int n = num_elements(rng);
+  for (int i = 0; i < n; ++i) {
+    march::MarchElement el;
+    el.order = coin(rng) ? march::AddressOrder::Up
+                         : march::AddressOrder::Down;
+    el.ops = mbist_pfsm::realize(comp_pick(rng), coin(rng));
+    elements.push_back(std::move(el));
+  }
+  const march::MarchAlgorithm alg{"fuzz-sm", std::move(elements)};
+  ASSERT_TRUE(mbist_pfsm::is_mappable(alg)) << alg.to_string();
+
+  const auto r = mbist_pfsm::compile(alg);
+  const auto lifted = lint::lift_pfsm(r.program);
+  ASSERT_TRUE(lifted.ok) << lifted.why << "\n" << alg.to_string();
+  EXPECT_EQ(lint::check_equivalence(lifted, alg).kind,
+            lint::EquivKind::Equivalent)
+      << alg.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLifter, ::testing::Range(1, 49));
+
+class FuzzLifterImages : public ::testing::TestWithParam<int> {};
+
+// Property: the lifters never throw on arbitrary decodable images — they
+// either lift or explain why not, deterministically.
+TEST_P(FuzzLifterImages, RandomImagesLiftOrExplainDeterministically) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 15091u);
+  std::uniform_int_distribution<int> len(1, 20);
+
+  std::vector<std::uint16_t> ucode_words(static_cast<std::size_t>(len(rng)));
+  for (auto& w : ucode_words) {
+    w = static_cast<std::uint16_t>(rng() & 0x3ff);
+    if (((w >> 5) & 0x3) == 3) w &= ~(1u << 5);  // avoid the reserved rw
+  }
+  const auto program = mbist_ucode::MicrocodeProgram::from_image(
+      "fuzz", ucode_words);
+  const auto a = lint::lift_ucode(program);
+  const auto b = lint::lift_ucode(program);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.why, b.why);
+  if (a.ok) {
+    // Note an empty element list is legitimate: an image that is only a
+    // loop tail (or an immediate TERMINATE) applies no ops at all.
+    EXPECT_EQ(a.algorithm.elements(), b.algorithm.elements());
+  } else {
+    EXPECT_FALSE(a.why.empty());
+  }
+
+  std::vector<std::uint16_t> pfsm_words(static_cast<std::size_t>(len(rng)));
+  for (auto& w : pfsm_words) w = static_cast<std::uint16_t>(rng() & 0x1ff);
+  const auto pfsm = mbist_pfsm::PfsmProgram::from_image("fuzz", pfsm_words);
+  const auto p = lint::lift_pfsm(pfsm);
+  const auto q = lint::lift_pfsm(pfsm);
+  EXPECT_EQ(p.ok, q.ok);
+  EXPECT_EQ(p.why, q.why);
+  if (!p.ok) {
+    EXPECT_FALSE(p.why.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLifterImages, ::testing::Range(1, 65));
 
 }  // namespace

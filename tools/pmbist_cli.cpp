@@ -51,6 +51,7 @@
 #include "bist/session.h"
 #include "lint/diagnostics.h"
 #include "lint/driver.h"
+#include "lint/fix.h"
 #include "march/analysis.h"
 #include "march/campaign.h"
 #include "march/library.h"
@@ -90,6 +91,8 @@ struct Options {
   bool json = false;
   int storage_depth = 32;
   int buffer_depth = 16;
+  std::string against;  ///< march source for translation validation
+  bool fix = false;     ///< apply mechanical fixes and rewrite the file
 };
 
 [[noreturn]] void usage(const char* why = nullptr) {
@@ -126,7 +129,11 @@ struct Options {
       "lint options:\n"
       "  --json             machine-readable diagnostics on stdout\n"
       "  --storage-depth N  microcode storage words assumed (default 32)\n"
-      "  --buffer-depth N   pFSM buffer rows assumed (default 16)\n");
+      "  --buffer-depth N   pFSM buffer rows assumed (default 16)\n"
+      "  --against SRC      translation validation: prove a controller image\n"
+      "                     realizes SRC (march file, library name or DSL)\n"
+      "  --fix              rewrite the input file with the mechanical fixes\n"
+      "                     (dead code / unused rows / no-op sweeps)\n");
   std::exit(2);
 }
 
@@ -160,6 +167,8 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--json") opt.json = true;
     else if (arg == "--storage-depth") opt.storage_depth = std::atoi(value());
     else if (arg == "--buffer-depth") opt.buffer_depth = std::atoi(value());
+    else if (arg == "--against") opt.against = value();
+    else if (arg == "--fix") opt.fix = true;
     else usage(("unknown option " + arg).c_str());
   }
   return opt;
@@ -383,8 +392,39 @@ int cmd_lint(const Options& opt) {
     text = opt.algorithm;
     unit = "input";
   }
+  if (opt.fix) {
+    if (unit == "input") {
+      std::fprintf(stderr,
+                   "error: --fix rewrites the input in place and needs a "
+                   "file argument\n");
+      return 2;
+    }
+    const lint::FixResult fixed = lint::fix_text(text, unit);
+    std::printf("%s: %s\n", unit.c_str(), fixed.summary.c_str());
+    if (fixed.changed) {
+      std::ofstream out{opt.algorithm, std::ios::trunc};
+      if (!out) {
+        std::fprintf(stderr, "error: cannot rewrite %s\n",
+                     opt.algorithm.c_str());
+        return 2;
+      }
+      out << fixed.text;
+      text = fixed.text;
+    }
+  }
+  // --against accepts a path (e.g. a .march file) or inline text, like the
+  // positional input.
+  std::string against = opt.against;
+  if (!against.empty()) {
+    if (std::ifstream probe{against}; probe) {
+      std::ostringstream os;
+      os << probe.rdbuf();
+      against = os.str();
+    }
+  }
   const lint::LintOptions lopts{.storage_depth = opt.storage_depth,
-                                .buffer_depth = opt.buffer_depth};
+                                .buffer_depth = opt.buffer_depth,
+                                .against = against};
   const lint::Report report = lint::lint_text(text, unit, lopts);
   if (opt.json) {
     std::printf("%s\n", lint::format_json(report).c_str());

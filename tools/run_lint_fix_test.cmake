@@ -1,0 +1,17 @@
+# Round-trip test for `pmbist lint --fix`: copy a known-bad corpus image to a
+# scratch path, let --fix rewrite it, and require the rewritten file to lint
+# clean (exit 0).  Driven from tools/CMakeLists.txt (test cli_lint_fix).
+configure_file(${CASE} ${WORK} COPYONLY)
+
+execute_process(COMMAND ${PMBIST_CLI} lint ${WORK} --fix
+                RESULT_VARIABLE fix_status)
+if(NOT fix_status EQUAL 0)
+  message(FATAL_ERROR "lint --fix exited ${fix_status} on ${CASE}")
+endif()
+
+execute_process(COMMAND ${PMBIST_CLI} lint ${WORK}
+                RESULT_VARIABLE relint_status)
+if(NOT relint_status EQUAL 0)
+  message(FATAL_ERROR
+          "lint --fix did not repair ${CASE}: re-lint exited ${relint_status}")
+endif()
