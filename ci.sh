@@ -2,7 +2,7 @@
 # CI entry point: the tier-1 build + test sweep (warnings are errors), the
 # example programs, a lint sweep of every shipped input file, a
 # ThreadSanitizer build that exercises the parallel engines (test_campaign +
-# test_soc) for data races, an Address+UndefinedBehaviorSanitizer build of
+# test_soc + test_field) for data races, an Address+UndefinedBehaviorSanitizer build of
 # the linter and controller suites, and (when clang-tidy is installed) a
 # static-analysis pass over the lint subsystem.  Mirrors
 # .github/workflows/ci.yml so the pipeline can be reproduced locally with a
@@ -25,24 +25,31 @@ for ex in quickstart fault_diagnosis custom_algorithm multiport_word \
   ./build/examples/"${ex}" > /dev/null
 done
 
-echo "== lint sweep: every shipped march / image / chip file =="
+echo "== lint sweep: every shipped march / image / chip / profile file =="
 for f in examples/*.chip examples/*.march examples/*.hex; do
   echo "-- pmbist lint ${f}"
   ./build/tools/pmbist lint "${f}" > /dev/null
+done
+for f in examples/*.profile; do
+  echo "-- pmbist lint ${f} --chip examples/soc_demo.chip"
+  ./build/tools/pmbist lint "${f}" --chip examples/soc_demo.chip > /dev/null
 done
 
 echo "== self-checking benches (determinism + scheduling gates included) =="
 ./build/bench/bench_fault_coverage
 ./build/bench/bench_qualifier
 ./build/bench/bench_soc_schedule
+./build/bench/bench_field
 
-echo "== tsan: parallel campaign engine + soc scheduler =="
+echo "== tsan: parallel campaign engine + soc scheduler + field manager =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMBIST_WERROR=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target test_campaign --target test_soc
+cmake --build build-tsan -j "${JOBS}" --target test_campaign --target test_soc \
+  --target test_field
 ./build-tsan/tests/test_campaign
 ./build-tsan/tests/test_soc
+./build-tsan/tests/test_field
 
 echo "== asan+ubsan: linter, controllers, fuzz =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMBIST_WERROR=ON \

@@ -1,0 +1,81 @@
+# Example mission profile for `pmbist field` (format: docs/FIELD.md),
+# paired with examples/soc_demo.chip.
+#
+# Each window is a span of cycles in which the named memory is idle and
+# may be tested transparently.  The power-on sessions of this chip cost
+# between ~200 cycles (trim_ram) and ~20k cycles (dcache), so the small
+# arrays finish several passes per window while the caches must
+# checkpoint at an element boundary and resume in a later window.  The
+# two-lane test bus forces contention stalls whenever three memories are
+# idle at once.
+
+profile soc_demo_mission
+horizon 200000
+bus_budget 2
+
+window icache start=0      end=6000
+window icache start=40000  end=46000
+window icache start=80000  end=86000
+window icache start=120000 end=126000
+window icache start=160000 end=166000
+
+window dcache start=10000  end=18000
+window dcache start=50000  end=58000
+window dcache start=90000  end=98000
+window dcache start=130000 end=138000
+window dcache start=170000 end=178000
+
+window dsp_a start=5000   end=9000
+window dsp_a start=35000  end=39000
+window dsp_a start=65000  end=69000
+window dsp_a start=95000  end=99000
+window dsp_a start=125000 end=129000
+window dsp_a start=155000 end=159000
+window dsp_a start=185000 end=189000
+
+window dsp_b start=20000  end=24000
+window dsp_b start=50000  end=54000
+window dsp_b start=80000  end=84000
+window dsp_b start=110000 end=114000
+window dsp_b start=140000 end=144000
+window dsp_b start=170000 end=174000
+
+window gpu_tile start=0      end=10000
+window gpu_tile start=50000  end=60000
+window gpu_tile start=100000 end=110000
+window gpu_tile start=150000 end=160000
+
+window nic_fifo start=2000   end=8000
+window nic_fifo start=27000  end=33000
+window nic_fifo start=52000  end=58000
+window nic_fifo start=77000  end=83000
+window nic_fifo start=102000 end=108000
+window nic_fifo start=127000 end=133000
+window nic_fifo start=152000 end=158000
+window nic_fifo start=177000 end=183000
+
+window fuse_box start=0      end=1500
+window fuse_box start=20000  end=21500
+window fuse_box start=40000  end=41500
+window fuse_box start=60000  end=61500
+window fuse_box start=80000  end=81500
+window fuse_box start=100000 end=101500
+window fuse_box start=120000 end=121500
+window fuse_box start=140000 end=141500
+window fuse_box start=160000 end=161500
+window fuse_box start=180000 end=181500
+
+window trim_ram start=1000   end=1600
+window trim_ram start=16000  end=16600
+window trim_ram start=31000  end=31600
+window trim_ram start=46000  end=46600
+window trim_ram start=61000  end=61600
+window trim_ram start=76000  end=76600
+window trim_ram start=91000  end=91600
+window trim_ram start=106000 end=106600
+window trim_ram start=121000 end=121600
+window trim_ram start=136000 end=136600
+window trim_ram start=151000 end=151600
+window trim_ram start=166000 end=166600
+window trim_ram start=181000 end=181600
+window trim_ram start=196000 end=196600

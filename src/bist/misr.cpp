@@ -109,7 +109,7 @@ MisrSessionResult run_session_misr(Controller& controller,
     }
     ++op_index;
   }
-  result.session.completed = true;
+  result.session.state = SessionState::Completed;
   result.signature = misr.signature();
   return result;
 }

@@ -67,7 +67,7 @@ struct MisrSessionResult {
   Word signature = 0;     ///< MISR state after the run
   Word golden = 0;        ///< expected signature
   [[nodiscard]] bool signature_pass() const noexcept {
-    return session.completed && signature == golden;
+    return session.completed() && signature == golden;
   }
 };
 

@@ -34,7 +34,7 @@ SessionResult run_session(Controller& controller, memsim::Memory& memory,
     }
     ++op_index;
   }
-  result.completed = true;
+  result.state = SessionState::Completed;
   return result;
 }
 

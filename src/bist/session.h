@@ -9,9 +9,18 @@
 
 namespace pmbist::bist {
 
+/// How a BIST run ended.  A session that hits the cycle bound — or is
+/// preempted by the in-field manager before the controller terminates — is
+/// Interrupted: its counters are valid but it carries no verdict (and no
+/// signature; see MisrSessionResult / field::PassResult).
+enum class SessionState : std::uint8_t {
+  Interrupted,  ///< controller did not terminate; no verdict
+  Completed,    ///< controller terminated within the cycle bound
+};
+
 /// Outcome of one BIST run.
 struct SessionResult {
-  bool completed = false;  ///< controller terminated within the cycle bound
+  SessionState state = SessionState::Interrupted;
   std::uint64_t cycles = 0;
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
@@ -22,8 +31,11 @@ struct SessionResult {
   /// failures.size() <= mismatches.
   std::vector<march::Failure> failures;
 
+  [[nodiscard]] bool completed() const noexcept {
+    return state == SessionState::Completed;
+  }
   [[nodiscard]] bool passed() const noexcept {
-    return completed && mismatches == 0;
+    return completed() && mismatches == 0;
   }
 
   friend bool operator==(const SessionResult&, const SessionResult&) = default;

@@ -19,6 +19,33 @@ march::OpStream transparent_stream(const march::MarchAlgorithm& alg,
   return stream;
 }
 
+bool transparent_restore_needed(const march::MarchAlgorithm& alg,
+                                int word_bits) {
+  if (march::final_data_value(alg) < 0)
+    throw std::invalid_argument(
+        "transparent transform requires a deterministic final value: " +
+        alg.name());
+  // The test leaves each cell at apply_background(d_final, B_last) ^ s_a.
+  // When that prefix is non-zero (d_final = 1, or a non-zero final data
+  // background), the hardware scheme appends a restoring element.
+  const auto backgrounds = march::standard_backgrounds(word_bits);
+  const memsim::Word mask =
+      word_bits >= 64 ? ~memsim::Word{0} : ((memsim::Word{1} << word_bits) - 1);
+  return march::apply_background(march::final_data_value(alg) == 1,
+                                 backgrounds.back(), mask) != 0;
+}
+
+march::OpStream transparent_stream_with_restore(
+    const march::MarchAlgorithm& alg, const memsim::MemoryGeometry& geometry,
+    const std::vector<memsim::Word>& initial) {
+  auto stream = transparent_stream(alg, geometry, initial);
+  if (transparent_restore_needed(alg, geometry.word_bits)) {
+    for (memsim::Address a = 0; a < geometry.num_words(); ++a)
+      stream.push_back(march::MemOp::write(0, a, initial[a]));
+  }
+  return stream;
+}
+
 TransparentResult run_transparent(const march::MarchAlgorithm& alg,
                                   memsim::Memory& memory,
                                   std::size_t max_failures) {
@@ -34,19 +61,7 @@ TransparentResult run_transparent(const march::MarchAlgorithm& alg,
   for (memsim::Address a = 0; a < g.num_words(); ++a)
     initial[a] = memory.read(0, a);
 
-  auto stream = transparent_stream(alg, g, initial);
-
-  // The test leaves each cell at apply_background(d_final, B_last) ^ s_a.
-  // When that prefix is non-zero (d_final = 1, or a non-zero final data
-  // background), the hardware scheme appends a restoring element; model it
-  // as an explicit refresh pass.
-  const auto backgrounds = march::standard_backgrounds(g.word_bits);
-  const memsim::Word residue = march::apply_background(
-      march::final_data_value(alg) == 1, backgrounds.back(), g.word_mask());
-  if (residue != 0) {
-    for (memsim::Address a = 0; a < g.num_words(); ++a)
-      stream.push_back(march::MemOp::write(0, a, initial[a]));
-  }
+  auto stream = transparent_stream_with_restore(alg, g, initial);
 
   auto run = march::run_stream(stream, memory, max_failures);
 

@@ -45,4 +45,18 @@ struct TransparentResult {
     const march::MarchAlgorithm& alg, const memsim::MemoryGeometry& geometry,
     const std::vector<memsim::Word>& initial);
 
+/// True when the transparent transform of `alg` leaves a non-zero XOR
+/// prefix on every cell, i.e. a restoring refresh pass must follow the
+/// test proper before the contents equal the seed again.
+[[nodiscard]] bool transparent_restore_needed(const march::MarchAlgorithm& alg,
+                                              int word_bits);
+
+/// transparent_stream() plus, when transparent_restore_needed(), the
+/// restoring refresh pass (one write of the seed per word on port 0).
+/// This is the full in-field session stream: the field manager segments
+/// exactly this stream so a preempted session can resume mid-restore too.
+[[nodiscard]] march::OpStream transparent_stream_with_restore(
+    const march::MarchAlgorithm& alg, const memsim::MemoryGeometry& geometry,
+    const std::vector<memsim::Word>& initial);
+
 }  // namespace pmbist::diag

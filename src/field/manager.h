@@ -1,0 +1,193 @@
+#pragma once
+// In-field online test manager: plans and runs preemptible, resumable
+// transparent BIST sessions inside the idle windows of a running chip.
+//
+// Where soc::Scheduler models the one-shot power-on sweep, this manager
+// models the product lifetime: the same programmable controllers are
+// re-armed periodically (the paper's lifetime-reuse argument), each test
+// runs Nicolaidis-transparent (diag::transparent) so mission data
+// survives, and a session that does not fit one idle window checkpoints at
+// an element boundary (field/segment.h) and resumes in a later window.
+//
+// Planning contract (FieldManager::run):
+//
+//   1. Segment every assigned algorithm on its real controller
+//      (exact per-segment cycle costs; program_load_cycles re-entry cost).
+//   2. Probe repair-capable instances once (uninterrupted reference pass)
+//      to learn deterministically which of them will need a BISR retest.
+//   3. Serial event-driven packing of segment bursts into idle windows
+//      under power (TestPlan's model), test-bus bandwidth (MissionProfile::
+//      bus_budget lanes, one per streaming session), and controller-seat
+//      (share_group) constraints.  Sessions are preempted when their
+//      window closes and resume from the checkpoint in a later window;
+//      BISR retests fold into later windows as ordinary passes.
+//   4. Parallel deterministic execution of the planned bursts on the
+//      shared ThreadPool.  Per-instance verdicts are bit-identical to an
+//      uninterrupted power-on run of the same transparent stream — the
+//      segmentation-equivalence contract pinned by test_field.cpp.
+//
+// Everything in the FieldReport except wall_seconds is a pure function of
+// (chip, plan, profile): it never depends on --jobs or the host.
+//
+// Modeling note: memory time does NOT advance between idle windows — gaps
+// belong to the mission workload, whose accesses refresh cell state in a
+// workload-dependent way this simulator does not model.  Retention faults
+// are exercised by the pause elements *inside* sessions, exactly as in the
+// power-on sweep; that choice is what keeps in-field verdicts provably
+// equal to power-on verdicts.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bist/session.h"
+#include "field/profile.h"
+#include "field/segment.h"
+#include "soc/scheduler.h"
+
+namespace pmbist::field {
+
+struct FieldOptions {
+  /// Execution worker count: 0 = hardware concurrency, 1 = serial.
+  /// Results are identical for every value.
+  int jobs = 0;
+  /// First-pass failure-log capacity per instance.
+  std::size_t max_failures = 1024;
+  /// Runaway-controller bound (segmentation + probe).
+  std::uint64_t max_cycles = 1'000'000'000;
+  /// Keep starting new passes until the horizon closes (periodic in-field
+  /// testing).  false = one pass per instance, plus the folded BISR retest
+  /// pass when repair engages.
+  bool repeat_passes = true;
+  /// Signature register width for per-pass response compaction.
+  int misr_width = 16;
+};
+
+/// One scheduled burst: consecutive segments of one instance's current
+/// pass, placed in one idle window.
+struct FieldSession {
+  std::string memory;
+  int pass = 0;           ///< which transparent pass this burst belongs to
+  bool retest = false;    ///< pass is the post-repair BISR retest
+  std::size_t segment_begin = 0;  ///< into the instance's SegmentPlan
+  std::size_t segment_end = 0;
+  std::uint64_t reload_cycles = 0;  ///< seat re-arm cost paid at burst start
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+
+  [[nodiscard]] std::uint64_t duration() const noexcept {
+    return end_cycle - start_cycle;
+  }
+  friend bool operator==(const FieldSession&, const FieldSession&) = default;
+};
+
+/// Outcome of one (possibly preempted-forever) transparent pass.
+struct PassResult {
+  int pass = 0;
+  bool retest = false;
+  /// Completed = every segment (including the restore pass) ran before the
+  /// horizon; Interrupted = the horizon closed mid-pass.
+  bist::SessionState state = bist::SessionState::Interrupted;
+  std::uint64_t mismatches = 0;
+  std::uint64_t complete_cycle = 0;  ///< modeled completion time (0 if interrupted)
+  /// MISR signature over the actual read responses.  Engaged ONLY when the
+  /// pass completed: an interrupted transparent session must not emit a
+  /// signature, because the signature prediction covers the whole stream.
+  std::optional<memsim::Word> signature;
+  /// Contents equal the pass seed afterwards (meaningful when completed).
+  bool contents_preserved = false;
+
+  [[nodiscard]] bool completed() const noexcept {
+    return state == bist::SessionState::Completed;
+  }
+  [[nodiscard]] bool clean() const noexcept {
+    return completed() && mismatches == 0;
+  }
+  friend bool operator==(const PassResult&, const PassResult&) = default;
+};
+
+/// Lifetime test record of one plan assignment.
+struct FieldInstanceResult {
+  std::string memory;
+  /// Chronological passes actually started (pass 0 first).
+  std::vector<PassResult> passes;
+  /// First-pass failure log; op indices address the transparent stream
+  /// (diag::transparent_stream_with_restore order).
+  std::vector<march::Failure> failures;
+  /// Engaged iff the first pass completed with failures on a repairable,
+  /// bit-oriented instance with spares; retest_passed comes from the
+  /// folded retest pass.
+  std::optional<soc::RepairOutcome> repair;
+  /// Test latency: cycle of the first completed pass (horizon if none).
+  std::uint64_t first_pass_cycle = 0;
+  /// Worst-case time since the last complete pass, over the whole horizon.
+  std::uint64_t staleness_cycles = 0;
+  /// In-window time lost waiting on bus/power/controller-seat contention.
+  std::uint64_t stall_cycles = 0;
+  /// In-window time spent streaming (reloads included).
+  std::uint64_t busy_cycles = 0;
+
+  [[nodiscard]] int completed_passes() const noexcept;
+  /// Healthy = first pass completed clean, or repaired and retested clean.
+  [[nodiscard]] bool healthy() const noexcept;
+  friend bool operator==(const FieldInstanceResult&,
+                         const FieldInstanceResult&) = default;
+};
+
+/// Whole-lifetime outcome.  Everything except `wall_seconds` is
+/// deterministic (operator== deliberately ignores wall time).
+struct FieldReport {
+  std::string chip;
+  std::string profile;
+  std::uint64_t horizon = 0;
+  std::uint64_t bus_budget = 0;
+  std::vector<FieldInstanceResult> instances;  ///< in plan-assignment order
+  std::vector<FieldSession> sessions;          ///< by start cycle, then name
+  /// Busy window cycles / available window cycles (clipped to horizon).
+  double window_utilization = 0.0;
+  /// Total in-window time lost to bus contention alone.
+  std::uint64_t bus_stall_cycles = 0;
+  double peak_power = 0.0;   ///< max summed toggle weight of an instant
+  double wall_seconds = 0.0;  ///< host execution time (not compared)
+
+  [[nodiscard]] int healthy_count() const noexcept;
+  [[nodiscard]] bool all_healthy() const noexcept {
+    return healthy_count() == static_cast<int>(instances.size());
+  }
+
+  friend bool operator==(const FieldReport& a, const FieldReport& b) {
+    return a.chip == b.chip && a.profile == b.profile &&
+           a.horizon == b.horizon && a.bus_budget == b.bus_budget &&
+           a.instances == b.instances && a.sessions == b.sessions &&
+           a.window_utilization == b.window_utilization &&
+           a.bus_stall_cycles == b.bus_stall_cycles &&
+           a.peak_power == b.peak_power;
+  }
+};
+
+class FieldManager {
+ public:
+  explicit FieldManager(FieldOptions options = {}) : options_{options} {}
+
+  /// Plans and executes the in-field campaign.  Throws FieldError on an
+  /// invalid profile (MissionProfile::validate against the chip) and
+  /// SocError on an invalid plan.
+  [[nodiscard]] FieldReport run(const soc::SocDescription& chip,
+                                const soc::TestPlan& plan,
+                                const MissionProfile& profile) const;
+
+  [[nodiscard]] const FieldOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  FieldOptions options_;
+};
+
+/// One-call front end.
+[[nodiscard]] FieldReport run_field(const soc::SocDescription& chip,
+                                    const soc::TestPlan& plan,
+                                    const MissionProfile& profile,
+                                    const FieldOptions& options = {});
+
+}  // namespace pmbist::field

@@ -1,0 +1,243 @@
+#include "field/profile.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace pmbist::field {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ProfileError{"profile line " + std::to_string(line) + ": " + what};
+}
+
+/// Splits one line into tokens: double-quoted strings (kept verbatim, no
+/// escapes) or maximal non-space runs.  `#` starts a comment outside quotes.
+std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+    } else if (c == '#') {
+      break;
+    } else if (c == '"') {
+      const auto end = line.find('"', i + 1);
+      if (end == std::string::npos) fail(lineno, "unterminated quote");
+      tokens.push_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      std::size_t end = i;
+      while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+             line[end] != '#' && line[end] != '\r')
+        ++end;
+      tokens.push_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return tokens;
+}
+
+/// key=value arguments of one directive.
+class Args {
+ public:
+  Args(const std::vector<std::string>& tokens, std::size_t first,
+       std::size_t lineno)
+      : lineno_{lineno} {
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos || eq == 0)
+        fail(lineno, "expected key=value, got '" + tokens[i] + "'");
+      if (!kv_.emplace(tokens[i].substr(0, eq), tokens[i].substr(eq + 1))
+               .second)
+        fail(lineno, "duplicate key '" + tokens[i].substr(0, eq) + "'");
+    }
+  }
+
+  [[nodiscard]] std::uint64_t u64(const std::string& key) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) fail(lineno_, "missing " + key + "=");
+    const auto& text = it->second;
+    try {
+      std::size_t used = 0;
+      const auto v = std::stoull(text, &used, 0);
+      if (used != text.size()) throw std::invalid_argument{text};
+      return v;
+    } catch (const std::exception&) {
+      fail(lineno_, "bad number for " + key + ": '" + text + "'");
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::size_t lineno_;
+};
+
+std::uint64_t parse_count(const std::string& text, std::size_t lineno,
+                          const char* what) {
+  try {
+    std::size_t used = 0;
+    const auto v = std::stoull(text, &used, 0);
+    if (used != text.size()) throw std::invalid_argument{text};
+    return v;
+  } catch (const std::exception&) {
+    fail(lineno, std::string{"bad "} + what + " '" + text + "'");
+  }
+}
+
+}  // namespace
+
+MissionProfile& MissionProfile::add_window(std::string_view memory,
+                                           IdleWindow window) {
+  for (auto& set : windows) {
+    if (set.memory == memory) {
+      set.windows.push_back(window);
+      return *this;
+    }
+  }
+  windows.push_back(WindowSet{std::string{memory}, {window}});
+  return *this;
+}
+
+const MissionProfile::WindowSet* MissionProfile::find(
+    std::string_view memory) const {
+  for (const auto& set : windows)
+    if (set.memory == memory) return &set;
+  return nullptr;
+}
+
+std::uint64_t MissionProfile::effective_horizon() const noexcept {
+  if (horizon != 0) return horizon;
+  std::uint64_t last = 0;
+  for (const auto& set : windows)
+    for (const auto& w : set.windows) last = std::max(last, w.end);
+  return last;
+}
+
+void MissionProfile::validate() const {
+  if (bus_budget < 1)
+    throw FieldError{"profile '" + name + "': bus budget must be >= 1"};
+  for (const auto& set : windows) {
+    auto sorted = set.windows;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const IdleWindow& a, const IdleWindow& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.end < b.end;
+              });
+    for (const auto& w : sorted) {
+      if (w.start >= w.end)
+        throw FieldError{"profile '" + name + "': empty idle window [" +
+                         std::to_string(w.start) + ", " +
+                         std::to_string(w.end) + ") for '" + set.memory + "'"};
+    }
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      if (sorted[i].end > sorted[i + 1].start)
+        throw FieldError{"profile '" + name + "': overlapping idle windows [" +
+                         std::to_string(sorted[i].start) + ", " +
+                         std::to_string(sorted[i].end) + ") and [" +
+                         std::to_string(sorted[i + 1].start) + ", " +
+                         std::to_string(sorted[i + 1].end) + ") for '" +
+                         set.memory + "'"};
+    }
+  }
+}
+
+void MissionProfile::validate(const soc::SocDescription& chip) const {
+  validate();
+  for (const auto& set : windows)
+    if (chip.find(set.memory) == nullptr)
+      throw FieldError{"profile '" + name + "': window names unknown memory '" +
+                       set.memory + "'"};
+}
+
+MissionProfile parse_profile_text(const std::string& text,
+                                  const ProfileParseOptions& options) {
+  MissionProfile profile;
+  std::istringstream lines{text};
+  std::string line;
+  std::size_t lineno = 0;
+  bool named = false;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const auto tokens = tokenize(line, lineno);
+    if (tokens.empty()) continue;
+    const auto& directive = tokens[0];
+    if (directive == "profile") {
+      if (tokens.size() != 2) fail(lineno, "usage: profile <name>");
+      if (named) fail(lineno, "duplicate profile directive");
+      profile.name = tokens[1];
+      named = true;
+    } else if (directive == "horizon") {
+      if (tokens.size() != 2) fail(lineno, "usage: horizon <cycles>");
+      profile.horizon = parse_count(tokens[1], lineno, "horizon");
+    } else if (directive == "bus_budget") {
+      if (tokens.size() != 2) fail(lineno, "usage: bus_budget <lanes>");
+      profile.bus_budget = parse_count(tokens[1], lineno, "bus budget");
+    } else if (directive == "window") {
+      if (tokens.size() < 4)
+        fail(lineno, "usage: window <mem> start=N end=N");
+      const Args args{tokens, 2, lineno};
+      const IdleWindow w{args.u64("start"), args.u64("end")};
+      if (w.end < w.start)
+        fail(lineno, "window end=" + std::to_string(w.end) +
+                         " is before start=" + std::to_string(w.start));
+      profile.add_window(tokens[1], w);
+    } else {
+      fail(lineno, "unknown directive '" + directive + "'");
+    }
+  }
+  if (options.validate) profile.validate();
+  return profile;
+}
+
+MissionProfile load_profile_file(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) throw ProfileError{"cannot open profile file '" + path + "'"};
+  std::ostringstream os;
+  os << is.rdbuf();
+  return parse_profile_text(os.str());
+}
+
+std::string to_profile_text(const MissionProfile& profile) {
+  std::ostringstream os;
+  if (!profile.name.empty()) os << "profile " << profile.name << "\n";
+  if (profile.horizon != 0) os << "horizon " << profile.horizon << "\n";
+  if (profile.bus_budget != 1) os << "bus_budget " << profile.bus_budget << "\n";
+  os << "\n";
+  for (const auto& set : profile.windows)
+    for (const auto& w : set.windows)
+      os << "window " << set.memory << " start=" << w.start
+         << " end=" << w.end << "\n";
+  return os.str();
+}
+
+MissionProfile demo_profile() {
+  // Tuned against the exact session cycle counts of demo_soc()/demo_plan()
+  // (bench_field pins the interesting consequences): the small arrays
+  // complete several transparent passes per window, the caches must
+  // checkpoint and resume across windows, and bus_budget 2 forces
+  // contention stalls when three instances are idle at once.
+  MissionProfile p;
+  p.name = "mission_demo";
+  p.horizon = 600'000;
+  p.bus_budget = 2;
+  const auto periodic = [&p](std::string_view mem, std::uint64_t first,
+                             std::uint64_t width, std::uint64_t period) {
+    for (std::uint64_t s = first; s < p.horizon; s += period)
+      p.add_window(mem, {s, std::min(s + width, p.horizon)});
+  };
+  periodic("cpu_l1i", 0, 30'000, 100'000);
+  periodic("cpu_l1d", 10'000, 30'000, 100'000);
+  periodic("cpu_l2", 0, 60'000, 150'000);
+  periodic("dsp_x", 5'000, 20'000, 80'000);
+  periodic("dsp_y", 25'000, 20'000, 80'000);
+  periodic("gpu_tile", 0, 40'000, 120'000);
+  periodic("nic_fifo", 2'000, 10'000, 50'000);
+  periodic("rom_patch", 0, 8'000, 60'000);
+  periodic("sensor_buf", 4'000, 6'000, 40'000);
+  return p;
+}
+
+}  // namespace pmbist::field

@@ -1,0 +1,94 @@
+#include "field/segment.h"
+
+#include "diag/transparent.h"
+#include "field/profile.h"
+#include "march/expand.h"
+#include "soc/scheduler.h"
+
+namespace pmbist::field {
+
+SegmentPlan segment_algorithm(const march::MarchAlgorithm& alg,
+                              const memsim::MemoryGeometry& geometry,
+                              soc::ControllerKind kind,
+                              std::uint64_t max_cycles) {
+  SegmentPlan plan;
+  // Boundaries replicate march::expand's loop nesting exactly: for each
+  // port, for each data background, each element contributes one pause op
+  // or ops-per-element * num_words array ops.
+  const auto backgrounds = march::standard_backgrounds(geometry.word_bits);
+  const auto num_words = static_cast<std::size_t>(geometry.num_words());
+  std::size_t op_cursor = 0;
+  for (int port = 0; port < geometry.num_ports; ++port) {
+    for (std::size_t bg = 0; bg < backgrounds.size(); ++bg) {
+      for (std::size_t e = 0; e < alg.elements().size(); ++e) {
+        const auto& element = alg.elements()[e];
+        const std::size_t count =
+            element.is_pause ? 1 : element.ops.size() * num_words;
+        Segment seg;
+        seg.port = port;
+        seg.background_index = bg;
+        seg.element_index = e;
+        seg.op_begin = op_cursor;
+        seg.op_end = op_cursor + count;
+        plan.segments.push_back(seg);
+        op_cursor += count;
+      }
+    }
+  }
+
+  // Exact cycle attribution: step the real controller once; overhead
+  // cycles (state transitions, setup) belong to the segment of the next
+  // issued op, completion overhead to the last segment.
+  const auto ctrl = soc::make_plan_controller(kind, alg, geometry,
+                                              &plan.reload_cycles);
+  ctrl->reset();
+  std::uint64_t cycles = 0;
+  std::size_t ops = 0;
+  std::size_t seg = 0;
+  std::uint64_t seg_start = 0;
+  while (!ctrl->done()) {
+    if (cycles >= max_cycles)
+      throw FieldError{"controller for '" + alg.name() +
+                       "' exceeded the cycle bound while segmenting"};
+    ++cycles;
+    if (ctrl->step()) {
+      ++ops;
+      while (seg + 1 < plan.segments.size() &&
+             ops == plan.segments[seg].op_end) {
+        plan.segments[seg].cycles = cycles - seg_start;
+        seg_start = cycles;
+        ++seg;
+      }
+    }
+  }
+  if (!plan.segments.empty()) plan.segments[seg].cycles = cycles - seg_start;
+  plan.total_cycles = cycles;
+  if (ops != plan.total_ops())
+    throw FieldError{"controller for '" + alg.name() +
+                     "' issued " + std::to_string(ops) + " ops, expected " +
+                     std::to_string(plan.total_ops())};
+  return plan;
+}
+
+SegmentPlan segment_transparent(const march::MarchAlgorithm& alg,
+                                const memsim::MemoryGeometry& geometry,
+                                soc::ControllerKind kind,
+                                std::uint64_t max_cycles) {
+  auto plan = segment_algorithm(alg, geometry, kind, max_cycles);
+  if (diag::transparent_restore_needed(alg, geometry.word_bits)) {
+    const auto num_words = static_cast<std::size_t>(geometry.num_words());
+    Segment restore;
+    restore.port = 0;
+    restore.background_index = 0;
+    restore.element_index = alg.elements().size();
+    restore.op_begin = plan.total_ops();
+    restore.op_end = restore.op_begin + num_words;
+    restore.cycles = num_words;  // one refresh write per cycle
+    restore.restore = true;
+    plan.segments.push_back(restore);
+    plan.total_cycles += num_words;
+  }
+  return plan;
+}
+
+}  // namespace pmbist::field

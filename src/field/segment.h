@@ -1,0 +1,78 @@
+#pragma once
+// Segmenting engine: splits a march algorithm's expanded op stream into
+// checkpointable segments for preemptible in-field execution.
+//
+// Cuts happen only at march *element* boundaries (within one port/data-
+// background pass).  That is the natural checkpoint of the hardware: at an
+// element boundary the address counter has wrapped, the element register
+// advances, and the per-cell XOR discipline of the transparent transform
+// holds — so a session interrupted there can resume in a later idle window
+// and produce bit-identical fault verdicts and signatures to an
+// uninterrupted run (pinned by the equivalence suite in test_field.cpp).
+//
+// Per-segment cycle costs are EXACT: the real controller (the same
+// construction soc::make_plan_controller uses for the power-on sweep) is
+// stepped once and its overhead cycles are attributed to the segment of
+// the next issued op; the per-segment costs therefore sum to
+// bist::count_cycles of the whole run.  Re-entry cost is the controller's
+// program_load_cycles (reloading the program when the seat is re-armed in
+// a new window; 0 for hardwired).
+
+#include <cstdint>
+#include <vector>
+
+#include "march/march.h"
+#include "memsim/memory.h"
+#include "soc/plan.h"
+
+namespace pmbist::field {
+
+/// One checkpointable slice of the expanded stream: ops [op_begin, op_end)
+/// of one element within one (port, background) pass.
+struct Segment {
+  int port = 0;
+  std::size_t background_index = 0;
+  std::size_t element_index = 0;  ///< elements().size() marks the restore pass
+  std::size_t op_begin = 0;       ///< index into the expanded stream
+  std::size_t op_end = 0;
+  std::uint64_t cycles = 0;  ///< exact controller cycles for this slice
+  bool restore = false;      ///< trailing transparent restore pass
+
+  [[nodiscard]] std::size_t op_count() const noexcept {
+    return op_end - op_begin;
+  }
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// The full segment plan of one algorithm on one geometry/controller.
+struct SegmentPlan {
+  std::vector<Segment> segments;
+  /// Program (re)load cost charged whenever the controller seat is
+  /// (re)armed — once per scheduled burst, not per segment.
+  std::uint64_t reload_cycles = 0;
+  /// Sum of segment cycles == bist::count_cycles of the uninterrupted run
+  /// (plus the restore-pass writes when a restore segment is present).
+  std::uint64_t total_cycles = 0;
+
+  [[nodiscard]] std::size_t total_ops() const noexcept {
+    return segments.empty() ? 0 : segments.back().op_end;
+  }
+  friend bool operator==(const SegmentPlan&, const SegmentPlan&) = default;
+};
+
+/// Segments `alg` as run on `kind` over `geometry`.  Throws FieldError
+/// (via bist::count_cycles) if the controller exceeds `max_cycles`.
+[[nodiscard]] SegmentPlan segment_algorithm(
+    const march::MarchAlgorithm& alg, const memsim::MemoryGeometry& geometry,
+    soc::ControllerKind kind, std::uint64_t max_cycles = 1'000'000'000);
+
+/// segment_algorithm() plus, when the transparent transform of `alg` needs
+/// a restoring refresh pass (diag::transparent_restore_needed), one
+/// trailing restore segment of num_words write cycles.  This is the plan
+/// the field manager schedules: its op ranges index
+/// diag::transparent_stream_with_restore 1:1.
+[[nodiscard]] SegmentPlan segment_transparent(
+    const march::MarchAlgorithm& alg, const memsim::MemoryGeometry& geometry,
+    soc::ControllerKind kind, std::uint64_t max_cycles = 1'000'000'000);
+
+}  // namespace pmbist::field

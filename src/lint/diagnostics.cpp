@@ -8,7 +8,7 @@ namespace pmbist::lint {
 namespace {
 
 // The stable code registry.  Append-only; codes keep their meaning forever.
-constexpr std::array<CodeInfo, 38> kCodes{{
+constexpr std::array<CodeInfo, 45> kCodes{{
     // March algorithms (MA).
     {"MA00", Severity::Error, "march text does not parse"},
     {"MA01", Severity::Error, "structurally invalid march algorithm"},
@@ -67,6 +67,16 @@ constexpr std::array<CodeInfo, 38> kCodes{{
      "injected defects but no spare resources to repair them"},
     {"CH11", Severity::Warning,
      "injected fault class not guaranteed by the assigned algorithm"},
+    // Mission profiles (FP).
+    {"FP00", Severity::Error, "profile file does not parse"},
+    {"FP01", Severity::Error, "overlapping idle windows for one memory"},
+    {"FP02", Severity::Error, "empty (zero-width) idle window"},
+    {"FP03", Severity::Error, "bus budget is zero"},
+    {"FP04", Severity::Error, "window names an unknown memory"},
+    {"FP05", Severity::Warning,
+     "tested memory has no usable idle window (never tested in the field)"},
+    {"FP06", Severity::Warning,
+     "idle window starts at or beyond the horizon"},
 }};
 
 void append_json_string(std::ostringstream& os, std::string_view s) {

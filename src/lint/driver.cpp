@@ -6,6 +6,7 @@
 #include "lint/equiv.h"
 #include "lint/lifter.h"
 #include "lint/march_lint.h"
+#include "lint/profile_lint.h"
 #include "lint/program_lint.h"
 #include "march/library.h"
 #include "march/parser.h"
@@ -18,6 +19,11 @@ namespace {
 bool is_chip_directive(const std::string& word) {
   return word == "soc" || word == "mem" || word == "fault" ||
          word == "assign" || word == "power_budget";
+}
+
+bool is_profile_directive(const std::string& word) {
+  return word == "profile" || word == "window" || word == "horizon" ||
+         word == "bus_budget";
 }
 
 // The march parser has no comment syntax; on-disk .march files use the
@@ -187,6 +193,7 @@ std::string_view to_string(InputKind kind) {
     case InputKind::UcodeImage: return "ucode";
     case InputKind::PfsmImage: return "pfsm";
     case InputKind::Chip: return "chip";
+    case InputKind::Profile: return "profile";
   }
   return "?";
 }
@@ -202,7 +209,9 @@ InputKind detect_kind(const std::string& text) {
     std::istringstream words{line.substr(0, line.find('#'))};
     std::string first;
     if (!(words >> first)) continue;
-    return is_chip_directive(first) ? InputKind::Chip : InputKind::March;
+    if (is_chip_directive(first)) return InputKind::Chip;
+    if (is_profile_directive(first)) return InputKind::Profile;
+    return InputKind::March;
   }
   return InputKind::March;
 }
@@ -224,6 +233,16 @@ Report lint_text_as(InputKind kind, const std::string& text, std::string unit,
                    "chip file",
                    "lint the assigned programs individually");
       report.merge(lint_chip_text(text, std::move(unit)));
+      return report;
+    }
+    case InputKind::Profile: {
+      Report report;
+      if (!options.against.empty())
+        report.add("EQ00", unit, -1,
+                   "--against applies to controller images; this input is a "
+                   "mission profile",
+                   "lint the assigned programs individually");
+      report.merge(lint_profile_text(text, std::move(unit), options.chip));
       return report;
     }
   }

@@ -10,18 +10,28 @@
 
 namespace pmbist::lint {
 
-enum class InputKind : std::uint8_t { March, UcodeImage, PfsmImage, Chip };
+enum class InputKind : std::uint8_t {
+  March,
+  UcodeImage,
+  PfsmImage,
+  Chip,
+  Profile
+};
 
 [[nodiscard]] std::string_view to_string(InputKind kind);
 
 /// Classifies text by shape: the ucode / pFSM image headers win, then any
-/// line starting with a chip directive (soc/mem/fault/assign/power_budget),
+/// line starting with a chip directive (soc/mem/fault/assign/power_budget)
+/// or a mission-profile directive (profile/window/horizon/bus_budget),
 /// otherwise march (library name or DSL).
 [[nodiscard]] InputKind detect_kind(const std::string& text);
 
 struct LintOptions {
   int storage_depth = 32;  ///< microcode storage words (UC02)
   int buffer_depth = 16;   ///< pFSM buffer rows (PF02)
+  /// Chip-file TEXT a mission profile is checked against (FP04/FP05).
+  /// Ignored for other input kinds; empty skips the cross-file checks.
+  std::string chip;
   /// Translation validation: march source (library name or DSL text) the
   /// image must realize.  When non-empty and the input is a controller
   /// image, the lifter recovers the algorithm the image applies and the

@@ -161,9 +161,10 @@ FixResult fix_text(const std::string& text, const std::string& unit) {
     }
     case InputKind::March:
     case InputKind::Chip:
+    case InputKind::Profile:
       result.summary =
-          unit + ": --fix applies to controller images only (march and chip "
-                 "findings need semantic changes)";
+          unit + ": --fix applies to controller images only (march, chip "
+                 "and profile findings need semantic changes)";
       return result;
   }
   return result;

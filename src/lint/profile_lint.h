@@ -1,0 +1,23 @@
+#pragma once
+// Mission-profile lint pass (FP codes).  Parses the profile text with
+// validation off and reports *every* problem — overlapping or zero-width
+// idle windows, a zero bus budget, windows wasted at/beyond the horizon —
+// plus, when the chip text is supplied, the cross-file checks: windows
+// naming unknown memories and tested memories the profile never gives an
+// idle window to (which would ship with staleness = the whole horizon).
+
+#include <string>
+
+#include "lint/diagnostics.h"
+
+namespace pmbist::lint {
+
+/// Lints mission-profile text.  `unit` names the file in diagnostics;
+/// indexes are 1-based line numbers where known.  `chip_text`, when
+/// non-empty, is the chip-file TEXT the profile is checked against (FP04 /
+/// FP05 need it; without it those checks are skipped).
+[[nodiscard]] Report lint_profile_text(const std::string& text,
+                                       std::string unit = "profile",
+                                       const std::string& chip_text = {});
+
+}  // namespace pmbist::lint

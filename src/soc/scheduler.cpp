@@ -23,34 +23,6 @@ namespace {
 constexpr int kUcodeStorageDepth = 64;
 constexpr int kPfsmBufferDepth = 32;
 
-std::unique_ptr<bist::Controller> make_controller(
-    ControllerKind kind, const march::MarchAlgorithm& alg,
-    const memsim::MemoryGeometry& geometry, std::uint64_t* load_cycles) {
-  switch (kind) {
-    case ControllerKind::Ucode: {
-      auto c = std::make_unique<mbist_ucode::MicrocodeController>(
-          mbist_ucode::ControllerConfig{.geometry = geometry,
-                                        .storage_depth = kUcodeStorageDepth});
-      c->load_algorithm(alg);
-      if (load_cycles != nullptr) *load_cycles = c->program_load_cycles();
-      return c;
-    }
-    case ControllerKind::Pfsm: {
-      auto c = std::make_unique<mbist_pfsm::PfsmController>(
-          mbist_pfsm::PfsmConfig{.geometry = geometry,
-                                 .buffer_depth = kPfsmBufferDepth});
-      c->load_algorithm(alg);
-      if (load_cycles != nullptr) *load_cycles = c->program_load_cycles();
-      return c;
-    }
-    case ControllerKind::Hardwired:
-      if (load_cycles != nullptr) *load_cycles = 0;
-      return std::make_unique<mbist_hardwired::HardwiredController>(
-          alg, mbist_hardwired::HardwiredConfig{.geometry = geometry});
-  }
-  throw SocError{"unreachable controller kind"};
-}
-
 /// One shared-controller seat: keeps the last controller alive and, when
 /// the next session matches its kind and geometry, re-programs it in place
 /// instead of constructing a new one — the scan/buffer reload path a
@@ -74,7 +46,7 @@ struct ControllerSlot {
         return *controller;
       }
     }
-    controller = make_controller(k, alg, g, nullptr);
+    controller = make_plan_controller(k, alg, g, nullptr);
     kind = k;
     geometry = g;
     return *controller;
@@ -113,8 +85,8 @@ std::vector<Task> compile_plan(const SocDescription& chip,
       options.jobs, static_cast<int>(n), [&](int i) {
         const auto& a = assignments[static_cast<std::size_t>(i)];
         auto& t = tasks[static_cast<std::size_t>(i)];
-        const auto ctrl = make_controller(a.controller, t.alg,
-                                          t.mem->geometry, &t.load_cycles);
+        const auto ctrl = make_plan_controller(a.controller, t.alg,
+                                               t.mem->geometry, &t.load_cycles);
         t.test_cycles = bist::count_cycles(*ctrl, options.max_cycles);
       });
   return tasks;
@@ -123,10 +95,11 @@ std::vector<Task> compile_plan(const SocDescription& chip,
 /// Greedy list scheduling under share-group and power constraints.
 /// Returns per-assignment start cycles.  Deterministic: priority is
 /// (duration desc, name asc) and time advances through completion events.
-std::vector<std::uint64_t> list_schedule(const std::vector<Task>& tasks,
-                                         const TestPlan& plan) {
-  const auto& assignments = plan.assignments();
-  const double budget = plan.power().budget;
+/// Takes the assignment list explicitly so the retest pass can schedule a
+/// subset of the plan through the same machinery.
+std::vector<std::uint64_t> list_schedule(
+    const std::vector<Task>& tasks,
+    const std::vector<TestAssignment>& assignments, double budget) {
   const auto n = tasks.size();
 
   std::vector<std::size_t> order(n);
@@ -221,23 +194,35 @@ double peak_power_of(const std::vector<ScheduledSession>& sessions) {
   return peak;
 }
 
+/// Repaired-but-not-yet-retested state carried from the first pass to the
+/// folded retest pass (fold_retests).  The memory keeps the array state the
+/// first session left behind; the retest runs through the spare switch-in
+/// view exactly as the immediate retest would.
+struct PendingRetest {
+  std::unique_ptr<memsim::FaultyMemory> memory;
+  memsim::ArrayTopology topology;
+  repair::RepairSolution solution;
+};
+
 InstanceResult run_instance(const TestAssignment& assignment,
                             const MemoryInstance& instance,
                             const march::MarchAlgorithm& alg,
                             ControllerSlot& slot,
-                            const SchedulerOptions& options) {
+                            const SchedulerOptions& options,
+                            std::unique_ptr<PendingRetest>* deferred) {
   auto& controller = slot.prepare(assignment.controller, alg,
                                   instance.geometry);
-  memsim::FaultyMemory memory{instance.geometry, instance.powerup_seed};
+  auto memory = std::make_unique<memsim::FaultyMemory>(instance.geometry,
+                                                       instance.powerup_seed);
   try {
-    for (const auto& fault : instance.faults) memory.add_fault(fault);
+    for (const auto& fault : instance.faults) memory->add_fault(fault);
   } catch (const std::exception& e) {
     throw SocError{"instance '" + instance.name + "': " + e.what()};
   }
   const bist::SessionOptions session_options{
       .max_cycles = options.max_cycles, .max_failures = options.max_failures};
   InstanceResult result{.memory = instance.name,
-                        .session = bist::run_session(controller, memory,
+                        .session = bist::run_session(controller, *memory,
                                                      session_options),
                         .repair = std::nullopt};
   if (instance.repair.any() && instance.geometry.bit_oriented() &&
@@ -254,16 +239,89 @@ InstanceResult run_instance(const TestAssignment& assignment,
     if (solution.repairable) {
       outcome.spare_rows_used = static_cast<int>(solution.rows_replaced.size());
       outcome.spare_cols_used = static_cast<int>(solution.cols_replaced.size());
-      repair::RepairedMemory repaired{memory, topology, solution};
-      outcome.retest_passed =
-          bist::run_session(controller, repaired, session_options).passed();
+      if (deferred != nullptr) {
+        *deferred = std::make_unique<PendingRetest>(
+            PendingRetest{std::move(memory), topology, solution});
+      } else {
+        repair::RepairedMemory repaired{*memory, topology, solution};
+        outcome.retest_passed =
+            bist::run_session(controller, repaired, session_options).passed();
+      }
     }
     result.repair = outcome;
   }
   return result;
 }
 
+/// Execution units: one per share group (members serialized in scheduled
+/// order on one controller seat) and one per dedicated session.
+/// `indices[j]` names an assignment; `start[j]` is its start cycle.  The
+/// returned members are assignment-index positions within `indices`.
+struct Unit {
+  std::uint64_t first_start = 0;
+  std::string first_name;
+  std::vector<std::size_t> members;
+};
+
+std::vector<Unit> group_units(const std::vector<TestAssignment>& assignments,
+                              const std::vector<std::size_t>& indices,
+                              const std::vector<std::uint64_t>& start) {
+  std::vector<Unit> units;
+  std::map<std::string, std::vector<std::size_t>> grouped;
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const auto& a = assignments[indices[j]];
+    if (a.share_group.empty())
+      units.push_back({start[j], a.memory, {j}});
+    else
+      grouped[a.share_group].push_back(j);
+  }
+  for (auto& [group, positions] : grouped) {
+    std::sort(positions.begin(), positions.end(),
+              [&](std::size_t x, std::size_t y) {
+                if (start[x] != start[y]) return start[x] < start[y];
+                return assignments[indices[x]].memory <
+                       assignments[indices[y]].memory;
+              });
+    units.push_back({start[positions.front()],
+                     assignments[indices[positions.front()]].memory,
+                     std::move(positions)});
+  }
+  std::sort(units.begin(), units.end(), [](const Unit& a, const Unit& b) {
+    if (a.first_start != b.first_start) return a.first_start < b.first_start;
+    return a.first_name < b.first_name;
+  });
+  return units;
+}
+
 }  // namespace
+
+std::unique_ptr<bist::Controller> make_plan_controller(
+    ControllerKind kind, const march::MarchAlgorithm& alg,
+    const memsim::MemoryGeometry& geometry, std::uint64_t* load_cycles) {
+  switch (kind) {
+    case ControllerKind::Ucode: {
+      auto c = std::make_unique<mbist_ucode::MicrocodeController>(
+          mbist_ucode::ControllerConfig{.geometry = geometry,
+                                        .storage_depth = kUcodeStorageDepth});
+      c->load_algorithm(alg);
+      if (load_cycles != nullptr) *load_cycles = c->program_load_cycles();
+      return c;
+    }
+    case ControllerKind::Pfsm: {
+      auto c = std::make_unique<mbist_pfsm::PfsmController>(
+          mbist_pfsm::PfsmConfig{.geometry = geometry,
+                                 .buffer_depth = kPfsmBufferDepth});
+      c->load_algorithm(alg);
+      if (load_cycles != nullptr) *load_cycles = c->program_load_cycles();
+      return c;
+    }
+    case ControllerKind::Hardwired:
+      if (load_cycles != nullptr) *load_cycles = 0;
+      return std::make_unique<mbist_hardwired::HardwiredController>(
+          alg, mbist_hardwired::HardwiredConfig{.geometry = geometry});
+  }
+  throw SocError{"unreachable controller kind"};
+}
 
 int SocResult::healthy_count() const noexcept {
   int healthy = 0;
@@ -275,7 +333,9 @@ int SocResult::healthy_count() const noexcept {
 std::vector<ScheduledSession> Scheduler::compute_schedule(
     const SocDescription& chip, const TestPlan& plan) const {
   const auto tasks = compile_plan(chip, plan, options_);
-  auto sessions = make_sessions(tasks, plan, list_schedule(tasks, plan));
+  auto sessions = make_sessions(
+      tasks, plan,
+      list_schedule(tasks, plan.assignments(), plan.power().budget));
   sort_for_display(sessions);
   return sessions;
 }
@@ -284,52 +344,87 @@ SocResult Scheduler::run(const SocDescription& chip,
                          const TestPlan& plan) const {
   const auto t0 = std::chrono::steady_clock::now();
   const auto tasks = compile_plan(chip, plan, options_);
-  const auto start = list_schedule(tasks, plan);
   const auto& assignments = plan.assignments();
+  const auto start = list_schedule(tasks, assignments, plan.power().budget);
   const auto n = assignments.size();
 
-  // Execution units: one per share group (members serialized in scheduled
-  // order on one controller seat) and one per dedicated session.
-  struct Unit {
-    std::uint64_t first_start = 0;
-    std::string first_name;
-    std::vector<std::size_t> members;
-  };
-  std::vector<Unit> units;
-  std::map<std::string, std::vector<std::size_t>> grouped;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (assignments[i].share_group.empty())
-      units.push_back({start[i], assignments[i].memory, {i}});
-    else
-      grouped[assignments[i].share_group].push_back(i);
-  }
-  for (auto& [group, members] : grouped) {
-    std::sort(members.begin(), members.end(),
-              [&](std::size_t a, std::size_t b) {
-                if (start[a] != start[b]) return start[a] < start[b];
-                return assignments[a].memory < assignments[b].memory;
-              });
-    units.push_back(
-        {start[members.front()], assignments[members.front()].memory,
-         std::move(members)});
-  }
-  std::sort(units.begin(), units.end(), [](const Unit& a, const Unit& b) {
-    if (a.first_start != b.first_start) return a.first_start < b.first_start;
-    return a.first_name < b.first_name;
-  });
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto units = group_units(assignments, all, start);
 
   std::vector<InstanceResult> results(n);
+  std::vector<std::unique_ptr<PendingRetest>> pending(n);
   common::parallel_shards(
       options_.jobs, static_cast<int>(units.size()), [&](int u) {
         ControllerSlot slot;
         for (const auto idx : units[static_cast<std::size_t>(u)].members)
-          results[idx] = run_instance(assignments[idx], *tasks[idx].mem,
-                                      tasks[idx].alg, slot, options_);
+          results[idx] = run_instance(
+              assignments[idx], *tasks[idx].mem, tasks[idx].alg, slot,
+              options_, options_.fold_retests ? &pending[idx] : nullptr);
       });
 
   SocResult out;
-  out.instances = std::move(results);
   out.schedule = make_sessions(tasks, plan, start);
+  std::uint64_t first_pass_makespan = 0;
+  for (const auto& s : out.schedule)
+    first_pass_makespan = std::max(first_pass_makespan, s.end_cycle());
+
+  if (options_.fold_retests) {
+    // Second pass: every repaired instance goes back through the scheduler
+    // (same share-group and power constraints), starting once the first
+    // pass has drained.  The retest set is a deterministic function of
+    // (chip, plan): it depends only on injected faults and repair
+    // resources, never on worker count.
+    std::vector<std::size_t> retest_idx;
+    for (std::size_t i = 0; i < n; ++i)
+      if (pending[i]) retest_idx.push_back(i);
+    if (!retest_idx.empty()) {
+      std::vector<Task> rtasks;
+      std::vector<TestAssignment> rassign;
+      for (const auto idx : retest_idx) {
+        rtasks.push_back(tasks[idx]);
+        rassign.push_back(assignments[idx]);
+      }
+      auto rstart = list_schedule(rtasks, rassign, plan.power().budget);
+      for (auto& s : rstart) s += first_pass_makespan;
+      std::vector<std::size_t> rall(retest_idx.size());
+      std::iota(rall.begin(), rall.end(), std::size_t{0});
+      const auto runits = group_units(rassign, rall, rstart);
+      const bist::SessionOptions session_options{
+          .max_cycles = options_.max_cycles,
+          .max_failures = options_.max_failures};
+      common::parallel_shards(
+          options_.jobs, static_cast<int>(runits.size()), [&](int u) {
+            ControllerSlot slot;
+            for (const auto j : runits[static_cast<std::size_t>(u)].members) {
+              const auto idx = retest_idx[j];
+              auto& p = *pending[idx];
+              auto& controller =
+                  slot.prepare(assignments[idx].controller, tasks[idx].alg,
+                               tasks[idx].mem->geometry);
+              repair::RepairedMemory repaired{*p.memory, p.topology,
+                                              p.solution};
+              results[idx].repair->retest_passed =
+                  bist::run_session(controller, repaired, session_options)
+                      .passed();
+            }
+          });
+      for (std::size_t j = 0; j < retest_idx.size(); ++j) {
+        ScheduledSession s{.memory = rassign[j].memory,
+                           .algorithm = rassign[j].algorithm,
+                           .controller = rassign[j].controller,
+                           .share_group = rassign[j].share_group,
+                           .power_weight = rtasks[j].weight,
+                           .load_cycles = rtasks[j].load_cycles,
+                           .test_cycles = rtasks[j].test_cycles,
+                           .start_cycle = rstart[j],
+                           .retest = true};
+        out.schedule.push_back(std::move(s));
+      }
+    }
+  }
+
+  out.instances = std::move(results);
   for (const auto& s : out.schedule)
     out.makespan_cycles = std::max(out.makespan_cycles, s.end_cycle());
   out.peak_power = peak_power_of(out.schedule);

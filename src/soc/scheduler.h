@@ -29,6 +29,7 @@
 // docs/SOC.md documents the power model, the sharing rules and this
 // scheduling contract.
 
+#include <memory>
 #include <optional>
 
 #include "bist/session.h"
@@ -46,6 +47,11 @@ struct SchedulerOptions {
   std::size_t max_failures = 1024;
   /// Runaway-controller bound per session.
   std::uint64_t max_cycles = 1'000'000'000;
+  /// Queue BISR retests as a second scheduling pass (sessions flagged
+  /// `retest`, started after the first pass drains, under the same share
+  /// group and power constraints) instead of an immediate same-seat rerun.
+  /// Models repair time honestly; verdicts are identical either way.
+  bool fold_retests = false;
 };
 
 /// One session in the modeled schedule.
@@ -58,6 +64,7 @@ struct ScheduledSession {
   std::uint64_t load_cycles = 0;  ///< program (re)load before the test
   std::uint64_t test_cycles = 0;  ///< controller run, exact
   std::uint64_t start_cycle = 0;
+  bool retest = false;  ///< post-repair second-pass session (fold_retests)
 
   [[nodiscard]] std::uint64_t duration() const noexcept {
     return load_cycles + test_cycles;
@@ -141,5 +148,15 @@ class Scheduler {
 [[nodiscard]] SocResult run_soc(const SocDescription& chip,
                                 const TestPlan& plan,
                                 const SchedulerOptions& options = {});
+
+/// Constructs the controller a plan assignment runs on, loaded with `alg`,
+/// using the scheduler's shared storage sizing (microcode storage depth 64,
+/// pFSM buffer depth 32).  Writes the program-load cost into `load_cycles`
+/// when non-null (0 for hardwired).  Exposed for the in-field manager
+/// (src/field), which segments the very same controllers' op streams.
+[[nodiscard]] std::unique_ptr<bist::Controller> make_plan_controller(
+    ControllerKind kind, const march::MarchAlgorithm& alg,
+    const memsim::MemoryGeometry& geometry,
+    std::uint64_t* load_cycles = nullptr);
 
 }  // namespace pmbist::soc

@@ -1,0 +1,6 @@
+# FP03: bus budget 0 gives the test bus no lanes — nothing can ever run.
+profile bus_zero_case
+horizon 100000
+bus_budget 0
+
+window icache start=0 end=3000

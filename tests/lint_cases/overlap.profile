@@ -1,0 +1,7 @@
+# FP01: the two icache windows overlap — a memory is either idle or not.
+profile overlap_case
+horizon 100000
+bus_budget 1
+
+window icache start=0 end=3000
+window icache start=2000 end=5000

@@ -1,0 +1,6 @@
+# FP04 (with --chip soc_demo.chip): 'l3_cache' is not a chip memory.
+profile unknown_mem_case
+horizon 100000
+
+window icache   start=0 end=3000
+window l3_cache start=0 end=3000

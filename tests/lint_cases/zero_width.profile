@@ -1,0 +1,6 @@
+# FP02: a zero-width window can never hold a test segment.
+profile zero_width_case
+horizon 100000
+
+window icache start=4000 end=4000
+window dcache start=0 end=2500

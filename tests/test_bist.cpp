@@ -114,7 +114,7 @@ TEST(Session, CycleBoundReportsIncomplete) {
   ctrl.load_algorithm(march::march_c());
   memsim::SramModel mem{g, 1};
   const auto r = bist::run_session(ctrl, mem, {.max_cycles = 10});
-  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.completed());
   EXPECT_FALSE(r.passed());
   EXPECT_EQ(r.cycles, 10u);
 }
@@ -127,7 +127,7 @@ TEST(Session, FailureLogCapRespected) {
   for (memsim::Address a = 0; a < 8; ++a)
     mem.add_fault(memsim::StuckAtFault{{a, 0}, true});
   const auto r = bist::run_session(ctrl, mem, {.max_failures = 3});
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   EXPECT_EQ(r.failures.size(), 3u);
 }
 
@@ -146,7 +146,7 @@ TEST(Session, TruncationCapsTheLogNotTheRun) {
   ASSERT_GT(full.failures.size(), 3u);
   EXPECT_EQ(full.mismatches, full.failures.size());
 
-  EXPECT_TRUE(capped.completed);
+  EXPECT_TRUE(capped.completed());
   EXPECT_EQ(capped.failures.size(), 3u);
   EXPECT_EQ(capped.mismatches, full.mismatches);  // counted past capacity
   EXPECT_EQ(capped.cycles, full.cycles);          // run not cut short
@@ -164,7 +164,7 @@ TEST(Session, ZeroCapacityStillFailsTheSession) {
   memsim::FaultyMemory mem{g, 1};
   mem.add_fault(memsim::StuckAtFault{{2, 0}, true});
   const auto r = bist::run_session(ctrl, mem, {.max_failures = 0});
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   EXPECT_TRUE(r.failures.empty());
   EXPECT_GT(r.mismatches, 0u);
   EXPECT_FALSE(r.passed());  // an empty log is not a clean run
@@ -189,7 +189,7 @@ TEST(Session, EmptyProgramIsImmediatelyDone) {
   mbist_ucode::MicrocodeController ctrl{{.geometry = g}};
   memsim::SramModel mem{g, 1};
   const auto r = bist::run_session(ctrl, mem);
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   EXPECT_EQ(r.reads + r.writes, 0u);
 }
 

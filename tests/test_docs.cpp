@@ -1,13 +1,15 @@
 // Keeps the docs honest: every fenced ```march block in docs/DSL.md must
 // parse and round-trip through to_string(), every ```march-error block must
 // be rejected with march::ParseError — and likewise every ```chip block in
-// docs/SOC.md must parse (and round-trip) through soc::parse_chip_text,
-// every ```chip-error block must raise ChipError.  docs/LINT.md blocks
-// tagged ```lint-<kind>:<CODE> are run through the linter and must emit
-// the named diagnostic code, and every registered code must have such a
-// block (api-only codes are pinned by prose mention + a unit test in
-// test_lint.cpp).  The docs and the tools cannot drift apart without this
-// test failing.
+// docs/SOC.md must parse (and round-trip) through soc::parse_chip_text /
+// every ```chip-error block must raise ChipError, and every ```profile
+// block in docs/FIELD.md must parse (and round-trip) through
+// field::parse_profile_text / every ```profile-error block must raise
+// FieldError.  docs/LINT.md blocks tagged ```lint-<kind>:<CODE> are run
+// through the linter and must emit the named diagnostic code, and every
+// registered code must have such a block (api-only codes are pinned by
+// prose mention + a unit test in test_lint.cpp).  The docs and the tools
+// cannot drift apart without this test failing.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "field/profile.h"
 #include "lint/diagnostics.h"
 #include "lint/driver.h"
 #include "march/parser.h"
@@ -132,6 +135,9 @@ std::vector<LintExample> lint_doc_examples() {
           current.options.buffer_depth = std::atoi(value.c_str());
         else if (key == "against")  // no colons in names, spaces are fine
           current.options.against = value;
+        else if (key == "chip")  // repo-relative path, read like --chip
+          current.options.chip =
+              read_file(std::string{PMBIST_SOURCE_DIR} + "/" + value);
         else ADD_FAILURE() << "docs/LINT.md:" << lineno << ": unknown option "
                            << key;
       }
@@ -152,6 +158,7 @@ lint::InputKind lint_kind_of(const std::string& kind) {
   if (kind == "ucode") return lint::InputKind::UcodeImage;
   if (kind == "pfsm") return lint::InputKind::PfsmImage;
   if (kind == "chip") return lint::InputKind::Chip;
+  if (kind == "profile") return lint::InputKind::Profile;
   ADD_FAILURE() << "unknown lint block kind " << kind;
   return lint::InputKind::March;
 }
@@ -219,6 +226,38 @@ TEST(DocExamples, ChipErrorExamplesAreRejected) {
     if (!e.must_fail) continue;
     SCOPED_TRACE("docs/SOC.md:" + std::to_string(e.line));
     EXPECT_THROW((void)soc::parse_chip_text(e.text), soc::ChipError)
+        << e.text;
+  }
+}
+
+TEST(DocExamples, FieldDocHasExamples) {
+  const auto examples = doc_examples("docs/FIELD.md", "profile");
+  int valid = 0, invalid = 0;
+  for (const auto& e : examples) (e.must_fail ? invalid : valid)++;
+  EXPECT_GE(valid, 2);
+  EXPECT_GE(invalid, 2);
+}
+
+TEST(DocExamples, ProfileExamplesParseAndRoundTrip) {
+  for (const auto& e : doc_examples("docs/FIELD.md", "profile")) {
+    if (e.must_fail) continue;
+    SCOPED_TRACE("docs/FIELD.md:" + std::to_string(e.line));
+    field::MissionProfile profile;
+    ASSERT_NO_THROW(profile = field::parse_profile_text(e.text)) << e.text;
+    EXPECT_FALSE(profile.windows.empty());
+    // The serialized form re-parses to the same profile.
+    const auto printed = field::to_profile_text(profile);
+    field::MissionProfile again;
+    ASSERT_NO_THROW(again = field::parse_profile_text(printed)) << printed;
+    EXPECT_EQ(again, profile) << printed;
+  }
+}
+
+TEST(DocExamples, ProfileErrorExamplesAreRejected) {
+  for (const auto& e : doc_examples("docs/FIELD.md", "profile")) {
+    if (!e.must_fail) continue;
+    SCOPED_TRACE("docs/FIELD.md:" + std::to_string(e.line));
+    EXPECT_THROW((void)field::parse_profile_text(e.text), field::FieldError)
         << e.text;
   }
 }

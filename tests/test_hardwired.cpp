@@ -118,7 +118,7 @@ TEST(HardwiredController, DetectsInjectedFault) {
   memsim::FaultyMemory mem{g, 1};
   mem.add_fault(memsim::StuckAtFault{{17, 0}, true});
   const auto result = bist::run_session(ctrl, mem);
-  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.completed());
   ASSERT_FALSE(result.failures.empty());
   EXPECT_EQ(result.failures.front().op.addr, 17u);
 }

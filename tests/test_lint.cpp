@@ -27,6 +27,7 @@
 #include "lint/fix.h"
 #include "lint/lifter.h"
 #include "lint/march_lint.h"
+#include "lint/profile_lint.h"
 #include "lint/program_lint.h"
 #include "lint/prover.h"
 #include "march/analysis.h"
@@ -549,6 +550,87 @@ TEST(ChipLint, DemoChipHasNoErrors) {
 }
 
 // ---------------------------------------------------------------------------
+// Profile lint: FP00-FP06 on crafted inputs and the on-disk corpus.
+
+TEST(ProfileLint, ParseErrorBecomesFP00) {
+  const auto report =
+      lint::lint_profile_text("profile p\nwindow m start=5\n", "t");
+  EXPECT_TRUE(report.has_code("FP00")) << lint::format_text(report);
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(ProfileLint, CorpusCasesFireTheirStableCodes) {
+  const auto overlap = lint::lint_profile_text(read_case("overlap.profile"),
+                                               "overlap.profile");
+  EXPECT_TRUE(overlap.has_code("FP01")) << lint::format_text(overlap);
+
+  const auto zero = lint::lint_profile_text(read_case("zero_width.profile"),
+                                            "zero_width.profile");
+  EXPECT_TRUE(zero.has_code("FP02")) << lint::format_text(zero);
+
+  const auto bus = lint::lint_profile_text(read_case("bus_zero.profile"),
+                                           "bus_zero.profile");
+  EXPECT_TRUE(bus.has_code("FP03")) << lint::format_text(bus);
+}
+
+TEST(ProfileLint, ChipCrossChecksFindUnknownAndUntestedMemories) {
+  std::ifstream in{std::string{PMBIST_SOURCE_DIR} + "/examples/soc_demo.chip"};
+  ASSERT_TRUE(in.good());
+  std::ostringstream chip;
+  chip << in.rdbuf();
+
+  const auto report = lint::lint_profile_text(
+      read_case("unknown_mem.profile"), "unknown_mem.profile", chip.str());
+  // l3_cache is not a chip memory; every chip memory except icache has no
+  // usable window at all.
+  EXPECT_TRUE(report.has_code("FP04")) << lint::format_text(report);
+  EXPECT_TRUE(report.has_code("FP05")) << lint::format_text(report);
+  EXPECT_TRUE(report.has_errors());
+
+  // Without the chip file the same profile is clean: cross-checks need it.
+  const auto alone = lint::lint_profile_text(read_case("unknown_mem.profile"),
+                                             "unknown_mem.profile");
+  EXPECT_FALSE(alone.has_errors()) << lint::format_text(alone);
+}
+
+TEST(ProfileLint, WindowBeyondHorizonWarnsFP06) {
+  const auto report = lint::lint_profile_text(
+      "profile p\nhorizon 100\nwindow m start=100 end=200\n", "t");
+  EXPECT_TRUE(report.has_code("FP06")) << lint::format_text(report);
+  EXPECT_FALSE(report.has_errors()) << lint::format_text(report);
+}
+
+TEST(ProfileLint, DemoProfileIsCleanAgainstDemoChip) {
+  std::ifstream chip_in{std::string{PMBIST_SOURCE_DIR} +
+                        "/examples/soc_demo.chip"};
+  std::ifstream prof_in{std::string{PMBIST_SOURCE_DIR} +
+                        "/examples/soc_demo.profile"};
+  ASSERT_TRUE(chip_in.good());
+  ASSERT_TRUE(prof_in.good());
+  std::ostringstream chip, prof;
+  chip << chip_in.rdbuf();
+  prof << prof_in.rdbuf();
+
+  const auto report =
+      lint::lint_profile_text(prof.str(), "soc_demo.profile", chip.str());
+  EXPECT_TRUE(report.empty()) << lint::format_text(report);
+}
+
+TEST(ProfileLint, DriverRoutesProfilesAndRejectsAgainst) {
+  // The generic driver sniffs profiles and runs the same pass.
+  const auto report = lint::lint_text(read_case("overlap.profile"),
+                                      "overlap.profile");
+  EXPECT_TRUE(report.has_code("FP01")) << lint::format_text(report);
+
+  // Equivalence checking is a march-only feature.
+  lint::LintOptions options;
+  options.against = "March C";
+  const auto eq = lint::lint_text(read_case("overlap.profile"),
+                                  "overlap.profile", options);
+  EXPECT_TRUE(eq.has_code("EQ00")) << lint::format_text(eq);
+}
+
+// ---------------------------------------------------------------------------
 // Driver: sniffing, never-throws, determinism.
 
 TEST(Driver, DetectsEveryInputKind) {
@@ -560,6 +642,10 @@ TEST(Driver, DetectsEveryInputKind) {
             lint::InputKind::UcodeImage);
   EXPECT_EQ(lint::detect_kind("; pmbist pfsm image v1\n000\n"),
             lint::InputKind::PfsmImage);
+  EXPECT_EQ(lint::detect_kind("profile p\nwindow m start=0 end=9\n"),
+            lint::InputKind::Profile);
+  EXPECT_EQ(lint::detect_kind("# idle spans\nbus_budget 2\n"),
+            lint::InputKind::Profile);
   EXPECT_EQ(lint::detect_kind(""), lint::InputKind::March);
 }
 

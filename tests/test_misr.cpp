@@ -113,7 +113,7 @@ TEST(Misr, VerdictAgreesWithComparatorAcrossFaultZoo) {
       memsim::FaultyMemory mem{g, 5};
       mem.add_fault(fault);
       const auto r = bist::run_session_misr(ctrl, mem, width, golden);
-      ASSERT_TRUE(r.session.completed);
+      ASSERT_TRUE(r.session.completed());
       if (r.session.passed()) {
         // Undetected by the comparator: the signature must match too
         // (reads were all as expected).

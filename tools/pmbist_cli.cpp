@@ -25,11 +25,18 @@
 //       Whole-chip BIST: schedule and run every memory of a chip file
 //       (docs/SOC.md) under power and controller-sharing constraints.
 //       Without --chip, runs the built-in 9-memory demo chip.
+//   pmbist field     [--chip FILE] [--profile FILE] [--jobs N]
+//                    [--max-failures N]
+//       In-field online testing: pack preemptible transparent BIST
+//       sessions into the idle windows of a mission profile
+//       (docs/FIELD.md).  Without --chip/--profile, runs the built-in
+//       demo chip against the built-in demo profile.
 //   pmbist lint      <file|algorithm|dsl> [--json] [--storage-depth N]
-//                    [--buffer-depth N]
+//                    [--buffer-depth N] [--chip FILE]
 //       Static verifier: march algorithms, microcode hex images, pFSM hex
-//       images and chip files (kind auto-detected; docs/LINT.md lists the
-//       diagnostic codes).  Exits nonzero when errors are found.
+//       images, chip files and mission profiles (kind auto-detected;
+//       docs/LINT.md lists the diagnostic codes).  Exits nonzero when
+//       errors are found.
 //
 // `assemble --hex` prints a portable microcode hex image; `run --program
 // <file>` loads such an image into the microcode controller instead of
@@ -64,6 +71,8 @@
 #include "mbist_ucode/controller.h"
 #include "mbist_ucode/rtl.h"
 #include "netlist/verilog.h"
+#include "field/manager.h"
+#include "field/profile.h"
 #include "soc/chip.h"
 #include "soc/scheduler.h"
 
@@ -84,6 +93,7 @@ struct Options {
   std::string fault_class;
   std::string program_file;
   std::string chip_file;
+  std::string profile_file;
   double power_budget = -1.0;  ///< <0 = keep the chip file's budget
   std::size_t max_failures = 1024;
   bool flat = false;
@@ -111,7 +121,9 @@ struct Options {
       "  export          hardwired/programmable controller as Verilog\n"
       "  export-decoder  microcode decoder + pFSM lower controller Verilog\n"
       "  soc             whole-chip scheduled BIST from a chip file\n"
-      "  lint            static verifier for march / ucode / pFSM / chip\n"
+      "  field           in-field transparent BIST inside idle windows\n"
+      "  lint            static verifier for march / ucode / pFSM / chip /\n"
+      "                  mission-profile inputs\n"
       "\n"
       "options:\n"
       "  --arch ucode|pfsm|hardwired   controller architecture\n"
@@ -126,8 +138,14 @@ struct Options {
       "  --power-budget W   override the chip file's power budget\n"
       "  --max-failures N   per-session failure-log capacity\n"
       "\n"
+      "field options:\n"
+      "  --chip FILE        chip description (docs/SOC.md; default: demo)\n"
+      "  --profile FILE     mission profile (docs/FIELD.md; default: demo)\n"
+      "  --max-failures N   per-instance failure-log capacity\n"
+      "\n"
       "lint options:\n"
       "  --json             machine-readable diagnostics on stdout\n"
+      "  --chip FILE        chip file a mission profile is checked against\n"
       "  --storage-depth N  microcode storage words assumed (default 32)\n"
       "  --buffer-depth N   pFSM buffer rows assumed (default 16)\n"
       "  --against SRC      translation validation: prove a controller image\n"
@@ -159,6 +177,7 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--fault") opt.fault_class = value();
     else if (arg == "--program") opt.program_file = value();
     else if (arg == "--chip") opt.chip_file = value();
+    else if (arg == "--profile") opt.profile_file = value();
     else if (arg == "--power-budget") opt.power_budget = std::atof(value());
     else if (arg == "--max-failures")
       opt.max_failures = std::strtoull(value(), nullptr, 10);
@@ -422,8 +441,12 @@ int cmd_lint(const Options& opt) {
       against = os.str();
     }
   }
+  // --chip (for mission profiles) is always a path.
+  std::string chip_text;
+  if (!opt.chip_file.empty()) chip_text = read_file(opt.chip_file);
   const lint::LintOptions lopts{.storage_depth = opt.storage_depth,
                                 .buffer_depth = opt.buffer_depth,
+                                .chip = chip_text,
                                 .against = against};
   const lint::Report report = lint::lint_text(text, unit, lopts);
   if (opt.json) {
@@ -488,6 +511,66 @@ int cmd_soc(const Options& opt) {
   return result.all_healthy() ? 0 : 1;
 }
 
+int cmd_field(const Options& opt) {
+  soc::ChipFile chip;
+  field::MissionProfile profile;
+  if (opt.chip_file.empty()) {
+    chip = {soc::demo_soc(), soc::demo_plan()};
+    std::printf("no --chip given: running the built-in demo chip\n");
+  } else {
+    chip = soc::load_chip_file(opt.chip_file);
+  }
+  if (opt.profile_file.empty()) {
+    profile = field::demo_profile();
+    std::printf("no --profile given: using the built-in demo profile\n");
+  } else {
+    profile = field::load_profile_file(opt.profile_file);
+  }
+
+  const auto report = field::run_field(
+      chip.description, chip.plan, profile,
+      {.jobs = opt.jobs, .max_failures = opt.max_failures});
+
+  std::printf(
+      "chip '%s', profile '%s': horizon %llu cycles, bus budget %llu\n\n",
+      report.chip.c_str(), report.profile.c_str(),
+      static_cast<unsigned long long>(report.horizon),
+      static_cast<unsigned long long>(report.bus_budget));
+  std::printf("%-12s %4s %6s %10s %10s %9s %s\n", "memory", "pass", "segs",
+              "start", "end", "reload", "kind");
+  for (const auto& s : report.sessions)
+    std::printf("%-12s %4d %3zu-%-3zu %10llu %10llu %9llu %s\n",
+                s.memory.c_str(), s.pass, s.segment_begin, s.segment_end,
+                static_cast<unsigned long long>(s.start_cycle),
+                static_cast<unsigned long long>(s.end_cycle),
+                static_cast<unsigned long long>(s.reload_cycles),
+                s.retest ? "retest" : "test");
+  std::printf("\nwindow utilization %.1f%%, bus stalls %llu cycles, "
+              "peak power %g, wall %.3f s\n\n",
+              100.0 * report.window_utilization,
+              static_cast<unsigned long long>(report.bus_stall_cycles),
+              report.peak_power, report.wall_seconds);
+  for (const auto& r : report.instances) {
+    std::string note;
+    if (r.repair) {
+      if (!r.repair->repairable) note = "  (unrepairable)";
+      else if (r.repair->retest_passed) note = "  (repaired; retest clean)";
+      else note = "  (repaired but retest failed)";
+    }
+    std::printf("  %-12s %s  passes=%d first=%llu staleness=%llu "
+                "stall=%llu%s\n",
+                r.memory.c_str(), r.healthy() ? "HEALTHY" : "FAULTY ",
+                r.completed_passes(),
+                static_cast<unsigned long long>(r.first_pass_cycle),
+                static_cast<unsigned long long>(r.staleness_cycles),
+                static_cast<unsigned long long>(r.stall_cycles), note.c_str());
+  }
+  std::printf("\nchip %s: %d/%zu memories healthy in the field\n",
+              report.all_healthy() ? "PASS" : "FAIL", report.healthy_count(),
+              report.instances.size());
+  return report.all_healthy() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -499,6 +582,7 @@ int main(int argc, char** argv) {
     if (opt.command == "list") return cmd_list();
     if (opt.command == "export-decoder") return cmd_export_decoder();
     if (opt.command == "soc") return cmd_soc(opt);
+    if (opt.command == "field") return cmd_field(opt);
     if (opt.algorithm.empty() && opt.command != "area" &&
         !(opt.command == "run" && !opt.program_file.empty()) &&
         opt.command != "export")
