@@ -1,0 +1,188 @@
+// Campaign kernel benchmark: the scalar one-memory-per-fault reference
+// against the packed PPSFP kernel (64 fault instances per lane-packed
+// memory, memsim/packed_memory.h), over the full algorithm library and
+// every campaign fault class.
+//
+// Three claims are gated:
+//   * the packed kernel's records are byte-identical to the scalar
+//     reference on every (algorithm x fault-class) pair,
+//   * packed is >= 5x faster than scalar at jobs=1 (pure lane-level
+//     parallelism — no threads involved, so the gate is core-count
+//     independent),
+//   * the packed kernel is deterministic across the jobs sweep.
+//
+// Headline numbers (per-class breakdown, jobs sweep) are emitted as
+// BENCH_campaign.json; EXPERIMENTS.md records the table.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "march/campaign.h"
+#include "march/coverage.h"
+
+int main() {
+  using namespace pmbist;
+  using namespace pmbist::bench;
+  using memsim::FaultClass;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("=== Campaign kernels: scalar reference vs packed PPSFP "
+              "(full library x all fault classes) ===\n\n");
+
+  const memsim::MemoryGeometry geom{.address_bits = 8, .word_bits = 1,
+                                    .num_ports = 1};
+  constexpr std::uint64_t kSeed = 2026;
+  constexpr int kInstances = 256;  // 4 lane-packs per (alg, class) campaign
+
+  const auto algs = march::all_algorithms();
+  const auto& classes = memsim::all_fault_classes();
+
+  Checker c;
+
+  auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+
+  // --- per-fault-class breakdown, scalar vs packed at jobs=1 ----------
+  struct ClassRow {
+    std::string name;
+    double scalar_ms = 0.0;
+    double packed_ms = 0.0;
+    int detected = 0;
+    int total = 0;
+  };
+  std::vector<ClassRow> rows;
+  bool all_identical = true;
+  double scalar_total_ms = 0.0;
+  double packed_total_ms = 0.0;
+
+  for (const FaultClass cls : classes) {
+    ClassRow row;
+    row.name = memsim::fault_class_name(cls);
+    for (const auto& alg : algs) {
+      const auto universe =
+          march::make_fault_universe(cls, geom, kSeed, kInstances);
+
+      const auto t0 = Clock::now();
+      const auto scalar = march::run_campaign(
+          alg, geom, universe,
+          {.jobs = 1, .powerup_seed = kSeed,
+           .kernel = march::CampaignKernel::Scalar});
+      row.scalar_ms += ms_since(t0);
+
+      const auto t1 = Clock::now();
+      const auto packed = march::run_campaign(
+          alg, geom, universe,
+          {.jobs = 1, .powerup_seed = kSeed,
+           .kernel = march::CampaignKernel::Packed});
+      row.packed_ms += ms_since(t1);
+
+      if (scalar.records != packed.records) all_identical = false;
+      row.detected += packed.detected();
+      row.total += packed.total();
+    }
+    scalar_total_ms += row.scalar_ms;
+    packed_total_ms += row.packed_ms;
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("per-fault-class wall time over %zu algorithms x %d "
+              "instances (jobs=1):\n",
+              algs.size(), kInstances);
+  std::printf("  %-6s %12s %12s %9s %12s\n", "class", "scalar (ms)",
+              "packed (ms)", "speedup", "detected");
+  for (const auto& r : rows)
+    std::printf("  %-6s %12.1f %12.1f %8.1fx %7d/%d\n", r.name.c_str(),
+                r.scalar_ms, r.packed_ms,
+                r.packed_ms > 0 ? r.scalar_ms / r.packed_ms : 1.0,
+                r.detected, r.total);
+
+  const double kernel_speedup =
+      packed_total_ms > 0.0 ? scalar_total_ms / packed_total_ms : 1.0;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("\ntotal: scalar %.1f ms, packed %.1f ms -> %.1fx at jobs=1 "
+              "(%u core(s); lane-parallelism only)\n\n",
+              scalar_total_ms, packed_total_ms, kernel_speedup, cores);
+
+  c.check(all_identical,
+          "packed records are byte-identical to the scalar reference on "
+          "every algorithm x fault-class pair");
+  c.check(kernel_speedup >= 5.0,
+          "the packed kernel is >= 5x faster than the scalar reference at "
+          "jobs=1 (core-count independent)");
+
+  // --- jobs sweep on the packed kernel --------------------------------
+  // One heavyweight campaign (the longest algorithm, the largest
+  // universe) repeated across worker counts; lane-packs are the shard
+  // unit, so 4 packs bound the useful parallelism at 4 workers.
+  const auto sweep_universe =
+      march::make_fault_universe(FaultClass::CFid, geom, kSeed, kInstances);
+  const auto sweep_alg = march::march_ss();
+  std::vector<std::pair<int, double>> sweep;
+  bool sweep_identical = true;
+  march::CampaignResult sweep_reference;
+  for (const int jobs : {1, 2, 4, 8}) {
+    const auto t0 = Clock::now();
+    auto result = march::run_campaign(
+        sweep_alg, geom, sweep_universe,
+        {.jobs = jobs, .powerup_seed = kSeed,
+         .kernel = march::CampaignKernel::Packed});
+    sweep.emplace_back(jobs, ms_since(t0));
+    if (jobs == 1)
+      sweep_reference = std::move(result);
+    else if (result.records != sweep_reference.records)
+      sweep_identical = false;
+  }
+  std::printf("packed jobs sweep (March SS x %d CFid instances = 4 "
+              "lane-packs):\n",
+              kInstances);
+  for (const auto& [jobs, ms] : sweep)
+    std::printf("  jobs=%d  %8.2f ms\n", jobs, ms);
+  std::printf("\n");
+  c.check(sweep_identical,
+          "packed records are invariant across the jobs sweep");
+
+  // --- artifact -------------------------------------------------------
+  if (std::FILE* json = std::fopen("BENCH_campaign.json", "w")) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"geometry\": \"%dx%dx%d\",\n"
+                 "  \"algorithms\": %zu,\n"
+                 "  \"instances_per_class\": %d,\n"
+                 "  \"scalar_jobs1_ms\": %.3f,\n"
+                 "  \"packed_jobs1_ms\": %.3f,\n"
+                 "  \"kernel_speedup\": %.3f,\n"
+                 "  \"records_identical\": %s,\n"
+                 "  \"hardware_cores\": %u,\n",
+                 geom.address_bits, geom.word_bits, geom.num_ports,
+                 algs.size(), kInstances, scalar_total_ms, packed_total_ms,
+                 kernel_speedup, all_identical ? "true" : "false", cores);
+    std::fprintf(json, "  \"per_class\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(json,
+                   "    {\"class\": \"%s\", \"scalar_ms\": %.3f, "
+                   "\"packed_ms\": %.3f, \"speedup\": %.3f, "
+                   "\"detected\": %d, \"total\": %d}%s\n",
+                   r.name.c_str(), r.scalar_ms, r.packed_ms,
+                   r.packed_ms > 0 ? r.scalar_ms / r.packed_ms : 1.0,
+                   r.detected, r.total, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"packed_jobs_sweep_ms\": {");
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+      std::fprintf(json, "%s\"%d\": %.3f", i == 0 ? "" : ", ",
+                   sweep[i].first, sweep[i].second);
+    std::fprintf(json, "}\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_campaign.json\n\n");
+  } else {
+    c.check(false, "BENCH_campaign.json is writable");
+  }
+
+  return c.finish("bench_campaign");
+}

@@ -2,8 +2,11 @@
 # CI entry point: the tier-1 build + test sweep (warnings are errors), the
 # example programs, a lint sweep of every shipped input file, a
 # ThreadSanitizer build that exercises the parallel engines (test_campaign +
-# test_soc + test_field) for data races, an Address+UndefinedBehaviorSanitizer build of
-# the linter and controller suites, and (when clang-tidy is installed) a
+# test_soc + test_field — test_campaign covers the packed kernel under
+# threads) for data races, an Address+UndefinedBehaviorSanitizer build of
+# the linter, controller, fuzz, and campaign suites (the scalar/packed
+# equivalence sweep under ASan pins the packed kernel's lane bookkeeping),
+# and (when clang-tidy is installed) a
 # static-analysis pass over the lint subsystem.  Mirrors
 # .github/workflows/ci.yml so the pipeline can be reproduced locally with a
 # single command.
@@ -37,6 +40,7 @@ done
 
 echo "== self-checking benches (determinism + scheduling gates included) =="
 ./build/bench/bench_fault_coverage
+./build/bench/bench_campaign
 ./build/bench/bench_qualifier
 ./build/bench/bench_soc_schedule
 ./build/bench/bench_field
@@ -51,16 +55,18 @@ cmake --build build-tsan -j "${JOBS}" --target test_campaign --target test_soc \
 ./build-tsan/tests/test_soc
 ./build-tsan/tests/test_field
 
-echo "== asan+ubsan: linter, controllers, fuzz =="
+echo "== asan+ubsan: linter, controllers, fuzz, packed-kernel equivalence =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMBIST_WERROR=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "${JOBS}" \
-  --target test_lint --target test_fuzz --target test_ucode --target test_pfsm
+  --target test_lint --target test_fuzz --target test_ucode --target test_pfsm \
+  --target test_campaign
 ./build-asan/tests/test_lint
 ./build-asan/tests/test_fuzz
 ./build-asan/tests/test_ucode
 ./build-asan/tests/test_pfsm
+./build-asan/tests/test_campaign
 
 if command -v clang-tidy > /dev/null; then
   echo "== clang-tidy: src/ =="

@@ -5,7 +5,10 @@
 #include <map>
 #include <mutex>
 
+#include <bit>
+
 #include "common/thread_pool.h"
+#include "memsim/packed_memory.h"
 
 namespace pmbist::march {
 namespace {
@@ -39,19 +42,62 @@ DetectionRecord replay(std::span<const MemOp> stream, memsim::Memory& memory,
   return record;
 }
 
+// Replays the stream against one lane-packed memory holding `lanes` live
+// fault instances (base..base+lanes-1), filling the records of all of
+// them in one pass.  A lane that has detected stops being compared (its
+// remaining mismatches are masked off), which matches the scalar replay's
+// early return: lanes are independent, so dropping a detected lane's
+// later results cannot affect any other lane.  The whole pack early-exits
+// once every lane has detected.
+void replay_pack(std::span<const MemOp> stream,
+                 memsim::PackedFaultyMemory& memory, std::uint32_t base,
+                 int lanes, std::span<DetectionRecord> records) {
+  for (int l = 0; l < lanes; ++l) {
+    records[static_cast<std::size_t>(l)] = DetectionRecord{};
+    records[static_cast<std::size_t>(l)].fault_index =
+        base + static_cast<std::uint32_t>(l);
+  }
+  std::uint64_t undetected =
+      lanes >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const MemOp& op = stream[i];
+    switch (op.kind) {
+      case MemOp::Kind::Pause:
+        memory.advance_time_ns(op.pause_ns);
+        break;
+      case MemOp::Kind::Write:
+        memory.write(op.port, op.addr, op.data);
+        break;
+      case MemOp::Kind::Read: {
+        std::uint64_t hits =
+            memory.read(op.port, op.addr, op.data) & undetected;
+        undetected &= ~hits;
+        while (hits != 0) {
+          const int l = std::countr_zero(hits);
+          hits &= hits - 1;
+          auto& record = records[static_cast<std::size_t>(l)];
+          record.detected = true;
+          record.first_failure_op = i;
+        }
+        break;
+      }
+    }
+    if (undetected == 0) break;
+  }
+}
+
 std::atomic<int> g_default_jobs{0};
 
-// Shared universe driver: one thread-local memory per worker, reset
+// Shared scalar universe driver: one thread-local memory per worker, reset
 // between instances; each instance writes only its own record slot, so
 // the merged result is ordered by fault index and invariant under jobs.
 template <typename InjectFn>
-CampaignResult run_universe(const CampaignConfig& config,
-                            std::span<const MemOp> stream,
-                            const MemoryGeometry& geometry, int count,
-                            const InjectFn& inject) {
+CampaignResult run_scalar(const CampaignConfig& config,
+                          std::span<const MemOp> stream,
+                          const MemoryGeometry& geometry, int count,
+                          const InjectFn& inject) {
   CampaignResult result;
   result.records.resize(static_cast<std::size_t>(count));
-  if (count == 0) return result;
 
   int jobs = config.jobs != 0 ? config.jobs : default_campaign_jobs();
   jobs = std::min(common::resolve_jobs(jobs), count);
@@ -71,6 +117,59 @@ CampaignResult run_universe(const CampaignConfig& config,
   return result;
 }
 
+// Packed universe driver: the shard unit is a lane-pack of up to 64 fault
+// instances, so each task replays the stream once for 64 simulations.
+// Record slots are still disjoint and indexed by fault index, so the
+// result is invariant under jobs AND identical to the scalar driver.
+template <typename InjectFn>
+CampaignResult run_packed(const CampaignConfig& config,
+                          std::span<const MemOp> stream,
+                          const MemoryGeometry& geometry, int count,
+                          const InjectFn& inject) {
+  CampaignResult result;
+  result.records.resize(static_cast<std::size_t>(count));
+
+  constexpr int kLanes = memsim::PackedFaultyMemory::kLanes;
+  const int packs = (count + kLanes - 1) / kLanes;
+  int jobs = config.jobs != 0 ? config.jobs : default_campaign_jobs();
+  jobs = std::min(common::resolve_jobs(jobs), packs);
+
+  std::atomic<int> next{0};
+  common::parallel_shards(jobs, jobs, [&](int) {
+    memsim::PackedFaultyMemory memory{geometry, config.powerup_seed};
+    bool fresh = true;
+    for (int p; (p = next.fetch_add(1)) < packs;) {
+      if (!fresh) memory.reset(config.powerup_seed);
+      fresh = false;
+      const int base = p * kLanes;
+      const int lanes = std::min(kLanes, count - base);
+      for (int l = 0; l < lanes; ++l) inject(base + l, l, memory);
+      replay_pack(stream, memory, static_cast<std::uint32_t>(base), lanes,
+                  std::span<DetectionRecord>{result.records}.subspan(
+                      static_cast<std::size_t>(base),
+                      static_cast<std::size_t>(lanes)));
+    }
+  });
+  return result;
+}
+
+// Kernel dispatch shared by run() / run_groups(): `inject_one` injects
+// fault group i into a scalar memory, `inject_lane` injects it into lane
+// l of a packed memory.
+template <typename InjectOneFn, typename InjectLaneFn>
+CampaignResult run_universe(const CampaignConfig& config,
+                            std::span<const MemOp> stream,
+                            const MemoryGeometry& geometry, int count,
+                            const InjectOneFn& inject_one,
+                            const InjectLaneFn& inject_lane) {
+  if (count == 0) {
+    return CampaignResult{};
+  }
+  if (resolve_kernel(config.kernel) == CampaignKernel::Scalar)
+    return run_scalar(config, stream, geometry, count, inject_one);
+  return run_packed(config, stream, geometry, count, inject_lane);
+}
+
 }  // namespace
 
 int CampaignResult::detected() const noexcept {
@@ -86,24 +185,29 @@ CampaignResult CampaignRunner::run(std::span<const MemOp> stream,
                                    const MemoryGeometry& geometry,
                                    std::span<const memsim::Fault> universe)
     const {
-  return run_universe(config_, stream, geometry,
-                      static_cast<int>(universe.size()),
-                      [&](int i, memsim::FaultyMemory& memory) {
-                        memory.add_fault(
-                            universe[static_cast<std::size_t>(i)]);
-                      });
+  return run_universe(
+      config_, stream, geometry, static_cast<int>(universe.size()),
+      [&](int i, memsim::FaultyMemory& memory) {
+        memory.add_fault(universe[static_cast<std::size_t>(i)]);
+      },
+      [&](int i, int lane, memsim::PackedFaultyMemory& memory) {
+        memory.add_fault(lane, universe[static_cast<std::size_t>(i)]);
+      });
 }
 
 CampaignResult CampaignRunner::run_groups(
     std::span<const MemOp> stream, const MemoryGeometry& geometry,
     std::span<const FaultGroup> universe) const {
-  return run_universe(config_, stream, geometry,
-                      static_cast<int>(universe.size()),
-                      [&](int i, memsim::FaultyMemory& memory) {
-                        for (const auto& fault :
-                             universe[static_cast<std::size_t>(i)])
-                          memory.add_fault(fault);
-                      });
+  return run_universe(
+      config_, stream, geometry, static_cast<int>(universe.size()),
+      [&](int i, memsim::FaultyMemory& memory) {
+        for (const auto& fault : universe[static_cast<std::size_t>(i)])
+          memory.add_fault(fault);
+      },
+      [&](int i, int lane, memsim::PackedFaultyMemory& memory) {
+        for (const auto& fault : universe[static_cast<std::size_t>(i)])
+          memory.add_fault(lane, fault);
+      });
 }
 
 struct StreamCache::Impl {

@@ -10,22 +10,30 @@
 //   * the stream is expanded ONCE per (algorithm x geometry) and cached
 //     (stream_cache()); every worker replays the same shared, read-only
 //     vector;
-//   * the fault universe is sharded dynamically across workers; each
-//     worker owns one thread-local FaultyMemory that is cheaply reset()
-//     between instances instead of reconstructed;
+//   * the inner loop is the PPSFP bit-parallel kernel by default
+//     (memsim/packed_memory.h): up to 64 fault instances ride one packed
+//     memory, one bit-lane each, so a shard steps 64 simulations per op;
+//     the scalar one-memory-per-fault path is kept as the pinned
+//     reference (CampaignConfig::kernel / the --kernel flag);
+//   * the fault universe is sharded dynamically across workers — by
+//     lane-pack for the packed kernel, by instance for the scalar one;
+//     each worker owns one thread-local memory that is cheaply reset()
+//     between shards instead of reconstructed;
 //   * every fault writes its DetectionRecord into its own pre-sized slot,
 //     so the merged result is ordered by fault index and independent of
-//     the worker count — jobs=8 is byte-identical to jobs=1 by
-//     construction (each simulation depends only on stream, geometry,
-//     power-up seed and the injected fault, never on scheduling).
+//     the worker count AND the kernel — jobs=8/packed is byte-identical
+//     to jobs=1/scalar by construction (each simulation depends only on
+//     stream, geometry, power-up seed and the injected fault, never on
+//     scheduling or lane placement).
 //
 // docs/CAMPAIGNS.md documents the determinism contract and how to plug in
-// a new fault universe.
+// a new fault universe; docs/KERNEL.md documents the packed kernel.
 
 #include <memory>
 #include <span>
 
 #include "march/expand.h"
+#include "march/kernel.h"
 #include "memsim/faulty_memory.h"
 
 namespace pmbist::march {
@@ -64,6 +72,10 @@ struct CampaignConfig {
   /// Power-up seed for every simulated memory instance (same convention as
   /// CoverageOptions::seed / the FaultyMemory constructor).
   std::uint64_t powerup_seed = 1;
+  /// Inner-loop implementation; Auto defers to default_campaign_kernel()
+  /// (itself defaulting to the packed PPSFP kernel).  Either kernel yields
+  /// byte-identical records.
+  CampaignKernel kernel = CampaignKernel::Auto;
 };
 
 /// Process-wide default used when CampaignConfig::jobs == 0; the CLI's

@@ -1,0 +1,43 @@
+#include "march/kernel.h"
+
+#include <atomic>
+
+namespace pmbist::march {
+namespace {
+
+std::atomic<CampaignKernel> g_default_kernel{CampaignKernel::Packed};
+
+}  // namespace
+
+std::string_view kernel_name(CampaignKernel kernel) {
+  switch (kernel) {
+    case CampaignKernel::Auto:
+      return "auto";
+    case CampaignKernel::Scalar:
+      return "scalar";
+    case CampaignKernel::Packed:
+      return "packed";
+  }
+  return "?";
+}
+
+std::optional<CampaignKernel> parse_kernel(std::string_view name) {
+  if (name == "auto") return CampaignKernel::Auto;
+  if (name == "scalar") return CampaignKernel::Scalar;
+  if (name == "packed") return CampaignKernel::Packed;
+  return std::nullopt;
+}
+
+void set_default_campaign_kernel(CampaignKernel kernel) {
+  g_default_kernel.store(kernel);
+}
+
+CampaignKernel default_campaign_kernel() { return g_default_kernel.load(); }
+
+CampaignKernel resolve_kernel(CampaignKernel kernel) {
+  if (kernel != CampaignKernel::Auto) return kernel;
+  const CampaignKernel def = default_campaign_kernel();
+  return def == CampaignKernel::Auto ? CampaignKernel::Packed : def;
+}
+
+}  // namespace pmbist::march

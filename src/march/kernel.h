@@ -1,0 +1,48 @@
+#pragma once
+// Campaign kernel selection.
+//
+// The campaign engine has two interchangeable inner loops:
+//
+//   Scalar  one FaultyMemory per fault instance, replayed serially per
+//           instance — the reference implementation every other path is
+//           pinned against.
+//   Packed  the PPSFP bit-parallel kernel (memsim/packed_memory.h): up to
+//           64 fault instances per PackedFaultyMemory, one bit-lane each,
+//           stepped through the stream simultaneously.  Bit-identical to
+//           Scalar by contract (same verdicts, same detecting-op
+//           positions) and roughly an order of magnitude faster.
+//
+// Selection is orthogonal to the worker count (--jobs): either kernel runs
+// under any jobs value and produces byte-identical records.  Auto resolves
+// through the process-wide default (the CLI's --kernel flag), which itself
+// defaults to Packed.  docs/KERNEL.md documents the lane encoding and the
+// equivalence contract.
+
+#include <optional>
+#include <string_view>
+
+namespace pmbist::march {
+
+enum class CampaignKernel : std::uint8_t {
+  Auto,    ///< defer to default_campaign_kernel()
+  Scalar,  ///< one memory per fault instance (reference path)
+  Packed,  ///< 64 fault instances per lane-packed memory (PPSFP)
+};
+
+/// Display name: "auto", "scalar" or "packed".
+[[nodiscard]] std::string_view kernel_name(CampaignKernel kernel);
+
+/// Parses "scalar" / "packed" / "auto"; nullopt on anything else.
+[[nodiscard]] std::optional<CampaignKernel> parse_kernel(
+    std::string_view name);
+
+/// Process-wide default used when CampaignConfig::kernel == Auto; the
+/// CLI's --kernel flag sets it.  Initial value: Packed.  Setting Auto
+/// restores the initial behavior.
+void set_default_campaign_kernel(CampaignKernel kernel);
+[[nodiscard]] CampaignKernel default_campaign_kernel();
+
+/// Resolves Auto through the process default; never returns Auto.
+[[nodiscard]] CampaignKernel resolve_kernel(CampaignKernel kernel);
+
+}  // namespace pmbist::march

@@ -288,4 +288,182 @@ TEST(Campaign, DefaultJobsRoundTrip) {
   march::set_default_campaign_jobs(saved);
 }
 
+// --- scalar vs packed kernel equivalence ------------------------------
+//
+// The packed PPSFP kernel must be bit-identical to the scalar reference:
+// same verdicts AND same detecting-op positions, for every fault class,
+// every library algorithm, any jobs value, and ragged final lane-packs.
+
+using march::CampaignKernel;
+
+march::CampaignResult run_with(const march::MarchAlgorithm& alg,
+                               const memsim::MemoryGeometry& geom,
+                               std::span<const memsim::Fault> universe,
+                               CampaignKernel kernel, int jobs = 1) {
+  return march::run_campaign(alg, geom, universe,
+                             {.jobs = jobs, .kernel = kernel});
+}
+
+TEST(Kernel, NameParseRoundTrip) {
+  for (const auto k : {CampaignKernel::Auto, CampaignKernel::Scalar,
+                       CampaignKernel::Packed})
+    EXPECT_EQ(march::parse_kernel(march::kernel_name(k)), k);
+  EXPECT_EQ(march::parse_kernel("vectorized"), std::nullopt);
+  EXPECT_EQ(march::parse_kernel(""), std::nullopt);
+}
+
+TEST(Kernel, DefaultRoundTripAndResolve) {
+  const auto saved = march::default_campaign_kernel();
+  march::set_default_campaign_kernel(CampaignKernel::Scalar);
+  EXPECT_EQ(march::default_campaign_kernel(), CampaignKernel::Scalar);
+  EXPECT_EQ(march::resolve_kernel(CampaignKernel::Auto),
+            CampaignKernel::Scalar);
+  // An explicit config still wins over the process default.
+  EXPECT_EQ(march::resolve_kernel(CampaignKernel::Packed),
+            CampaignKernel::Packed);
+  march::set_default_campaign_kernel(CampaignKernel::Auto);
+  EXPECT_EQ(march::resolve_kernel(CampaignKernel::Auto),
+            CampaignKernel::Packed);  // Auto-as-default falls back to Packed
+  march::set_default_campaign_kernel(saved);
+}
+
+TEST(Kernel, FullLibraryAllClassesEquivalence) {
+  // 96 instances per class: one full lane-pack plus a ragged 32-lane one.
+  const memsim::MemoryGeometry geom{.address_bits = 4, .word_bits = 2,
+                                    .num_ports = 1};
+  for (const auto& alg : march::all_algorithms()) {
+    for (const FaultClass cls : memsim::all_fault_classes()) {
+      const auto universe = march::make_fault_universe(cls, geom, 17, 96);
+      ASSERT_FALSE(universe.empty());
+      const auto scalar =
+          run_with(alg, geom, universe, CampaignKernel::Scalar);
+      const auto packed =
+          run_with(alg, geom, universe, CampaignKernel::Packed);
+      EXPECT_EQ(scalar.records, packed.records)
+          << alg.name() << " x " << memsim::fault_class_name(cls);
+    }
+  }
+}
+
+TEST(Kernel, PackedInvariantUnderJobs) {
+  const auto universe =
+      march::make_fault_universe(FaultClass::CFid, kGeom, 23, 96);
+  const auto reference =
+      run_with(march::march_c(), kGeom, universe, CampaignKernel::Scalar);
+  for (const int jobs : {1, 2, 8}) {
+    const auto packed = run_with(march::march_c(), kGeom, universe,
+                                 CampaignKernel::Packed, jobs);
+    EXPECT_EQ(reference.records, packed.records) << "jobs=" << jobs;
+  }
+}
+
+TEST(Kernel, RaggedFinalPack) {
+  // Universe sizes around the lane-pack boundary, including a single-lane
+  // pack and an exactly-full pack.
+  const memsim::MemoryGeometry geom{.address_bits = 6, .word_bits = 2,
+                                    .num_ports = 1};
+  const auto base = march::make_fault_universe(FaultClass::TF, geom, 31, 130);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63},
+                              std::size_t{64}, std::size_t{65},
+                              std::size_t{130}}) {
+    ASSERT_LE(n, base.size());
+    const std::span<const memsim::Fault> universe{base.data(), n};
+    const auto scalar =
+        run_with(march::march_b(), geom, universe, CampaignKernel::Scalar);
+    const auto packed =
+        run_with(march::march_b(), geom, universe, CampaignKernel::Packed);
+    EXPECT_EQ(scalar.records, packed.records) << "n=" << n;
+  }
+}
+
+TEST(Kernel, GroupUniversesMatch) {
+  // Linked CFid pairs plus heavier mixed groups: several faults of
+  // different classes sharing one lane.
+  const auto pairs = march::make_linked_cfid_universe(kGeom, 13, 70);
+  std::vector<march::FaultGroup> groups;
+  for (const auto& [a, b] : pairs) groups.push_back({a, b});
+  groups.push_back({memsim::StuckAtFault{{1, 0}, true},
+                    memsim::TransitionFault{{9, 0}, false},
+                    memsim::ReadDestructiveFault{{12, 0}, true}});
+  groups.push_back({memsim::AddressDecoderFault{4, {}},
+                    memsim::ReadDestructiveFault{{20, 0}, true}});
+  groups.push_back({memsim::AddressDecoderFault{6, {7, 8}},
+                    memsim::InversionCouplingFault{{7, 0}, {25, 0}, true}});
+
+  const auto stream = march::expand(march::march_lr(), kGeom);
+  const auto scalar =
+      CampaignRunner{{.jobs = 1, .kernel = CampaignKernel::Scalar}}
+          .run_groups(stream, kGeom, groups);
+  for (const int jobs : {1, 4}) {
+    const auto packed =
+        CampaignRunner{{.jobs = jobs, .kernel = CampaignKernel::Packed}}
+            .run_groups(stream, kGeom, groups);
+    EXPECT_EQ(scalar.records, packed.records) << "jobs=" << jobs;
+  }
+}
+
+TEST(Kernel, ClassesOutsideTheStandardUniverse) {
+  // PF, NPSF, intra-word coupling and pause-driven DRF don't appear in
+  // make_fault_universe(all_fault_classes()); pin them explicitly.
+  const memsim::MemoryGeometry geom{.address_bits = 3, .word_bits = 4,
+                                    .num_ports = 2};
+  std::vector<memsim::Fault> universe =
+      march::make_intra_word_cf_universe(geom, 3, 40);
+  universe.push_back(memsim::PortReadFault{1, 2});
+  universe.push_back(memsim::PortReadFault{0, 0});
+  universe.push_back(memsim::NeighborhoodPatternFault{
+      {3, 1}, {{2, 1}, {4, 1}, {3, 0}}, 0b101, true});
+  universe.push_back(memsim::DataRetentionFault{{5, 2}, false, 1});
+  universe.push_back(memsim::DataRetentionFault{{5, 2}, true, 1});
+
+  // March G carries pauses (DRF excitation); A++ has back-to-back reads.
+  for (const char* name : {"March G", "March A++"}) {
+    const auto alg = march::by_name(name);
+    const auto scalar =
+        run_with(alg, geom, universe, CampaignKernel::Scalar);
+    const auto packed =
+        run_with(alg, geom, universe, CampaignKernel::Packed);
+    EXPECT_EQ(scalar.records, packed.records) << name;
+  }
+}
+
+TEST(Kernel, EmptyDecoderLaneDivergesWeakCellTracking) {
+  // Regression for the subtlest packed corner: a read through an
+  // AF-to-nowhere lane completes no read, so that lane's back-to-back
+  // (DRDF) tracking must lag the other lanes'.  Build a stream where the
+  // divergence changes the verdict and check both kernels agree.
+  const memsim::MemoryGeometry geom{.address_bits = 2, .word_bits = 1,
+                                    .num_ports = 1};
+  std::vector<march::FaultGroup> groups;
+  // Lane 0: plain weak cell at 0 — detected by a read sandwiched around
+  // an innocuous read of 1 only if the decoder maps 1 somewhere.
+  groups.push_back({memsim::ReadDestructiveFault{{0, 0}, true}});
+  // Lane 1: same weak cell, but address 1 reads nowhere, so r0 r1 r0 IS
+  // back-to-back on cell 0 for this lane only.
+  groups.push_back({memsim::ReadDestructiveFault{{0, 0}, true},
+                    memsim::AddressDecoderFault{1, {}}});
+
+  march::OpStream stream;
+  stream.push_back(march::MemOp::write(0, 0, 0));
+  stream.push_back(march::MemOp::write(0, 1, 0));
+  stream.push_back(march::MemOp::read(0, 0, 0));
+  stream.push_back(march::MemOp::read(0, 1, 0));  // lane 1: reads nowhere
+  stream.push_back(march::MemOp::read(0, 0, 0));  // b2b only in lane 1
+
+  const auto scalar =
+      CampaignRunner{{.jobs = 1, .kernel = CampaignKernel::Scalar}}
+          .run_groups(stream, geom, groups);
+  const auto packed =
+      CampaignRunner{{.jobs = 1, .kernel = CampaignKernel::Packed}}
+          .run_groups(stream, geom, groups);
+  EXPECT_EQ(scalar.records, packed.records);
+  // Lane 1 must detect (on the AF read at op 3: expected 0 is actually
+  // what nothing-read returns, so the weak-cell read at op 4 detects);
+  // lane 0 must not — the intervening read of cell 1 resets its weak
+  // cell.  If the packed kernel tracked last-read uniformly, lane 1
+  // would wrongly mirror lane 0.
+  EXPECT_FALSE(packed.records[0].detected);
+  EXPECT_TRUE(packed.records[1].detected);
+}
+
 }  // namespace

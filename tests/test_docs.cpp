@@ -8,11 +8,15 @@
 // FieldError.  docs/LINT.md blocks tagged ```lint-<kind>:<CODE> are run
 // through the linter and must emit the named diagnostic code, and every
 // registered code must have such a block (api-only codes are pinned by
-// prose mention + a unit test in test_lint.cpp).  The docs and the tools
+// prose mention + a unit test in test_lint.cpp).  docs/KERNEL.md blocks
+// tagged ```kernel-check:class=...:n=...:seed=... hold a march DSL body
+// whose campaign is run under both the scalar and the packed kernel and
+// must produce byte-identical detection records.  The docs and the tools
 // cannot drift apart without this test failing.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -22,6 +26,8 @@
 #include "field/profile.h"
 #include "lint/diagnostics.h"
 #include "lint/driver.h"
+#include "march/campaign.h"
+#include "march/coverage.h"
 #include "march/parser.h"
 #include "soc/chip.h"
 
@@ -150,6 +156,88 @@ std::vector<LintExample> lint_doc_examples() {
     }
   }
   EXPECT_FALSE(in_block) << "unterminated lint code fence";
+  return examples;
+}
+
+// A ```kernel-check:class=CLS:n=N:seed=S[:addr-bits=A][:word-bits=W]
+// [:ports=P] block from docs/KERNEL.md: the march DSL body is campaigned
+// over N sampled CLS instances under both kernels, which must agree.
+struct KernelExample {
+  memsim::FaultClass cls = memsim::FaultClass::SAF;
+  int instances = 0;
+  std::uint64_t seed = 0;
+  memsim::MemoryGeometry geometry{.address_bits = 4, .word_bits = 1,
+                                  .num_ports = 1};
+  std::string text;
+  std::size_t line = 0;  // 1-based line of the opening fence
+};
+
+std::vector<KernelExample> kernel_doc_examples() {
+  const auto doc = read_file(std::string{PMBIST_SOURCE_DIR} +
+                             "/docs/KERNEL.md");
+  std::vector<KernelExample> examples;
+  std::istringstream lines{doc};
+  std::string line;
+  std::size_t lineno = 0;
+  bool in_block = false;
+  KernelExample current;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (!in_block) {
+      if (line.rfind("```kernel-check:", 0) != 0) continue;
+      in_block = true;
+      current = KernelExample{};
+      current.line = lineno;
+      // Split the "key=value[:key=value]..." info fields.
+      std::string info = line.substr(16);  // after "```kernel-check:"
+      std::vector<std::string> fields;
+      std::size_t start = 0;
+      while (start <= info.size()) {
+        const auto colon = info.find(':', start);
+        fields.push_back(info.substr(start, colon - start));
+        if (colon == std::string::npos) break;
+        start = colon + 1;
+      }
+      for (const auto& field : fields) {
+        const auto eq = field.find('=');
+        if (eq == std::string::npos) {
+          ADD_FAILURE() << "docs/KERNEL.md:" << lineno << ": bad option "
+                        << field;
+          continue;
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "class") {
+          bool found = false;
+          for (const auto cls : memsim::all_fault_classes())
+            if (memsim::fault_class_name(cls) == value) {
+              current.cls = cls;
+              found = true;
+            }
+          EXPECT_TRUE(found) << "docs/KERNEL.md:" << lineno
+                             << ": unknown fault class " << value;
+        } else if (key == "n")
+          current.instances = std::atoi(value.c_str());
+        else if (key == "seed")
+          current.seed = std::strtoull(value.c_str(), nullptr, 10);
+        else if (key == "addr-bits")
+          current.geometry.address_bits = std::atoi(value.c_str());
+        else if (key == "word-bits")
+          current.geometry.word_bits = std::atoi(value.c_str());
+        else if (key == "ports")
+          current.geometry.num_ports = std::atoi(value.c_str());
+        else ADD_FAILURE() << "docs/KERNEL.md:" << lineno
+                           << ": unknown option " << key;
+      }
+    } else if (line.rfind("```", 0) == 0) {
+      in_block = false;
+      examples.push_back(current);
+    } else {
+      current.text += line;
+      current.text += '\n';
+    }
+  }
+  EXPECT_FALSE(in_block) << "unterminated kernel-check code fence";
   return examples;
 }
 
@@ -310,6 +398,51 @@ TEST(DocExamples, CampaignsDocExists) {
     if (!e.must_fail) {
       EXPECT_NO_THROW((void)march::parse(e.text));
     }
+  }
+}
+
+TEST(DocExamples, KernelDocExists) {
+  // KERNEL.md documents the packed engine; pin the cross references so a
+  // rename breaks loudly.
+  const auto doc = read_file(std::string{PMBIST_SOURCE_DIR} +
+                             "/docs/KERNEL.md");
+  EXPECT_NE(doc.find("PackedFaultyMemory"), std::string::npos);
+  EXPECT_NE(doc.find("lane-pack"), std::string::npos);
+  EXPECT_NE(doc.find("--kernel scalar|packed"), std::string::npos);
+  EXPECT_NE(doc.find("byte-identical"), std::string::npos);
+  EXPECT_NE(doc.find("docs/CAMPAIGNS.md"), std::string::npos);
+}
+
+TEST(DocExamples, KernelDocHasExamples) {
+  EXPECT_GE(kernel_doc_examples().size(), 3u);
+}
+
+TEST(DocExamples, KernelCheckExamplesAgreeAcrossKernels) {
+  for (const auto& e : kernel_doc_examples()) {
+    SCOPED_TRACE("docs/KERNEL.md:" + std::to_string(e.line));
+    ASSERT_GT(e.instances, 0) << "block needs n=<instances>";
+
+    // The body is an ordinary march DSL algorithm.
+    march::MarchAlgorithm alg{"", {}};
+    ASSERT_NO_THROW(alg = march::parse(e.text, "doc-example")) << e.text;
+
+    const auto universe =
+        march::make_fault_universe(e.cls, e.geometry, e.seed, e.instances);
+    ASSERT_FALSE(universe.empty());
+
+    const auto scalar = march::run_campaign(
+        alg, e.geometry, universe,
+        {.jobs = 1, .powerup_seed = e.seed,
+         .kernel = march::CampaignKernel::Scalar});
+    const auto packed = march::run_campaign(
+        alg, e.geometry, universe,
+        {.jobs = 2, .powerup_seed = e.seed,
+         .kernel = march::CampaignKernel::Packed});
+
+    // The documented contract: byte-identical records, any jobs count.
+    EXPECT_EQ(scalar.records, packed.records);
+    // And the examples are meaningful campaigns, not vacuous ones.
+    EXPECT_GT(packed.detected(), 0);
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include "bist/session.h"
 #include "diag/transparent.h"
+#include "march/campaign.h"
 #include "lint/driver.h"
 #include "lint/equiv.h"
 #include "lint/lifter.h"
@@ -437,5 +438,114 @@ TEST_P(FuzzLifterImages, RandomImagesLiftOrExplainDeterministically) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLifterImages, ::testing::Range(1, 65));
+
+// --- packed-kernel differential fuzz ----------------------------------
+
+memsim::Fault random_fault(std::mt19937& rng, const MemoryGeometry& g) {
+  auto cell = [&] {
+    return memsim::BitRef{
+        static_cast<memsim::Address>(rng() % g.num_words()),
+        static_cast<int>(rng() % static_cast<unsigned>(g.word_bits))};
+  };
+  auto other_cell = [&](const memsim::BitRef& a) {
+    memsim::BitRef b = cell();
+    while (b == a) b = cell();
+    return b;
+  };
+  auto coin = [&] { return rng() % 2 == 0; };
+  switch (rng() % 13) {
+    case 0: return memsim::StuckAtFault{cell(), coin()};
+    case 1: return memsim::TransitionFault{cell(), coin()};
+    case 2: {
+      const auto a = cell();
+      return memsim::InversionCouplingFault{a, other_cell(a), coin()};
+    }
+    case 3: {
+      const auto a = cell();
+      return memsim::IdempotentCouplingFault{a, other_cell(a), coin(),
+                                             coin()};
+    }
+    case 4: {
+      const auto a = cell();
+      return memsim::StateCouplingFault{a, other_cell(a), coin(), coin()};
+    }
+    case 5: {
+      // Decoder remap to 0 (no cell), 1 or 2 physical addresses —
+      // including the nastiest shapes: self-maps and duplicates.
+      memsim::AddressDecoderFault af;
+      af.logical = static_cast<memsim::Address>(rng() % g.num_words());
+      const unsigned n = rng() % 3;
+      for (unsigned i = 0; i < n; ++i)
+        af.physical.push_back(
+            static_cast<memsim::Address>(rng() % g.num_words()));
+      return af;
+    }
+    case 6: return memsim::StuckOpenFault{cell()};
+    case 7:
+      return memsim::DataRetentionFault{cell(), coin(),
+                                        1 + rng() % 2'000'000};
+    case 8: return memsim::IncorrectReadFault{cell()};
+    case 9: return memsim::WriteDisturbFault{cell()};
+    case 10: return memsim::ReadDestructiveFault{cell(), coin()};
+    case 11: {
+      memsim::NeighborhoodPatternFault f;
+      f.base = cell();
+      const unsigned n = 1 + rng() % 3;
+      for (unsigned i = 0; i < n; ++i)
+        f.neighbors.push_back(other_cell(f.base));
+      f.pattern = rng() & ((1u << n) - 1);
+      f.forced_value = coin();
+      return f;
+    }
+    default:
+      return memsim::PortReadFault{
+          static_cast<int>(rng() % static_cast<unsigned>(g.num_ports)),
+          static_cast<int>(rng() % static_cast<unsigned>(g.word_bits))};
+  }
+}
+
+class FuzzKernel : public ::testing::TestWithParam<int> {};
+
+// Property: for any valid random algorithm, geometry and fault population
+// — every fault model, multi-fault groups, decoder remaps to anywhere —
+// the packed PPSFP kernel produces records byte-identical to the scalar
+// reference: same verdicts and same detecting-op positions.
+TEST_P(FuzzKernel, PackedMatchesScalarOnRandomUniverses) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 17389u);
+  const auto alg = random_algorithm(rng, /*allow_pauses=*/true);
+  ASSERT_TRUE(alg.validate().empty()) << alg.to_string();
+  const auto geometry = random_geometry(rng);
+  const auto stream = march::expand(alg, geometry);
+
+  // 97 groups: one full 64-lane pack plus a ragged 33-lane one.
+  std::vector<march::FaultGroup> groups(97);
+  for (auto& group : groups) {
+    const unsigned n = 1 + rng() % 3;
+    for (unsigned i = 0; i < n; ++i)
+      group.push_back(random_fault(rng, geometry));
+  }
+
+  const std::uint64_t seed = rng();
+  const auto scalar =
+      march::CampaignRunner{{.jobs = 1,
+                             .powerup_seed = seed,
+                             .kernel = march::CampaignKernel::Scalar}}
+          .run_groups(stream, geometry, groups);
+  for (const int jobs : {1, 2}) {
+    const auto packed =
+        march::CampaignRunner{{.jobs = jobs,
+                               .powerup_seed = seed,
+                               .kernel = march::CampaignKernel::Packed}}
+            .run_groups(stream, geometry, groups);
+    ASSERT_EQ(scalar.records.size(), packed.records.size());
+    for (std::size_t i = 0; i < scalar.records.size(); ++i) {
+      ASSERT_EQ(scalar.records[i], packed.records[i])
+          << "group " << i << " jobs=" << jobs << "\n"
+          << alg.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzKernel, ::testing::Range(1, 65));
 
 }  // namespace

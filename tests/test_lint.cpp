@@ -32,6 +32,7 @@
 #include "lint/prover.h"
 #include "march/analysis.h"
 #include "march/coverage.h"
+#include "march/kernel.h"
 #include "march/library.h"
 #include "march/parser.h"
 #include "mbist_pfsm/compiler.h"
@@ -79,23 +80,32 @@ TEST(Prover, GuaranteedClassesReachFullSimulatedCoverage) {
   const memsim::MemoryGeometry geometry{.address_bits = 4,
                                         .word_bits = 1,
                                         .num_ports = 1};
-  for (const auto& alg : march::all_algorithms()) {
-    const auto proof = lint::prove_coverage(alg);
-    for (const auto& [cls, p] : proof.classes) {
-      if (!p.guaranteed) continue;
-      // LF is a composite class (pairs of coupling faults); the campaign's
-      // per-class universes enumerate single faults only.
-      if (cls == memsim::FaultClass::LF) continue;
-      const auto cell = march::evaluate_coverage(alg, cls, geometry,
-                                                 {.seed = 7,
-                                                  .max_instances_per_class = 32,
-                                                  .jobs = 1});
-      ASSERT_GT(cell.total, 0) << alg.name();
-      EXPECT_EQ(cell.detected, cell.total)
-          << alg.name() << " / " << memsim::fault_class_name(cls)
-          << ": proven guaranteed but the campaign missed instances";
+  // The prover is pinned against the campaign under BOTH kernels: a static
+  // "guaranteed" that either the scalar reference or the packed PPSFP
+  // engine fails to reproduce is a bug in one of the three.
+  const auto saved_kernel = march::default_campaign_kernel();
+  for (const auto kernel :
+       {march::CampaignKernel::Scalar, march::CampaignKernel::Packed}) {
+    march::set_default_campaign_kernel(kernel);
+    for (const auto& alg : march::all_algorithms()) {
+      const auto proof = lint::prove_coverage(alg);
+      for (const auto& [cls, p] : proof.classes) {
+        if (!p.guaranteed) continue;
+        // LF is a composite class (pairs of coupling faults); the
+        // campaign's per-class universes enumerate single faults only.
+        if (cls == memsim::FaultClass::LF) continue;
+        const auto cell = march::evaluate_coverage(
+            alg, cls, geometry,
+            {.seed = 7, .max_instances_per_class = 32, .jobs = 1});
+        ASSERT_GT(cell.total, 0) << alg.name();
+        EXPECT_EQ(cell.detected, cell.total)
+            << alg.name() << " / " << memsim::fault_class_name(cls)
+            << " kernel=" << march::kernel_name(kernel)
+            << ": proven guaranteed but the campaign missed instances";
+      }
     }
   }
+  march::set_default_campaign_kernel(saved_kernel);
 }
 
 TEST(Prover, EveryProofCarriesAWitness) {

@@ -41,8 +41,10 @@
 // `assemble --hex` prints a portable microcode hex image; `run --program
 // <file>` loads such an image into the microcode controller instead of
 // assembling an algorithm.  `--jobs N` sets the worker count for every
-// fault-simulation / qualification path (0 = all cores, 1 = serial);
-// results are identical for any value.
+// fault-simulation / qualification path (0 = all cores, 1 = serial) and
+// `--kernel scalar|packed` selects the campaign inner loop (default: the
+// packed 64-lane PPSFP kernel, docs/KERNEL.md); results are identical for
+// any combination.
 //
 // <algorithm|dsl> is a library name ("March C+") or an inline DSL string
 // ("any(w0); up(r0,w1); ...").
@@ -89,6 +91,7 @@ struct Options {
   int ports = 1;
   int samples = 64;
   int jobs = 0;
+  march::CampaignKernel kernel = march::CampaignKernel::Auto;
   std::uint64_t seed = 1;
   std::string fault_class;
   std::string program_file;
@@ -132,6 +135,8 @@ struct Options {
       "  --samples N   --seed N        --flat (no Repeat fold)\n"
       "  --program FILE  hex microcode image for run\n"
       "  --jobs N      worker count, soc/campaign/qualifier (0 = all cores)\n"
+      "  --kernel scalar|packed  campaign inner loop (default packed: 64\n"
+      "                fault instances per pass; identical results)\n"
       "\n"
       "soc options:\n"
       "  --chip FILE        chip description (docs/SOC.md; default: demo)\n"
@@ -173,6 +178,11 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--ports") opt.ports = std::atoi(value());
     else if (arg == "--samples") opt.samples = std::atoi(value());
     else if (arg == "--jobs") opt.jobs = std::atoi(value());
+    else if (arg == "--kernel") {
+      const auto kernel = march::parse_kernel(value());
+      if (!kernel) usage("--kernel expects scalar, packed or auto");
+      opt.kernel = *kernel;
+    }
     else if (arg == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--fault") opt.fault_class = value();
     else if (arg == "--program") opt.program_file = value();
@@ -576,9 +586,11 @@ int cmd_field(const Options& opt) {
 int main(int argc, char** argv) {
   try {
     const Options opt = parse_args(argc, argv);
-    // --jobs applies to every campaign-backed path (run with --fault,
-    // qualify, coverage, list's qualification matrix).
+    // --jobs and --kernel apply to every campaign-backed path (run with
+    // --fault, qualify, coverage, soc, field, list's qualification
+    // matrix): both are process-wide defaults the engine resolves.
     march::set_default_campaign_jobs(opt.jobs);
+    march::set_default_campaign_kernel(opt.kernel);
     if (opt.command == "list") return cmd_list();
     if (opt.command == "export-decoder") return cmd_export_decoder();
     if (opt.command == "soc") return cmd_soc(opt);
