@@ -32,8 +32,12 @@ int main() {
 
   const memsim::MemoryGeometry geom{.address_bits = 6, .word_bits = 1,
                                     .num_ports = 1};
+  // One bench-owned expansion cache shared by every campaign below (the
+  // engine holds no global cache; see march/campaign.h).
+  march::StreamCache cache;
   const march::CoverageOptions opts{.seed = 2026,
-                                    .max_instances_per_class = 96};
+                                    .max_instances_per_class = 96,
+                                    .cache = &cache};
 
   std::vector<march::MarchAlgorithm> algs{
       march::mats(),       march::mats_plus(),   march::march_x(),
@@ -64,12 +68,14 @@ int main() {
       const auto serial = march::run_campaign(
           alg, geom, universe,
           {.jobs = 1, .powerup_seed = opts.seed,
-           .kernel = march::CampaignKernel::Scalar});
+           .kernel = march::CampaignKernel::Scalar},
+          &cache);
       const auto t1 = Clock::now();
       const auto packed = march::run_campaign(
           alg, geom, universe,
           {.jobs = 8, .powerup_seed = opts.seed,
-           .kernel = march::CampaignKernel::Packed});
+           .kernel = march::CampaignKernel::Packed},
+          &cache);
       const auto t2 = Clock::now();
 
       serial_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -152,7 +158,7 @@ int main() {
           "some");
 
   // The expansion cache: 14 algorithms x 14 classes re-used each stream.
-  const auto stats = march::stream_cache().stats();
+  const auto stats = cache.stats();
   std::printf("stream cache: %llu hits / %llu misses\n\n",
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.misses));

@@ -1,0 +1,206 @@
+// Extension experiment S: the fleet-scale BIST service (docs/SERVE.md).
+// A load generator drives serve::Server with a mixed campaign/lint
+// workload through concurrent synchronous clients, sweeping the session
+// worker count, and gates the properties that make the service worth
+// running instead of one-shot CLI processes:
+//
+//   * every response payload is byte-identical across all worker counts
+//     (the serve determinism/equivalence contract under concurrency);
+//   * the cross-request content-hash caches actually hit — a fleet
+//     re-testing the same algorithms pays one march-stream expansion
+//     total, and repeated lint requests skip the prover entirely;
+//   * throughput does not degrade as sessions are added.
+//
+// Emits BENCH_serve.json with the worker sweep (throughput, p50/p99
+// latency) and the cache hit rates.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "serve/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace json = pmbist::common::json;
+
+/// Payload of the terminal event, or "" when the request failed.
+std::string result_payload(const std::vector<std::string>& events) {
+  if (events.empty()) return {};
+  const json::Value doc = json::Value::parse(events.back());
+  const json::Value* kind = doc.find("event");
+  const json::Value* payload = doc.find("payload");
+  if (kind == nullptr || kind->as_string() != "result" || payload == nullptr)
+    return {};
+  return payload->as_string();
+}
+
+struct SweepPoint {
+  int sessions = 0;
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double stream_hit_rate = 0.0;
+  double lint_hit_rate = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pmbist;
+  using namespace pmbist::bench;
+
+  std::printf("=== Fleet-scale BIST service (mixed campaign/lint workload, "
+              "session-worker sweep) ===\n\n");
+
+  Checker c;
+
+  // The workload: 48 requests, 2/3 campaigns cycling over four library
+  // algorithms on one shared geometry (so the march-stream cache can
+  // serve later requests), 1/3 lint requests cycling over two inputs.
+  // Per-request jobs=1: a fleet front end amortizes across requests, not
+  // within one (docs/SERVE.md, "Sizing").
+  const char* algorithms[] = {"MATS", "MATS+", "March X", "March C"};
+  const char* lint_inputs[] = {"March C", "MATS+"};
+  constexpr int kRequests = 48;
+  std::vector<std::string> workload;
+  int campaigns = 0;
+  int lints = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    json::Value req = json::Value::object();
+    req.set("id", json::Value::string("r" + std::to_string(i)));
+    if (i % 3 == 2) {
+      req.set("kind", json::Value::string("lint"));
+      req.set("input", json::Value::string(lint_inputs[i % 2]));
+      ++lints;
+    } else {
+      req.set("kind", json::Value::string("campaign"));
+      req.set("algorithm", json::Value::string(algorithms[i % 4]));
+      req.set("addr_bits", json::Value::number(std::int64_t{6}));
+      req.set("samples", json::Value::number(std::int64_t{32}));
+      req.set("jobs", json::Value::number(std::int64_t{1}));
+      json::Value classes = json::Value::array();
+      for (const char* cls : {"SAF", "TF", "CFid"})
+        classes.push(json::Value::string(cls));
+      req.set("classes", std::move(classes));
+      ++campaigns;
+    }
+    workload.push_back(req.dump());
+  }
+
+  constexpr int kClients = 8;
+  std::vector<SweepPoint> sweep;
+  std::vector<std::string> reference_payloads;  // from the sessions=1 run
+  bool all_equivalent = true;
+  bool all_completed = true;
+
+  for (const int sessions : {1, 2, 4, 8}) {
+    serve::Server server{{.sessions = sessions}};
+    std::vector<std::string> payloads(workload.size());
+    std::vector<double> latencies_ms(workload.size());
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> clients;
+    for (int client = 0; client < kClients; ++client) {
+      clients.emplace_back([&, client] {
+        for (std::size_t i = client; i < workload.size(); i += kClients) {
+          const auto r0 = Clock::now();
+          const auto events = server.call(workload[i]);
+          latencies_ms[i] = std::chrono::duration<double, std::milli>(
+                                Clock::now() - r0)
+                                .count();
+          payloads[i] = result_payload(events);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    for (const std::string& payload : payloads)
+      if (payload.empty()) all_completed = false;
+    if (reference_payloads.empty()) {
+      reference_payloads = payloads;
+    } else if (payloads != reference_payloads) {
+      all_equivalent = false;
+    }
+
+    std::vector<double> sorted = latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const auto stats = server.stats();
+    auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+      const auto total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    };
+    SweepPoint point{
+        .sessions = sessions,
+        .wall_ms = wall_ms,
+        .throughput_rps = wall_ms > 0.0 ? 1e3 * kRequests / wall_ms : 0.0,
+        .p50_ms = sorted[sorted.size() / 2],
+        .p99_ms = sorted[sorted.size() * 99 / 100],
+        .stream_hit_rate = rate(stats.streams.hits, stats.streams.misses),
+        .lint_hit_rate = rate(stats.lints.hits, stats.lints.misses)};
+    sweep.push_back(point);
+
+    std::printf("  sessions=%d  wall %7.1f ms  %7.1f req/s  p50 %6.2f ms  "
+                "p99 %6.2f ms  stream hit-rate %.3f  lint hit-rate %.3f\n",
+                sessions, point.wall_ms, point.throughput_rps, point.p50_ms,
+                point.p99_ms, point.stream_hit_rate, point.lint_hit_rate);
+  }
+  std::printf("\n");
+
+  c.check(all_completed, "every request reached a result payload in every "
+                         "configuration");
+  c.check(all_equivalent,
+          "response payloads are byte-identical across sessions in "
+          "{1, 2, 4, 8} under concurrent mixed-kind clients");
+  c.check(sweep.front().stream_hit_rate > 0.0,
+          "the march-stream cache hits across requests (four algorithms, "
+          "32 campaign requests)");
+  // 4 algorithms x (1 miss + 2 hits) on first encounter, all-hit after.
+  c.check(sweep.front().stream_hit_rate > 0.8,
+          "stream expansions are paid once per algorithm, not per request");
+  c.check(sweep.front().lint_hit_rate > 0.0,
+          "the lint verdict cache answers repeated requests");
+  const double single = sweep.front().throughput_rps;
+  double best_multi = 0.0;
+  for (const auto& p : sweep)
+    if (p.sessions > 1) best_multi = std::max(best_multi, p.throughput_rps);
+  c.check(best_multi >= 0.8 * single,
+          "adding session workers does not degrade throughput (best "
+          "multi-session >= 0.8x single-session)");
+
+  if (std::FILE* out = std::fopen("BENCH_serve.json", "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"workload\": {\"requests\": %d, \"campaigns\": %d, "
+                 "\"lints\": %d, \"clients\": %d},\n"
+                 "  \"equivalent_across_sessions\": %s,\n"
+                 "  \"sweep\": [\n",
+                 kRequests, campaigns, lints, kClients,
+                 all_equivalent ? "true" : "false");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const auto& p = sweep[i];
+      std::fprintf(out,
+                   "    {\"sessions\": %d, \"wall_ms\": %.3f, "
+                   "\"throughput_rps\": %.1f, \"p50_ms\": %.3f, "
+                   "\"p99_ms\": %.3f, \"stream_hit_rate\": %.4f, "
+                   "\"lint_hit_rate\": %.4f}%s\n",
+                   p.sessions, p.wall_ms, p.throughput_rps, p.p50_ms, p.p99_ms,
+                   p.stream_hit_rate, p.lint_hit_rate,
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_serve.json\n\n");
+  }
+
+  return c.finish("bench_serve");
+}

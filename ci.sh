@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 build + test sweep (warnings are errors), the
-# example programs, a lint sweep of every shipped input file, a
+# example programs, a lint sweep of every shipped input file, a serve
+# pipe-transport smoke against the committed golden responses, a
 # ThreadSanitizer build that exercises the parallel engines (test_campaign +
-# test_soc + test_field — test_campaign covers the packed kernel under
-# threads) for data races, an Address+UndefinedBehaviorSanitizer build of
+# test_soc + test_field + test_serve — test_campaign covers the packed
+# kernel under threads, test_serve the session pool and shared caches) for
+# data races, an Address+UndefinedBehaviorSanitizer build of
 # the linter, controller, fuzz, and campaign suites (the scalar/packed
 # equivalence sweep under ASan pins the packed kernel's lane bookkeeping),
 # and (when clang-tidy is installed) a
@@ -38,22 +40,28 @@ for f in examples/*.profile; do
   ./build/tools/pmbist lint "${f}" --chip examples/soc_demo.chip > /dev/null
 done
 
+echo "== serve smoke: deterministic pipe transport vs committed golden =="
+./build/tools/pmbist serve < tests/serve_golden/requests.ndjson \
+  | diff - tests/serve_golden/responses.golden
+
 echo "== self-checking benches (determinism + scheduling gates included) =="
 ./build/bench/bench_fault_coverage
 ./build/bench/bench_campaign
 ./build/bench/bench_qualifier
 ./build/bench/bench_soc_schedule
 ./build/bench/bench_field
+./build/bench/bench_serve
 
-echo "== tsan: parallel campaign engine + soc scheduler + field manager =="
+echo "== tsan: parallel engines + serve session pool =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMBIST_WERROR=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "${JOBS}" --target test_campaign --target test_soc \
-  --target test_field
+  --target test_field --target test_serve
 ./build-tsan/tests/test_campaign
 ./build-tsan/tests/test_soc
 ./build-tsan/tests/test_field
+./build-tsan/tests/test_serve
 
 echo "== asan+ubsan: linter, controllers, fuzz, packed-kernel equivalence =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMBIST_WERROR=ON \

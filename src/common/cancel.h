@@ -1,0 +1,31 @@
+#pragma once
+// Cooperative cancellation for the long-running engines.
+//
+// A CancelToken is an owner-set flag an engine polls at its natural shard
+// boundaries (campaign lane-packs, scheduler units, field bursts).  When
+// the flag is observed set, the engine throws Cancelled, unwinding through
+// common::parallel_shards (which rethrows the first exception after every
+// sibling drains — siblings observe the same flag, so a cancelled campaign
+// quiesces quickly and leaves the shared pool reusable).
+//
+// Engines take the token as `const std::atomic<bool>*` in their option
+// structs: nullptr (the default) means "not cancellable" and costs nothing.
+
+#include <atomic>
+#include <stdexcept>
+
+namespace pmbist::common {
+
+/// Thrown by engines when their options' cancel flag is observed set.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error{"cancelled"} {}
+};
+
+/// Polls an optional cancellation flag; throws Cancelled when set.
+inline void throw_if_cancelled(const std::atomic<bool>* cancel) {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+    throw Cancelled{};
+}
+
+}  // namespace pmbist::common

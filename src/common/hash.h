@@ -1,0 +1,29 @@
+#pragma once
+// Content hashing for the cross-request caches (march::StreamCache and the
+// serve layer's verdict cache): 64-bit FNV-1a over the canonical input
+// text.  Chosen over a cryptographic digest because the keyed inputs are
+// trusted project files, the cache is advisory (a collision can only trade
+// a correct entry for another deterministic one), and FNV keeps the hot
+// request path dependency-free.
+
+#include <cstdint>
+#include <string_view>
+
+namespace pmbist::common {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// 64-bit FNV-1a, optionally chained via `seed` to fold several fields
+/// into one key: fnv1a64(b, fnv1a64(a)).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::string_view text, std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace pmbist::common

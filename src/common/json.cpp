@@ -1,0 +1,424 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pmbist::common::json {
+namespace {
+
+/// Nesting bound: malformed/adversarial protocol input must not be able to
+/// blow the stack (the serve fuzz suite leans on this).
+constexpr int kMaxDepth = 64;
+
+[[noreturn]] void fail(std::size_t at, const std::string& what) {
+  throw JsonError{"json offset " + std::to_string(at) + ": " + what};
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos >= text.size()) fail(pos, "unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (pos >= text.size() || text[pos] != c)
+      fail(pos, std::string{"expected '"} + c + "'");
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  unsigned hex4() {
+    if (pos + 4 > text.size()) fail(pos, "truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail(pos - 1, "bad \\u escape digit");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos >= text.size()) fail(pos, "unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail(pos - 1, "unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) fail(pos, "truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF &&
+              text.substr(pos, 2) == "\\u") {
+            pos += 2;
+            const unsigned lo = hex4();
+            if (lo >= 0xDC00 && lo <= 0xDFFF)
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            else
+              fail(pos, "unpaired surrogate");
+          } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+            cp = 0xFFFD;  // lone surrogate: replacement character
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail(pos - 1, "unknown escape");
+      }
+    }
+  }
+
+  std::string parse_number_lexeme() {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(
+                                  text[pos])))
+      fail(pos, "bad number");
+    if (text[pos] == '0') ++pos;
+    else while (pos < text.size() &&
+                std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text[pos])))
+        fail(pos, "bad fraction");
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text[pos])))
+        fail(pos, "bad exponent");
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    return std::string{text.substr(start, pos - start)};
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail(pos, "nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      Value obj = Value::object();
+      skip_ws();
+      if (peek() == '}') { ++pos; return obj; }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        obj.set(std::move(key), parse_value(depth + 1));
+        skip_ws();
+        const char d = peek();
+        ++pos;
+        if (d == '}') return obj;
+        if (d != ',') fail(pos - 1, "expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Value arr = Value::array();
+      skip_ws();
+      if (peek() == ']') { ++pos; return arr; }
+      for (;;) {
+        arr.push(parse_value(depth + 1));
+        skip_ws();
+        const char d = peek();
+        ++pos;
+        if (d == ']') return arr;
+        if (d != ',') fail(pos - 1, "expected ',' or ']'");
+      }
+    }
+    if (c == '"') return Value::string(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail(pos, "bad literal");
+      return Value::boolean(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail(pos, "bad literal");
+      return Value::boolean(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail(pos, "bad literal");
+      return Value{};
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+      return Value::number_lexeme(parse_number_lexeme());
+    fail(pos, "unexpected character");
+  }
+};
+
+void dump_into(const Value& v, std::string& out);
+
+void dump_members(const Value& v, std::string& out) {
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, member] : v.members()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += quote(key);
+    out.push_back(':');
+    dump_into(member, out);
+  }
+  out.push_back('}');
+}
+
+void dump_into(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case Value::Kind::Null: out += "null"; break;
+    case Value::Kind::Bool: out += v.as_bool() ? "true" : "false"; break;
+    case Value::Kind::Number:
+      // Numbers re-emit their lexeme verbatim: exact round-trip.
+      out += v.number_text();
+      break;
+    case Value::Kind::String: out += quote(v.as_string()); break;
+    case Value::Kind::Array: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_into(item, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Value::Kind::Object: dump_members(v, out); break;
+  }
+}
+
+}  // namespace
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(std::int64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, n);
+  return number_lexeme(buf);
+}
+
+Value Value::number(std::uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, n);
+  return number_lexeme(buf);
+}
+
+Value Value::number(double d) {
+  if (!std::isfinite(d)) throw JsonError{"non-finite number"};
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  return number_lexeme(buf);
+}
+
+Value Value::number_lexeme(std::string lexeme) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.scalar_ = std::move(lexeme);
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::Bool) throw JsonError{"not a bool"};
+  return bool_;
+}
+
+std::uint64_t Value::as_u64() const {
+  if (kind_ != Kind::Number) throw JsonError{"not a number"};
+  errno = 0;
+  char* end = nullptr;
+  if (!scalar_.empty() && scalar_[0] == '-')
+    throw JsonError{"negative value where unsigned expected"};
+  const auto v = std::strtoull(scalar_.c_str(), &end, 10);
+  if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE)
+    throw JsonError{"not an exact unsigned integer: " + scalar_};
+  return v;
+}
+
+std::int64_t Value::as_i64() const {
+  if (kind_ != Kind::Number) throw JsonError{"not a number"};
+  errno = 0;
+  char* end = nullptr;
+  const auto v = std::strtoll(scalar_.c_str(), &end, 10);
+  if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE)
+    throw JsonError{"not an exact integer: " + scalar_};
+  return v;
+}
+
+double Value::as_double() const {
+  if (kind_ != Kind::Number) throw JsonError{"not a number"};
+  char* end = nullptr;
+  const double v = std::strtod(scalar_.c_str(), &end);
+  if (end != scalar_.c_str() + scalar_.size())
+    throw JsonError{"bad number: " + scalar_};
+  return v;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::String) throw JsonError{"not a string"};
+  return scalar_;
+}
+
+const std::string& Value::number_text() const {
+  if (kind_ != Kind::Number) throw JsonError{"not a number"};
+  return scalar_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (kind_ != Kind::Array) throw JsonError{"not an array"};
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  if (kind_ != Kind::Object) throw JsonError{"not an object"};
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Value& Value::push(Value v) {
+  if (kind_ != Kind::Array) throw JsonError{"push on non-array"};
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+Value& Value::set(std::string key, Value v) {
+  if (kind_ != Kind::Object) throw JsonError{"set on non-object"};
+  for (auto& [k, existing] : members_)
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  members_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+Value Value::parse(std::string_view text) {
+  Parser p{text};
+  Value v = p.parse_value(0);
+  p.skip_ws();
+  if (p.pos != text.size()) fail(p.pos, "trailing characters");
+  return v;
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_into(*this, out);
+  return out;
+}
+
+std::string quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace pmbist::common::json

@@ -1,0 +1,100 @@
+#pragma once
+// Minimal JSON value model, parser and writer — the wire format of the
+// serve protocol (src/serve) and the JSON mirror of the chip file
+// (soc/chip_json.h).  No external dependency, by project constraint.
+//
+// Design notes:
+//   * numbers keep their raw lexeme, so 64-bit seeds and addresses
+//     round-trip exactly (no silent double conversion);
+//   * objects preserve insertion order, so dump() is deterministic and a
+//     serialized value is byte-stable across runs — the serve protocol
+//     pins golden responses against this;
+//   * the parser is depth-limited and throws JsonError on any malformed
+//     input; callers that must never throw (the protocol loop) catch it.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pmbist::common::json {
+
+/// Raised on malformed JSON text or a type-mismatched accessor.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;  ///< null
+  static Value boolean(bool b);
+  static Value number(std::int64_t v);
+  static Value number(std::uint64_t v);
+  static Value number(double v);
+  /// A number from its raw lexeme (must already be valid JSON number text).
+  static Value number_lexeme(std::string lexeme);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::Object;
+  }
+
+  /// Typed accessors; throw JsonError on kind mismatch or (for the numeric
+  /// ones) a lexeme outside the requested range.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  /// Raw lexeme of a number value (exactly what was parsed or formatted).
+  [[nodiscard]] const std::string& number_text() const;
+  [[nodiscard]] const std::vector<Value>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const;
+
+  /// Object lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Appends to an array value (throws JsonError otherwise).
+  Value& push(Value v);
+  /// Sets an object member, replacing any existing one (throws otherwise).
+  Value& set(std::string key, Value v);
+
+  /// Parses one complete JSON document; trailing non-space text is an
+  /// error.  Throws JsonError with a character offset on malformed input.
+  [[nodiscard]] static Value parse(std::string_view text);
+
+  /// Compact, deterministic serialization (insertion-ordered members).
+  [[nodiscard]] std::string dump() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::string scalar_;  ///< number lexeme or string payload
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Escapes `text` as a JSON string literal, quotes included.
+[[nodiscard]] std::string quote(std::string_view text);
+
+}  // namespace pmbist::common::json

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <limits>
 #include <memory>
 #include <numeric>
 #include <set>
 
 #include "bist/misr.h"
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "diag/bitmap.h"
 #include "diag/transparent.h"
@@ -262,6 +264,7 @@ FieldReport FieldManager::run(const soc::SocDescription& chip,
   // Both are pure functions of (chip, plan) — deterministic.
   common::parallel_shards(
       options_.jobs, static_cast<int>(parts.size()), [&](int pi) {
+        common::throw_if_cancelled(options_.cancel);
         auto& p = parts[static_cast<std::size_t>(pi)];
         p.plan =
             segment_transparent(algs[p.assign_index], p.instance->geometry,
@@ -392,12 +395,17 @@ FieldReport FieldManager::run(const soc::SocDescription& chip,
 
   // Phase 3 (parallel): execute the planned bursts.  Each participant's
   // verdicts depend only on (program, geometry, faults, seed, pass plan).
+  std::atomic<int> done{0};
   common::parallel_shards(
       options_.jobs, static_cast<int>(parts.size()), [&](int pi) {
+        common::throw_if_cancelled(options_.cancel);
         const auto& p = parts[static_cast<std::size_t>(pi)];
         execute_participant(p, algs[p.assign_index],
                             pass_exec[static_cast<std::size_t>(pi)], options_,
                             report.instances[p.assign_index]);
+        if (options_.progress)
+          options_.progress(done.fetch_add(1) + 1,
+                            static_cast<int>(parts.size()));
       });
 
   // Metrics.
@@ -445,6 +453,67 @@ FieldReport run_field(const soc::SocDescription& chip,
                       const MissionProfile& profile,
                       const FieldOptions& options) {
   return FieldManager{options}.run(chip, plan, profile);
+}
+
+std::string format_field_report(const FieldReport& report) {
+  std::string out;
+  char line[256];
+  auto emit = [&out, &line] { out += line; };
+
+  std::snprintf(
+      line, sizeof line,
+      "chip '%s', profile '%s': horizon %llu cycles, bus budget %llu\n\n",
+      report.chip.c_str(), report.profile.c_str(),
+      static_cast<unsigned long long>(report.horizon),
+      static_cast<unsigned long long>(report.bus_budget));
+  emit();
+  std::snprintf(line, sizeof line, "%-12s %4s %6s %10s %10s %9s %s\n",
+                "memory", "pass", "segs", "start", "end", "reload", "kind");
+  emit();
+  for (const auto& s : report.sessions) {
+    std::snprintf(line, sizeof line, "%-12s %4d %3zu-%-3zu %10llu %10llu %9llu %s\n",
+                  s.memory.c_str(), s.pass, s.segment_begin, s.segment_end,
+                  static_cast<unsigned long long>(s.start_cycle),
+                  static_cast<unsigned long long>(s.end_cycle),
+                  static_cast<unsigned long long>(s.reload_cycles),
+                  s.retest ? "retest" : "test");
+    emit();
+  }
+  std::snprintf(line, sizeof line,
+                "\nwindow utilization %.1f%%, bus stalls %llu cycles, "
+                "peak power %g\n\n",
+                100.0 * report.window_utilization,
+                static_cast<unsigned long long>(report.bus_stall_cycles),
+                report.peak_power);
+  emit();
+  for (const auto& r : report.instances) {
+    std::string note;
+    if (r.repair) {
+      if (!r.repair->repairable) {
+        note = "  (unrepairable)";
+      } else if (r.repair->retest_passed) {
+        note = "  (repaired; retest clean)";
+      } else {
+        note = "  (repaired but retest failed)";
+      }
+    }
+    std::snprintf(line, sizeof line,
+                  "  %-12s %s  passes=%d first=%llu staleness=%llu "
+                  "stall=%llu%s\n",
+                  r.memory.c_str(), r.healthy() ? "HEALTHY" : "FAULTY ",
+                  r.completed_passes(),
+                  static_cast<unsigned long long>(r.first_pass_cycle),
+                  static_cast<unsigned long long>(r.staleness_cycles),
+                  static_cast<unsigned long long>(r.stall_cycles),
+                  note.c_str());
+    emit();
+  }
+  std::snprintf(line, sizeof line,
+                "\nchip %s: %d/%zu memories healthy in the field\n",
+                report.all_healthy() ? "PASS" : "FAIL", report.healthy_count(),
+                report.instances.size());
+  emit();
+  return out;
 }
 
 }  // namespace pmbist::field

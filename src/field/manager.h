@@ -36,6 +36,8 @@
 // power-on sweep; that choice is what keeps in-field verdicts provably
 // equal to power-on verdicts.
 
+#include <atomic>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,6 +63,14 @@ struct FieldOptions {
   bool repeat_passes = true;
   /// Signature register width for per-pass response compaction.
   int misr_width = 16;
+  /// Optional cooperative cancellation flag (common/cancel.h): polled
+  /// between execution bursts; run() throws common::Cancelled once
+  /// in-flight work drains.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Optional progress callback, invoked as (done, total) participant
+  /// counts as execution completes.  Called from worker threads (must be
+  /// thread-safe); carries counts only, never names.
+  std::function<void(int done, int total)> progress = nullptr;
 };
 
 /// One scheduled burst: consecutive segments of one instance's current
@@ -189,5 +199,12 @@ class FieldManager {
                                     const soc::TestPlan& plan,
                                     const MissionProfile& profile,
                                     const FieldOptions& options = {});
+
+/// Canonical human-readable report of an in-field run: header, session
+/// table, utilization summary, per-instance verdicts, final PASS/FAIL
+/// line.  Deliberately excludes wall_seconds, so the text is a pure
+/// function of (chip, plan, profile) — `pmbist field` and the serve layer
+/// both emit exactly this string (the serve/CLI byte-equivalence pin).
+[[nodiscard]] std::string format_field_report(const FieldReport& report);
 
 }  // namespace pmbist::field

@@ -191,4 +191,15 @@ std::string format_json(const Report& report) {
   return os.str();
 }
 
+std::string format_cli(const Report& report, const std::string& unit,
+                       bool json) {
+  if (json) return format_json(report) + "\n";
+  std::ostringstream os;
+  os << format_text(report);
+  os << unit << ": " << report.count(Severity::Error) << " error(s), "
+     << report.count(Severity::Warning) << " warning(s), "
+     << report.count(Severity::Note) << " note(s)\n";
+  return os.str();
+}
+
 }  // namespace pmbist::lint

@@ -92,4 +92,11 @@ struct CodeInfo {
 /// JSON rendering: {"diagnostics":[...],"errors":N,"warnings":N,"notes":N}.
 [[nodiscard]] std::string format_json(const Report& report);
 
+/// The CLI's complete stdout for one lint run: format_json + newline when
+/// `json`, otherwise format_text followed by the per-unit summary line.
+/// Shared verbatim by `pmbist lint` and the serve layer, which is what
+/// pins serve lint payloads byte-identical to CLI output.
+[[nodiscard]] std::string format_cli(const Report& report,
+                                     const std::string& unit, bool json);
+
 }  // namespace pmbist::lint

@@ -189,7 +189,6 @@ Detection analyze(const MarchAlgorithm& alg, FaultClass cls) {
 
 std::map<FaultClass, Detection> analyze_all(const MarchAlgorithm& alg,
                                             int jobs) {
-  if (jobs == 0) jobs = default_campaign_jobs();
   const auto& classes = memsim::all_fault_classes();
   std::vector<Detection> verdicts(classes.size());
   common::parallel_shards(jobs, static_cast<int>(classes.size()),
@@ -208,7 +207,6 @@ std::string format_analysis_table(
     std::span<const FaultClass> classes, int jobs) {
   // Sweep every (algorithm, class) pair in parallel, then format from the
   // dense verdict grid — the table text is order-independent of jobs.
-  if (jobs == 0) jobs = default_campaign_jobs();
   std::vector<Detection> grid(algorithms.size() * classes.size());
   common::parallel_shards(
       jobs, static_cast<int>(grid.size()), [&](int i) {

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <map>
+#include <list>
 #include <mutex>
+#include <unordered_map>
 
 #include <bit>
 
+#include "common/cancel.h"
+#include "common/hash.h"
 #include "common/thread_pool.h"
 #include "memsim/packed_memory.h"
 
@@ -86,11 +89,11 @@ void replay_pack(std::span<const MemOp> stream,
   }
 }
 
-std::atomic<int> g_default_jobs{0};
-
 // Shared scalar universe driver: one thread-local memory per worker, reset
 // between instances; each instance writes only its own record slot, so
 // the merged result is ordered by fault index and invariant under jobs.
+// Cancellation is polled before each shard claim, so a cancelled campaign
+// quiesces within one instance per worker.
 template <typename InjectFn>
 CampaignResult run_scalar(const CampaignConfig& config,
                           std::span<const MemOp> stream,
@@ -99,14 +102,14 @@ CampaignResult run_scalar(const CampaignConfig& config,
   CampaignResult result;
   result.records.resize(static_cast<std::size_t>(count));
 
-  int jobs = config.jobs != 0 ? config.jobs : default_campaign_jobs();
-  jobs = std::min(common::resolve_jobs(jobs), count);
+  const int jobs = std::min(common::resolve_jobs(config.jobs), count);
 
   std::atomic<int> next{0};
   common::parallel_shards(jobs, jobs, [&](int) {
     memsim::FaultyMemory memory{geometry, config.powerup_seed};
     bool fresh = true;
     for (int i; (i = next.fetch_add(1)) < count;) {
+      common::throw_if_cancelled(config.cancel);
       if (!fresh) memory.reset(config.powerup_seed);
       fresh = false;
       inject(i, memory);
@@ -131,14 +134,14 @@ CampaignResult run_packed(const CampaignConfig& config,
 
   constexpr int kLanes = memsim::PackedFaultyMemory::kLanes;
   const int packs = (count + kLanes - 1) / kLanes;
-  int jobs = config.jobs != 0 ? config.jobs : default_campaign_jobs();
-  jobs = std::min(common::resolve_jobs(jobs), packs);
+  const int jobs = std::min(common::resolve_jobs(config.jobs), packs);
 
   std::atomic<int> next{0};
   common::parallel_shards(jobs, jobs, [&](int) {
     memsim::PackedFaultyMemory memory{geometry, config.powerup_seed};
     bool fresh = true;
     for (int p; (p = next.fetch_add(1)) < packs;) {
+      common::throw_if_cancelled(config.cancel);
       if (!fresh) memory.reset(config.powerup_seed);
       fresh = false;
       const int base = p * kLanes;
@@ -178,9 +181,6 @@ int CampaignResult::detected() const noexcept {
   return n;
 }
 
-void set_default_campaign_jobs(int jobs) { g_default_jobs.store(jobs); }
-int default_campaign_jobs() { return g_default_jobs.load(); }
-
 CampaignResult CampaignRunner::run(std::span<const MemOp> stream,
                                    const MemoryGeometry& geometry,
                                    std::span<const memsim::Fault> universe)
@@ -211,40 +211,70 @@ CampaignResult CampaignRunner::run_groups(
 }
 
 struct StreamCache::Impl {
+  struct Entry {
+    std::uint64_t key;
+    std::shared_ptr<const OpStream> stream;
+    std::uint64_t bytes;
+  };
+
   mutable std::mutex mu;
-  std::map<std::string, std::shared_ptr<const OpStream>> entries;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+  std::size_t max_bytes;
   Stats counters;
+
+  // Evicts from the LRU tail while over budget (never evicts the sole
+  // entry: a stream larger than the whole budget still has to be served).
+  void enforce_budget() {
+    if (max_bytes == 0) return;
+    while (counters.bytes > max_bytes && lru.size() > 1) {
+      const Entry& victim = lru.back();
+      counters.bytes -= victim.bytes;
+      ++counters.evictions;
+      index.erase(victim.key);
+      lru.pop_back();
+    }
+  }
 };
 
-StreamCache::StreamCache() : impl_{std::make_unique<Impl>()} {}
+StreamCache::StreamCache(std::size_t max_bytes)
+    : impl_{std::make_unique<Impl>()} {
+  impl_->max_bytes = max_bytes;
+}
 StreamCache::~StreamCache() = default;
 
 std::shared_ptr<const OpStream> StreamCache::get(
     const MarchAlgorithm& alg, const MemoryGeometry& geometry) {
   // Canonical text is the identity of an algorithm (name is presentation);
   // two differently named but textually equal algorithms share an entry.
-  std::string key = std::to_string(geometry.address_bits) + "x" +
-                    std::to_string(geometry.word_bits) + "x" +
-                    std::to_string(geometry.num_ports) + "|" +
-                    alg.to_string();
+  const std::string canonical = std::to_string(geometry.address_bits) + "x" +
+                                std::to_string(geometry.word_bits) + "x" +
+                                std::to_string(geometry.num_ports) + "|" +
+                                alg.to_string();
+  const std::uint64_t key = common::fnv1a64(canonical);
   {
     std::lock_guard lock{impl_->mu};
-    if (auto it = impl_->entries.find(key); it != impl_->entries.end()) {
+    if (auto it = impl_->index.find(key); it != impl_->index.end()) {
       ++impl_->counters.hits;
-      return it->second;
+      impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+      return it->second->stream;
     }
   }
   // Expand outside the lock (expansion is the expensive part); a racing
   // duplicate expansion is harmless and the first insert wins.
   auto stream = std::make_shared<const OpStream>(expand(alg, geometry));
+  const std::uint64_t bytes = stream->size() * sizeof(MemOp);
   std::lock_guard lock{impl_->mu};
-  if (auto it = impl_->entries.find(key); it != impl_->entries.end()) {
+  if (auto it = impl_->index.find(key); it != impl_->index.end()) {
     ++impl_->counters.hits;
-    return it->second;
+    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+    return it->second->stream;
   }
   ++impl_->counters.misses;
-  if (impl_->entries.size() >= 256) impl_->entries.clear();  // runaway guard
-  impl_->entries.emplace(std::move(key), stream);
+  impl_->counters.bytes += bytes;
+  impl_->lru.push_front(Impl::Entry{key, stream, bytes});
+  impl_->index.emplace(key, impl_->lru.begin());
+  impl_->enforce_budget();
   return stream;
 }
 
@@ -255,19 +285,19 @@ StreamCache::Stats StreamCache::stats() const {
 
 void StreamCache::clear() {
   std::lock_guard lock{impl_->mu};
-  impl_->entries.clear();
-}
-
-StreamCache& stream_cache() {
-  static StreamCache cache;
-  return cache;
+  impl_->lru.clear();
+  impl_->index.clear();
+  impl_->counters.bytes = 0;
 }
 
 CampaignResult run_campaign(const MarchAlgorithm& alg,
                             const MemoryGeometry& geometry,
                             std::span<const memsim::Fault> universe,
-                            const CampaignConfig& config) {
-  const auto stream = stream_cache().get(alg, geometry);
+                            const CampaignConfig& config, StreamCache* cache) {
+  std::shared_ptr<const OpStream> stream =
+      cache != nullptr
+          ? cache->get(alg, geometry)
+          : std::make_shared<const OpStream>(expand(alg, geometry));
   return CampaignRunner{config}.run(*stream, geometry, universe);
 }
 

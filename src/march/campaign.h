@@ -8,7 +8,7 @@
 // keeping results bit-identical to the serial path:
 //
 //   * the stream is expanded ONCE per (algorithm x geometry) and cached
-//     (stream_cache()); every worker replays the same shared, read-only
+//     (StreamCache); every worker replays the same shared, read-only
 //     vector;
 //   * the inner loop is the PPSFP bit-parallel kernel by default
 //     (memsim/packed_memory.h): up to 64 fault instances ride one packed
@@ -26,9 +26,15 @@
 //     stream, geometry, power-up seed and the injected fault, never on
 //     scheduling or lane placement).
 //
-// docs/CAMPAIGNS.md documents the determinism contract and how to plug in
-// a new fault universe; docs/KERNEL.md documents the packed kernel.
+// Reentrancy contract: the engine holds NO mutable process-wide state.
+// Worker count, kernel, cancellation and the stream cache all arrive
+// through CampaignConfig / explicit arguments, so independent callers
+// (e.g. two serve::Server instances in one process) cannot observe each
+// other.  docs/CAMPAIGNS.md documents the determinism contract and how to
+// plug in a new fault universe; docs/KERNEL.md documents the packed
+// kernel.
 
+#include <atomic>
 #include <memory>
 #include <span>
 
@@ -66,22 +72,20 @@ struct CampaignResult {
 };
 
 struct CampaignConfig {
-  /// Worker count; 0 defers to default_campaign_jobs() (itself defaulting
-  /// to hardware concurrency).  1 forces the serial reference path.
+  /// Worker count; <= 0 means hardware concurrency, 1 forces the serial
+  /// reference path.  Results are identical for every value.
   int jobs = 0;
   /// Power-up seed for every simulated memory instance (same convention as
   /// CoverageOptions::seed / the FaultyMemory constructor).
   std::uint64_t powerup_seed = 1;
-  /// Inner-loop implementation; Auto defers to default_campaign_kernel()
-  /// (itself defaulting to the packed PPSFP kernel).  Either kernel yields
-  /// byte-identical records.
+  /// Inner-loop implementation; Auto resolves to the packed PPSFP kernel.
+  /// Either kernel yields byte-identical records.
   CampaignKernel kernel = CampaignKernel::Auto;
+  /// Optional cooperative cancellation flag (common/cancel.h).  Workers
+  /// poll it before claiming each shard; when observed set, the campaign
+  /// throws common::Cancelled after in-flight shards drain.
+  const std::atomic<bool>* cancel = nullptr;
 };
-
-/// Process-wide default used when CampaignConfig::jobs == 0; the CLI's
-/// --jobs flag sets it.  0 (the initial value) means hardware concurrency.
-void set_default_campaign_jobs(int jobs);
-[[nodiscard]] int default_campaign_jobs();
 
 /// Replays `stream` against each fault (group) of a universe, one fresh
 /// memory per instance, in parallel.
@@ -108,27 +112,38 @@ class CampaignRunner {
   CampaignConfig config_;
 };
 
-/// Keyed cache of reference expansions (canonical algorithm text x
-/// geometry), so repeated campaigns over the same pair expand once.
-/// Thread-safe; entries are shared immutable streams.
+/// Content-hash cache of reference expansions, keyed by FNV-1a of the
+/// canonical algorithm text and the geometry, with LRU eviction under an
+/// optional byte budget.  Thread-safe; entries are shared immutable
+/// streams, so an evicted entry stays valid for whoever still holds it.
+///
+/// There is deliberately no process-wide instance: each owner (a CLI
+/// command, a serve::Server, a bench) constructs its own, which is what
+/// gives the serve layer cross-request reuse without cross-server
+/// interference.
 class StreamCache {
  public:
-  StreamCache();
+  /// `max_bytes` bounds the summed op-stream payload; 0 = unbounded.
+  explicit StreamCache(std::size_t max_bytes = 0);
   ~StreamCache();
   StreamCache(const StreamCache&) = delete;
   StreamCache& operator=(const StreamCache&) = delete;
 
-  /// Returns the cached expansion, expanding on first use.
+  /// Returns the cached expansion, expanding on first use; refreshes the
+  /// entry's LRU position and evicts least-recently-used entries while the
+  /// byte budget is exceeded.
   [[nodiscard]] std::shared_ptr<const OpStream> get(
       const MarchAlgorithm& alg, const MemoryGeometry& geometry);
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes = 0;  ///< currently cached op-stream payload
   };
   [[nodiscard]] Stats stats() const;
 
-  /// Drops all entries (stats are kept); exposed for tests.
+  /// Drops all entries (hit/miss counters are kept); exposed for tests.
   void clear();
 
  private:
@@ -136,14 +151,12 @@ class StreamCache {
   std::unique_ptr<Impl> impl_;
 };
 
-/// The process-wide expansion cache used by run_campaign() and the
-/// coverage front ends.
-[[nodiscard]] StreamCache& stream_cache();
-
-/// One-call front end: expands `alg` over `geometry` through the shared
-/// cache and runs the campaign under `config`.
+/// One-call front end: expands `alg` over `geometry` — through `cache`
+/// when one is supplied, uncached otherwise — and runs the campaign under
+/// `config`.
 [[nodiscard]] CampaignResult run_campaign(
     const MarchAlgorithm& alg, const MemoryGeometry& geometry,
-    std::span<const memsim::Fault> universe, const CampaignConfig& config = {});
+    std::span<const memsim::Fault> universe, const CampaignConfig& config = {},
+    StreamCache* cache = nullptr);
 
 }  // namespace pmbist::march

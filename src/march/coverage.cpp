@@ -282,14 +282,20 @@ CoverageCell evaluate_with_backgrounds(const MarchAlgorithm& alg,
 CoverageCell evaluate_linked_coverage(const MarchAlgorithm& alg,
                                       const MemoryGeometry& geometry,
                                       const CoverageOptions& opts) {
-  const auto stream = stream_cache().get(alg, geometry);
+  const std::shared_ptr<const OpStream> stream =
+      opts.cache != nullptr
+          ? opts.cache->get(alg, geometry)
+          : std::make_shared<const OpStream>(expand(alg, geometry));
   const auto universe = make_linked_cfid_universe(
       geometry, opts.seed, opts.max_instances_per_class);
   std::vector<FaultGroup> groups;
   groups.reserve(universe.size());
   for (const auto& [first, second] : universe)
     groups.push_back(FaultGroup{first, second});
-  const CampaignRunner runner{{.jobs = opts.jobs, .powerup_seed = opts.seed}};
+  const CampaignRunner runner{{.jobs = opts.jobs,
+                               .powerup_seed = opts.seed,
+                               .kernel = opts.kernel,
+                               .cancel = opts.cancel}};
   const auto result = runner.run_groups(*stream, geometry, groups);
   return CoverageCell{result.detected(), result.total()};
 }
@@ -299,9 +305,12 @@ CoverageCell evaluate_coverage(const MarchAlgorithm& alg, FaultClass cls,
                                const CoverageOptions& opts) {
   const auto universe = make_fault_universe(cls, geometry, opts.seed,
                                             opts.max_instances_per_class);
-  const auto result = run_campaign(
-      alg, geometry, universe,
-      {.jobs = opts.jobs, .powerup_seed = opts.seed});
+  const auto result = run_campaign(alg, geometry, universe,
+                                   {.jobs = opts.jobs,
+                                    .powerup_seed = opts.seed,
+                                    .kernel = opts.kernel,
+                                    .cancel = opts.cancel},
+                                   opts.cache);
   return CoverageCell{result.detected(), result.total()};
 }
 
@@ -309,13 +318,19 @@ std::vector<CoverageRow> coverage_matrix(
     std::span<const MarchAlgorithm> algorithms,
     std::span<const FaultClass> classes, const MemoryGeometry& geometry,
     const CoverageOptions& opts) {
+  // Every class of one row replays the same expansion, so a matrix without
+  // a caller-supplied cache still wants one for its own lifetime.
+  StreamCache local_cache;
+  CoverageOptions effective = opts;
+  if (effective.cache == nullptr) effective.cache = &local_cache;
+
   std::vector<CoverageRow> rows;
   rows.reserve(algorithms.size());
   for (const auto& alg : algorithms) {
     CoverageRow row;
     row.algorithm = alg.name();
     for (FaultClass cls : classes)
-      row.cells[cls] = evaluate_coverage(alg, cls, geometry, opts);
+      row.cells[cls] = evaluate_coverage(alg, cls, geometry, effective);
     rows.push_back(std::move(row));
   }
   return rows;

@@ -13,13 +13,17 @@
 // fault instances are sharded across workers, with results guaranteed
 // identical to the serial path for any worker count.
 
+#include <atomic>
 #include <map>
 #include <span>
 
 #include "march/expand.h"
+#include "march/kernel.h"
 #include "memsim/faulty_memory.h"
 
 namespace pmbist::march {
+
+class StreamCache;  // campaign.h
 
 /// One observed read mismatch.
 struct Failure {
@@ -84,10 +88,18 @@ struct CoverageRow {
 struct CoverageOptions {
   std::uint64_t seed = 42;
   int max_instances_per_class = 64;
-  /// Campaign worker count: 0 = process default (hardware concurrency,
-  /// overridable via set_default_campaign_jobs), 1 = serial.  Results are
-  /// identical for every value — see campaign.h for the contract.
+  /// Campaign worker count: 0 = hardware concurrency, 1 = serial.  Results
+  /// are identical for every value — see campaign.h for the contract.
   int jobs = 0;
+  /// Campaign inner loop (Auto resolves to Packed); results are identical
+  /// for either kernel.
+  CampaignKernel kernel = CampaignKernel::Auto;
+  /// Optional expansion cache shared across evaluations; nullptr expands
+  /// uncached (coverage_matrix supplies a local cache in that case so the
+  /// per-class evaluations of one matrix still reuse each expansion).
+  StreamCache* cache = nullptr;
+  /// Optional cooperative cancellation flag — see campaign.h.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Evaluates detection of `alg` against one fault class.

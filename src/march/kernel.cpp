@@ -1,13 +1,6 @@
 #include "march/kernel.h"
 
-#include <atomic>
-
 namespace pmbist::march {
-namespace {
-
-std::atomic<CampaignKernel> g_default_kernel{CampaignKernel::Packed};
-
-}  // namespace
 
 std::string_view kernel_name(CampaignKernel kernel) {
   switch (kernel) {
@@ -28,16 +21,8 @@ std::optional<CampaignKernel> parse_kernel(std::string_view name) {
   return std::nullopt;
 }
 
-void set_default_campaign_kernel(CampaignKernel kernel) {
-  g_default_kernel.store(kernel);
-}
-
-CampaignKernel default_campaign_kernel() { return g_default_kernel.load(); }
-
 CampaignKernel resolve_kernel(CampaignKernel kernel) {
-  if (kernel != CampaignKernel::Auto) return kernel;
-  const CampaignKernel def = default_campaign_kernel();
-  return def == CampaignKernel::Auto ? CampaignKernel::Packed : def;
+  return kernel == CampaignKernel::Auto ? CampaignKernel::Packed : kernel;
 }
 
 }  // namespace pmbist::march

@@ -13,10 +13,12 @@
 //           positions) and roughly an order of magnitude faster.
 //
 // Selection is orthogonal to the worker count (--jobs): either kernel runs
-// under any jobs value and produces byte-identical records.  Auto resolves
-// through the process-wide default (the CLI's --kernel flag), which itself
-// defaults to Packed.  docs/KERNEL.md documents the lane encoding and the
-// equivalence contract.
+// under any jobs value and produces byte-identical records.  The choice is
+// always carried explicitly (CampaignConfig::kernel, CoverageOptions::
+// kernel, the CLI's --kernel flag) — there is no process-wide default, so
+// concurrent callers cannot affect each other; Auto simply resolves to
+// Packed.  docs/KERNEL.md documents the lane encoding and the equivalence
+// contract.
 
 #include <optional>
 #include <string_view>
@@ -24,7 +26,7 @@
 namespace pmbist::march {
 
 enum class CampaignKernel : std::uint8_t {
-  Auto,    ///< defer to default_campaign_kernel()
+  Auto,    ///< resolves to Packed (the fast path)
   Scalar,  ///< one memory per fault instance (reference path)
   Packed,  ///< 64 fault instances per lane-packed memory (PPSFP)
 };
@@ -36,13 +38,7 @@ enum class CampaignKernel : std::uint8_t {
 [[nodiscard]] std::optional<CampaignKernel> parse_kernel(
     std::string_view name);
 
-/// Process-wide default used when CampaignConfig::kernel == Auto; the
-/// CLI's --kernel flag sets it.  Initial value: Packed.  Setting Auto
-/// restores the initial behavior.
-void set_default_campaign_kernel(CampaignKernel kernel);
-[[nodiscard]] CampaignKernel default_campaign_kernel();
-
-/// Resolves Auto through the process default; never returns Auto.
+/// Resolves Auto to Packed; never returns Auto.
 [[nodiscard]] CampaignKernel resolve_kernel(CampaignKernel kernel);
 
 }  // namespace pmbist::march

@@ -1,0 +1,40 @@
+#include "serve/cache.h"
+
+namespace pmbist::serve {
+
+std::optional<VerdictCache::Verdict> VerdictCache::get(std::uint64_t key) {
+  std::lock_guard lock{mu_};
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->verdict;
+}
+
+void VerdictCache::put(std::uint64_t key, Verdict verdict) {
+  std::lock_guard lock{mu_};
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->verdict = std::move(verdict);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(verdict)});
+  index_[key] = lru_.begin();
+  while (max_entries_ != 0 && lru_.size() > max_entries_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+VerdictCache::Stats VerdictCache::stats() const {
+  std::lock_guard lock{mu_};
+  Stats out = counters_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace pmbist::serve

@@ -1,0 +1,232 @@
+#include "serve/protocol.h"
+
+#include <limits>
+#include <set>
+
+#include "common/json.h"
+
+namespace pmbist::serve {
+namespace {
+
+namespace json = common::json;
+
+[[noreturn]] void fail(const std::string& what) { throw ProtocolError(what); }
+
+/// Whitelists the fields a request kind accepts; unknown fields are hard
+/// errors so client typos ("algorithim") cannot silently select defaults.
+void check_fields(const json::Value& obj,
+                  const std::set<std::string, std::less<>>& allowed) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    if (key == "id" || key == "kind") continue;
+    if (!allowed.contains(key)) fail("unknown field '" + key + "'");
+  }
+}
+
+std::string field_string(const json::Value& obj, std::string_view key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return {};
+  if (!v->is_string()) fail("field '" + std::string(key) + "' must be a string");
+  return v->as_string();
+}
+
+std::string require_string(const json::Value& obj, std::string_view key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_string() || v->as_string().empty())
+    fail("field '" + std::string(key) + "' (non-empty string) is required");
+  return v->as_string();
+}
+
+bool field_bool(const json::Value& obj, std::string_view key, bool fallback) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) fail("field '" + std::string(key) + "' must be a bool");
+  return v->as_bool();
+}
+
+std::uint64_t field_u64(const json::Value& obj, std::string_view key,
+                        std::uint64_t fallback, std::uint64_t max) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  std::uint64_t out = 0;
+  try {
+    out = v->as_u64();
+  } catch (const json::JsonError&) {
+    fail("field '" + std::string(key) + "' must be a non-negative integer");
+  }
+  if (out > max)
+    fail("field '" + std::string(key) + "' out of range (max " +
+         std::to_string(max) + ")");
+  return out;
+}
+
+int field_int(const json::Value& obj, std::string_view key, int fallback,
+              int min, int max) {
+  const auto raw = field_u64(obj, key, static_cast<std::uint64_t>(fallback),
+                             static_cast<std::uint64_t>(max));
+  const int out = static_cast<int>(raw);
+  if (out < min)
+    fail("field '" + std::string(key) + "' must be >= " + std::to_string(min));
+  return out;
+}
+
+double field_double(const json::Value& obj, std::string_view key,
+                    double fallback) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  try {
+    return v->as_double();
+  } catch (const json::JsonError&) {
+    fail("field '" + std::string(key) + "' must be a number");
+  }
+}
+
+void parse_campaign(const json::Value& obj, Request& req) {
+  check_fields(obj, {"algorithm", "addr_bits", "word_bits", "ports", "samples",
+                     "seed", "jobs", "kernel", "classes"});
+  req.algorithm = require_string(obj, "algorithm");
+  req.geometry.address_bits = field_int(obj, "addr_bits", 8, 1, 20);
+  req.geometry.word_bits = field_int(obj, "word_bits", 1, 1, 64);
+  req.geometry.num_ports = field_int(obj, "ports", 1, 1, 4);
+  req.samples = field_int(obj, "samples", 64, 1, 1 << 20);
+  req.seed = field_u64(obj, "seed", 1,
+                       std::numeric_limits<std::uint64_t>::max());
+  req.jobs = field_int(obj, "jobs", 0, 0, 1024);
+  if (const json::Value* k = obj.find("kernel"); k != nullptr) {
+    if (!k->is_string()) fail("field 'kernel' must be a string");
+    const auto parsed = march::parse_kernel(k->as_string());
+    if (!parsed) fail("unknown kernel '" + k->as_string() + "'");
+    req.kernel = *parsed;
+  }
+  if (const json::Value* classes = obj.find("classes"); classes != nullptr) {
+    if (!classes->is_array()) fail("field 'classes' must be an array");
+    for (const auto& item : classes->items()) {
+      if (!item.is_string()) fail("field 'classes' must hold strings");
+      req.fault_classes.push_back(item.as_string());
+    }
+  }
+}
+
+void parse_soc(const json::Value& obj, Request& req) {
+  check_fields(obj, {"chip", "jobs", "power_budget", "max_failures"});
+  req.chip = require_string(obj, "chip");
+  req.jobs = field_int(obj, "jobs", 0, 0, 1024);
+  req.power_budget = field_double(obj, "power_budget", -1.0);
+  req.max_failures = field_u64(obj, "max_failures", 1024, 1 << 24);
+}
+
+void parse_field(const json::Value& obj, Request& req) {
+  check_fields(obj, {"chip", "profile", "jobs", "max_failures"});
+  req.chip = require_string(obj, "chip");
+  req.profile = require_string(obj, "profile");
+  req.jobs = field_int(obj, "jobs", 0, 0, 1024);
+  req.max_failures = field_u64(obj, "max_failures", 1024, 1 << 24);
+}
+
+void parse_lint(const json::Value& obj, Request& req) {
+  check_fields(obj, {"input", "unit", "json", "storage_depth", "buffer_depth",
+                     "against", "chip"});
+  req.input = require_string(obj, "input");
+  if (const json::Value* unit = obj.find("unit"); unit != nullptr) {
+    if (!unit->is_string()) fail("field 'unit' must be a string");
+    req.unit = unit->as_string();
+  }
+  req.lint_json = field_bool(obj, "json", false);
+  req.storage_depth = field_int(obj, "storage_depth", 32, 1, 1 << 16);
+  req.buffer_depth = field_int(obj, "buffer_depth", 16, 1, 1 << 16);
+  req.against = field_string(obj, "against");
+  req.chip = field_string(obj, "chip");
+}
+
+void parse_cancel(const json::Value& obj, Request& req) {
+  check_fields(obj, {"target"});
+  req.target = require_string(obj, "target");
+}
+
+json::Value event_base(std::string_view event, const std::string& id) {
+  json::Value obj = json::Value::object();
+  obj.set("event", json::Value::string(std::string(event)));
+  obj.set("id", json::Value::string(id));
+  return obj;
+}
+
+}  // namespace
+
+std::string_view to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::Campaign: return "campaign";
+    case RequestKind::Soc: return "soc";
+    case RequestKind::Field: return "field";
+    case RequestKind::Lint: return "lint";
+    case RequestKind::Cancel: return "cancel";
+    case RequestKind::Stats: return "stats";
+  }
+  return "?";
+}
+
+Request parse_request(const std::string& line) {
+  json::Value doc;
+  try {
+    doc = json::Value::parse(line);
+  } catch (const json::JsonError& e) {
+    fail(std::string("bad json: ") + e.what());
+  }
+  if (!doc.is_object()) fail("request must be a json object");
+
+  Request req;
+  req.id = require_string(doc, "id");
+  const std::string kind = require_string(doc, "kind");
+  if (kind == "campaign") {
+    req.kind = RequestKind::Campaign;
+    parse_campaign(doc, req);
+  } else if (kind == "soc") {
+    req.kind = RequestKind::Soc;
+    parse_soc(doc, req);
+  } else if (kind == "field") {
+    req.kind = RequestKind::Field;
+    parse_field(doc, req);
+  } else if (kind == "lint") {
+    req.kind = RequestKind::Lint;
+    parse_lint(doc, req);
+  } else if (kind == "cancel") {
+    req.kind = RequestKind::Cancel;
+    parse_cancel(doc, req);
+  } else if (kind == "stats") {
+    req.kind = RequestKind::Stats;
+    check_fields(doc, {});
+  } else {
+    fail("unknown kind '" + kind + "'");
+  }
+  return req;
+}
+
+std::string event_accepted(const std::string& id) {
+  return event_base("accepted", id).dump();
+}
+
+std::string event_progress(const std::string& id, int done, int total) {
+  json::Value obj = event_base("progress", id);
+  obj.set("done", json::Value::number(static_cast<std::int64_t>(done)));
+  obj.set("total", json::Value::number(static_cast<std::int64_t>(total)));
+  return obj.dump();
+}
+
+std::string event_result(const std::string& id, int exit_code,
+                         const std::string& payload) {
+  json::Value obj = event_base("result", id);
+  obj.set("exit", json::Value::number(static_cast<std::int64_t>(exit_code)));
+  obj.set("payload", json::Value::string(payload));
+  return obj.dump();
+}
+
+std::string event_error(const std::string& id, const std::string& message) {
+  json::Value obj = event_base("error", id);
+  obj.set("message", json::Value::string(message));
+  return obj.dump();
+}
+
+std::string event_cancelled(const std::string& id) {
+  return event_base("cancelled", id).dump();
+}
+
+}  // namespace pmbist::serve

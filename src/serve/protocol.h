@@ -1,0 +1,111 @@
+#pragma once
+// Wire protocol of `pmbist serve` (docs/SERVE.md).
+//
+// Requests arrive as newline-delimited JSON objects; every request names a
+// client-chosen `id` and a `kind`.  The four work kinds mirror the one-shot
+// CLI commands (campaign ~ `pmbist coverage`, soc ~ `pmbist soc`, field ~
+// `pmbist field`, lint ~ `pmbist lint`) with all file payloads inlined;
+// `cancel` aborts a running session between shards and `stats` reports the
+// server's cache counters.
+//
+// Responses stream back as JSON events, one per line:
+//
+//   {"event":"accepted","id":...}             request parsed, session queued
+//   {"event":"progress","id":...,"done":D,"total":T}
+//   {"event":"result","id":...,"exit":E,"payload":"..."}
+//   {"event":"error","id":...,"message":"..."}
+//   {"event":"cancelled","id":...}
+//
+// `payload` is byte-identical to the stdout of the equivalent one-shot CLI
+// invocation (same jobs/kernel) — the serve/CLI equivalence contract — and
+// `exit` is the CLI's unified exit code (0 ok, 1 check failed).  Progress
+// events carry counts only (never memory or class names), so an event
+// stream from a single-session server is byte-stable for any jobs value.
+//
+// parse_request is the hardened edge: malformed or truncated JSON, wrong
+// types, unknown fields and unknown kinds all throw ProtocolError (callers
+// turn it into an `error` event); it never crashes on hostile input
+// (fuzzed by tests/test_serve.cpp).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "march/kernel.h"
+#include "memsim/memory.h"
+
+namespace pmbist::serve {
+
+/// Raised for every malformed request line.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class RequestKind : std::uint8_t {
+  Campaign,  ///< fault-simulation coverage matrix for one algorithm
+  Soc,       ///< whole-chip scheduled BIST from an inline chip payload
+  Field,     ///< in-field windowed BIST from inline chip + profile payloads
+  Lint,      ///< static verification of an inline input
+  Cancel,    ///< abort a running session by id
+  Stats,     ///< cache hit/miss/eviction counters
+};
+
+[[nodiscard]] std::string_view to_string(RequestKind kind);
+
+/// One parsed request.  Field defaults equal the CLI's flag defaults, so
+/// a minimal request means the same thing as a bare CLI invocation.
+struct Request {
+  std::string id;
+  RequestKind kind = RequestKind::Stats;
+
+  // Shared engine options (campaign/soc/field).
+  int jobs = 0;  ///< 0 = hardware concurrency
+
+  // campaign (~ pmbist coverage)
+  std::string algorithm;  ///< library name or DSL text
+  memsim::MemoryGeometry geometry{.address_bits = 8, .word_bits = 1,
+                                  .num_ports = 1};
+  int samples = 64;
+  std::uint64_t seed = 1;
+  march::CampaignKernel kernel = march::CampaignKernel::Auto;
+  std::vector<std::string> fault_classes;  ///< empty = all classes
+
+  // soc / field (~ pmbist soc / pmbist field); `chip` and `profile` are
+  // inline payloads (chip accepts the text format or the JSON mirror).
+  std::string chip;
+  std::string profile;
+  double power_budget = -1.0;  ///< < 0 = keep the chip payload's budget
+  std::size_t max_failures = 1024;
+
+  // lint (~ pmbist lint); all payloads inline.
+  std::string input;
+  std::string unit = "input";
+  bool lint_json = false;
+  int storage_depth = 32;
+  int buffer_depth = 16;
+  std::string against;
+  // lint reuses `chip` for the profile-vs-chip cross-check payload.
+
+  // cancel
+  std::string target;  ///< id of the session to abort
+};
+
+/// Parses one request line.  Throws ProtocolError on anything malformed;
+/// never crashes on hostile input.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Event constructors: one complete JSON line each (no trailing newline),
+/// built through the deterministic JSON writer so escaping is correct and
+/// member order is fixed.
+[[nodiscard]] std::string event_accepted(const std::string& id);
+[[nodiscard]] std::string event_progress(const std::string& id, int done,
+                                         int total);
+[[nodiscard]] std::string event_result(const std::string& id, int exit_code,
+                                       const std::string& payload);
+[[nodiscard]] std::string event_error(const std::string& id,
+                                      const std::string& message);
+[[nodiscard]] std::string event_cancelled(const std::string& id);
+
+}  // namespace pmbist::serve

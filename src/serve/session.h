@@ -1,0 +1,28 @@
+#pragma once
+// One in-flight serve request.
+//
+// A Session is the server-side arena of one work request (campaign / soc /
+// field / lint): its identity, its cooperative cancellation flag (the
+// target of `cancel` requests, polled by the engines at shard boundaries
+// through common/cancel.h) and its progress counters.  Sessions live in
+// the Server's registry from `accepted` until the terminal event
+// (`result`, `error` or `cancelled`) has been emitted, and are reachable
+// by id for exactly that window — cancelling a finished session is an
+// error, which keeps cancel semantics unambiguous.
+
+#include <atomic>
+#include <string>
+
+namespace pmbist::serve {
+
+struct Session {
+  std::string id;
+  /// Set by a `cancel` request; engines poll it between shards.
+  std::atomic<bool> cancel{false};
+  /// Progress counters mirrored from the engine callbacks (exposed so
+  /// stats/debugging never has to parse the event stream).
+  std::atomic<int> done{0};
+  std::atomic<int> total{0};
+};
+
+}  // namespace pmbist::serve

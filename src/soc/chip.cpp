@@ -7,12 +7,18 @@
 #include <sstream>
 
 #include "march/coverage.h"
+#include "soc/chip_json.h"
+#include "soc/fault_codec.h"
 
 namespace pmbist::soc {
 namespace {
 
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
   throw ChipError{"chip file line " + std::to_string(line) + ": " + what};
+}
+
+[[noreturn]] void fail_at(const std::string& where, const std::string& what) {
+  throw ChipError{where + ": " + what};
 }
 
 /// Splits one line into tokens: double-quoted strings (kept verbatim, no
@@ -43,24 +49,31 @@ std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
   return tokens;
 }
 
-/// key=value arguments of one directive.
+/// key=value arguments of one directive (or one JSON fault object —
+/// `where` carries the error-message prefix either way).
 class Args {
  public:
   Args(const std::vector<std::string>& tokens, std::size_t first,
        std::size_t lineno)
-      : lineno_{lineno} {
+      : where_{"chip file line " + std::to_string(lineno)} {
     for (std::size_t i = first; i < tokens.size(); ++i) {
       const auto eq = tokens[i].find('=');
       if (eq == std::string::npos || eq == 0)
-        fail(lineno, "expected key=value, got '" + tokens[i] + "'");
+        fail_at(where_, "expected key=value, got '" + tokens[i] + "'");
       if (!kv_.emplace(tokens[i].substr(0, eq), tokens[i].substr(eq + 1))
                .second)
-        fail(lineno, "duplicate key '" + tokens[i].substr(0, eq) + "'");
+        fail_at(where_, "duplicate key '" + tokens[i].substr(0, eq) + "'");
     }
   }
 
+  Args(std::map<std::string, std::string> kv, std::string where)
+      : kv_{std::move(kv)}, where_{std::move(where)} {}
+
   [[nodiscard]] bool has(const std::string& key) const {
     return kv_.count(key) != 0;
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& map() const {
+    return kv_;
   }
 
   [[nodiscard]] std::uint64_t u64(const std::string& key) const {
@@ -71,7 +84,7 @@ class Args {
       if (used != text.size()) throw std::invalid_argument{text};
       return v;
     } catch (const std::exception&) {
-      fail(lineno_, "bad number for " + key + ": '" + text + "'");
+      fail_at(where_, "bad number for " + key + ": '" + text + "'");
     }
   }
   [[nodiscard]] std::uint64_t u64_or(const std::string& key,
@@ -86,7 +99,7 @@ class Args {
   }
   [[nodiscard]] bool flag(const std::string& key) const {
     const auto v = u64(key);
-    if (v > 1) fail(lineno_, key + " must be 0 or 1");
+    if (v > 1) fail_at(where_, key + " must be 0 or 1");
     return v != 0;
   }
   [[nodiscard]] bool flag_or(const std::string& key, bool fallback) const {
@@ -100,7 +113,7 @@ class Args {
       if (used != text.size()) throw std::invalid_argument{text};
       return v;
     } catch (const std::exception&) {
-      fail(lineno_, "bad number for " + key + ": '" + text + "'");
+      fail_at(where_, "bad number for " + key + ": '" + text + "'");
     }
   }
   /// "addr:bit" cell reference.
@@ -108,49 +121,51 @@ class Args {
     const auto& text = raw(key);
     const auto colon = text.find(':');
     if (colon == std::string::npos)
-      fail(lineno_, key + " must be <addr>:<bit>, got '" + text + "'");
+      fail_at(where_, key + " must be <addr>:<bit>, got '" + text + "'");
     try {
       return {static_cast<memsim::Address>(
                   std::stoull(text.substr(0, colon), nullptr, 0)),
               static_cast<int>(std::stoull(text.substr(colon + 1), nullptr,
                                            0))};
     } catch (const std::exception&) {
-      fail(lineno_, "bad cell reference '" + text + "'");
+      fail_at(where_, "bad cell reference '" + text + "'");
     }
   }
   [[nodiscard]] const std::string& raw(const std::string& key) const {
     const auto it = kv_.find(key);
-    if (it == kv_.end()) fail(lineno_, "missing " + key + "=");
+    if (it == kv_.end()) fail_at(where_, "missing " + key + "=");
     return it->second;
   }
+  [[nodiscard]] const std::string& where() const { return where_; }
 
  private:
   std::map<std::string, std::string> kv_;
-  std::size_t lineno_;
+  std::string where_;
 };
 
-memsim::FaultClass class_by_name(const std::string& name, std::size_t lineno) {
+memsim::FaultClass class_by_name(const std::string& name,
+                                 const std::string& where) {
   for (const auto cls : memsim::all_fault_classes())
     if (memsim::fault_class_name(cls) == name) return cls;
-  fail(lineno, "unknown fault class '" + name + "'");
+  fail_at(where, "unknown fault class '" + name + "'");
 }
 
 memsim::BitRef checked_cell(const Args& args, const std::string& key,
-                            const memsim::MemoryGeometry& g,
-                            std::size_t lineno) {
+                            const memsim::MemoryGeometry& g) {
   const auto c = args.cell(key);
   if (c.addr >= g.num_words() || c.bit < 0 || c.bit >= g.word_bits)
-    fail(lineno, key + "=" + std::to_string(c.addr) + ":" +
-                     std::to_string(c.bit) + " is outside the geometry");
+    fail_at(args.where(), key + "=" + std::to_string(c.addr) + ":" +
+                              std::to_string(c.bit) +
+                              " is outside the geometry");
   return c;
 }
 
-memsim::Fault parse_fault(const std::string& kind, const Args& args,
-                          const memsim::MemoryGeometry& g,
-                          std::size_t lineno) {
+memsim::Fault parse_fault_args(const std::string& kind, const Args& args,
+                               const memsim::MemoryGeometry& g) {
   using namespace memsim;
+  const std::string& where = args.where();
   auto cell = [&](const char* key = "cell") {
-    return checked_cell(args, key, g, lineno);
+    return checked_cell(args, key, g);
   };
   if (kind == "SAF") return StuckAtFault{cell(), args.flag("value")};
   if (kind == "TF") return TransitionFault{cell(), args.flag("rising")};
@@ -174,9 +189,9 @@ memsim::Fault parse_fault(const std::string& kind, const Args& args,
         af.physical.push_back(
             static_cast<Address>(std::stoull(part, nullptr, 0)));
     }
-    if (af.logical >= g.num_words()) fail(lineno, "logical address too big");
+    if (af.logical >= g.num_words()) fail_at(where, "logical address too big");
     for (const auto p : af.physical)
-      if (p >= g.num_words()) fail(lineno, "physical address too big");
+      if (p >= g.num_words()) fail_at(where, "physical address too big");
     return af;
   }
   if (kind == "SOF") return StuckOpenFault{cell()};
@@ -190,89 +205,50 @@ memsim::Fault parse_fault(const std::string& kind, const Args& args,
   if (kind == "PF") {
     const int port = args.num("port"), bit = args.num("bit");
     if (port < 1 || port >= g.num_ports || bit < 0 || bit >= g.word_bits)
-      fail(lineno, "port/bit outside the geometry");
+      fail_at(where, "port/bit outside the geometry");
     return PortReadFault{port, bit};
   }
   if (kind == "sample") {
-    const auto cls = class_by_name(args.raw("class"), lineno);
+    const auto cls = class_by_name(args.raw("class"), where);
     const auto seed = args.u64_or("seed", 1);
     const auto index = args.u64_or("index", 0);
     const auto universe = march::make_fault_universe(
         cls, g, seed, static_cast<int>(std::max<std::uint64_t>(64, index + 1)));
     if (universe.empty())
-      fail(lineno, "empty fault universe for this class/geometry");
+      fail_at(where, "empty fault universe for this class/geometry");
     return universe[index % universe.size()];
   }
-  fail(lineno, "unknown fault kind '" + kind + "'");
+  fail_at(where, "unknown fault kind '" + kind + "'");
 }
 
 // --- serialization ----------------------------------------------------
 
-std::string cell_text(const memsim::BitRef& c) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%u:%d", c.addr, c.bit);
-  return buf;
+std::string fault_text(const memsim::Fault& fault) {
+  const auto [kind, kv] = detail::fault_kv(fault);
+  std::string out = kind;
+  for (const auto& [key, value] : kv) out += " " + key + "=" + value;
+  return out;
 }
 
-std::string fault_text(const memsim::Fault& fault) {
-  using namespace memsim;
-  std::ostringstream os;
-  struct Visitor {
-    std::ostringstream& os;
-    void operator()(const StuckAtFault& f) {
-      os << "SAF cell=" << cell_text(f.cell) << " value=" << f.value;
-    }
-    void operator()(const TransitionFault& f) {
-      os << "TF cell=" << cell_text(f.cell) << " rising=" << f.rising;
-    }
-    void operator()(const InversionCouplingFault& f) {
-      os << "CFin aggressor=" << cell_text(f.aggressor)
-         << " victim=" << cell_text(f.victim) << " rising=" << f.on_rising;
-    }
-    void operator()(const IdempotentCouplingFault& f) {
-      os << "CFid aggressor=" << cell_text(f.aggressor)
-         << " victim=" << cell_text(f.victim) << " rising=" << f.on_rising
-         << " forced=" << f.forced_value;
-    }
-    void operator()(const StateCouplingFault& f) {
-      os << "CFst aggressor=" << cell_text(f.aggressor)
-         << " victim=" << cell_text(f.victim)
-         << " state=" << f.aggressor_state << " forced=" << f.forced_value;
-    }
-    void operator()(const AddressDecoderFault& f) {
-      os << "AF logical=" << f.logical << " physical=";
-      if (f.physical.empty()) {
-        os << "none";
-      } else {
-        for (std::size_t i = 0; i < f.physical.size(); ++i)
-          os << (i ? "," : "") << f.physical[i];
-      }
-    }
-    void operator()(const StuckOpenFault& f) {
-      os << "SOF cell=" << cell_text(f.cell);
-    }
-    void operator()(const DataRetentionFault& f) {
-      os << "DRF cell=" << cell_text(f.cell) << " leak_to=" << f.leak_to
-         << " hold_ns=" << f.hold_time_ns;
-    }
-    void operator()(const IncorrectReadFault& f) {
-      os << "IRF cell=" << cell_text(f.cell);
-    }
-    void operator()(const WriteDisturbFault& f) {
-      os << "WDF cell=" << cell_text(f.cell);
-    }
-    void operator()(const ReadDestructiveFault& f) {
-      os << (f.deceptive ? "DRDF" : "RDF") << " cell=" << cell_text(f.cell);
-    }
-    void operator()(const NeighborhoodPatternFault&) {
-      throw SocError{"NPSF faults are not expressible in a chip file"};
-    }
-    void operator()(const PortReadFault& f) {
-      os << "PF port=" << f.port << " bit=" << f.bit;
-    }
-  };
-  std::visit(Visitor{os}, fault);
-  return os.str();
+/// Quotes an algorithm reference for the chip file (no escaping needed:
+/// neither library names nor the DSL use double quotes).
+std::string quoted(const std::string& text) { return "\"" + text + "\""; }
+
+}  // namespace
+
+namespace detail {
+
+memsim::Fault parse_fault_kv(const std::string& kind,
+                             const std::map<std::string, std::string>& kv,
+                             const memsim::MemoryGeometry& geometry,
+                             const std::string& where) {
+  return parse_fault_args(kind, Args{kv, where}, geometry);
+}
+
+std::string cell_text(const memsim::BitRef& cell) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u:%d", cell.addr, cell.bit);
+  return buf;
 }
 
 std::string real_text(double v) {
@@ -281,11 +257,84 @@ std::string real_text(double v) {
   return buf;
 }
 
-/// Quotes an algorithm reference for the chip file (no escaping needed:
-/// neither library names nor the DSL use double quotes).
-std::string quoted(const std::string& text) { return "\"" + text + "\""; }
+std::pair<std::string, FaultKv> fault_kv(const memsim::Fault& fault) {
+  using namespace memsim;
+  auto on = [](bool b) { return std::string{b ? "1" : "0"}; };
+  struct Visitor {
+    decltype(on)& flag;
+    std::pair<std::string, FaultKv> operator()(const StuckAtFault& f) {
+      return {"SAF", {{"cell", cell_text(f.cell)}, {"value", flag(f.value)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(const TransitionFault& f) {
+      return {"TF",
+              {{"cell", cell_text(f.cell)}, {"rising", flag(f.rising)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(
+        const InversionCouplingFault& f) {
+      return {"CFin",
+              {{"aggressor", cell_text(f.aggressor)},
+               {"victim", cell_text(f.victim)},
+               {"rising", flag(f.on_rising)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(
+        const IdempotentCouplingFault& f) {
+      return {"CFid",
+              {{"aggressor", cell_text(f.aggressor)},
+               {"victim", cell_text(f.victim)},
+               {"rising", flag(f.on_rising)},
+               {"forced", flag(f.forced_value)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(const StateCouplingFault& f) {
+      return {"CFst",
+              {{"aggressor", cell_text(f.aggressor)},
+               {"victim", cell_text(f.victim)},
+               {"state", flag(f.aggressor_state)},
+               {"forced", flag(f.forced_value)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(const AddressDecoderFault& f) {
+      std::string physical;
+      if (f.physical.empty()) {
+        physical = "none";
+      } else {
+        for (std::size_t i = 0; i < f.physical.size(); ++i)
+          physical += (i ? "," : "") + std::to_string(f.physical[i]);
+      }
+      return {"AF",
+              {{"logical", std::to_string(f.logical)},
+               {"physical", std::move(physical)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(const StuckOpenFault& f) {
+      return {"SOF", {{"cell", cell_text(f.cell)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(const DataRetentionFault& f) {
+      return {"DRF",
+              {{"cell", cell_text(f.cell)},
+               {"leak_to", flag(f.leak_to)},
+               {"hold_ns", std::to_string(f.hold_time_ns)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(const IncorrectReadFault& f) {
+      return {"IRF", {{"cell", cell_text(f.cell)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(const WriteDisturbFault& f) {
+      return {"WDF", {{"cell", cell_text(f.cell)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(const ReadDestructiveFault& f) {
+      return {f.deceptive ? "DRDF" : "RDF", {{"cell", cell_text(f.cell)}}};
+    }
+    std::pair<std::string, FaultKv> operator()(
+        const NeighborhoodPatternFault&) {
+      throw SocError{"NPSF faults are not expressible in a chip file"};
+    }
+    std::pair<std::string, FaultKv> operator()(const PortReadFault& f) {
+      return {"PF",
+              {{"port", std::to_string(f.port)},
+               {"bit", std::to_string(f.bit)}}};
+    }
+  };
+  return std::visit(Visitor{on}, fault);
+}
 
-}  // namespace
+}  // namespace detail
 
 ChipFile parse_chip_text(const std::string& text,
                          const ChipParseOptions& options) {
@@ -334,7 +383,7 @@ ChipFile parse_chip_text(const std::string& text,
                            "' (declare mem first)");
         const Args args{tokens, 3, lineno};
         chip.description.add_fault(
-            tokens[1], parse_fault(tokens[2], args, mem->geometry, lineno));
+            tokens[1], parse_fault_args(tokens[2], args, mem->geometry));
       } else if (directive == "assign") {
         if (tokens.size() < 4)
           fail(lineno,
@@ -366,19 +415,28 @@ ChipFile parse_chip_text(const std::string& text,
   return chip;
 }
 
+ChipFile parse_chip(const std::string& text, const ChipParseOptions& options) {
+  // Sniff the format: a chip file cannot start with '{', a JSON mirror
+  // cannot start with anything else.
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '{')
+    return parse_chip_json(text, options);
+  return parse_chip_text(text, options);
+}
+
 ChipFile load_chip_file(const std::string& path) {
   std::ifstream is{path};
   if (!is) throw ChipError{"cannot open chip file '" + path + "'"};
   std::ostringstream os;
   os << is.rdbuf();
-  return parse_chip_text(os.str());
+  return parse_chip(os.str());
 }
 
 std::string to_chip_text(const SocDescription& chip, const TestPlan& plan) {
   std::ostringstream os;
   os << "soc " << chip.name() << "\n";
   if (plan.power().budget > 0.0)
-    os << "power_budget " << real_text(plan.power().budget) << "\n";
+    os << "power_budget " << detail::real_text(plan.power().budget) << "\n";
   os << "\n";
   for (const auto& m : chip.memories()) {
     os << "mem " << m.name << " addr_bits=" << m.geometry.address_bits;
@@ -404,7 +462,8 @@ std::string to_chip_text(const SocDescription& chip, const TestPlan& plan) {
     os << "assign " << a.memory << " " << quoted(a.algorithm) << " "
        << to_string(a.controller);
     if (!a.share_group.empty()) os << " group=" << a.share_group;
-    if (a.power_weight > 0.0) os << " weight=" << real_text(a.power_weight);
+    if (a.power_weight > 0.0)
+      os << " weight=" << detail::real_text(a.power_weight);
     os << "\n";
   }
   return os.str();

@@ -48,6 +48,13 @@ struct ChipParseOptions {
 [[nodiscard]] ChipFile parse_chip_text(const std::string& text,
                                        const ChipParseOptions& options = {});
 
+/// Format-sniffing front end: text starting with '{' parses as the JSON
+/// mirror (soc/chip_json.h), anything else as the line format.  Used by
+/// load_chip_file and by every consumer of inline chip payloads (the serve
+/// layer), so both formats are accepted everywhere a chip is accepted.
+[[nodiscard]] ChipFile parse_chip(const std::string& text,
+                                  const ChipParseOptions& options = {});
+
 /// Reads and parses a chip file from disk.  Throws ChipError when the file
 /// cannot be read.
 [[nodiscard]] ChipFile load_chip_file(const std::string& path);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <numeric>
 #include <set>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "diag/bitmap.h"
 #include "mbist_hardwired/controller.h"
@@ -354,13 +356,18 @@ SocResult Scheduler::run(const SocDescription& chip,
 
   std::vector<InstanceResult> results(n);
   std::vector<std::unique_ptr<PendingRetest>> pending(n);
+  std::atomic<int> done{0};
   common::parallel_shards(
       options_.jobs, static_cast<int>(units.size()), [&](int u) {
         ControllerSlot slot;
-        for (const auto idx : units[static_cast<std::size_t>(u)].members)
+        for (const auto idx : units[static_cast<std::size_t>(u)].members) {
+          common::throw_if_cancelled(options_.cancel);
           results[idx] = run_instance(
               assignments[idx], *tasks[idx].mem, tasks[idx].alg, slot,
               options_, options_.fold_retests ? &pending[idx] : nullptr);
+          if (options_.progress)
+            options_.progress(done.fetch_add(1) + 1, static_cast<int>(n));
+        }
       });
 
   SocResult out;
@@ -397,6 +404,7 @@ SocResult Scheduler::run(const SocDescription& chip,
           options_.jobs, static_cast<int>(runits.size()), [&](int u) {
             ControllerSlot slot;
             for (const auto j : runits[static_cast<std::size_t>(u)].members) {
+              common::throw_if_cancelled(options_.cancel);
               const auto idx = retest_idx[j];
               auto& p = *pending[idx];
               auto& controller =
@@ -438,6 +446,61 @@ SocResult Scheduler::run(const SocDescription& chip,
 SocResult run_soc(const SocDescription& chip, const TestPlan& plan,
                   const SchedulerOptions& options) {
   return Scheduler{options}.run(chip, plan);
+}
+
+std::string format_soc_report(const SocDescription& chip,
+                              const TestPlan& plan, const SocResult& result) {
+  std::string out;
+  char line[256];
+  auto emit = [&out, &line] { out += line; };
+
+  std::snprintf(line, sizeof line,
+                "chip '%s': %zu memories, power budget %g\n\n",
+                chip.name().c_str(), chip.memories().size(),
+                plan.power().budget);
+  emit();
+  std::snprintf(line, sizeof line, "%-12s %-10s %-14s %10s %10s %6s %s\n",
+                "memory", "ctrl", "algorithm", "start", "end", "weight",
+                "group");
+  emit();
+  for (const auto& s : result.schedule) {
+    std::snprintf(line, sizeof line, "%-12s %-10s %-14s %10llu %10llu %6g %s\n",
+                  s.memory.c_str(),
+                  std::string{to_string(s.controller)}.c_str(),
+                  s.algorithm.c_str(),
+                  static_cast<unsigned long long>(s.start_cycle),
+                  static_cast<unsigned long long>(s.end_cycle()),
+                  s.power_weight, s.share_group.c_str());
+    emit();
+  }
+  std::snprintf(line, sizeof line, "\nmakespan %llu cycles, peak power %g\n\n",
+                static_cast<unsigned long long>(result.makespan_cycles),
+                result.peak_power);
+  emit();
+  for (const auto& r : result.instances) {
+    std::string note;
+    if (r.repair) {
+      if (!r.repair->repairable) {
+        note = "  (unrepairable)";
+      } else if (r.repair->retest_passed) {
+        note = "  (repaired: " + std::to_string(r.repair->spare_rows_used) +
+               " spare rows, " + std::to_string(r.repair->spare_cols_used) +
+               " spare cols; retest clean)";
+      } else {
+        note = "  (repaired but retest failed)";
+      }
+    }
+    std::snprintf(line, sizeof line, "  %-12s %s  mismatches=%llu%s\n",
+                  r.memory.c_str(), r.healthy() ? "HEALTHY" : "FAULTY ",
+                  static_cast<unsigned long long>(r.session.mismatches),
+                  note.c_str());
+    emit();
+  }
+  std::snprintf(line, sizeof line, "\nchip %s: %d/%zu memories healthy\n",
+                result.all_healthy() ? "PASS" : "FAIL", result.healthy_count(),
+                result.instances.size());
+  emit();
+  return out;
 }
 
 }  // namespace pmbist::soc

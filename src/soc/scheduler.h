@@ -29,6 +29,8 @@
 // docs/SOC.md documents the power model, the sharing rules and this
 // scheduling contract.
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -52,6 +54,15 @@ struct SchedulerOptions {
   /// group and power constraints) instead of an immediate same-seat rerun.
   /// Models repair time honestly; verdicts are identical either way.
   bool fold_retests = false;
+  /// Optional cooperative cancellation flag (common/cancel.h): polled
+  /// between instances; run() throws common::Cancelled once in-flight
+  /// sessions drain.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Optional progress callback, invoked as (done, total) instance counts
+  /// after each first-pass instance completes.  Called from worker threads
+  /// (the callback must be thread-safe); carries counts only, so consumers
+  /// stay order-independent of the worker count.
+  std::function<void(int done, int total)> progress = nullptr;
 };
 
 /// One session in the modeled schedule.
@@ -148,6 +159,16 @@ class Scheduler {
 [[nodiscard]] SocResult run_soc(const SocDescription& chip,
                                 const TestPlan& plan,
                                 const SchedulerOptions& options = {});
+
+/// Canonical human-readable report of a whole-chip run: header, schedule
+/// table, makespan/peak-power summary, per-instance verdicts, final
+/// PASS/FAIL line.  Deliberately excludes wall_seconds, so the text is a
+/// pure function of (chip, plan) — `pmbist soc` and the serve layer both
+/// emit exactly this string, which is what pins serve responses
+/// byte-identical to one-shot CLI runs.
+[[nodiscard]] std::string format_soc_report(const SocDescription& chip,
+                                            const TestPlan& plan,
+                                            const SocResult& result);
 
 /// Constructs the controller a plan assignment runs on, loaded with `alg`,
 /// using the scheduler's shared storage sizing (microcode storage depth 64,

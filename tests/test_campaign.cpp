@@ -7,6 +7,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "march/campaign.h"
 #include "march/coverage.h"
@@ -146,48 +147,97 @@ TEST(Campaign, MatchesLegacySerialEvaluation) {
 // --- stream cache -----------------------------------------------------
 
 TEST(StreamCache, HitsAfterFirstExpansion) {
-  auto& cache = march::stream_cache();
-  cache.clear();
-  const auto before = cache.stats();
+  march::StreamCache cache;
 
   const auto alg = march::march_u();
   const auto s1 = cache.get(alg, kGeom);
   const auto mid = cache.stats();
-  EXPECT_EQ(mid.misses, before.misses + 1);
-  EXPECT_EQ(mid.hits, before.hits);
+  EXPECT_EQ(mid.misses, 1u);
+  EXPECT_EQ(mid.hits, 0u);
 
   const auto s2 = cache.get(alg, kGeom);
   const auto after = cache.stats();
-  EXPECT_EQ(after.misses, mid.misses);
-  EXPECT_EQ(after.hits, mid.hits + 1);
+  EXPECT_EQ(after.misses, 1u);
+  EXPECT_EQ(after.hits, 1u);
   EXPECT_EQ(s1.get(), s2.get());  // the same shared immutable stream
   EXPECT_EQ(*s1, march::expand(alg, kGeom));
 }
 
 TEST(StreamCache, GeometryIsPartOfTheKey) {
-  auto& cache = march::stream_cache();
-  cache.clear();
+  march::StreamCache cache;
   const auto alg = march::march_x();
-  const auto base = cache.stats();
   (void)cache.get(alg, kGeom);
   constexpr memsim::MemoryGeometry other{.address_bits = 4, .word_bits = 8,
                                          .num_ports = 1};
   (void)cache.get(alg, other);
-  const auto after = cache.stats();
-  EXPECT_EQ(after.misses, base.misses + 2);
+  EXPECT_EQ(cache.stats().misses, 2u);
 }
 
 TEST(StreamCache, NameIsNotPartOfTheKey) {
-  auto& cache = march::stream_cache();
-  cache.clear();
-  const auto base = cache.stats();
+  march::StreamCache cache;
   (void)cache.get(march::march_c(), kGeom);
   // Same canonical text under a different name re-uses the entry.
   march::MarchAlgorithm renamed{"renamed", march::march_c().elements()};
   (void)cache.get(renamed, kGeom);
   const auto after = cache.stats();
-  EXPECT_EQ(after.misses, base.misses + 1);
-  EXPECT_EQ(after.hits, base.hits + 1);
+  EXPECT_EQ(after.misses, 1u);
+  EXPECT_EQ(after.hits, 1u);
+}
+
+TEST(StreamCache, TwoInstancesShareNothing) {
+  // The reentrancy contract: caches are per-owner, so a second cache
+  // re-expands and neither sees the other's counters.
+  march::StreamCache a;
+  march::StreamCache b;
+  const auto sa = a.get(march::march_c(), kGeom);
+  const auto sb = b.get(march::march_c(), kGeom);
+  EXPECT_NE(sa.get(), sb.get());
+  EXPECT_EQ(*sa, *sb);
+  EXPECT_EQ(a.stats().misses, 1u);
+  EXPECT_EQ(b.stats().misses, 1u);
+  EXPECT_EQ(a.stats().hits, 0u);
+}
+
+TEST(StreamCache, LruEvictionUnderByteBudget) {
+  // Budget for barely more than one March C expansion: inserting a second
+  // algorithm must evict the least-recently-used entry, deterministically.
+  const auto stream_bytes = [&](const march::MarchAlgorithm& alg) {
+    return march::expand(alg, kGeom).size() * sizeof(march::MemOp);
+  };
+  const auto budget = stream_bytes(march::march_c()) +
+                      stream_bytes(march::march_x()) / 2;
+  march::StreamCache cache{budget};
+
+  (void)cache.get(march::march_c(), kGeom);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  (void)cache.get(march::march_x(), kGeom);  // busts the budget
+  const auto after = cache.stats();
+  EXPECT_EQ(after.evictions, 1u);
+  EXPECT_LE(after.bytes, budget);
+
+  // March C was evicted (LRU), so asking again is a miss, not a hit.
+  (void)cache.get(march::march_c(), kGeom);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(StreamCache, SoleEntryLargerThanBudgetIsKept) {
+  // A stream bigger than the whole budget must still be served and must
+  // not be evicted while it is the only entry (eviction keeps >= 1).
+  march::StreamCache cache{1};
+  const auto s = cache.get(march::march_c(), kGeom);
+  ASSERT_NE(s, nullptr);
+  const auto again = cache.get(march::march_c(), kGeom);
+  EXPECT_EQ(s.get(), again.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(StreamCache, EvictedStreamStaysValidForHolders) {
+  march::StreamCache cache{1};  // evicts on every second insert
+  const auto held = cache.get(march::march_c(), kGeom);
+  (void)cache.get(march::march_x(), kGeom);  // evicts March C
+  // The shared_ptr we hold is unaffected by the eviction.
+  EXPECT_EQ(*held, march::expand(march::march_c(), kGeom));
 }
 
 // --- FaultyMemory::reset ---------------------------------------------
@@ -273,19 +323,32 @@ TEST(ThreadPool, SubmitRunsTasks) {
   EXPECT_EQ(sum.load(), 32 * 31 / 2);
 }
 
-TEST(Campaign, DefaultJobsRoundTrip) {
-  const int saved = march::default_campaign_jobs();
-  march::set_default_campaign_jobs(2);
-  EXPECT_EQ(march::default_campaign_jobs(), 2);
-  // jobs=0 configs now use the process default; results stay identical.
+TEST(Campaign, JobsZeroMeansHardwareAndStaysIdentical) {
+  // jobs=0 resolves to hardware concurrency inside the engine (there is
+  // no process-wide default any more); results stay identical to serial.
   const auto universe =
       march::make_fault_universe(FaultClass::TF, kGeom, 5, 24);
-  const auto via_default =
+  const auto via_hardware =
       march::run_campaign(march::march_x(), kGeom, universe, {.jobs = 0});
   const auto explicit_serial =
       march::run_campaign(march::march_x(), kGeom, universe, {.jobs = 1});
-  EXPECT_EQ(via_default.records, explicit_serial.records);
-  march::set_default_campaign_jobs(saved);
+  EXPECT_EQ(via_hardware.records, explicit_serial.records);
+}
+
+TEST(Campaign, CancellationThrowsAndLeavesEngineReusable) {
+  const auto universe =
+      march::make_fault_universe(FaultClass::SAF, kGeom, 5, 64);
+  std::atomic<bool> cancel{true};  // pre-set: first shard poll throws
+  EXPECT_THROW(march::run_campaign(march::march_c(), kGeom, universe,
+                                   {.jobs = 2, .cancel = &cancel}),
+               common::Cancelled);
+  // A cancelled campaign must not poison the next one.
+  cancel.store(false);
+  const auto rerun = march::run_campaign(march::march_c(), kGeom, universe,
+                                         {.jobs = 2, .cancel = &cancel});
+  const auto reference =
+      march::run_campaign(march::march_c(), kGeom, universe, {.jobs = 1});
+  EXPECT_EQ(rerun.records, reference.records);
 }
 
 // --- scalar vs packed kernel equivalence ------------------------------
@@ -312,19 +375,14 @@ TEST(Kernel, NameParseRoundTrip) {
   EXPECT_EQ(march::parse_kernel(""), std::nullopt);
 }
 
-TEST(Kernel, DefaultRoundTripAndResolve) {
-  const auto saved = march::default_campaign_kernel();
-  march::set_default_campaign_kernel(CampaignKernel::Scalar);
-  EXPECT_EQ(march::default_campaign_kernel(), CampaignKernel::Scalar);
+TEST(Kernel, ResolveIsPureAndAutoMeansPacked) {
+  // No process-wide kernel default exists: resolution is a pure function.
   EXPECT_EQ(march::resolve_kernel(CampaignKernel::Auto),
+            CampaignKernel::Packed);
+  EXPECT_EQ(march::resolve_kernel(CampaignKernel::Scalar),
             CampaignKernel::Scalar);
-  // An explicit config still wins over the process default.
   EXPECT_EQ(march::resolve_kernel(CampaignKernel::Packed),
             CampaignKernel::Packed);
-  march::set_default_campaign_kernel(CampaignKernel::Auto);
-  EXPECT_EQ(march::resolve_kernel(CampaignKernel::Auto),
-            CampaignKernel::Packed);  // Auto-as-default falls back to Packed
-  march::set_default_campaign_kernel(saved);
 }
 
 TEST(Kernel, FullLibraryAllClassesEquivalence) {

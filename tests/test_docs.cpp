@@ -8,7 +8,12 @@
 // FieldError.  docs/LINT.md blocks tagged ```lint-<kind>:<CODE> are run
 // through the linter and must emit the named diagnostic code, and every
 // registered code must have such a block (api-only codes are pinned by
-// prose mention + a unit test in test_lint.cpp).  docs/KERNEL.md blocks
+// prose mention + a unit test in test_lint.cpp).  docs/SERVE.md blocks
+// tagged ```serve are request batches run through a fresh
+// serve::Server's pipe transport twice — the event stream must be
+// byte-stable, error-free and completely terminal — and every
+// ```serve-error line must answer with exactly one error event.
+// docs/KERNEL.md blocks
 // tagged ```kernel-check:class=...:n=...:seed=... hold a march DSL body
 // whose campaign is run under both the scalar and the packed kernel and
 // must produce byte-identical detection records.  The docs and the tools
@@ -23,13 +28,16 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "field/profile.h"
 #include "lint/diagnostics.h"
 #include "lint/driver.h"
 #include "march/campaign.h"
 #include "march/coverage.h"
 #include "march/parser.h"
+#include "serve/server.h"
 #include "soc/chip.h"
+#include "soc/chip_json.h"
 
 namespace {
 
@@ -318,6 +326,34 @@ TEST(DocExamples, ChipErrorExamplesAreRejected) {
   }
 }
 
+TEST(DocExamples, ChipJsonExamplesParseAndRoundTrip) {
+  const auto examples = doc_examples("docs/SOC.md", "chip-json");
+  int valid = 0, invalid = 0;
+  for (const auto& e : examples) (e.must_fail ? invalid : valid)++;
+  EXPECT_GE(valid, 1);
+  EXPECT_GE(invalid, 1);
+  for (const auto& e : examples) {
+    SCOPED_TRACE("docs/SOC.md:" + std::to_string(e.line));
+    if (e.must_fail) {
+      EXPECT_THROW((void)soc::parse_chip_json(e.text), soc::ChipError)
+          << e.text;
+      continue;
+    }
+    soc::ChipFile chip;
+    ASSERT_NO_THROW(chip = soc::parse_chip_json(e.text)) << e.text;
+    EXPECT_FALSE(chip.description.memories().empty());
+    // The serialized mirror re-parses to the same chip, and parse_chip
+    // sniffs the format from the leading '{'.
+    const auto printed =
+        soc::serialize_chip_json(chip.description, chip.plan);
+    soc::ChipFile again;
+    ASSERT_NO_THROW(again = soc::parse_chip_json(printed)) << printed;
+    EXPECT_EQ(again.description, chip.description) << printed;
+    EXPECT_EQ(again.plan, chip.plan) << printed;
+    EXPECT_EQ(soc::parse_chip(e.text).description, chip.description);
+  }
+}
+
 TEST(DocExamples, FieldDocHasExamples) {
   const auto examples = doc_examples("docs/FIELD.md", "profile");
   int valid = 0, invalid = 0;
@@ -397,6 +433,69 @@ TEST(DocExamples, CampaignsDocExists) {
   for (const auto& e : extract_examples(doc)) {
     if (!e.must_fail) {
       EXPECT_NO_THROW((void)march::parse(e.text));
+    }
+  }
+}
+
+TEST(DocExamples, ServeDocHasExamples) {
+  const auto examples = doc_examples("docs/SERVE.md", "serve");
+  int valid = 0, invalid = 0;
+  for (const auto& e : examples) (e.must_fail ? invalid : valid)++;
+  EXPECT_GE(valid, 3);
+  EXPECT_GE(invalid, 3);
+}
+
+TEST(DocExamples, ServeExamplesAreByteStableAndErrorFree) {
+  for (const auto& e : doc_examples("docs/SERVE.md", "serve")) {
+    if (e.must_fail) continue;
+    SCOPED_TRACE("docs/SERVE.md:" + std::to_string(e.line));
+
+    auto run = [&] {
+      serve::Server server{{.sessions = 1}};
+      std::istringstream in{e.text};
+      std::ostringstream out;
+      server.run_pipe(in, out);
+      return out.str();
+    };
+    const std::string first = run();
+    EXPECT_EQ(first, run()) << "pipe batch is not byte-stable";
+
+    // Every event line parses, none is an error, and every request in
+    // the batch reaches a terminal event.
+    std::vector<std::string> pending_ids;
+    {
+      std::istringstream requests{e.text};
+      for (std::string line; std::getline(requests, line);) {
+        const auto req = serve::parse_request(line);
+        if (req.kind != serve::RequestKind::Cancel) pending_ids.push_back(req.id);
+      }
+    }
+    std::istringstream events{first};
+    for (std::string line; std::getline(events, line);) {
+      common::json::Value doc;
+      ASSERT_NO_THROW(doc = common::json::Value::parse(line)) << line;
+      const auto* event = doc.find("event");
+      ASSERT_NE(event, nullptr) << line;
+      EXPECT_NE(event->as_string(), "error") << line;
+      if (event->as_string() == "result" || event->as_string() == "cancelled")
+        std::erase(pending_ids, doc.find("id")->as_string());
+    }
+    EXPECT_TRUE(pending_ids.empty())
+        << pending_ids.size() << " request(s) never reached a terminal event";
+  }
+}
+
+TEST(DocExamples, ServeErrorExamplesAnswerWithErrorEvents) {
+  serve::Server server{{.sessions = 1}};
+  for (const auto& e : doc_examples("docs/SERVE.md", "serve")) {
+    if (!e.must_fail) continue;
+    SCOPED_TRACE("docs/SERVE.md:" + std::to_string(e.line));
+    std::istringstream lines{e.text};
+    for (std::string line; std::getline(lines, line);) {
+      const auto events = server.call(line);
+      ASSERT_EQ(events.size(), 1u) << line;
+      const auto doc = common::json::Value::parse(events[0]);
+      EXPECT_EQ(doc.find("event")->as_string(), "error") << line;
     }
   }
 }

@@ -82,11 +82,10 @@ TEST(Prover, GuaranteedClassesReachFullSimulatedCoverage) {
                                         .num_ports = 1};
   // The prover is pinned against the campaign under BOTH kernels: a static
   // "guaranteed" that either the scalar reference or the packed PPSFP
-  // engine fails to reproduce is a bug in one of the three.
-  const auto saved_kernel = march::default_campaign_kernel();
+  // engine fails to reproduce is a bug in one of the three.  The kernel is
+  // carried per-evaluation (CoverageOptions::kernel) — no process state.
   for (const auto kernel :
        {march::CampaignKernel::Scalar, march::CampaignKernel::Packed}) {
-    march::set_default_campaign_kernel(kernel);
     for (const auto& alg : march::all_algorithms()) {
       const auto proof = lint::prove_coverage(alg);
       for (const auto& [cls, p] : proof.classes) {
@@ -96,7 +95,10 @@ TEST(Prover, GuaranteedClassesReachFullSimulatedCoverage) {
         if (cls == memsim::FaultClass::LF) continue;
         const auto cell = march::evaluate_coverage(
             alg, cls, geometry,
-            {.seed = 7, .max_instances_per_class = 32, .jobs = 1});
+            {.seed = 7,
+             .max_instances_per_class = 32,
+             .jobs = 1,
+             .kernel = kernel});
         ASSERT_GT(cell.total, 0) << alg.name();
         EXPECT_EQ(cell.detected, cell.total)
             << alg.name() << " / " << memsim::fault_class_name(cls)
@@ -105,7 +107,6 @@ TEST(Prover, GuaranteedClassesReachFullSimulatedCoverage) {
       }
     }
   }
-  march::set_default_campaign_kernel(saved_kernel);
 }
 
 TEST(Prover, EveryProofCarriesAWitness) {

@@ -37,6 +37,16 @@
 //       images, chip files and mission profiles (kind auto-detected;
 //       docs/LINT.md lists the diagnostic codes).  Exits nonzero when
 //       errors are found.
+//   pmbist serve     [--port N] [--sessions N] [--cache-mb N]
+//       Long-running BIST service (docs/SERVE.md): newline-delimited JSON
+//       requests in, JSON events out.  Without --port, reads stdin and
+//       writes stdout (batch/pipe mode); with --port, serves loopback TCP
+//       (0 = ephemeral, bound port printed on stderr).
+//
+// Exit codes are uniform across subcommands: 0 = success, 1 = the checked
+// artifact failed (BIST mismatch, unhealthy chip, lint errors), 2 = usage
+// or input errors.  `pmbist --help` (or `<command> --help`) prints the
+// usage text on stdout and exits 0.
 //
 // `assemble --hex` prints a portable microcode hex image; `run --program
 // <file>` loads such an image into the microcode controller instead of
@@ -52,6 +62,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -75,6 +86,7 @@
 #include "netlist/verilog.h"
 #include "field/manager.h"
 #include "field/profile.h"
+#include "serve/server.h"
 #include "soc/chip.h"
 #include "soc/scheduler.h"
 
@@ -106,12 +118,15 @@ struct Options {
   int buffer_depth = 16;
   std::string against;  ///< march source for translation validation
   bool fix = false;     ///< apply mechanical fixes and rewrite the file
+  int port = -1;        ///< serve: TCP port (-1 = pipe mode, 0 = ephemeral)
+  int sessions = 2;     ///< serve: concurrent session workers
+  int cache_mb = 64;    ///< serve: stream-cache byte budget in MiB
+  std::string payload_dir;  ///< serve pipe mode: mirror payloads here
 };
 
-[[noreturn]] void usage(const char* why = nullptr) {
-  if (why) std::fprintf(stderr, "error: %s\n\n", why);
+void print_usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: pmbist <command> [<algorithm|dsl>] [options]\n"
       "\n"
       "commands:\n"
@@ -127,6 +142,8 @@ struct Options {
       "  field           in-field transparent BIST inside idle windows\n"
       "  lint            static verifier for march / ucode / pFSM / chip /\n"
       "                  mission-profile inputs\n"
+      "  serve           long-running BIST service (JSON requests in, JSON\n"
+      "                  events out; docs/SERVE.md)\n"
       "\n"
       "options:\n"
       "  --arch ucode|pfsm|hardwired   controller architecture\n"
@@ -156,14 +173,42 @@ struct Options {
       "  --against SRC      translation validation: prove a controller image\n"
       "                     realizes SRC (march file, library name or DSL)\n"
       "  --fix              rewrite the input file with the mechanical fixes\n"
-      "                     (dead code / unused rows / no-op sweeps)\n");
+      "                     (dead code / unused rows / no-op sweeps)\n"
+      "\n"
+      "serve options:\n"
+      "  --port N           serve loopback TCP (0 = ephemeral port; default:\n"
+      "                     pipe mode on stdin/stdout)\n"
+      "  --sessions N       concurrent session workers (default 2)\n"
+      "  --cache-mb N       op-stream cache budget in MiB (default 64)\n"
+      "  --payload-dir DIR  pipe mode: mirror result payloads to DIR/<id>.out\n"
+      "\n"
+      "exit codes: 0 success, 1 check failed, 2 usage/input error\n"
+      "`pmbist --help` or `pmbist <command> --help` prints this text.\n");
+}
+
+[[noreturn]] void usage(const char* why = nullptr) {
+  if (why) std::fprintf(stderr, "error: %s\n\n", why);
+  print_usage(stderr);
   std::exit(2);
 }
 
 Options parse_args(int argc, char** argv) {
   Options opt;
+  // `--help` anywhere (and the bare `help` command) wins over everything
+  // else: print the usage text on stdout and exit 0, uniformly across
+  // subcommands.
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--help") == 0 || std::strcmp(argv[a], "-h") == 0) {
+      print_usage(stdout);
+      std::exit(0);
+    }
+  }
   if (argc < 2) usage();
   opt.command = argv[1];
+  if (opt.command == "help") {
+    print_usage(stdout);
+    std::exit(0);
+  }
   int i = 2;
   if (i < argc && argv[i][0] != '-') opt.algorithm = argv[i++];
   for (; i < argc; ++i) {
@@ -198,6 +243,10 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--buffer-depth") opt.buffer_depth = std::atoi(value());
     else if (arg == "--against") opt.against = value();
     else if (arg == "--fix") opt.fix = true;
+    else if (arg == "--port") opt.port = std::atoi(value());
+    else if (arg == "--sessions") opt.sessions = std::atoi(value());
+    else if (arg == "--cache-mb") opt.cache_mb = std::atoi(value());
+    else if (arg == "--payload-dir") opt.payload_dir = value();
     else usage(("unknown option " + arg).c_str());
   }
   return opt;
@@ -217,7 +266,7 @@ memsim::MemoryGeometry geometry_of(const Options& opt) {
                                 .num_ports = opt.ports};
 }
 
-int cmd_list() {
+int cmd_list(const Options& opt) {
   const auto algorithms = march::all_algorithms();
   std::printf("%-16s %5s %8s %8s\n", "algorithm", "ops/n", "ucode", "pFSM");
   for (const auto& alg : algorithms) {
@@ -231,7 +280,9 @@ int cmd_list() {
   std::printf("\n(* = Repeat-folded symmetric encoding)\n\n");
   std::printf("static qualification (G guaranteed / p partial / - none):\n");
   const auto& classes = memsim::all_fault_classes();
-  std::printf("%s", march::format_analysis_table(algorithms, classes).c_str());
+  std::printf("%s",
+              march::format_analysis_table(algorithms, classes, opt.jobs)
+                  .c_str());
   return 0;
 }
 
@@ -363,7 +414,8 @@ int cmd_coverage(const Options& opt) {
   const auto geometry = geometry_of(opt);
   const march::CoverageOptions copts{.seed = opt.seed,
                                      .max_instances_per_class = opt.samples,
-                                     .jobs = opt.jobs};
+                                     .jobs = opt.jobs,
+                                     .kernel = opt.kernel};
   const std::vector<march::MarchAlgorithm> algs{alg};
   const auto& classes = memsim::all_fault_classes();
   const auto rows = march::coverage_matrix(algs, classes, geometry, copts);
@@ -459,15 +511,9 @@ int cmd_lint(const Options& opt) {
                                 .chip = chip_text,
                                 .against = against};
   const lint::Report report = lint::lint_text(text, unit, lopts);
-  if (opt.json) {
-    std::printf("%s\n", lint::format_json(report).c_str());
-  } else {
-    std::printf("%s", lint::format_text(report).c_str());
-    std::printf("%s: %d error(s), %d warning(s), %d note(s)\n", unit.c_str(),
-                report.count(lint::Severity::Error),
-                report.count(lint::Severity::Warning),
-                report.count(lint::Severity::Note));
-  }
+  // format_cli is shared with the serve layer: serve lint payloads are
+  // byte-identical to this stdout by construction.
+  std::fputs(lint::format_cli(report, unit, opt.json).c_str(), stdout);
   return report.has_errors() ? 1 : 0;
 }
 
@@ -485,39 +531,12 @@ int cmd_soc(const Options& opt) {
       chip.description, chip.plan,
       {.jobs = opt.jobs, .max_failures = opt.max_failures});
 
-  std::printf("chip '%s': %zu memories, power budget %g\n\n",
-              chip.description.name().c_str(),
-              chip.description.memories().size(), chip.plan.power().budget);
-  std::printf("%-12s %-10s %-14s %10s %10s %6s %s\n", "memory", "ctrl",
-              "algorithm", "start", "end", "weight", "group");
-  for (const auto& s : result.schedule)
-    std::printf("%-12s %-10s %-14s %10llu %10llu %6g %s\n", s.memory.c_str(),
-                std::string{soc::to_string(s.controller)}.c_str(),
-                s.algorithm.c_str(),
-                static_cast<unsigned long long>(s.start_cycle),
-                static_cast<unsigned long long>(s.end_cycle()), s.power_weight,
-                s.share_group.c_str());
-  std::printf("\nmakespan %llu cycles, peak power %g, wall %.3f s\n\n",
-              static_cast<unsigned long long>(result.makespan_cycles),
-              result.peak_power, result.wall_seconds);
-  for (const auto& r : result.instances) {
-    std::string note;
-    if (r.repair) {
-      if (!r.repair->repairable) note = "  (unrepairable)";
-      else if (r.repair->retest_passed)
-        note = "  (repaired: " + std::to_string(r.repair->spare_rows_used) +
-               " spare rows, " + std::to_string(r.repair->spare_cols_used) +
-               " spare cols; retest clean)";
-      else note = "  (repaired but retest failed)";
-    }
-    std::printf("  %-12s %s  mismatches=%llu%s\n", r.memory.c_str(),
-                r.healthy() ? "HEALTHY" : "FAULTY ",
-                static_cast<unsigned long long>(r.session.mismatches),
-                note.c_str());
-  }
-  std::printf("\nchip %s: %d/%zu memories healthy\n",
-              result.all_healthy() ? "PASS" : "FAIL", result.healthy_count(),
-              result.instances.size());
+  // The report body is shared with the serve layer (byte-identical serve
+  // payloads); wall time is host noise, so it goes to stderr.
+  std::fputs(soc::format_soc_report(chip.description, chip.plan, result)
+                 .c_str(),
+             stdout);
+  std::fprintf(stderr, "wall %.3f s\n", result.wall_seconds);
   return result.all_healthy() ? 0 : 1;
 }
 
@@ -541,44 +560,35 @@ int cmd_field(const Options& opt) {
       chip.description, chip.plan, profile,
       {.jobs = opt.jobs, .max_failures = opt.max_failures});
 
-  std::printf(
-      "chip '%s', profile '%s': horizon %llu cycles, bus budget %llu\n\n",
-      report.chip.c_str(), report.profile.c_str(),
-      static_cast<unsigned long long>(report.horizon),
-      static_cast<unsigned long long>(report.bus_budget));
-  std::printf("%-12s %4s %6s %10s %10s %9s %s\n", "memory", "pass", "segs",
-              "start", "end", "reload", "kind");
-  for (const auto& s : report.sessions)
-    std::printf("%-12s %4d %3zu-%-3zu %10llu %10llu %9llu %s\n",
-                s.memory.c_str(), s.pass, s.segment_begin, s.segment_end,
-                static_cast<unsigned long long>(s.start_cycle),
-                static_cast<unsigned long long>(s.end_cycle),
-                static_cast<unsigned long long>(s.reload_cycles),
-                s.retest ? "retest" : "test");
-  std::printf("\nwindow utilization %.1f%%, bus stalls %llu cycles, "
-              "peak power %g, wall %.3f s\n\n",
-              100.0 * report.window_utilization,
-              static_cast<unsigned long long>(report.bus_stall_cycles),
-              report.peak_power, report.wall_seconds);
-  for (const auto& r : report.instances) {
-    std::string note;
-    if (r.repair) {
-      if (!r.repair->repairable) note = "  (unrepairable)";
-      else if (r.repair->retest_passed) note = "  (repaired; retest clean)";
-      else note = "  (repaired but retest failed)";
-    }
-    std::printf("  %-12s %s  passes=%d first=%llu staleness=%llu "
-                "stall=%llu%s\n",
-                r.memory.c_str(), r.healthy() ? "HEALTHY" : "FAULTY ",
-                r.completed_passes(),
-                static_cast<unsigned long long>(r.first_pass_cycle),
-                static_cast<unsigned long long>(r.staleness_cycles),
-                static_cast<unsigned long long>(r.stall_cycles), note.c_str());
-  }
-  std::printf("\nchip %s: %d/%zu memories healthy in the field\n",
-              report.all_healthy() ? "PASS" : "FAIL", report.healthy_count(),
-              report.instances.size());
+  // Shared with the serve layer, same as cmd_soc.
+  std::fputs(field::format_field_report(report).c_str(), stdout);
+  std::fprintf(stderr, "wall %.3f s\n", report.wall_seconds);
   return report.all_healthy() ? 0 : 1;
+}
+
+int cmd_serve(const Options& opt) {
+  serve::ServerOptions sopts;
+  sopts.sessions = opt.sessions;
+  sopts.stream_cache_bytes =
+      static_cast<std::size_t>(opt.cache_mb < 0 ? 0 : opt.cache_mb) << 20;
+  serve::Server server{sopts};
+
+  if (opt.port >= 0) {
+    std::string error;
+    const int rc = server.serve_tcp(
+        opt.port,
+        [](int bound) {
+          std::fprintf(stderr, "serving on 127.0.0.1:%d\n", bound);
+        },
+        &error);
+    if (rc != 0) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    return 0;
+  }
+  server.run_pipe(std::cin, std::cout, opt.payload_dir);
+  return 0;
 }
 
 }  // namespace
@@ -586,15 +596,14 @@ int cmd_field(const Options& opt) {
 int main(int argc, char** argv) {
   try {
     const Options opt = parse_args(argc, argv);
-    // --jobs and --kernel apply to every campaign-backed path (run with
-    // --fault, qualify, coverage, soc, field, list's qualification
-    // matrix): both are process-wide defaults the engine resolves.
-    march::set_default_campaign_jobs(opt.jobs);
-    march::set_default_campaign_kernel(opt.kernel);
-    if (opt.command == "list") return cmd_list();
+    // --jobs and --kernel are threaded explicitly into every
+    // campaign-backed path (qualify, coverage, soc, field, list's
+    // qualification matrix) — the engines hold no process-wide defaults.
+    if (opt.command == "list") return cmd_list(opt);
     if (opt.command == "export-decoder") return cmd_export_decoder();
     if (opt.command == "soc") return cmd_soc(opt);
     if (opt.command == "field") return cmd_field(opt);
+    if (opt.command == "serve") return cmd_serve(opt);
     if (opt.algorithm.empty() && opt.command != "area" &&
         !(opt.command == "run" && !opt.program_file.empty()) &&
         opt.command != "export")

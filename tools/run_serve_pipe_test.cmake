@@ -1,0 +1,25 @@
+# ctest driver: run the serve pipe transport over the committed request
+# batch and require the event stream to be byte-identical to the golden
+# responses.  Pipe mode executes one request at a time, so the stream is
+# deterministic by construction (docs/SERVE.md); this test keeps it that
+# way.
+#
+# Expects: -DPMBIST_CLI=<path> -DREQUESTS=<requests.ndjson>
+#          -DGOLDEN=<responses.golden> -DWORK=<scratch output file>
+
+execute_process(
+  COMMAND ${PMBIST_CLI} serve
+  INPUT_FILE ${REQUESTS}
+  OUTPUT_FILE ${WORK}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pmbist serve exited ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${WORK} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "serve pipe responses differ from golden ${GOLDEN}; inspect ${WORK}")
+endif()
