@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 build + test sweep (warnings are errors), the
-# example programs, a lint sweep of every shipped input file, a serve
+# example programs, a lint sweep of every shipped input file, a
+# nondeterminism grep-gate over shipped sources, a schedule-certificate
+# sweep (every emitted soc/field schedule must re-certify; the seeded-bad
+# corpus in tests/lint_cases/ must be rejected), a serve
 # pipe-transport smoke against the committed golden responses, a
 # ThreadSanitizer build that exercises the parallel engines (test_campaign +
 # test_soc + test_field + test_serve — test_campaign covers the packed
@@ -38,6 +41,47 @@ done
 for f in examples/*.profile; do
   echo "-- pmbist lint ${f} --chip examples/soc_demo.chip"
   ./build/tools/pmbist lint "${f}" --chip examples/soc_demo.chip > /dev/null
+done
+
+echo "== nondeterminism gate: no unseeded RNG / wall clock in src/ tools/ =="
+# Every engine result must be a pure function of its inputs and explicit
+# seeds; these primitives are how nondeterminism sneaks in.  Seeded
+# std::mt19937 in tests/benches is fine — this gate covers shipped code.
+if grep -rnE '\brand\(|time\(nullptr|std::random_device' src tools; then
+  echo "ci.sh: nondeterministic primitive in shipped code (seed it instead)" >&2
+  exit 1
+fi
+
+echo "== schedule certificates: emit -> re-certify every example =="
+mkdir -p build/certify
+./build/tools/pmbist soc --jobs 2 --certify \
+  --emit-schedule build/certify/demo.schedule > /dev/null
+for chip in examples/*.chip; do
+  base="$(basename "${chip}" .chip)"
+  ./build/tools/pmbist soc --chip "${chip}" --jobs 2 --certify \
+    --emit-schedule "build/certify/${base}.schedule" > /dev/null
+  ./build/tools/pmbist lint "build/certify/${base}.schedule" \
+    --chip "${chip}" > /dev/null
+done
+./build/tools/pmbist field --chip examples/soc_demo.chip \
+  --profile examples/soc_demo.profile --jobs 2 --certify \
+  --emit-schedule build/certify/soc_demo.fieldsched > /dev/null
+./build/tools/pmbist lint build/certify/soc_demo.fieldsched \
+  --chip examples/soc_demo.chip --profile examples/soc_demo.profile > /dev/null
+
+echo "== schedule certificates: seeded-bad corpus must be rejected =="
+for f in tests/lint_cases/*.schedule tests/lint_cases/*.fieldsched; do
+  ctx=(--chip examples/soc_demo.chip --profile examples/soc_demo.profile)
+  if [[ "$(basename "${f}")" == soc_demo.* ]]; then
+    echo "-- ${f} (baseline, must certify clean)"
+    ./build/tools/pmbist lint "${f}" "${ctx[@]}" > /dev/null
+  else
+    echo "-- ${f} (seeded corruption, must be rejected)"
+    if ./build/tools/pmbist lint "${f}" "${ctx[@]}" > /dev/null 2>&1; then
+      echo "ci.sh: ${f} certified clean but is a seeded-bad case" >&2
+      exit 1
+    fi
+  fi
 done
 
 echo "== serve smoke: deterministic pipe transport vs committed golden =="

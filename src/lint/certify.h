@@ -1,0 +1,94 @@
+#pragma once
+// Schedule certificate checker: independent static verification that a
+// SoC schedule (soc/schedule_io.h) or an in-field session table
+// (field/schedule_io.h) is feasible for the chip (and mission profile) it
+// claims to test.
+//
+// The certifier re-derives everything from first principles — the chip
+// file, the profile and the raw session list, never the scheduler's
+// internal state: session costs come from re-constructing the real
+// controllers (soc::make_plan_controller + bist::count_cycles;
+// field::segment_transparent), weights from TestPlan::effective_weight,
+// and feasibility from interval-overlap analysis over the declared
+// start/end cycles.  It proves *feasibility*, not optimality: any session
+// table that violates no constraint passes, whether or not the greedy
+// engines would have produced it.
+//
+// Checks (the SC diagnostic family, docs/LINT.md):
+//
+//   SC00  missing/invalid chip or profile context (driver-level)
+//   SC01  unknown, unassigned or duplicated memory in a session
+//   SC02  controller-seat overlap: two sessions of one share group
+//         overlap in time (half-open intervals)
+//   SC03  power overdraft: at some instant the summed re-derived toggle
+//         weights exceed the chip budget (scheduler tolerance, 1e-9)
+//   SC04  re-cost mismatch: stored load/test cycles (soc) or burst
+//         duration/reload (field) disagree with the re-derived controller
+//         or segment costs
+//   SC05  stored weight disagrees with the plan's effective weight
+//   SC06  an assigned memory never gets a first-pass session
+//   SC07  BISR retest precedes its triggering session, or targets an
+//         instance on which repair can never engage
+//   SC08  field burst outside every declared idle window (horizon-clipped)
+//   SC09  field burst breaks the segment resume chain (out-of-range
+//         segment indices, non-contiguous resume, overlapping bursts of
+//         one instance, pass started before the previous one finished)
+//   SC10  test-bus overdraft: more concurrent field bursts than
+//         MissionProfile::bus_budget lanes
+//   SC11  an interrupted transparent pass carries a MISR signature
+//         (FieldReport overload only — the on-disk table has no
+//         signatures; pinned api_only like PF03)
+//
+// `pmbist lint --certify` and the serve `certify` option run these after
+// every scheduler invocation; seeded-bad schedules in tests/lint_cases/
+// pin each rejection.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "field/manager.h"
+#include "field/schedule_io.h"
+#include "lint/diagnostics.h"
+#include "soc/schedule_io.h"
+
+namespace pmbist::lint {
+
+struct CertifyOptions {
+  /// Runaway-controller bound for the re-costing runs (matches the
+  /// scheduler/manager default).
+  std::uint64_t max_cycles = 1'000'000'000;
+};
+
+/// Certifies a SoC schedule against (chip, plan).  Never throws on a bad
+/// schedule — violations become SC diagnostics; an inconsistent chip/plan
+/// context itself becomes SC00.
+[[nodiscard]] Report certify_soc(const soc::SocDescription& chip,
+                                 const soc::TestPlan& plan,
+                                 const std::vector<soc::ScheduleEntry>& entries,
+                                 std::string unit = "schedule",
+                                 const CertifyOptions& options = {});
+
+/// Convenience overload for live scheduler output.
+[[nodiscard]] Report certify_soc(
+    const soc::SocDescription& chip, const soc::TestPlan& plan,
+    const std::vector<soc::ScheduledSession>& schedule,
+    std::string unit = "schedule", const CertifyOptions& options = {});
+
+/// Certifies an in-field session table against (chip, plan, profile).
+[[nodiscard]] Report certify_field(
+    const soc::SocDescription& chip, const soc::TestPlan& plan,
+    const field::MissionProfile& profile,
+    const std::vector<field::FieldScheduleEntry>& entries,
+    std::string unit = "fieldschedule", const CertifyOptions& options = {});
+
+/// Certifies a full FieldReport: the session table plus the
+/// signature-discipline check (SC11) over the executed passes.
+[[nodiscard]] Report certify_field(const soc::SocDescription& chip,
+                                   const soc::TestPlan& plan,
+                                   const field::MissionProfile& profile,
+                                   const field::FieldReport& report,
+                                   std::string unit = "fieldschedule",
+                                   const CertifyOptions& options = {});
+
+}  // namespace pmbist::lint

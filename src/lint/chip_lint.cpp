@@ -113,23 +113,33 @@ void lint_fault_escapes(const std::string& unit, const soc::TestAssignment& a,
 
 Report lint_chip_text(const std::string& text, std::string unit) {
   Report report;
-  const PreScan scan = pre_scan(text);
-  for (const auto& [name, lineno] : scan.duplicate_mems)
-    report.add("CH01", unit, lineno,
-               "duplicate memory instance '" + name + "' (first declared "
-               "on line " +
-                   std::to_string(line_of(scan.mem_line, name)) + ")",
-               "give every instance a unique name");
+  // The JSON mirror (soc/chip_json.h) has no meaningful line numbers and
+  // its object keys cannot express duplicate instances (the parser throws,
+  // which becomes CH02 below); the semantic checks are format-agnostic.
+  const auto first_char = text.find_first_not_of(" \t\r\n");
+  const bool is_json =
+      first_char != std::string::npos && text[first_char] == '{';
+  PreScan scan;
+  if (!is_json) {
+    scan = pre_scan(text);
+    for (const auto& [name, lineno] : scan.duplicate_mems)
+      report.add("CH01", unit, lineno,
+                 "duplicate memory instance '" + name + "' (first declared "
+                 "on line " +
+                     std::to_string(line_of(scan.mem_line, name)) + ")",
+                 "give every instance a unique name");
+  }
 
   soc::ChipFile chip;
   try {
-    chip = soc::parse_chip_text(text, {.validate_plan = false});
+    chip = soc::parse_chip(text, {.validate_plan = false});
   } catch (const std::exception& e) {
     if (report.empty()) {
       int lineno = -1;
       std::sscanf(e.what(), "chip file line %d:", &lineno);
       report.add("CH02", unit, lineno, e.what(),
-                 "see docs/SOC.md for the chip-file grammar");
+                 "see docs/SOC.md for the chip-file grammar (or the JSON "
+                 "mirror in docs/SERVE.md)");
     }
     return report;
   }

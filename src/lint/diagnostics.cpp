@@ -1,14 +1,17 @@
 #include "lint/diagnostics.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <sstream>
+#include <tuple>
+#include <vector>
 
 namespace pmbist::lint {
 namespace {
 
 // The stable code registry.  Append-only; codes keep their meaning forever.
-constexpr std::array<CodeInfo, 45> kCodes{{
+constexpr std::array<CodeInfo, 57> kCodes{{
     // March algorithms (MA).
     {"MA00", Severity::Error, "march text does not parse"},
     {"MA01", Severity::Error, "structurally invalid march algorithm"},
@@ -77,6 +80,31 @@ constexpr std::array<CodeInfo, 45> kCodes{{
      "tested memory has no usable idle window (never tested in the field)"},
     {"FP06", Severity::Warning,
      "idle window starts at or beyond the horizon"},
+    // Schedule certificates (SC) — `pmbist lint --certify` and the
+    // independent checker in lint/certify.h.
+    {"SC00", Severity::Error,
+     "schedule does not parse or lacks its chip/profile context"},
+    {"SC01", Severity::Error,
+     "session names an unknown, unassigned or duplicated memory"},
+    {"SC02", Severity::Error,
+     "controller-seat overlap inside one share group"},
+    {"SC03", Severity::Error,
+     "concurrent sessions exceed the chip power budget"},
+    {"SC04", Severity::Error,
+     "session duration disagrees with the re-derived controller cost"},
+    {"SC05", Severity::Error,
+     "session weight disagrees with the plan's effective weight"},
+    {"SC06", Severity::Error, "assigned memory is never scheduled"},
+    {"SC07", Severity::Error,
+     "BISR retest precedes its triggering session or can never engage"},
+    {"SC08", Severity::Error,
+     "field burst outside every declared idle window"},
+    {"SC09", Severity::Error,
+     "field burst breaks the segment resume chain"},
+    {"SC10", Severity::Error,
+     "concurrent field bursts exceed the test-bus lanes"},
+    {"SC11", Severity::Error,
+     "interrupted transparent pass carries a signature", true},
 }};
 
 void append_json_string(std::ostringstream& os, std::string_view s) {
@@ -166,10 +194,23 @@ std::string format_text(const Report& report) {
 }
 
 std::string format_json(const Report& report) {
+  // Machine-readable output is sorted by (unit, code, location) so the
+  // byte stream never depends on pass emission order (or a future
+  // parallel lint); the human-readable text keeps emission order, which
+  // follows the input's own structure.
+  std::vector<const Diagnostic*> ordered;
+  ordered.reserve(report.diagnostics().size());
+  for (const auto& d : report.diagnostics()) ordered.push_back(&d);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return std::tie(a->unit, a->code, a->index) <
+                            std::tie(b->unit, b->code, b->index);
+                   });
   std::ostringstream os;
   os << "{\"diagnostics\":[";
   bool first = true;
-  for (const auto& d : report.diagnostics()) {
+  for (const auto* dp : ordered) {
+    const auto& d = *dp;
     if (!first) os << ',';
     first = false;
     os << "{\"code\":";

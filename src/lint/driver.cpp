@@ -1,7 +1,12 @@
 #include "lint/driver.h"
 
+#include <cstdio>
 #include <sstream>
 
+#include "field/manager.h"
+#include "field/profile.h"
+#include "field/schedule_io.h"
+#include "lint/certify.h"
 #include "lint/chip_lint.h"
 #include "lint/equiv.h"
 #include "lint/lifter.h"
@@ -12,6 +17,9 @@
 #include "march/parser.h"
 #include "mbist_pfsm/isa.h"
 #include "mbist_ucode/isa.h"
+#include "soc/chip.h"
+#include "soc/schedule_io.h"
+#include "soc/scheduler.h"
 
 namespace pmbist::lint {
 namespace {
@@ -24,6 +32,22 @@ bool is_chip_directive(const std::string& word) {
 bool is_profile_directive(const std::string& word) {
   return word == "profile" || word == "window" || word == "horizon" ||
          word == "bus_budget";
+}
+
+bool is_soc_schedule_directive(const std::string& word) {
+  return word == "schedule" || word == "session";
+}
+
+bool is_field_schedule_directive(const std::string& word) {
+  return word == "fieldschedule" || word == "fsession";
+}
+
+/// Line number embedded in a schedule parse-error message, or -1.
+int schedule_lineno_of(const char* what) {
+  int lineno = -1;
+  std::sscanf(what, "schedule file line %d:", &lineno);
+  if (lineno < 0) std::sscanf(what, "field schedule line %d:", &lineno);
+  return lineno;
 }
 
 // The march parser has no comment syntax; on-disk .march files use the
@@ -185,6 +209,143 @@ Report lint_pfsm_text(const std::string& text, std::string unit,
   return report;
 }
 
+/// EQ00 for input kinds --against cannot apply to.
+void reject_against(const LintOptions& options, const std::string& unit,
+                    const char* what, Report& report) {
+  if (options.against.empty()) return;
+  report.add("EQ00", unit, -1,
+             std::string{"--against applies to controller images; this "
+                         "input is a "} +
+                 what,
+             "lint the assigned programs individually");
+}
+
+/// Parses the --chip context.  Returns false after adding SC00 when it is
+/// missing or does not parse (the schedule cannot be certified then).
+bool resolve_chip_context(const LintOptions& options, const std::string& unit,
+                          soc::ChipFile& chip, Report& report) {
+  if (options.chip.empty()) {
+    report.add("SC00", unit, -1,
+               "a schedule cannot be certified without its chip context",
+               "pass --chip CHIP (the file this schedule was computed for)");
+    return false;
+  }
+  try {
+    chip = soc::parse_chip(options.chip);
+    return true;
+  } catch (const std::exception& e) {
+    report.add("SC00", unit, -1,
+               std::string{"chip context is not certifiable: "} + e.what(),
+               "fix the chip file first (pmbist lint CHIP)");
+    return false;
+  }
+}
+
+Report lint_soc_schedule_text(const std::string& text, std::string unit,
+                              const LintOptions& options) {
+  Report report;
+  reject_against(options, unit, "SoC schedule", report);
+  soc::SocScheduleFile file;
+  try {
+    file = soc::parse_schedule_text(text);
+  } catch (const std::exception& e) {
+    report.add("SC00", std::move(unit), schedule_lineno_of(e.what()),
+               e.what(), "see docs/SOC.md for the .schedule grammar");
+    return report;
+  }
+  soc::ChipFile chip;
+  if (!resolve_chip_context(options, unit, chip, report)) return report;
+  report.merge(certify_soc(chip.description, chip.plan, file.entries,
+                           std::move(unit)));
+  return report;
+}
+
+Report lint_field_schedule_text(const std::string& text, std::string unit,
+                                const LintOptions& options) {
+  Report report;
+  reject_against(options, unit, "field schedule", report);
+  field::FieldScheduleFile file;
+  try {
+    file = field::parse_field_schedule_text(text);
+  } catch (const std::exception& e) {
+    report.add("SC00", std::move(unit), schedule_lineno_of(e.what()),
+               e.what(), "see docs/FIELD.md for the .fieldsched grammar");
+    return report;
+  }
+  soc::ChipFile chip;
+  if (!resolve_chip_context(options, unit, chip, report)) return report;
+  field::MissionProfile profile;
+  if (options.profile.empty()) {
+    report.add("SC00", std::move(unit), -1,
+               "a field schedule cannot be certified without its mission "
+               "profile",
+               "pass --profile PROFILE (the file this schedule was planned "
+               "for)");
+    return report;
+  }
+  try {
+    profile = field::parse_profile_text(options.profile);
+  } catch (const std::exception& e) {
+    report.add("SC00", std::move(unit), -1,
+               std::string{"profile context is not certifiable: "} + e.what(),
+               "fix the profile file first (pmbist lint PROFILE --chip CHIP)");
+    return report;
+  }
+  report.merge(certify_field(chip.description, chip.plan, profile,
+                             file.entries, std::move(unit)));
+  return report;
+}
+
+/// --certify behind a chip input: run the deterministic scheduling phase
+/// and certify its own output.  Skipped when the chip already has lint
+/// errors (there is no schedule to derive); a clean-linting chip whose
+/// schedule cannot be computed becomes SC00.
+void certify_chip_input(const std::string& text, const std::string& unit,
+                        Report& report) {
+  if (report.has_errors()) return;
+  try {
+    const soc::ChipFile chip = soc::parse_chip(text);
+    const soc::Scheduler scheduler;
+    report.merge(certify_soc(chip.description, chip.plan,
+                             scheduler.compute_schedule(chip.description,
+                                                        chip.plan),
+                             unit));
+  } catch (const std::exception& e) {
+    report.add("SC00", unit, -1,
+               std::string{"cannot derive a schedule to certify: "} +
+                   e.what(),
+               "fix the chip file first");
+  }
+}
+
+/// --certify behind a profile input: run the field manager against the
+/// --chip context and certify the planned session table (plus the
+/// signature discipline of the executed passes).
+void certify_profile_input(const std::string& text, const std::string& unit,
+                           const LintOptions& options, Report& report) {
+  if (report.has_errors()) return;
+  if (options.chip.empty()) {
+    report.add("SC00", unit, -1,
+               "a mission profile cannot be certified without its chip "
+               "context",
+               "pass --chip CHIP alongside --certify");
+    return;
+  }
+  try {
+    const soc::ChipFile chip = soc::parse_chip(options.chip);
+    const field::MissionProfile profile = field::parse_profile_text(text);
+    const field::FieldReport fieldreport = field::run_field(
+        chip.description, chip.plan, profile, {.jobs = 1});
+    report.merge(certify_field(chip.description, chip.plan, profile,
+                               fieldreport, unit));
+  } catch (const std::exception& e) {
+    report.add("SC00", unit, -1,
+               std::string{"cannot derive a field schedule to certify: "} +
+                   e.what(),
+               "fix the chip and profile files first");
+  }
+}
+
 }  // namespace
 
 std::string_view to_string(InputKind kind) {
@@ -194,6 +355,8 @@ std::string_view to_string(InputKind kind) {
     case InputKind::PfsmImage: return "pfsm";
     case InputKind::Chip: return "chip";
     case InputKind::Profile: return "profile";
+    case InputKind::SocSchedule: return "soc-schedule";
+    case InputKind::FieldSchedule: return "field-schedule";
   }
   return "?";
 }
@@ -203,6 +366,10 @@ InputKind detect_kind(const std::string& text) {
     return InputKind::UcodeImage;
   if (text.find("pmbist pfsm image") != std::string::npos)
     return InputKind::PfsmImage;
+  // The chip JSON mirror: the only accepted format that is a JSON object.
+  const auto first_char = text.find_first_not_of(" \t\r\n");
+  if (first_char != std::string::npos && text[first_char] == '{')
+    return InputKind::Chip;
   std::istringstream lines{text};
   std::string line;
   while (std::getline(lines, line)) {
@@ -211,6 +378,8 @@ InputKind detect_kind(const std::string& text) {
     if (!(words >> first)) continue;
     if (is_chip_directive(first)) return InputKind::Chip;
     if (is_profile_directive(first)) return InputKind::Profile;
+    if (is_soc_schedule_directive(first)) return InputKind::SocSchedule;
+    if (is_field_schedule_directive(first)) return InputKind::FieldSchedule;
     return InputKind::March;
   }
   return InputKind::March;
@@ -232,7 +401,8 @@ Report lint_text_as(InputKind kind, const std::string& text, std::string unit,
                    "--against applies to controller images; this input is a "
                    "chip file",
                    "lint the assigned programs individually");
-      report.merge(lint_chip_text(text, std::move(unit)));
+      report.merge(lint_chip_text(text, unit));
+      if (options.certify) certify_chip_input(text, unit, report);
       return report;
     }
     case InputKind::Profile: {
@@ -242,9 +412,14 @@ Report lint_text_as(InputKind kind, const std::string& text, std::string unit,
                    "--against applies to controller images; this input is a "
                    "mission profile",
                    "lint the assigned programs individually");
-      report.merge(lint_profile_text(text, std::move(unit), options.chip));
+      report.merge(lint_profile_text(text, unit, options.chip));
+      if (options.certify) certify_profile_input(text, unit, options, report);
       return report;
     }
+    case InputKind::SocSchedule:
+      return lint_soc_schedule_text(text, std::move(unit), options);
+    case InputKind::FieldSchedule:
+      return lint_field_schedule_text(text, std::move(unit), options);
   }
   return {};
 }

@@ -14,13 +14,25 @@
 //     loop structure and does not lint worse than the original.
 //   - pFSM: drop the unused rows after the first path-B (port loop / test
 //     end) row — the circular buffer never runs them.
+//   - march: remove dead elements, gated by the semantic-diff guarantee —
+//     a removal is kept only when the shrunk algorithm still validates,
+//     the coverage prover's guaranteed fault classes stay a superset of
+//     the original's (the prover verdict is unchanged-or-better) and the
+//     march lint does not get worse.  Library algorithms are canonical
+//     and never rewritten.
+//   - chip: drop spare resources that can never engage (CH09) and raise
+//     an infeasible power budget to admit the heaviest single session
+//     (CH07), gated by the schedule-certificate guarantee — the rewritten
+//     chip must re-lint no worse AND its re-computed schedule must pass
+//     the certificate checker (lint/certify.h) with zero errors.
 //
-// March and chip inputs have no mechanical subset (their fix hints are
+// Profile inputs have no mechanical subset (their fix hints are
 // semantic); fix_text reports them unfixable rather than guessing.
 
 #include <string>
 
 #include "lint/driver.h"
+#include "march/march.h"
 #include "mbist_pfsm/isa.h"
 #include "mbist_ucode/isa.h"
 
@@ -38,15 +50,24 @@ FixOutcome fix_ucode(mbist_ucode::MicrocodeProgram& program);
 /// Drops the unused rows after the first port-loop row.  Never throws.
 FixOutcome fix_pfsm(mbist_pfsm::PfsmProgram& program);
 
+/// Removes dead elements from `alg` in place, gated by the prover +
+/// march-lint guarantee described above.  Never throws.
+FixOutcome fix_march(march::MarchAlgorithm& alg);
+
 struct FixResult {
   bool changed = false;
-  std::string text;     ///< rewritten hex image (valid when changed)
+  std::string text;     ///< rewritten input (valid when changed)
   std::string summary;  ///< what was fixed, or why nothing was
 };
 
-/// Sniffs the input kind and applies the matching mechanical fix.  March /
-/// chip inputs and unparseable images return changed=false with the reason
-/// in `summary`.  Never throws.
+/// Chip-file repairs (text format only) gated by the certificate
+/// guarantee.  Never throws.
+[[nodiscard]] FixResult fix_chip_text(const std::string& text,
+                                      const std::string& unit);
+
+/// Sniffs the input kind and applies the matching mechanical fix.
+/// Profile inputs and unparseable images return changed=false with the
+/// reason in `summary`.  Never throws.
 [[nodiscard]] FixResult fix_text(const std::string& text,
                                  const std::string& unit);
 

@@ -125,7 +125,7 @@ void parse_field(const json::Value& obj, Request& req) {
 
 void parse_lint(const json::Value& obj, Request& req) {
   check_fields(obj, {"input", "unit", "json", "storage_depth", "buffer_depth",
-                     "against", "chip"});
+                     "against", "chip", "profile", "certify"});
   req.input = require_string(obj, "input");
   if (const json::Value* unit = obj.find("unit"); unit != nullptr) {
     if (!unit->is_string()) fail("field 'unit' must be a string");
@@ -136,6 +136,8 @@ void parse_lint(const json::Value& obj, Request& req) {
   req.buffer_depth = field_int(obj, "buffer_depth", 16, 1, 1 << 16);
   req.against = field_string(obj, "against");
   req.chip = field_string(obj, "chip");
+  req.profile = field_string(obj, "profile");
+  req.certify = field_bool(obj, "certify", false);
 }
 
 void parse_cancel(const json::Value& obj, Request& req) {

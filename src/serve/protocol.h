@@ -86,7 +86,9 @@ struct Request {
   int storage_depth = 32;
   int buffer_depth = 16;
   std::string against;
-  // lint reuses `chip` for the profile-vs-chip cross-check payload.
+  bool certify = false;  ///< lint: run the schedule certificate checker
+  // lint reuses `chip` for the profile-vs-chip cross-check payload and
+  // `profile` for field-schedule certification.
 
   // cancel
   std::string target;  ///< id of the session to abort

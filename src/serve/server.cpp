@@ -21,6 +21,8 @@
 #include "common/json.h"
 #include "field/manager.h"
 #include "field/profile.h"
+#include "lint/certify.h"
+#include "lint/diagnostics.h"
 #include "lint/driver.h"
 #include "march/coverage.h"
 #include "march/library.h"
@@ -62,7 +64,18 @@ std::uint64_t lint_key(const Request& req) {
   mix(std::to_string(req.buffer_depth));
   mix(req.against);
   mix(req.chip);
+  mix(req.profile);
+  mix(req.certify ? "certify" : "");
   return key;
+}
+
+/// Certify gate for exec_soc/exec_field under ServerOptions::certify: a
+/// certificate violation fails the whole request (the caller turns the
+/// throw into an `error` event) — never a corrupted-but-replied result.
+void require_certified(const lint::Report& report, const char* what) {
+  if (!report.has_errors()) return;
+  throw std::runtime_error(std::string("schedule certificate failed (") +
+                           what + "):\n" + lint::format_text(report));
 }
 
 json::Value cache_stats_json(std::uint64_t hits, std::uint64_t misses,
@@ -239,6 +252,10 @@ Server::ExecResult Server::exec_soc(const Request& req, Session& session,
         emit(sink, event_progress(req.id, done, total));
       }};
   const auto result = soc::run_soc(chip.description, chip.plan, opts);
+  if (options_.certify)
+    require_certified(
+        lint::certify_soc(chip.description, chip.plan, result.schedule),
+        "soc");
   return {result.all_healthy() ? 0 : 1,
           soc::format_soc_report(chip.description, chip.plan, result)};
 }
@@ -259,6 +276,10 @@ Server::ExecResult Server::exec_field(const Request& req, Session& session,
       }};
   const auto report = field::run_field(chip.description, chip.plan, profile,
                                        opts);
+  if (options_.certify)
+    require_certified(
+        lint::certify_field(chip.description, chip.plan, profile, report),
+        "field");
   return {report.all_healthy() ? 0 : 1, field::format_field_report(report)};
 }
 
@@ -270,6 +291,8 @@ Server::ExecResult Server::exec_lint(const Request& req) {
   const lint::LintOptions lopts{.storage_depth = req.storage_depth,
                                 .buffer_depth = req.buffer_depth,
                                 .chip = req.chip,
+                                .profile = req.profile,
+                                .certify = req.certify,
                                 .against = req.against};
   const lint::Report report = lint::lint_text(req.input, req.unit, lopts);
   VerdictCache::Verdict verdict{lint::format_cli(report, req.unit,

@@ -60,6 +60,11 @@ struct ServerOptions {
   std::size_t stream_cache_bytes = 64u << 20;
   /// Entry budget of the lint-verdict cache (0 = unbounded).
   std::size_t lint_cache_entries = 256;
+  /// Certify every soc/field schedule with the certificate checker
+  /// (lint/certify.h) before replying; a violation fails the request with
+  /// an `error` event instead of a `result`.  The debug/CI belt — result
+  /// payloads are unchanged when the certificate holds.
+  bool certify = false;
 };
 
 class Server {

@@ -152,6 +152,9 @@ std::vector<LintExample> lint_doc_examples() {
         else if (key == "chip")  // repo-relative path, read like --chip
           current.options.chip =
               read_file(std::string{PMBIST_SOURCE_DIR} + "/" + value);
+        else if (key == "profile")  // repo-relative path, read like --profile
+          current.options.profile =
+              read_file(std::string{PMBIST_SOURCE_DIR} + "/" + value);
         else ADD_FAILURE() << "docs/LINT.md:" << lineno << ": unknown option "
                            << key;
       }
@@ -255,6 +258,8 @@ lint::InputKind lint_kind_of(const std::string& kind) {
   if (kind == "pfsm") return lint::InputKind::PfsmImage;
   if (kind == "chip") return lint::InputKind::Chip;
   if (kind == "profile") return lint::InputKind::Profile;
+  if (kind == "soc-schedule") return lint::InputKind::SocSchedule;
+  if (kind == "field-schedule") return lint::InputKind::FieldSchedule;
   ADD_FAILURE() << "unknown lint block kind " << kind;
   return lint::InputKind::March;
 }

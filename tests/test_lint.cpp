@@ -20,6 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "field/manager.h"
+#include "field/profile.h"
+#include "field/schedule_io.h"
+#include "lint/certify.h"
 #include "lint/chip_lint.h"
 #include "lint/diagnostics.h"
 #include "lint/driver.h"
@@ -37,6 +41,10 @@
 #include "march/parser.h"
 #include "mbist_pfsm/compiler.h"
 #include "mbist_ucode/assembler.h"
+#include "soc/chip.h"
+#include "soc/chip_json.h"
+#include "soc/schedule_io.h"
+#include "soc/scheduler.h"
 
 namespace {
 
@@ -54,6 +62,15 @@ std::string read_case(const std::string& name) {
 
 lint::Report lint_case(const std::string& name) {
   return lint::lint_text(read_case(name), name);
+}
+
+std::string read_repo_file(const std::string& rel) {
+  const std::string path = std::string{PMBIST_SOURCE_DIR} + "/" + rel;
+  std::ifstream in{path};
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
 }
 
 // ---------------------------------------------------------------------------
@@ -365,11 +382,18 @@ TEST(Fix, FixTextHandlesEveryInputKind) {
   const auto clean = lint::fix_text(clean_hex, "u");
   EXPECT_FALSE(clean.changed);
 
-  // March / chip inputs have no mechanical subset.
+  // Library algorithms are canonical; the march fixer never rewrites them.
   const auto march_fix = lint::fix_text("March C", "m");
   EXPECT_FALSE(march_fix.changed);
-  EXPECT_NE(march_fix.summary.find("controller images"), std::string::npos)
+  EXPECT_NE(march_fix.summary.find("canonical"), std::string::npos)
       << march_fix.summary;
+
+  // Profiles have no mechanical subset.
+  const auto profile_fix =
+      lint::fix_text("profile p\nwindow a start=0 end=10\n", "p");
+  EXPECT_FALSE(profile_fix.changed);
+  EXPECT_NE(profile_fix.summary.find("semantic"), std::string::npos)
+      << profile_fix.summary;
 
   // Unparseable images are reported, not thrown.
   const auto broken =
@@ -657,6 +681,11 @@ TEST(Driver, DetectsEveryInputKind) {
             lint::InputKind::Profile);
   EXPECT_EQ(lint::detect_kind("# idle spans\nbus_budget 2\n"),
             lint::InputKind::Profile);
+  EXPECT_EQ(lint::detect_kind("{\"soc\":\"x\"}"), lint::InputKind::Chip);
+  EXPECT_EQ(lint::detect_kind("schedule s\nsession a start=0 load=1 test=2\n"),
+            lint::InputKind::SocSchedule);
+  EXPECT_EQ(lint::detect_kind("# emitted\nfieldschedule f\n"),
+            lint::InputKind::FieldSchedule);
   EXPECT_EQ(lint::detect_kind(""), lint::InputKind::March);
 }
 
@@ -809,6 +838,406 @@ TEST(ErrorLocations, LoadersAgreeOnTruncatedInput) {
   });
   EXPECT_EQ(u_empty, p_empty) << u_empty << "\nvs\n" << p_empty;
   EXPECT_EQ(u_empty, "image has no instructions (1 line(s) scanned)");
+}
+
+// ---------------------------------------------------------------------------
+// Schedule certificates: the independent checker (lint/certify.h), the
+// .schedule/.fieldsched formats, and the driver routing behind
+// `pmbist lint --certify`.
+
+soc::ChipFile example_chip() {
+  return soc::parse_chip(read_repo_file("examples/soc_demo.chip"));
+}
+
+field::MissionProfile example_profile() {
+  return field::parse_profile_text(
+      read_repo_file("examples/soc_demo.profile"));
+}
+
+TEST(Certify, ComputedSocScheduleIsClean) {
+  const auto chip = example_chip();
+  const auto schedule =
+      soc::Scheduler{}.compute_schedule(chip.description, chip.plan);
+  ASSERT_FALSE(schedule.empty());
+  const auto report =
+      lint::certify_soc(chip.description, chip.plan, schedule);
+  EXPECT_TRUE(report.empty()) << lint::format_text(report);
+}
+
+TEST(Certify, FoldedRetestScheduleIsClean) {
+  // fold_retests queues the BISR second passes as scheduled sessions; the
+  // certifier must accept them (including the retest-after-first-pass
+  // precedence it checks for SC07).
+  const auto chip = example_chip();
+  const auto result = soc::run_soc(chip.description, chip.plan,
+                                   {.jobs = 1, .fold_retests = true});
+  bool any_retest = false;
+  for (const auto& s : result.schedule) any_retest |= s.retest;
+  EXPECT_TRUE(any_retest) << "demo chip should trigger BISR retests";
+  const auto report =
+      lint::certify_soc(chip.description, chip.plan, result.schedule);
+  EXPECT_TRUE(report.empty()) << lint::format_text(report);
+}
+
+TEST(Certify, SeededSocCorruptionsFireTheirCodes) {
+  const auto chip = example_chip();
+  const auto base = soc::schedule_entries(
+      soc::Scheduler{}.compute_schedule(chip.description, chip.plan));
+  ASSERT_GE(base.size(), 8u);
+
+  const auto certify = [&](std::vector<soc::ScheduleEntry> entries) {
+    return lint::certify_soc(chip.description, chip.plan, entries);
+  };
+  const auto at = [&](const std::string& mem) -> std::size_t {
+    for (std::size_t i = 0; i < base.size(); ++i)
+      if (base[i].memory == mem) return i;
+    ADD_FAILURE() << mem << " not scheduled";
+    return 0;
+  };
+
+  // SC01: a session for a memory the chip does not have.
+  auto unknown = base;
+  unknown[0].memory = "phantom";
+  EXPECT_TRUE(certify(unknown).has_code("SC01"));
+  // SC01: the same memory tested twice in one pass.
+  auto dup = base;
+  dup.push_back(base[at("gpu_tile")]);
+  EXPECT_TRUE(certify(dup).has_code("SC01"));
+  // SC02: icache and dcache share the cpu_ctrl seat; forcing icache to
+  // start at 0 overlaps dcache's session on that seat.
+  auto seat = base;
+  seat[at("icache")].start = seat[at("dcache")].start;
+  EXPECT_TRUE(certify(seat).has_code("SC02"));
+  // SC03: nic_fifo is seat-independent, but pulling it to cycle 0 pushes
+  // the summed toggle weight past the 40-unit budget.
+  auto power = base;
+  power[at("nic_fifo")].start = 0;
+  EXPECT_TRUE(certify(power).has_code("SC03"));
+  // SC04: stored cycle counts disagree with the re-derived controller run.
+  auto recost = base;
+  recost[0].test += 1;
+  EXPECT_TRUE(certify(recost).has_code("SC04"));
+  // SC05: stored weight disagrees with the plan's effective weight.
+  auto weight = base;
+  weight[0].weight += 1.0;
+  EXPECT_TRUE(certify(weight).has_code("SC05"));
+  // SC06: an assigned memory silently dropped from the schedule.
+  auto missing = base;
+  missing.erase(missing.begin());
+  EXPECT_TRUE(certify(missing).has_code("SC06"));
+  // SC07: a retest of gpu_tile, where repair can never engage (no spares).
+  auto no_repair = base;
+  auto ghost = base[at("gpu_tile")];
+  ghost.retest = true;
+  no_repair.push_back(ghost);
+  EXPECT_TRUE(certify(no_repair).has_code("SC07"));
+  // SC07: a fuse_box retest that starts before its first pass finishes.
+  auto early = base;
+  auto retest = base[at("fuse_box")];
+  retest.retest = true;
+  early.push_back(retest);
+  EXPECT_TRUE(certify(early).has_code("SC07"));
+}
+
+TEST(Certify, FieldSessionTableIsClean) {
+  const auto chip = example_chip();
+  const auto profile = example_profile();
+  const auto report = field::run_field(chip.description, chip.plan, profile,
+                                       {.jobs = 1});
+  ASSERT_FALSE(report.sessions.empty());
+  // Both overloads: the raw session table and the full report (which adds
+  // the SC11 signature-discipline sweep).
+  const auto table = lint::certify_field(
+      chip.description, chip.plan, profile,
+      field::field_schedule_entries(report.sessions));
+  EXPECT_TRUE(table.empty()) << lint::format_text(table);
+  const auto full =
+      lint::certify_field(chip.description, chip.plan, profile, report);
+  EXPECT_TRUE(full.empty()) << lint::format_text(full);
+}
+
+TEST(Certify, SeededFieldCorruptionsFireTheirCodes) {
+  const auto chip = example_chip();
+  const auto profile = example_profile();
+  const auto report = field::run_field(chip.description, chip.plan, profile,
+                                       {.jobs = 1});
+  const auto base = field::field_schedule_entries(report.sessions);
+  ASSERT_GE(base.size(), 4u);
+
+  const auto certify = [&](std::vector<field::FieldScheduleEntry> entries) {
+    return lint::certify_field(chip.description, chip.plan, profile,
+                               entries);
+  };
+
+  // SC01: a burst for a memory outside the plan.
+  auto unknown = base;
+  unknown[0].session.memory = "phantom";
+  EXPECT_TRUE(certify(unknown).has_code("SC01"));
+  // SC07: pass 0 flagged as a BISR retest.
+  auto retest = base;
+  retest[0].session.retest = true;
+  EXPECT_TRUE(certify(retest).has_code("SC07"));
+  // SC08: a burst shifted past the horizon sits outside every window.
+  auto outside = base;
+  {
+    auto& s = outside.back().session;
+    const auto len = s.end_cycle - s.start_cycle;
+    s.start_cycle = profile.horizon + 1000;
+    s.end_cycle = s.start_cycle + len;
+  }
+  EXPECT_TRUE(certify(outside).has_code("SC08"));
+  // SC09: breaking a resume chain (a later burst of some memory skips a
+  // segment).  Find a memory with two bursts.
+  auto chain = base;
+  bool broke = false;
+  for (std::size_t i = 1; i < chain.size() && !broke; ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      if (chain[j].session.memory == chain[i].session.memory) {
+        chain[i].session.segment_begin += 1;
+        broke = true;
+        break;
+      }
+  ASSERT_TRUE(broke) << "no memory needed a second burst";
+  EXPECT_TRUE(certify(chain).has_code("SC09"));
+  // SC10: more concurrent bursts than the profile's bus lanes.  Pile
+  // bursts of distinct memories onto the first burst's span.
+  auto bus = base;
+  std::size_t piled = 1;
+  for (std::size_t i = 1;
+       i < bus.size() && piled <= profile.bus_budget; ++i) {
+    if (bus[i].session.memory == bus[0].session.memory) continue;
+    bus[i].session.start_cycle = bus[0].session.start_cycle;
+    bus[i].session.end_cycle = bus[0].session.end_cycle;
+    ++piled;
+  }
+  ASSERT_GT(piled, profile.bus_budget);
+  EXPECT_TRUE(certify(bus).has_code("SC10"));
+}
+
+TEST(Certify, InterruptedPassWithSignatureIsSc11) {
+  // SC11 is api_only: the on-disk table carries no signatures, so the
+  // violation is only expressible through the FieldReport overload.
+  const auto chip = example_chip();
+  const auto profile = example_profile();
+  auto report = field::run_field(chip.description, chip.plan, profile,
+                                 {.jobs = 1});
+  bool corrupted = false;
+  for (auto& inst : report.instances) {
+    for (auto& pass : inst.passes)
+      if (pass.completed() && pass.signature.has_value()) {
+        pass.state = bist::SessionState::Interrupted;
+        corrupted = true;
+        break;
+      }
+    if (corrupted) break;
+  }
+  ASSERT_TRUE(corrupted) << "no completed pass with a signature to corrupt";
+  const auto cert =
+      lint::certify_field(chip.description, chip.plan, profile, report);
+  EXPECT_TRUE(cert.has_code("SC11")) << lint::format_text(cert);
+  EXPECT_TRUE(lint::find_code("SC11")->api_only);
+}
+
+TEST(ScheduleIo, SocRoundTripAndErrorLines) {
+  const auto chip = example_chip();
+  const auto schedule =
+      soc::Scheduler{}.compute_schedule(chip.description, chip.plan);
+  const std::string text = soc::to_schedule_text("rt", schedule);
+  const auto parsed = soc::parse_schedule_text(text);
+  EXPECT_EQ(parsed.name, "rt");
+  auto expected = soc::schedule_entries(schedule);
+  ASSERT_EQ(parsed.entries.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    auto e = parsed.entries[i];
+    e.line = -1;  // only the source location may differ
+    EXPECT_EQ(e, expected[i]) << "entry " << i;
+  }
+  try {
+    (void)soc::parse_schedule_text("schedule x\nsession a start=0\n");
+    ADD_FAILURE() << "expected ScheduleError";
+  } catch (const soc::ScheduleError& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScheduleIo, FieldRoundTripAndErrorLines) {
+  const auto chip = example_chip();
+  const auto profile = example_profile();
+  const auto report = field::run_field(chip.description, chip.plan, profile,
+                                       {.jobs = 1});
+  const std::string text =
+      field::to_field_schedule_text("rt", report.sessions);
+  const auto parsed = field::parse_field_schedule_text(text);
+  EXPECT_EQ(parsed.name, "rt");
+  ASSERT_EQ(parsed.entries.size(), report.sessions.size());
+  for (std::size_t i = 0; i < report.sessions.size(); ++i)
+    EXPECT_EQ(parsed.entries[i].session, report.sessions[i]) << "entry " << i;
+  try {
+    (void)field::parse_field_schedule_text(
+        "fieldschedule x\nfsession a pass=0 seg=2..1 start=0 end=9 "
+        "reload=0\n");
+    ADD_FAILURE() << "expected FieldScheduleError";
+  } catch (const field::FieldScheduleError& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Certify, DriverRoutesSchedulesAndRequiresContext) {
+  const std::string chip_text = read_repo_file("examples/soc_demo.chip");
+  const std::string profile_text =
+      read_repo_file("examples/soc_demo.profile");
+  const auto chip = soc::parse_chip(chip_text);
+  const auto profile = field::parse_profile_text(profile_text);
+
+  lint::LintOptions with_chip;
+  with_chip.chip = chip_text;
+  lint::LintOptions with_both = with_chip;
+  with_both.profile = profile_text;
+  lint::LintOptions certify_only;
+  certify_only.certify = true;
+  lint::LintOptions certify_chip = with_chip;
+  certify_chip.certify = true;
+
+  const std::string soc_text = soc::to_schedule_text(
+      "s", soc::Scheduler{}.compute_schedule(chip.description, chip.plan));
+  // Without a chip there is nothing to certify against: SC00, not a throw.
+  EXPECT_TRUE(lint::lint_text(soc_text, "s").has_code("SC00"));
+  // With the chip supplied the emitted schedule certifies clean.
+  const auto ok = lint::lint_text(soc_text, "s", with_chip);
+  EXPECT_TRUE(ok.empty()) << lint::format_text(ok);
+  // Parse errors become SC00 with the offending line.
+  const auto bad =
+      lint::lint_text("schedule s\nsession ???\n", "s", with_chip);
+  EXPECT_TRUE(bad.has_code("SC00")) << lint::format_text(bad);
+
+  const auto field_report = field::run_field(chip.description, chip.plan,
+                                             profile, {.jobs = 1});
+  const std::string field_text =
+      field::to_field_schedule_text("f", field_report.sessions);
+  // A field schedule needs chip AND profile.
+  EXPECT_TRUE(lint::lint_text(field_text, "f", with_chip).has_code("SC00"));
+  const auto fok = lint::lint_text(field_text, "f", with_both);
+  EXPECT_TRUE(fok.empty()) << lint::format_text(fok);
+
+  // --certify on the chip and profile inputs themselves re-derives and
+  // certifies the schedules behind them.
+  const auto chip_cert = lint::lint_text(chip_text, "c", certify_only);
+  EXPECT_FALSE(chip_cert.has_errors()) << lint::format_text(chip_cert);
+  const auto prof_cert = lint::lint_text(profile_text, "p", certify_chip);
+  EXPECT_FALSE(prof_cert.has_errors()) << lint::format_text(prof_cert);
+  // A profile cannot be certified without its chip.
+  EXPECT_TRUE(
+      lint::lint_text(profile_text, "p", certify_only).has_code("SC00"));
+}
+
+TEST(ChipLint, JsonMirrorLintsIdenticallyToText) {
+  // The JSON mirror must produce the same semantic findings as the text
+  // chip it was generated from (CH01 is text-only by construction: JSON
+  // objects cannot express a duplicate directive).
+  const std::string text = read_repo_file("examples/soc_demo.chip");
+  const auto chip = soc::parse_chip(text);
+  const std::string json =
+      soc::serialize_chip_json(chip.description, chip.plan);
+  ASSERT_EQ(lint::detect_kind(json), lint::InputKind::Chip);
+
+  const auto from_text = lint::lint_chip_text(text, "u");
+  const auto from_json = lint::lint_chip_text(json, "u");
+  auto codes = [](const lint::Report& r) {
+    std::vector<std::string> out;
+    for (const auto& d : r.diagnostics()) out.push_back(d.code);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(codes(from_text), codes(from_json))
+      << lint::format_text(from_text) << "\nvs\n"
+      << lint::format_text(from_json);
+  EXPECT_EQ(from_text.has_errors(), from_json.has_errors());
+}
+
+TEST(Diagnostics, JsonOrderingIsDeterministic) {
+  // format_json sorts by (unit, code, index) regardless of emission
+  // order; format_text keeps emission order for humans.
+  lint::Report a;
+  a.add("UC03", "zeta", 7, "late");
+  a.add("MA01", "alpha", 2, "early");
+  a.add("MA01", "alpha", 1, "earlier");
+  lint::Report b;
+  b.add("MA01", "alpha", 1, "earlier");
+  b.add("UC03", "zeta", 7, "late");
+  b.add("MA01", "alpha", 2, "early");
+  EXPECT_EQ(lint::format_json(a), lint::format_json(b));
+  EXPECT_NE(lint::format_text(a), lint::format_text(b));
+
+  // And repeated full lint runs render byte-identical JSON.
+  const std::string input = read_case("dead_code.ucode.hex");
+  const auto r1 = lint::lint_text(input, "u");
+  const auto r2 = lint::lint_text(input, "u");
+  EXPECT_EQ(lint::format_json(r1), lint::format_json(r2));
+  EXPECT_EQ(lint::format_cli(r1, "u", true), lint::format_cli(r2, "u", true));
+}
+
+TEST(Fix, ChipPowerFixRoundTripRecertifies) {
+  const std::string text = read_case("infeasible_power.chip");
+  ASSERT_TRUE(lint::lint_chip_text(text, "u").has_code("CH07"));
+  const auto fixed = lint::fix_chip_text(text, "infeasible_power.chip");
+  ASSERT_TRUE(fixed.changed) << fixed.summary;
+  EXPECT_NE(fixed.summary.find("power_budget"), std::string::npos)
+      << fixed.summary;
+  const auto relint = lint::lint_chip_text(fixed.text, "u");
+  EXPECT_FALSE(relint.has_code("CH07")) << lint::format_text(relint);
+  // The semantic-diff guarantee: the rewritten chip's schedule certifies.
+  const auto chip = soc::parse_chip(fixed.text);
+  const auto cert = lint::certify_soc(
+      chip.description, chip.plan,
+      soc::Scheduler{}.compute_schedule(chip.description, chip.plan));
+  EXPECT_TRUE(cert.empty()) << lint::format_text(cert);
+}
+
+TEST(Fix, ChipSpareFixDropsDeadSpares) {
+  // Spares on a word-oriented memory can never engage (repair is
+  // bit-oriented): CH09, mechanically fixable by dropping them.
+  const std::string text =
+      "soc s\n"
+      "power_budget 10\n"
+      "mem a addr_bits=4 word_bits=8 seed=1 spare_rows=1\n"
+      "assign a \"March C\" ucode\n";
+  ASSERT_TRUE(lint::lint_chip_text(text, "u").has_code("CH09"));
+  const auto fixed = lint::fix_chip_text(text, "u");
+  ASSERT_TRUE(fixed.changed) << fixed.summary;
+  EXPECT_NE(fixed.summary.find("spare"), std::string::npos) << fixed.summary;
+  const auto relint = lint::lint_chip_text(fixed.text, "u");
+  EXPECT_FALSE(relint.has_code("CH09")) << lint::format_text(relint);
+  const auto chip = soc::parse_chip(fixed.text);
+  const auto cert = lint::certify_soc(
+      chip.description, chip.plan,
+      soc::Scheduler{}.compute_schedule(chip.description, chip.plan));
+  EXPECT_TRUE(cert.empty()) << lint::format_text(cert);
+}
+
+TEST(Fix, MarchFixKeepsProverVerdictUnchangedOrBetter) {
+  // A custom algorithm with a dead trailing element: the fix may only
+  // remove it because the prover's guaranteed classes survive.
+  march::MarchAlgorithm alg = march::parse(
+      "any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0); "
+      "any(r0)",
+      "padded");
+  const auto before = lint::prove_coverage(alg);
+  const auto outcome = lint::fix_march(alg);
+  EXPECT_TRUE(alg.validate().empty());
+  const auto after = lint::prove_coverage(alg);
+  for (const auto cls : lint::provable_classes()) {
+    const auto* b = before.find(cls);
+    const auto* a = after.find(cls);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(a, nullptr);
+    if (b->guaranteed) {
+      EXPECT_TRUE(a->guaranteed)
+          << memsim::fault_class_name(cls) << " lost after fix: "
+          << outcome.summary;
+    }
+  }
 }
 
 }  // namespace

@@ -39,6 +39,7 @@
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "soc/chip.h"
+#include "soc/schedule_io.h"
 #include "soc/scheduler.h"
 
 namespace {
@@ -400,6 +401,127 @@ TEST(ServeCaches, LintEvictionIsDeterministicUnderEntryBudget) {
   EXPECT_EQ(stats.lints.misses, 3u);
   EXPECT_EQ(stats.lints.evictions, 2u);
   EXPECT_EQ(stats.lints.entries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Lint requests with cross-file context (against / chip / profile /
+// certify) and the schedule-certificate gate on soc/field sessions.
+
+TEST(ServeProtocol, LintAcceptsCertifyAndProfileFields) {
+  const auto req = serve::parse_request(
+      R"({"id":"l","kind":"lint","input":"x","chip":"c","profile":"p",)"
+      R"("certify":true})");
+  EXPECT_TRUE(req.certify);
+  EXPECT_EQ(req.chip, "c");
+  EXPECT_EQ(req.profile, "p");
+  const auto off =
+      serve::parse_request(R"({"id":"l","kind":"lint","input":"x"})");
+  EXPECT_FALSE(off.certify);
+  EXPECT_TRUE(off.profile.empty());
+  EXPECT_THROW(
+      (void)serve::parse_request(
+          R"({"id":"l","kind":"lint","input":"x","certify":"yes"})"),
+      serve::ProtocolError);
+}
+
+TEST(ServeEquivalence, LintAgainstPayloadMatchesFormatCli) {
+  const std::string image = read_file("examples/march_c.ucode.hex");
+  json::Value req = json::Value::object();
+  req.set("id", json::Value::string("la"));
+  req.set("kind", json::Value::string("lint"));
+  req.set("input", json::Value::string(image));
+  req.set("against", json::Value::string("March C"));
+
+  serve::Server server{{.sessions = 1}};
+  const auto events = server.call(req.dump());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(event_field(events[1], "event"), "result");
+
+  lint::LintOptions lopts;
+  lopts.against = "March C";
+  const lint::Report report = lint::lint_text(image, "input", lopts);
+  EXPECT_TRUE(report.has_code("EQ04")) << lint::format_text(report);
+  EXPECT_EQ(event_field(events[1], "payload"),
+            lint::format_cli(report, "input", false));
+  EXPECT_EQ(event_field(events[1], "exit"), "0");
+}
+
+TEST(ServeEquivalence, LintCertifiesScheduleAgainstChipPayload) {
+  const std::string chip_text = read_file("examples/soc_demo.chip");
+  const soc::ChipFile chip = soc::parse_chip(chip_text);
+  const std::string schedule_text = soc::to_schedule_text(
+      "s", soc::Scheduler{}.compute_schedule(chip.description, chip.plan));
+
+  json::Value req = json::Value::object();
+  req.set("id", json::Value::string("lc"));
+  req.set("kind", json::Value::string("lint"));
+  req.set("input", json::Value::string(schedule_text));
+  req.set("chip", json::Value::string(chip_text));
+  req.set("certify", json::Value::boolean(true));
+
+  serve::Server server{{.sessions = 1}};
+  const auto events = server.call(req.dump());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(event_field(events[1], "event"), "result");
+  EXPECT_EQ(event_field(events[1], "exit"), "0");
+
+  lint::LintOptions lopts;
+  lopts.chip = chip_text;
+  lopts.certify = true;
+  const lint::Report report =
+      lint::lint_text(schedule_text, "input", lopts);
+  EXPECT_TRUE(report.empty()) << lint::format_text(report);
+  EXPECT_EQ(event_field(events[1], "payload"),
+            lint::format_cli(report, "input", false));
+}
+
+TEST(ServeCaches, CertifyOptionShapesShareOneVerdictEntry) {
+  // An omitted `certify` and an explicit `certify:false` (plus an empty
+  // `profile`) are the same request; only `certify:true` is a new key.
+  serve::Server server{{.sessions = 1}};
+  (void)server.call(R"({"id":"a","kind":"lint","input":"March C"})");
+  (void)server.call(
+      R"({"id":"b","kind":"lint","input":"March C","certify":false,)"
+      R"("profile":""})");
+  auto stats = server.stats();
+  EXPECT_EQ(stats.lints.misses, 1u);
+  EXPECT_EQ(stats.lints.hits, 1u);
+  (void)server.call(
+      R"({"id":"c","kind":"lint","input":"March C","certify":true})");
+  stats = server.stats();
+  EXPECT_EQ(stats.lints.misses, 2u);
+  EXPECT_EQ(stats.lints.hits, 1u);
+}
+
+TEST(ServeCertify, CertifyingServerKeepsResultPayloadsUnchanged) {
+  // ServerOptions::certify re-verifies every soc/field schedule before
+  // replying; when the certificate holds (always, for the real engines)
+  // the result payload is byte-identical to an uncertified server's.
+  const std::string chip_text = read_file("examples/soc_demo.chip");
+  const std::string profile_text = read_file("examples/soc_demo.profile");
+  json::Value soc_req = json::Value::object();
+  soc_req.set("id", json::Value::string("s"));
+  soc_req.set("kind", json::Value::string("soc"));
+  soc_req.set("chip", json::Value::string(chip_text));
+  soc_req.set("jobs", json::Value::number(std::int64_t{1}));
+  json::Value field_req = json::Value::object();
+  field_req.set("id", json::Value::string("f"));
+  field_req.set("kind", json::Value::string("field"));
+  field_req.set("chip", json::Value::string(chip_text));
+  field_req.set("profile", json::Value::string(profile_text));
+  field_req.set("jobs", json::Value::number(std::int64_t{1}));
+
+  serve::Server plain{{.sessions = 1}};
+  serve::Server certifying{{.sessions = 1, .certify = true}};
+  for (const auto* req : {&soc_req, &field_req}) {
+    const auto a = plain.call(req->dump());
+    const auto b = certifying.call(req->dump());
+    ASSERT_GE(b.size(), 2u);
+    EXPECT_EQ(event_field(b.back(), "event"), "result");
+    EXPECT_EQ(event_field(a.back(), "payload"),
+              event_field(b.back(), "payload"));
+    EXPECT_EQ(event_field(a.back(), "exit"), event_field(b.back(), "exit"));
+  }
 }
 
 TEST(ServeCaches, StreamCacheHitsAccumulateAcrossRequests) {

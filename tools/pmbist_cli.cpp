@@ -21,22 +21,26 @@
 //       Emit the microcode instruction decoder (minimized covers) and the
 //       programmable-FSM lower controller as Verilog.
 //   pmbist soc       [--chip FILE] [--jobs N] [--power-budget W]
-//                    [--max-failures N]
+//                    [--max-failures N] [--certify] [--emit-schedule F]
 //       Whole-chip BIST: schedule and run every memory of a chip file
 //       (docs/SOC.md) under power and controller-sharing constraints.
-//       Without --chip, runs the built-in 9-memory demo chip.
+//       Without --chip, runs the built-in 9-memory demo chip.  --certify
+//       re-verifies the schedule with the independent certificate checker;
+//       --emit-schedule writes it as a .schedule file.
 //   pmbist field     [--chip FILE] [--profile FILE] [--jobs N]
-//                    [--max-failures N]
+//                    [--max-failures N] [--certify] [--emit-schedule F]
 //       In-field online testing: pack preemptible transparent BIST
 //       sessions into the idle windows of a mission profile
 //       (docs/FIELD.md).  Without --chip/--profile, runs the built-in
-//       demo chip against the built-in demo profile.
+//       demo chip against the built-in demo profile.  --certify and
+//       --emit-schedule work as in `soc` (.fieldsched file).
 //   pmbist lint      <file|algorithm|dsl> [--json] [--storage-depth N]
-//                    [--buffer-depth N] [--chip FILE]
+//                    [--buffer-depth N] [--chip FILE] [--profile FILE]
+//                    [--certify]
 //       Static verifier: march algorithms, microcode hex images, pFSM hex
-//       images, chip files and mission profiles (kind auto-detected;
-//       docs/LINT.md lists the diagnostic codes).  Exits nonzero when
-//       errors are found.
+//       images, chip files, mission profiles and emitted schedules (kind
+//       auto-detected; docs/LINT.md lists the diagnostic codes).  Exits
+//       nonzero when errors are found.
 //   pmbist serve     [--port N] [--sessions N] [--cache-mb N]
 //       Long-running BIST service (docs/SERVE.md): newline-delimited JSON
 //       requests in, JSON events out.  Without --port, reads stdin and
@@ -69,6 +73,7 @@
 #include <vector>
 
 #include "bist/session.h"
+#include "lint/certify.h"
 #include "lint/diagnostics.h"
 #include "lint/driver.h"
 #include "lint/fix.h"
@@ -86,8 +91,10 @@
 #include "netlist/verilog.h"
 #include "field/manager.h"
 #include "field/profile.h"
+#include "field/schedule_io.h"
 #include "serve/server.h"
 #include "soc/chip.h"
+#include "soc/schedule_io.h"
 #include "soc/scheduler.h"
 
 namespace {
@@ -118,6 +125,8 @@ struct Options {
   int buffer_depth = 16;
   std::string against;  ///< march source for translation validation
   bool fix = false;     ///< apply mechanical fixes and rewrite the file
+  bool certify = false;         ///< run the schedule certificate checker
+  std::string emit_schedule;    ///< soc/field: write the schedule file here
   int port = -1;        ///< serve: TCP port (-1 = pipe mode, 0 = ephemeral)
   int sessions = 2;     ///< serve: concurrent session workers
   int cache_mb = 64;    ///< serve: stream-cache byte budget in MiB
@@ -159,21 +168,33 @@ void print_usage(std::FILE* out) {
       "  --chip FILE        chip description (docs/SOC.md; default: demo)\n"
       "  --power-budget W   override the chip file's power budget\n"
       "  --max-failures N   per-session failure-log capacity\n"
+      "  --certify          re-verify the schedule with the certificate\n"
+      "                     checker (report on stderr; exit 1 on errors)\n"
+      "  --emit-schedule F  write the computed schedule to F (.schedule)\n"
       "\n"
       "field options:\n"
       "  --chip FILE        chip description (docs/SOC.md; default: demo)\n"
       "  --profile FILE     mission profile (docs/FIELD.md; default: demo)\n"
       "  --max-failures N   per-instance failure-log capacity\n"
+      "  --certify          re-verify the session table with the certificate\n"
+      "                     checker (report on stderr; exit 1 on errors)\n"
+      "  --emit-schedule F  write the session table to F (.fieldsched)\n"
       "\n"
       "lint options:\n"
       "  --json             machine-readable diagnostics on stdout\n"
-      "  --chip FILE        chip file a mission profile is checked against\n"
+      "  --chip FILE        chip file a mission profile or schedule is\n"
+      "                     checked against\n"
+      "  --profile FILE     mission profile a field schedule is certified\n"
+      "                     against\n"
       "  --storage-depth N  microcode storage words assumed (default 32)\n"
       "  --buffer-depth N   pFSM buffer rows assumed (default 16)\n"
       "  --against SRC      translation validation: prove a controller image\n"
       "                     realizes SRC (march file, library name or DSL)\n"
+      "  --certify          chip/profile inputs: also compute and certify\n"
+      "                     the schedule behind the input (SC codes)\n"
       "  --fix              rewrite the input file with the mechanical fixes\n"
-      "                     (dead code / unused rows / no-op sweeps)\n"
+      "                     (dead code / unused rows / no-op sweeps / dead\n"
+      "                     spares / infeasible power budgets)\n"
       "\n"
       "serve options:\n"
       "  --port N           serve loopback TCP (0 = ephemeral port; default:\n"
@@ -181,6 +202,8 @@ void print_usage(std::FILE* out) {
       "  --sessions N       concurrent session workers (default 2)\n"
       "  --cache-mb N       op-stream cache budget in MiB (default 64)\n"
       "  --payload-dir DIR  pipe mode: mirror result payloads to DIR/<id>.out\n"
+      "  --certify          certify every soc/field schedule before replying\n"
+      "                     (a violation fails the request with an error)\n"
       "\n"
       "exit codes: 0 success, 1 check failed, 2 usage/input error\n"
       "`pmbist --help` or `pmbist <command> --help` prints this text.\n");
@@ -243,6 +266,8 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--buffer-depth") opt.buffer_depth = std::atoi(value());
     else if (arg == "--against") opt.against = value();
     else if (arg == "--fix") opt.fix = true;
+    else if (arg == "--certify") opt.certify = true;
+    else if (arg == "--emit-schedule") opt.emit_schedule = value();
     else if (arg == "--port") opt.port = std::atoi(value());
     else if (arg == "--sessions") opt.sessions = std::atoi(value());
     else if (arg == "--cache-mb") opt.cache_mb = std::atoi(value());
@@ -503,18 +528,42 @@ int cmd_lint(const Options& opt) {
       against = os.str();
     }
   }
-  // --chip (for mission profiles) is always a path.
+  // --chip and --profile (for mission profiles and schedules) are always
+  // paths.
   std::string chip_text;
   if (!opt.chip_file.empty()) chip_text = read_file(opt.chip_file);
+  std::string profile_text;
+  if (!opt.profile_file.empty()) profile_text = read_file(opt.profile_file);
   const lint::LintOptions lopts{.storage_depth = opt.storage_depth,
                                 .buffer_depth = opt.buffer_depth,
                                 .chip = chip_text,
+                                .profile = profile_text,
+                                .certify = opt.certify,
                                 .against = against};
   const lint::Report report = lint::lint_text(text, unit, lopts);
   // format_cli is shared with the serve layer: serve lint payloads are
   // byte-identical to this stdout by construction.
   std::fputs(lint::format_cli(report, unit, opt.json).c_str(), stdout);
   return report.has_errors() ? 1 : 0;
+}
+
+/// Writes `text` to `path` (for --emit-schedule); exits 2 when the file
+/// cannot be created.
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) usage(("cannot write " + path).c_str());
+  out << text;
+}
+
+/// Prints a certificate report on stderr — stdout stays byte-identical to
+/// the serve payloads — and reports whether the schedule failed.
+bool certificate_failed(const lint::Report& report, const char* what) {
+  if (report.empty()) {
+    std::fprintf(stderr, "certificate: %s OK\n", what);
+    return false;
+  }
+  std::fputs(lint::format_text(report).c_str(), stderr);
+  return report.has_errors();
 }
 
 int cmd_soc(const Options& opt) {
@@ -537,6 +586,14 @@ int cmd_soc(const Options& opt) {
                  .c_str(),
              stdout);
   std::fprintf(stderr, "wall %.3f s\n", result.wall_seconds);
+  if (!opt.emit_schedule.empty())
+    write_file(opt.emit_schedule,
+               soc::to_schedule_text("soc", result.schedule));
+  if (opt.certify &&
+      certificate_failed(
+          lint::certify_soc(chip.description, chip.plan, result.schedule),
+          "soc schedule"))
+    return 1;
   return result.all_healthy() ? 0 : 1;
 }
 
@@ -563,6 +620,14 @@ int cmd_field(const Options& opt) {
   // Shared with the serve layer, same as cmd_soc.
   std::fputs(field::format_field_report(report).c_str(), stdout);
   std::fprintf(stderr, "wall %.3f s\n", report.wall_seconds);
+  if (!opt.emit_schedule.empty())
+    write_file(opt.emit_schedule,
+               field::to_field_schedule_text("field", report.sessions));
+  if (opt.certify &&
+      certificate_failed(
+          lint::certify_field(chip.description, chip.plan, profile, report),
+          "field schedule"))
+    return 1;
   return report.all_healthy() ? 0 : 1;
 }
 
@@ -571,6 +636,7 @@ int cmd_serve(const Options& opt) {
   sopts.sessions = opt.sessions;
   sopts.stream_cache_bytes =
       static_cast<std::size_t>(opt.cache_mb < 0 ? 0 : opt.cache_mb) << 20;
+  sopts.certify = opt.certify;
   serve::Server server{sopts};
 
   if (opt.port >= 0) {

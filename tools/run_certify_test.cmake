@@ -1,0 +1,28 @@
+# Emit -> certify round trip for the schedule certificate checker: run the
+# real engine (`pmbist soc` / `pmbist field`) with --certify and
+# --emit-schedule, then re-certify the emitted file through `pmbist lint`
+# with the same chip (and profile) context.  Driven from
+# tools/CMakeLists.txt (tests cli_certify_roundtrip_*).
+#
+# Inputs: PMBIST_CLI, MODE (soc|field), CHIP, WORK; PROFILE for field.
+if(MODE STREQUAL "field")
+  set(context --chip ${CHIP} --profile ${PROFILE})
+else()
+  set(context --chip ${CHIP})
+endif()
+
+execute_process(COMMAND ${PMBIST_CLI} ${MODE} ${context} --jobs 2
+                        --certify --emit-schedule ${WORK}
+                OUTPUT_QUIET
+                RESULT_VARIABLE run_status)
+if(NOT run_status EQUAL 0)
+  message(FATAL_ERROR "pmbist ${MODE} --certify exited ${run_status}")
+endif()
+
+execute_process(COMMAND ${PMBIST_CLI} lint ${WORK} ${context}
+                OUTPUT_QUIET
+                RESULT_VARIABLE lint_status)
+if(NOT lint_status EQUAL 0)
+  message(FATAL_ERROR
+          "emitted ${MODE} schedule failed certification (${lint_status})")
+endif()
