@@ -177,6 +177,62 @@ int main() {
           "adding session workers does not degrade throughput (best "
           "multi-session >= 0.8x single-session)");
 
+  // Verdict-cache key discipline: every lint option that changes the
+  // verdict must be part of the cache key.  A branchy image (a no-op cell
+  // loop whose back edge comes from the branch-register dataflow) lints to
+  // different verdicts under different --against / --storage-depth
+  // settings; a key that ignored those options would replay a stale
+  // verdict for the same input text.
+  {
+    serve::Server server{{.sessions = 1}};
+    const std::string image =
+        "; pmbist microcode image v1\n; name: bench branchy\n"
+        "141\n001\n080\n121\n284\n300\n";
+    auto lint_line = [&](const char* id, const char* against,
+                         int storage_depth) {
+      json::Value req = json::Value::object();
+      req.set("id", json::Value::string(id));
+      req.set("kind", json::Value::string("lint"));
+      req.set("input", json::Value::string(image));
+      req.set("unit", json::Value::string("bench.ucode.hex"));
+      if (against[0] != '\0')
+        req.set("against", json::Value::string(against));
+      req.set("storage_depth", json::Value::number(
+                                   std::int64_t{storage_depth}));
+      return req.dump();
+    };
+    auto lint_misses = [&] { return server.stats().lints.misses; };
+    auto lint_hits = [&] { return server.stats().lints.hits; };
+
+    const auto m0 = lint_misses();
+    const std::string plain = result_payload(
+        server.call(lint_line("v0", "", 32)));
+    const std::string plain_again = result_payload(
+        server.call(lint_line("v1", "", 32)));
+    const auto h1 = lint_hits();
+    const std::string against = result_payload(
+        server.call(lint_line("v2", "up(w0); up(r0)", 32)));
+    const std::string depth = result_payload(
+        server.call(lint_line("v3", "up(w0); up(r0)", 4)));
+    const auto m1 = lint_misses();
+    const std::string against_again = result_payload(
+        server.call(lint_line("v4", "up(w0); up(r0)", 32)));
+    const auto h2 = lint_hits();
+
+    c.check(!plain.empty() && plain == plain_again && h1 >= 1,
+            "identical lint requests replay one cached verdict "
+            "byte-identically");
+    c.check(m1 - m0 == 3,
+            "against and storage-depth each produce a distinct verdict-cache "
+            "key (3 distinct option sets -> 3 misses)");
+    c.check(against != plain && depth != against,
+            "distinct lifter/lint options produce distinct payloads, never a "
+            "stale verdict for the same input");
+    c.check(against_again == against && h2 > h1,
+            "repeating an option set hits its own cache entry, not a "
+            "neighboring one");
+  }
+
   if (std::FILE* out = std::fopen("BENCH_serve.json", "w")) {
     std::fprintf(out,
                  "{\n"

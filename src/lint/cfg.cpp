@@ -1,0 +1,355 @@
+#include "lint/cfg.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pmbist::lint {
+namespace {
+
+using mbist_ucode::Flow;
+
+void insert_sorted(std::vector<int>& v, int x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> ucode_branch_values(
+    const std::vector<mbist_ucode::Instruction>& code) {
+  const int n = static_cast<int>(code.size());
+  std::vector<std::vector<int>> in(static_cast<std::size_t>(n));
+  if (n == 0) return in;
+
+  // Forward may-analysis: in[i] accumulates every value the branch register
+  // can hold when instruction i executes.  Transfer functions mirror
+  // decode(): ic_reset1 (Repeat open) forces branch := 1, ic_reset0
+  // (LoopData / LoopPort restart) forces branch := 0, branch_save on the
+  // group-closing exits forces branch := i + 1; everything else passes the
+  // incoming set through.  Values are bounded by [0, n], sets only grow, so
+  // the worklist terminates.
+  std::vector<int> work;
+  std::vector<bool> queued(static_cast<std::size_t>(n), false);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  auto merge_to = [&](int t, const std::vector<int>& values) {
+    if (t < 0 || t >= n) return;  // IC exhaustion: an exit, not an edge
+    const auto ut = static_cast<std::size_t>(t);
+    bool changed = !seen[ut];
+    seen[ut] = true;
+    auto& dst = in[ut];
+    for (const int v : values) {
+      const auto it = std::lower_bound(dst.begin(), dst.end(), v);
+      if (it == dst.end() || *it != v) {
+        dst.insert(it, v);
+        changed = true;
+      }
+    }
+    if (changed && !queued[ut]) {
+      queued[ut] = true;
+      work.push_back(t);
+    }
+  };
+  merge_to(0, {0});
+  while (!work.empty()) {
+    const int i = work.back();
+    work.pop_back();
+    queued[static_cast<std::size_t>(i)] = false;
+    // Copy: self edges (LoopCell to itself) may grow in[i] mid-iteration.
+    const std::vector<int> values = in[static_cast<std::size_t>(i)];
+    switch (code[static_cast<std::size_t>(i)].flow) {
+      case Flow::Next:
+        merge_to(i + 1, values);
+        break;
+      case Flow::LoopSelf:
+        // The not-last-address self edge holds IC (branch unchanged, and
+        // in[i] already contains `values`); the exhausted exit saves IC+1.
+        merge_to(i + 1, {i + 1});
+        break;
+      case Flow::LoopCell:
+        for (const int v : values) merge_to(v, {v});
+        merge_to(i + 1, {i + 1});
+        break;
+      case Flow::Repeat:
+        merge_to(1, {1});
+        merge_to(i + 1, {i + 1});
+        break;
+      case Flow::Pause:
+        merge_to(i + 1, {i + 1});
+        break;
+      case Flow::LoopData:
+        merge_to(0, {0});
+        merge_to(i + 1, values);  // the exhausted exit has no branch_save
+        break;
+      case Flow::LoopPort:
+        merge_to(0, {0});
+        break;
+      case Flow::Terminate:
+        break;
+    }
+  }
+  return in;
+}
+
+std::vector<std::vector<int>> ucode_successors(
+    const std::vector<mbist_ucode::Instruction>& code) {
+  const int n = static_cast<int>(code.size());
+  const auto branch = ucode_branch_values(code);
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& out = succ[static_cast<std::size_t>(i)];
+    auto add = [&](int t) {
+      if (t >= 0 && t < n) insert_sorted(out, t);
+    };
+    switch (code[static_cast<std::size_t>(i)].flow) {
+      case Flow::Next:
+        add(i + 1);
+        break;
+      case Flow::LoopSelf:
+        add(i);  // hold IC while stepping addresses
+        add(i + 1);
+        break;
+      case Flow::LoopCell:
+        for (const int v : branch[static_cast<std::size_t>(i)]) add(v);
+        add(i + 1);
+        break;
+      case Flow::Repeat:
+        add(1);  // the dedicated reset-to-1 path of the open encounter
+        add(i + 1);
+        break;
+      case Flow::Pause:
+        add(i);  // timer running
+        add(i + 1);
+        break;
+      case Flow::LoopData:
+        add(0);
+        add(i + 1);
+        break;
+      case Flow::LoopPort:
+        add(0);  // per-port restart; the last port terminates (exit)
+        break;
+      case Flow::Terminate:
+        break;
+    }
+  }
+  return succ;
+}
+
+std::vector<std::vector<int>> pfsm_successors(
+    const std::vector<mbist_pfsm::PfsmInstruction>& rows) {
+  const int n = static_cast<int>(rows.size());
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& out = succ[static_cast<std::size_t>(i)];
+    const auto& row = rows[static_cast<std::size_t>(i)];
+    if (!row.ctrl) {
+      insert_sorted(out, (i + 1) % n);  // the buffer is circular
+    } else if (!row.ctrl_op) {
+      insert_sorted(out, 0);  // path A: restart per background
+      insert_sorted(out, (i + 1) % n);
+    } else {
+      insert_sorted(out, 0);  // path B: restart per port; last port -> Done
+    }
+  }
+  return succ;
+}
+
+bool Cfg::dominates(int a, int b) const {
+  const int nb = static_cast<int>(blocks.size());
+  if (a < 0 || b < 0 || a >= nb || b >= nb) return false;
+  if (idom[static_cast<std::size_t>(a)] == -1 ||
+      idom[static_cast<std::size_t>(b)] == -1)
+    return false;
+  int x = b;
+  while (true) {
+    if (x == a) return true;
+    const int up = idom[static_cast<std::size_t>(x)];
+    if (up == x) return false;  // reached the entry without meeting `a`
+    x = up;
+  }
+}
+
+Cfg build_cfg(const std::vector<std::vector<int>>& successors) {
+  Cfg cfg;
+  const int n = static_cast<int>(successors.size());
+  cfg.block_of.assign(static_cast<std::size_t>(n), -1);
+  cfg.reachable_insn.assign(static_cast<std::size_t>(n), false);
+  if (n == 0) return cfg;
+
+  // Instruction-level reachability from the entry.
+  {
+    std::vector<int> stack{0};
+    cfg.reachable_insn[0] = true;
+    while (!stack.empty()) {
+      const int i = stack.back();
+      stack.pop_back();
+      for (const int t : successors[static_cast<std::size_t>(i)]) {
+        if (!cfg.reachable_insn[static_cast<std::size_t>(t)]) {
+          cfg.reachable_insn[static_cast<std::size_t>(t)] = true;
+          stack.push_back(t);
+        }
+      }
+    }
+  }
+
+  // Block leaders: the entry, every target of a non-fallthrough node, and
+  // the instruction after one.  Any join point (indegree > 1) is the target
+  // of some non-fallthrough edge, so this covers it.
+  std::vector<bool> leader(static_cast<std::size_t>(n), false);
+  leader[0] = true;
+  for (int i = 0; i < n; ++i) {
+    const auto& s = successors[static_cast<std::size_t>(i)];
+    if (s.size() == 1 && s[0] == i + 1) continue;  // plain fallthrough
+    if (i + 1 < n) leader[static_cast<std::size_t>(i + 1)] = true;
+    for (const int t : s) leader[static_cast<std::size_t>(t)] = true;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    if (leader[static_cast<std::size_t>(i)]) {
+      BasicBlock b;
+      b.first = i;
+      b.last = i;
+      b.reachable = cfg.reachable_insn[static_cast<std::size_t>(i)];
+      cfg.blocks.push_back(b);
+    }
+    cfg.blocks.back().last = i;
+    cfg.block_of[static_cast<std::size_t>(i)] =
+        static_cast<int>(cfg.blocks.size()) - 1;
+  }
+
+  const int nb = static_cast<int>(cfg.blocks.size());
+  for (int b = 0; b < nb; ++b) {
+    auto& block = cfg.blocks[static_cast<std::size_t>(b)];
+    for (const int t : successors[static_cast<std::size_t>(block.last)])
+      insert_sorted(block.successors,
+                    cfg.block_of[static_cast<std::size_t>(t)]);
+  }
+  for (int b = 0; b < nb; ++b)
+    for (const int t : cfg.blocks[static_cast<std::size_t>(b)].successors)
+      insert_sorted(cfg.blocks[static_cast<std::size_t>(t)].predecessors, b);
+
+  // Reverse postorder over the reachable blocks (iterative DFS; successor
+  // order is the sorted edge list, so the order is deterministic).
+  cfg.rpo_index.assign(static_cast<std::size_t>(nb), -1);
+  {
+    std::vector<int> post;
+    std::vector<int> state(static_cast<std::size_t>(nb), 0);
+    std::vector<std::pair<int, int>> stack;  // (block, next successor slot)
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+      const int b = stack.back().first;
+      const auto& bs = cfg.blocks[static_cast<std::size_t>(b)].successors;
+      if (stack.back().second < static_cast<int>(bs.size())) {
+        const int t = bs[static_cast<std::size_t>(stack.back().second++)];
+        if (state[static_cast<std::size_t>(t)] == 0) {
+          state[static_cast<std::size_t>(t)] = 1;
+          stack.emplace_back(t, 0);
+        }
+      } else {
+        post.push_back(b);
+        state[static_cast<std::size_t>(b)] = 2;
+        stack.pop_back();
+      }
+    }
+    cfg.rpo.assign(post.rbegin(), post.rend());
+    for (int k = 0; k < static_cast<int>(cfg.rpo.size()); ++k)
+      cfg.rpo_index[static_cast<std::size_t>(cfg.rpo[static_cast<std::size_t>(
+          k)])] = k;
+  }
+
+  // Immediate dominators: the iterative RPO algorithm of Cooper, Harvey
+  // and Kennedy.  idom[entry] == entry; unreachable blocks stay -1.
+  cfg.idom.assign(static_cast<std::size_t>(nb), -1);
+  if (!cfg.rpo.empty()) {
+    const int entry = cfg.rpo[0];
+    cfg.idom[static_cast<std::size_t>(entry)] = entry;
+    auto intersect = [&](int a, int b) {
+      while (a != b) {
+        while (cfg.rpo_index[static_cast<std::size_t>(a)] >
+               cfg.rpo_index[static_cast<std::size_t>(b)])
+          a = cfg.idom[static_cast<std::size_t>(a)];
+        while (cfg.rpo_index[static_cast<std::size_t>(b)] >
+               cfg.rpo_index[static_cast<std::size_t>(a)])
+          b = cfg.idom[static_cast<std::size_t>(b)];
+      }
+      return a;
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t k = 1; k < cfg.rpo.size(); ++k) {
+        const int b = cfg.rpo[k];
+        int best = -1;
+        for (const int p : cfg.blocks[static_cast<std::size_t>(b)].predecessors) {
+          if (cfg.idom[static_cast<std::size_t>(p)] == -1) continue;
+          best = best == -1 ? p : intersect(p, best);
+        }
+        if (best != -1 && cfg.idom[static_cast<std::size_t>(b)] != best) {
+          cfg.idom[static_cast<std::size_t>(b)] = best;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Retreating edges: dominating targets head natural loops (body = the
+  // backward closure of the edge source that stays below the header);
+  // non-dominating targets mark the region irreducible.
+  for (const int u : cfg.rpo) {
+    for (const int h : cfg.blocks[static_cast<std::size_t>(u)].successors) {
+      if (cfg.rpo_index[static_cast<std::size_t>(h)] == -1) continue;
+      if (cfg.rpo_index[static_cast<std::size_t>(h)] >
+          cfg.rpo_index[static_cast<std::size_t>(u)])
+        continue;  // forward or cross edge
+      if (!cfg.dominates(h, u)) {
+        cfg.irreducible_edges.emplace_back(u, h);
+        continue;
+      }
+      std::vector<bool> inbody(static_cast<std::size_t>(nb), false);
+      inbody[static_cast<std::size_t>(h)] = true;
+      std::vector<int> work;
+      if (!inbody[static_cast<std::size_t>(u)]) {
+        inbody[static_cast<std::size_t>(u)] = true;
+        work.push_back(u);
+      }
+      while (!work.empty()) {
+        const int x = work.back();
+        work.pop_back();
+        for (const int p :
+             cfg.blocks[static_cast<std::size_t>(x)].predecessors) {
+          if (cfg.rpo_index[static_cast<std::size_t>(p)] == -1) continue;
+          if (!inbody[static_cast<std::size_t>(p)]) {
+            inbody[static_cast<std::size_t>(p)] = true;
+            work.push_back(p);
+          }
+        }
+      }
+      NaturalLoop* loop = nullptr;
+      for (auto& l : cfg.loops)
+        if (l.header == h) loop = &l;
+      if (loop == nullptr) {
+        cfg.loops.push_back({h, {}});
+        loop = &cfg.loops.back();
+      }
+      for (int b = 0; b < nb; ++b)
+        if (inbody[static_cast<std::size_t>(b)])
+          insert_sorted(loop->body, b);
+    }
+  }
+  std::sort(cfg.loops.begin(), cfg.loops.end(),
+            [](const NaturalLoop& a, const NaturalLoop& b) {
+              return a.header < b.header;
+            });
+  std::sort(cfg.irreducible_edges.begin(), cfg.irreducible_edges.end());
+  return cfg;
+}
+
+Cfg build_ucode_cfg(const mbist_ucode::MicrocodeProgram& p) {
+  return build_cfg(ucode_successors(p.instructions()));
+}
+
+Cfg build_pfsm_cfg(const mbist_pfsm::PfsmProgram& p) {
+  return build_cfg(pfsm_successors(p.instructions()));
+}
+
+}  // namespace pmbist::lint

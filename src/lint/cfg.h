@@ -1,0 +1,100 @@
+#pragma once
+// Control-flow graphs over controller images.
+//
+// Both controller ISAs are lowered to one graph shape: instruction i has a
+// set of successor indices derived from the real decode semantics
+// (mbist_ucode::decode / the pFSM circular-buffer chaining), with every
+// condition outcome contributing an edge.  From the per-instruction edges
+// build_cfg() forms maximal basic blocks, computes reverse postorder and
+// immediate dominators over the reachable region (iterative
+// Cooper-Harvey-Kennedy), recovers the natural loops behind dominating
+// back edges, and flags retreating edges whose target does not dominate
+// their source — irreducible regions no loop structure explains.
+//
+// Microcode subtlety: LOOP_CELL branches to the *branch register*, whose
+// value is program-state, not an instruction field.  ucode_branch_values()
+// runs a forward may-analysis (worklist fixpoint over edge-specific
+// transfer functions mirroring decode()'s ic_reset0/ic_reset1/branch_save
+// updates) so LOOP_CELL successor sets are exact for every path, including
+// images that enter an op group mid-way.
+//
+// Consumers: program_lint.cpp (LT00 unreachable blocks replace the ad-hoc
+// prefix scan), lifter.cpp (reducibility gate + reachable-region walk) and
+// fix.cpp (CFG-exact dead-code removal).  The graph API is ISA-agnostic on
+// purpose: tests pin dominator/irreducibility behavior on synthetic edge
+// lists that no well-formed image can produce (diagnostics code LT01).
+
+#include <utility>
+#include <vector>
+
+#include "mbist_pfsm/isa.h"
+#include "mbist_ucode/isa.h"
+
+namespace pmbist::lint {
+
+/// A maximal straight-line run of instructions [first, last].
+struct BasicBlock {
+  int first = 0;
+  int last = 0;
+  bool reachable = false;          ///< reachable from instruction 0
+  std::vector<int> successors;     ///< block indices, sorted, deduplicated
+  std::vector<int> predecessors;   ///< block indices, sorted, deduplicated
+};
+
+/// One natural loop: every dominating back edge into `header` contributes
+/// its body; loops sharing a header are merged.
+struct NaturalLoop {
+  int header = 0;
+  std::vector<int> body;  ///< block indices including the header, sorted
+};
+
+/// The analyzed graph.  Unreachable blocks are materialized (the linters
+/// report them) but excluded from rpo / dominators / loops.
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  std::vector<int> block_of;        ///< instruction index -> block index
+  std::vector<bool> reachable_insn; ///< per instruction
+  std::vector<int> rpo;             ///< reachable blocks in reverse postorder
+  std::vector<int> rpo_index;       ///< block -> position in rpo (-1 unreachable)
+  std::vector<int> idom;            ///< block -> immediate dominator (-1 unreachable)
+  std::vector<NaturalLoop> loops;   ///< sorted by header block
+  /// Retreating edges (u -> h in block indices) whose target does not
+  /// dominate their source: the graph has no reducible loop nest.
+  std::vector<std::pair<int, int>> irreducible_edges;
+
+  /// True when block `a` dominates block `b` (both reachable).
+  [[nodiscard]] bool dominates(int a, int b) const;
+  [[nodiscard]] bool reducible() const noexcept {
+    return irreducible_edges.empty();
+  }
+};
+
+/// Per-instruction successor sets of a microcode image, one entry per
+/// instruction, each sorted and deduplicated.  Every decode() outcome
+/// contributes an edge; LOOP_CELL targets come from ucode_branch_values().
+/// Targets at or past the end of the program (instruction-counter
+/// exhaustion, the UC04 situation) are exits, not edges.
+[[nodiscard]] std::vector<std::vector<int>> ucode_successors(
+    const std::vector<mbist_ucode::Instruction>& code);
+
+/// May-values of the branch register at entry to each instruction (sorted
+/// sets; empty for unreachable instructions).  Forward worklist fixpoint
+/// seeded with {0} at instruction 0.
+[[nodiscard]] std::vector<std::vector<int>> ucode_branch_values(
+    const std::vector<mbist_ucode::Instruction>& code);
+
+/// Per-row successor sets of a pFSM circular buffer: component rows chain
+/// to (i+1) mod n, a path-A row adds the per-background restart at 0, a
+/// path-B row restarts at 0 per port and never falls through.
+[[nodiscard]] std::vector<std::vector<int>> pfsm_successors(
+    const std::vector<mbist_pfsm::PfsmInstruction>& rows);
+
+/// Builds the full analysis from per-instruction successor sets (entry is
+/// instruction 0).  Accepts arbitrary graphs — including the irreducible
+/// shapes no controller image can encode — so tests can pin LT01 behavior.
+[[nodiscard]] Cfg build_cfg(const std::vector<std::vector<int>>& successors);
+
+[[nodiscard]] Cfg build_ucode_cfg(const mbist_ucode::MicrocodeProgram& p);
+[[nodiscard]] Cfg build_pfsm_cfg(const mbist_pfsm::PfsmProgram& p);
+
+}  // namespace pmbist::lint

@@ -11,7 +11,7 @@ namespace pmbist::lint {
 namespace {
 
 // The stable code registry.  Append-only; codes keep their meaning forever.
-constexpr std::array<CodeInfo, 57> kCodes{{
+constexpr std::array<CodeInfo, 65> kCodes{{
     // March algorithms (MA).
     {"MA00", Severity::Error, "march text does not parse"},
     {"MA01", Severity::Error, "structurally invalid march algorithm"},
@@ -105,6 +105,20 @@ constexpr std::array<CodeInfo, 57> kCodes{{
      "concurrent field bursts exceed the test-bus lanes"},
     {"SC11", Severity::Error,
      "interrupted transparent pass carries a signature", true},
+    // Control-flow structure of controller images (LT) — the CFG analysis
+    // in lint/cfg.h and the lifter's structured rejections (lint/lifter.h).
+    {"LT00", Severity::Error, "unreachable basic block"},
+    {"LT01", Severity::Error, "irreducible control-flow region", true},
+    {"LT02", Severity::Error,
+     "cell-loop body disagrees with the first-cell pass"},
+    {"LT03", Severity::Error,
+     "control flow never makes progress (hold cycle with no exit)"},
+    {"LT04", Severity::Error, "address steps mid-element"},
+    {"LT05", Severity::Error,
+     "op group runs on one cell only (no enclosing cell loop)"},
+    {"LT06", Severity::Error,
+     "operation or pause after the data-background loop"},
+    {"LT07", Severity::Error, "misplaced or duplicated loop structure"},
 }};
 
 void append_json_string(std::ostringstream& os, std::string_view s) {

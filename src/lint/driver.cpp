@@ -99,12 +99,15 @@ void check_against(const LiftResult& lifted,
                    const std::string& unit, Report& report) {
   const EquivResult verdict = check_equivalence(lifted, source);
   switch (verdict.kind) {
-    case EquivKind::Unliftable:
-      report.add("EQ01", unit, verdict.index,
-                 "image is not liftable to a march algorithm: " +
-                     verdict.detail,
-                 "see docs/EQUIV.md for the liftable subset");
+    case EquivKind::Unliftable: {
+      std::string message = "image is not liftable to a march algorithm: " +
+                            verdict.detail;
+      for (const auto& line : verdict.trace) message += "\n      " + line;
+      report.add("EQ01", unit, verdict.index, std::move(message),
+                 "see docs/EQUIV.md for the liftable subset (code " +
+                     verdict.code + " names the reason)");
       return;
+    }
     case EquivKind::Mismatch: {
       std::string message = verdict.detail;
       for (const auto& line : verdict.trace) message += "\n      " + line;

@@ -87,6 +87,8 @@ EquivResult check_equivalence(const LiftResult& lifted,
     result.kind = EquivKind::Unliftable;
     result.detail = lifted.why;
     result.index = lifted.index;
+    result.code = lifted.code;
+    result.trace = lifted.trace;
     return result;
   }
 

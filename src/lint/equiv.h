@@ -34,10 +34,14 @@ struct EquivResult {
   /// One-line verdict: the proof, the mismatch summary, or the unliftable
   /// reason.
   std::string detail;
-  /// Mismatch counterexample: one line per op around the first divergence.
+  /// Counterexample lines: ops around the first divergence (Mismatch), or
+  /// the lifter's path disagreement (Unliftable, when it produced one).
   std::vector<std::string> trace;
   /// Unliftable: offending instruction index (-1 when structural).
   int index = -1;
+  /// Unliftable: the lifter's stable rejection code (LT registry / PF03)
+  /// so consumers can key on the reason instead of the message text.
+  std::string code;
 };
 
 /// Returns `alg` with every Any order rewritten to Up (the direction every

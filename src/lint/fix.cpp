@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lint/certify.h"
+#include "lint/cfg.h"
 #include "lint/chip_lint.h"
 #include "lint/lifter.h"
 #include "lint/march_lint.h"
@@ -28,16 +29,21 @@ using mbist_ucode::Rw;
 using mbist_pfsm::PfsmInstruction;
 using mbist_pfsm::PfsmProgram;
 
-/// Number of reachable instructions.  Control either advances to i+1,
-/// branches backwards (LOOP_CELL/LOOP_SELF to the branch register, Repeat
-/// to 1, LOOP_DATA/LOOP_PORT to 0 — all inside the already-visited prefix)
-/// or stops (TERMINATE, exhausted LOOP_PORT), so the reachable set is
-/// exactly the prefix up to and including the first TERMINATE / LOOP_PORT.
-std::size_t ucode_reachable_prefix(const std::vector<Instruction>& code) {
+/// Instructions to keep: the CFG-reachable region.  Removal is exact only
+/// when the dead instructions form a suffix (removing an interior block
+/// would renumber every absolute branch target after it — Repeat's
+/// reset-to-1, the branch register, the loop restarts at 0), so anything
+/// before the last reachable instruction is kept even when unreachable.
+/// For microcode the two coincide: every flow either falls through or
+/// branches backwards, making the reachable set a prefix — the CFG check
+/// is the proof, not an approximation.
+template <typename Code>
+std::size_t reachable_prefix(const Code& code,
+                             const std::vector<bool>& reachable) {
+  std::size_t keep = 0;
   for (std::size_t i = 0; i < code.size(); ++i)
-    if (code[i].flow == Flow::Terminate || code[i].flow == Flow::LoopPort)
-      return i + 1;
-  return code.size();
+    if (reachable[i]) keep = i + 1;
+  return keep;
 }
 
 /// A no-op sweep candidate: an op-flow instruction whose rw field is NOP.
@@ -118,9 +124,10 @@ std::string strip_march_comments(const std::string& text) {
 FixOutcome fix_ucode(MicrocodeProgram& program) {
   std::vector<Instruction> code = program.instructions();
 
-  const std::size_t reachable = ucode_reachable_prefix(code);
-  const std::size_t dead = code.size() - reachable;
-  code.resize(reachable);
+  const Cfg cfg = build_ucode_cfg(program);
+  const std::size_t keep = reachable_prefix(code, cfg.reachable_insn);
+  const std::size_t dead = code.size() - keep;
+  code.resize(keep);
 
   std::size_t swept = 0;
   MicrocodeProgram current{program.name(), code};
@@ -153,13 +160,8 @@ FixOutcome fix_ucode(MicrocodeProgram& program) {
 
 FixOutcome fix_pfsm(PfsmProgram& program) {
   const auto& rows = program.instructions();
-  std::size_t used = rows.size();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    if (rows[i].ctrl && rows[i].ctrl_op) {  // path B ends the walk
-      used = i + 1;
-      break;
-    }
-  }
+  const Cfg cfg = build_pfsm_cfg(program);
+  const std::size_t used = reachable_prefix(rows, cfg.reachable_insn);
 
   FixOutcome outcome;
   if (used == rows.size()) {

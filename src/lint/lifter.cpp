@@ -1,7 +1,11 @@
 #include "lint/lifter.h"
 
+#include <algorithm>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "lint/cfg.h"
 #include "mbist_pfsm/components.h"
 
 namespace pmbist::lint {
@@ -13,11 +17,14 @@ using march::MarchOp;
 using mbist_ucode::Flow;
 using mbist_ucode::Rw;
 
-LiftResult fail(int index, std::string why) {
+LiftResult fail(int index, std::string code, std::string why,
+                std::vector<std::string> trace = {}) {
   LiftResult r;
   r.ok = false;
   r.index = index;
+  r.code = std::move(code);
   r.why = std::move(why);
+  r.trace = std::move(trace);
   return r;
 }
 
@@ -25,20 +32,71 @@ bool is_op_flow(Flow f) {
   return f == Flow::Next || f == Flow::LoopCell || f == Flow::LoopSelf;
 }
 
+std::string fmt_ops(const std::vector<MarchOp>& ops) {
+  if (ops.empty()) return "(no ops)";
+  std::string s;
+  for (const auto& op : ops) {
+    if (!s.empty()) s += ',';
+    s += op.to_string();
+  }
+  return s;
+}
+
+/// LT01 rejection from the retreating edges no dominator explains.  No
+/// controller flow field can encode such a region (every backward target —
+/// the branch register, 0 and 1 — dominates its uses), so this is a
+/// defensive gate for the synthetic-graph API surface of cfg.h.
+LiftResult fail_irreducible(const Cfg& cfg) {
+  std::vector<std::string> trace;
+  for (const auto& edge : cfg.irreducible_edges) {
+    const auto& from = cfg.blocks[static_cast<std::size_t>(edge.first)];
+    const auto& to = cfg.blocks[static_cast<std::size_t>(edge.second)];
+    trace.push_back("retreating edge: instruction " +
+                    std::to_string(from.last) + " -> " +
+                    std::to_string(to.first) +
+                    " (target does not dominate source)");
+  }
+  const int at = cfg.blocks[static_cast<std::size_t>(
+                                cfg.irreducible_edges.front().second)]
+                     .first;
+  return fail(at, "LT01",
+              "irreducible control-flow region (no loop structure explains "
+              "the retreating edges)",
+              std::move(trace));
+}
+
 }  // namespace
 
-// The microcode lifter mirrors MicrocodeController::step() with the address
-// generator abstracted away: a fresh op-flow run `leader .. closer` is one
-// march element applied to every cell iff the closer loops back to the
-// leader (LOOP_CELL re-enters at the branch register, which holds the
-// leader index in every well-formed program) or is a single-instruction
-// LOOP_SELF group.  Everything the hardware would make geometry-dependent
-// — an address step mid-group, a loop-back past the leader, ops that run
-// on one cell only — is rejected as unliftable.
+// The microcode lifter abstractly interprets the image over its CFG with
+// the address, data and port generators symbolic.  An op-flow run is the
+// NEXT chain from the current instruction (the leader) to its closing
+// instruction; what the run means is decided by the ops its paths apply:
+//
+//   LOOP_CELL closer   the steady-state body — the rows from the branch
+//                      register's target through the closer — must apply
+//                      the same op list the first cell saw (the rows from
+//                      the leader through the closer).  Equal lists make
+//                      one march element; different lists are rejected with
+//                      both paths' op lists as the counterexample (LT02).
+//   LOOP_SELF closer   a single-op (or no-op) element; preceding real ops
+//                      would run on the first cell only (LT05).
+//   control row        a run that falls through without a cell loop is
+//                      invisible when it carries no real op, unliftable
+//                      otherwise (LT05 / LT06 after the data loop).
+//
+// Address steps (NEXT with addr-inc) are rejected only inside runs that
+// produce an element (LT04): a run without real ops touches no memory, so
+// its address stepping cannot show up in any op stream.  This makes the
+// accepted set body-defined rather than shape-defined: no-op padding,
+// no-op strides and loop-backs into earlier no-op rows all lift, and every
+// rejection names the semantic reason a canonical march cannot exist.
 LiftResult lift_ucode(const mbist_ucode::MicrocodeProgram& p,
                       const LiftOptions& options) {
   const auto& code = p.instructions();
   const int size = p.size();
+
+  const Cfg cfg = build_ucode_cfg(p);
+  if (!cfg.reducible()) return fail_irreducible(cfg);
 
   int ic = 0;
   int branch = 0;
@@ -55,80 +113,165 @@ LiftResult lift_ucode(const mbist_ucode::MicrocodeProgram& p,
   const int max_steps = 4 * size + 16;
   int steps = 0;
 
+  auto append_op = [&](const mbist_ucode::Instruction& i,
+                       std::vector<MarchOp>& ops) {
+    if (i.rw == Rw::Read)
+      ops.push_back({MarchOp::Kind::Read, i.cmp_inv != aux_cmp});
+    else if (i.rw == Rw::Write)
+      ops.push_back({MarchOp::Kind::Write, i.data_inv != aux_data});
+  };
+  // Ops applied by rows [a, b] (inclusive), under the current aux mask.
+  auto ops_of = [&](int a, int b) {
+    std::vector<MarchOp> ops;
+    for (int k = a; k <= b; ++k)
+      append_op(code[static_cast<std::size_t>(k)], ops);
+    return ops;
+  };
+  // First NEXT row in [a, b) that steps the address, or -1.
+  auto first_step_row = [&](int a, int b) {
+    for (int k = a; k < b; ++k) {
+      const auto& row = code[static_cast<std::size_t>(k)];
+      if (row.flow == Flow::Next && row.addr_inc) return k;
+    }
+    return -1;
+  };
+  auto push_element = [&](int leader, std::vector<MarchOp> ops) {
+    MarchElement e;
+    const bool down =
+        code[static_cast<std::size_t>(leader)].addr_down ^ aux_order;
+    e.order = down ? AddressOrder::Down : AddressOrder::Up;
+    e.ops = std::move(ops);
+    elements.push_back(std::move(e));
+  };
+
   while (ic < size) {
     if (++steps > max_steps)
-      return fail(ic, "control flow never makes progress (livelocked Repeat "
-                      "window)");
+      return fail(ic, "LT03",
+                  "control flow never makes progress (livelocked Repeat "
+                  "window)");
     const auto& instr = code[static_cast<std::size_t>(ic)];
 
     if (is_op_flow(instr.flow)) {
-      if (after_data_loop)
-        return fail(ic, "operation after the data-background loop would run "
-                        "once instead of once per background");
       const int leader = ic;
-      const bool down = instr.addr_down ^ aux_order;
-      std::vector<MarchOp> ops;
-      auto append_op = [&](const mbist_ucode::Instruction& i) {
-        if (i.rw == Rw::Read)
-          ops.push_back({MarchOp::Kind::Read, i.cmp_inv != aux_cmp});
-        else if (i.rw == Rw::Write)
-          ops.push_back({MarchOp::Kind::Write, i.data_inv != aux_data});
-      };
-
       int j = ic;
       while (j < size &&
-             code[static_cast<std::size_t>(j)].flow == Flow::Next) {
-        const auto& body = code[static_cast<std::size_t>(j)];
-        if (body.addr_inc)
-          return fail(j, "NEXT with addr-inc steps the address mid-element "
-                         "(ops land on different cells)");
-        append_op(body);
+             code[static_cast<std::size_t>(j)].flow == Flow::Next)
         ++j;
-      }
+
       if (j >= size) {
         // The NEXT chain hits instruction-counter exhaustion: the ops ran
-        // on the element's first cell only.  Invisible if they were all
-        // no-ops, unliftable otherwise.
-        if (!ops.empty())
-          return fail(leader, "element op group runs off the end of the "
-                              "program (ops touch the first cell only)");
-        ic = j;
+        // on the element's first cell only.  Invisible if the run carries
+        // no real op, unliftable otherwise.
+        if (!ops_of(leader, size - 1).empty())
+          return fail(leader, "LT05",
+                      "element op group runs off the end of the program "
+                      "(ops touch the first cell only)");
+        ic = size;
         break;
       }
       const auto& closer = code[static_cast<std::size_t>(j)];
+
       if (closer.flow == Flow::LoopSelf) {
-        if (!ops.empty())
-          return fail(j, "LOOP_SELF closes a multi-op group (the preceding "
-                         "ops run on the first cell only)");
-        append_op(closer);
-      } else if (closer.flow == Flow::LoopCell) {
-        if (branch != leader)
-          return fail(j, "LOOP_CELL re-enters at instruction " +
-                             std::to_string(branch) +
-                             " instead of the element leader " +
-                             std::to_string(leader));
-        append_op(closer);
-      } else {
-        // The op group fell through to a control instruction without a
-        // cell loop: its ops ran on the first cell only.
-        return fail(j, "element op group is not closed by LOOP_CELL or "
-                       "LOOP_SELF (ops would run on one cell only)");
+        if (!ops_of(leader, j - 1).empty())
+          return fail(j, "LT05",
+                      "LOOP_SELF closes a multi-op group (the preceding "
+                      "ops run on the first cell only)");
+        std::vector<MarchOp> ops;
+        append_op(closer, ops);
+        if (!ops.empty()) {
+          if (after_data_loop)
+            return fail(j, "LT06",
+                        "operation after the data-background loop would "
+                        "run once instead of once per background");
+          const int step_row = first_step_row(leader, j);
+          if (step_row >= 0)
+            return fail(step_row, "LT04",
+                        "NEXT with addr-inc steps the address mid-element "
+                        "(ops land on different cells)");
+          push_element(leader, std::move(ops));
+        }
+        ic = j + 1;
+        branch = j + 1;
+        continue;
       }
-      if (!ops.empty()) {
-        MarchElement e;
-        e.order = down ? AddressOrder::Down : AddressOrder::Up;
-        e.ops = std::move(ops);
-        elements.push_back(std::move(e));
+
+      if (closer.flow == Flow::LoopCell) {
+        if (branch < 0 || branch > j)
+          return fail(j, "LT02",
+                      "LOOP_CELL loops back to instruction " +
+                          std::to_string(branch) +
+                          ", past the closer (the loop body is not an op "
+                          "group)");
+        for (int k = branch; k < j; ++k) {
+          if (code[static_cast<std::size_t>(k)].flow != Flow::Next) {
+            std::vector<std::string> trace{
+                "first-cell pass (rows " + std::to_string(leader) + ".." +
+                    std::to_string(j) + "): " + fmt_ops(ops_of(leader, j)),
+                "loop-back pass starts at row " + std::to_string(branch) +
+                    " (the stale branch register) and re-runs control row " +
+                    std::to_string(k)};
+            return fail(j, "LT02",
+                        "cell-loop body crosses a control row: LOOP_CELL "
+                        "loops back to instruction " +
+                            std::to_string(branch) + " but instruction " +
+                            std::to_string(k) +
+                            " re-runs non-NEXT flow inside the body",
+                        std::move(trace));
+          }
+        }
+        auto ops_first = ops_of(leader, j);
+        const auto ops_body = ops_of(branch, j);
+        if (ops_first != ops_body) {
+          std::vector<std::string> trace{
+              "first-cell pass (rows " + std::to_string(leader) + ".." +
+                  std::to_string(j) + "): " + fmt_ops(ops_first),
+              "loop-back pass (rows " + std::to_string(branch) + ".." +
+                  std::to_string(j) + "): " + fmt_ops(ops_body)};
+          return fail(j, "LT02",
+                      "LOOP_CELL loops back to instruction " +
+                          std::to_string(branch) +
+                          ": the loop body applies different ops than the "
+                          "first cell saw",
+                      std::move(trace));
+        }
+        if (!ops_first.empty()) {
+          if (after_data_loop)
+            return fail(j, "LT06",
+                        "operation after the data-background loop would "
+                        "run once instead of once per background");
+          const int step_row = first_step_row(std::min(branch, leader), j);
+          if (step_row >= 0)
+            return fail(step_row, "LT04",
+                        "NEXT with addr-inc steps the address mid-element "
+                        "(ops land on different cells)");
+          push_element(leader, std::move(ops_first));
+        }
+        ic = j + 1;
+        branch = j + 1;
+        continue;
       }
-      ic = j + 1;
-      branch = j + 1;
+
+      // The chain fell through into a control row without a cell loop.
+      if (!ops_of(leader, j - 1).empty()) {
+        if (after_data_loop)
+          return fail(leader, "LT06",
+                      "operation after the data-background loop would run "
+                      "once instead of once per background");
+        return fail(j, "LT05",
+                    "element op group is not closed by LOOP_CELL or "
+                    "LOOP_SELF (ops would run on one cell only)");
+      }
+      // No-op padding: invisible in every op stream.  Continue at the
+      // control row with the branch register untouched, exactly as the
+      // hardware would reach it.
+      ic = j;
       continue;
     }
 
     switch (instr.flow) {
       case Flow::Repeat:
         if (after_data_loop)
-          return fail(ic, "Repeat after the data-background loop");
+          return fail(ic, "LT07", "Repeat after the data-background loop");
         if (!repeat) {
           repeat = true;
           aux_order = instr.addr_down;
@@ -145,25 +288,26 @@ LiftResult lift_ucode(const mbist_ucode::MicrocodeProgram& p,
         break;
       case Flow::Pause:
         if (after_data_loop)
-          return fail(ic, "pause after the data-background loop");
+          return fail(ic, "LT06", "pause after the data-background loop");
         elements.push_back(MarchElement::pause(options.pause_ns));
         ++ic;
         branch = ic;
         break;
       case Flow::LoopData:
         if (repeat)
-          return fail(ic, "data-background loop inside an open Repeat "
-                          "window");
+          return fail(ic, "LT07",
+                      "data-background loop inside an open Repeat window");
         if (result.has_data_loop)
-          return fail(ic, "second data-background loop (the restarted pass "
-                          "would replay the first loop)");
+          return fail(ic, "LT07",
+                      "second data-background loop (the restarted pass "
+                      "would replay the first loop)");
         result.has_data_loop = true;
         after_data_loop = true;
         ++ic;
         break;
       case Flow::LoopPort:
         if (repeat)
-          return fail(ic, "port loop inside an open Repeat window");
+          return fail(ic, "LT07", "port loop inside an open Repeat window");
         result.has_port_loop = true;
         ic = size;  // everything after the port loop is dead
         break;
@@ -190,6 +334,9 @@ LiftResult lift_ucode(const mbist_ucode::MicrocodeProgram& p,
 // marks the port loop and ends the walk (rows after it are dead).
 LiftResult lift_pfsm(const mbist_pfsm::PfsmProgram& p,
                      const LiftOptions& options) {
+  const Cfg cfg = build_pfsm_cfg(p);
+  if (!cfg.reducible()) return fail_irreducible(cfg);
+
   LiftResult result;
   std::vector<MarchElement> elements;
 
@@ -199,8 +346,9 @@ LiftResult lift_pfsm(const mbist_pfsm::PfsmProgram& p,
     if (row.ctrl) {
       if (!row.ctrl_op) {  // path A: data-background loop
         if (result.has_data_loop)
-          return fail(i, "second data-background loop row (the restarted "
-                         "pass would replay the first loop)");
+          return fail(i, "LT07",
+                      "second data-background loop row (the restarted "
+                      "pass would replay the first loop)");
         result.has_data_loop = true;
       } else {  // path B: port loop / test end
         result.has_port_loop = true;
@@ -209,11 +357,12 @@ LiftResult lift_pfsm(const mbist_pfsm::PfsmProgram& p,
       continue;
     }
     if (result.has_data_loop)
-      return fail(i, "component row after the data-background loop would "
-                     "run once instead of once per background");
+      return fail(i, "LT06",
+                  "component row after the data-background loop would "
+                  "run once instead of once per background");
     if (row.mode >= mbist_pfsm::kNumComponents)
-      return fail(i, "mode " + std::to_string(row.mode) +
-                         " outside SM0..SM7");
+      return fail(i, "PF03",
+                  "mode " + std::to_string(row.mode) + " outside SM0..SM7");
     const auto& comp =
         mbist_pfsm::component_set()[static_cast<std::size_t>(row.mode)];
     MarchElement e;

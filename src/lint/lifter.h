@@ -1,27 +1,34 @@
 #pragma once
-// Translation-validation lifter: symbolically executes a controller image
-// (microcode storage unit or pFSM instruction buffer) and lifts it back
-// into the canonical march::MarchAlgorithm it realizes.
+// Translation-validation lifter: abstractly interprets a controller image
+// (microcode storage unit or pFSM instruction buffer) over its control-flow
+// graph (cfg.h) and lifts it back into the canonical march::MarchAlgorithm
+// it realizes.
 //
-// The lifter is an abstract interpreter over the same decode()/phase
-// semantics the behavioral controllers use, but with the address, data and
-// port generators left symbolic: instead of walking 2^address_bits cells it
-// recognizes the element structure (leader .. closer op groups, the Repeat
-// window with its reference-register polarity mask, the Pause timer, and
-// the data-background / port loop-back paths) and emits one MarchElement
-// per recognized group.  The result is geometry-independent: if the lift
-// succeeds, the image applies exactly `expand(algorithm, g)` for every
-// geometry g (restricted to a single pass when the loop tail is absent —
-// see LiftResult::has_data_loop / has_port_loop).
+// The lifter runs the same decode()/phase semantics the behavioral
+// controllers use, but with the address, data and port generators left
+// symbolic: instead of walking 2^address_bits cells it recovers the element
+// structure — op groups with their cell-loop bodies, the Repeat window with
+// its reference-register polarity mask, the Pause timer, and the
+// data-background / port loop-back tails — and emits one MarchElement per
+// recovered group.  Group recovery is body-based, not shape-based: a
+// LOOP_CELL closer is accepted whenever the ops its loop body (the rows
+// from the branch-register target through the closer) applies per cell
+// equal the ops the first cell saw, so images that enter an op group
+// mid-way, pad groups with no-op rows, or step addresses over rows that
+// touch no memory all lift.  The result is geometry-independent: if the
+// lift succeeds, the image applies exactly `expand(algorithm, g)` for
+// every geometry g (restricted to a single pass when the loop tail is
+// absent — see LiftResult::has_data_loop / has_port_loop).
 //
-// The lifter is sound, not complete: images whose behavior depends on the
-// geometry (an address step mid-element, a loop-back to the middle of a
-// previous group, a component row after the data loop, ...) are rejected
-// as unliftable with the offending instruction named.  equiv.h builds the
-// MISMATCH/UNLIFTABLE diagnostics and the round-trip gate
-// `lift(assemble(A)) == A` on top of this.
+// Images with no canonical march are rejected with a stable diagnostic
+// code (the LT registry in diagnostics.h, plus PF03 for out-of-table pFSM
+// modes), a reason naming the offending instruction, and — where the
+// rejection is a path disagreement — a counterexample trace of the two
+// paths' op lists.  equiv.h builds the MISMATCH/UNLIFTABLE verdicts and
+// the round-trip gate `lift(assemble(A)) == A` on top of this.
 
 #include <string>
+#include <vector>
 
 #include "march/march.h"
 #include "mbist_pfsm/isa.h"
@@ -42,6 +49,14 @@ struct LiftResult {
   bool ok = false;
   /// When !ok: why the image is not liftable, naming the instruction.
   std::string why;
+  /// When !ok: the stable diagnostic code of the rejection (an LT code
+  /// from diagnostics.h, or "PF03" for out-of-table pFSM modes) so --json
+  /// consumers can key on the reason instead of matching message text.
+  std::string code;
+  /// When !ok: counterexample lines for path disagreements (e.g. the ops
+  /// the first cell sees vs the ops the loop-back body replays); empty
+  /// when the reason needs no trace.
+  std::vector<std::string> trace;
   /// When !ok: the offending instruction index (-1 when structural).
   int index = -1;
 
@@ -63,7 +78,7 @@ struct LiftResult {
 };
 
 /// Lifts a microcode image.  Never throws; unliftable images return
-/// ok=false with a reason.
+/// ok=false with a reason, code and (when applicable) trace.
 [[nodiscard]] LiftResult lift_ucode(const mbist_ucode::MicrocodeProgram& p,
                                     const LiftOptions& options = {});
 

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "lint/cfg.h"
+#include "lint/lifter.h"
 #include "mbist_pfsm/components.h"
 
 namespace pmbist::lint {
@@ -11,45 +13,18 @@ namespace {
 using mbist_ucode::Flow;
 using mbist_ucode::Rw;
 
-/// Forward reachability over the microcode flow graph (see header).
-std::vector<bool> ucode_reachable(
-    const std::vector<mbist_ucode::Instruction>& code) {
-  const int n = static_cast<int>(code.size());
-  std::vector<bool> reachable(static_cast<std::size_t>(n), false);
-  std::vector<int> stack;
-  auto visit = [&](int i) {
-    if (i >= 0 && i < n && !reachable[static_cast<std::size_t>(i)]) {
-      reachable[static_cast<std::size_t>(i)] = true;
-      stack.push_back(i);
-    }
-  };
-  visit(0);
-  while (!stack.empty()) {
-    const int i = stack.back();
-    stack.pop_back();
-    switch (code[static_cast<std::size_t>(i)].flow) {
-      case Flow::Terminate:
-        break;
-      case Flow::LoopPort:
-        visit(0);
-        break;
-      case Flow::LoopData:
-        visit(0);
-        visit(i + 1);
-        break;
-      case Flow::Repeat:
-        visit(1);
-        visit(i + 1);
-        break;
-      case Flow::Next:
-      case Flow::LoopCell:
-      case Flow::LoopSelf:
-      case Flow::Pause:
-        visit(i + 1);
-        break;
-    }
-  }
-  return reachable;
+/// Structure pass shared by both ISAs: when the lifter finds no canonical
+/// march behind the image, surface its stable code (LT02..LT07 / PF03) with
+/// the reason and counterexample trace.  Skipped when an earlier pass
+/// already emitted the same code (lint_pfsm's own PF03 row check).
+void add_lift_rejection(const LiftResult& lifted, const std::string& unit,
+                        Report& report) {
+  if (lifted.ok || report.has_code(lifted.code)) return;
+  std::string message = lifted.why;
+  for (const auto& line : lifted.trace) message += "\n      " + line;
+  report.add(lifted.code, unit, lifted.index, std::move(message),
+             "see docs/EQUIV.md (control-flow recovery) for the liftable "
+             "forms");
 }
 
 }  // namespace
@@ -76,7 +51,8 @@ Report lint_ucode(const mbist_ucode::MicrocodeProgram& program,
     return report;
   }
 
-  const auto reachable = ucode_reachable(code);
+  const Cfg cfg = build_ucode_cfg(program);
+  const auto& reachable = cfg.reachable_insn;
   bool any_read = false;
   int reachable_repeats = 0;
   for (int i = 0; i < n; ++i) {
@@ -133,6 +109,20 @@ Report lint_ucode(const mbist_ucode::MicrocodeProgram& program,
     report.add("UC06", unit, -1,
                "no reachable read instruction: the program observes nothing",
                "a march detects faults only through reads");
+
+  // Block-granular dead-code view on top of the per-instruction UC03
+  // lines: one LT00 per unreachable basic block, naming its extent (what
+  // `--fix` removes in one step).
+  for (const auto& block : cfg.blocks) {
+    if (block.reachable) continue;
+    report.add("LT00", unit, block.first,
+               "unreachable basic block [" + std::to_string(block.first) +
+                   ".." + std::to_string(block.last) +
+                   "]: no flow edge reaches it",
+               "`pmbist lint --fix` removes unreachable blocks exactly");
+  }
+
+  add_lift_rejection(lift_ucode(program), unit, report);
   return report;
 }
 
@@ -158,17 +148,17 @@ Report lint_pfsm(const mbist_pfsm::PfsmProgram& program,
     return report;
   }
 
-  // Row i chains to i+1; path-A rows also restart at 0 (per background),
-  // path-B rows restart at 0 (per port) and are the only exit to Done.
-  std::vector<bool> reachable(static_cast<std::size_t>(n), false);
+  // Row i chains to (i+1) mod n; path-A rows also restart at 0 (per
+  // background), path-B rows restart at 0 (per port) and are the only exit
+  // to Done — so the reachable region is the prefix up to the first path-B
+  // row, which the CFG derives from the same edges.
+  const Cfg cfg = build_pfsm_cfg(program);
+  const auto& reachable = cfg.reachable_insn;
   bool saw_port_loop = false;
   for (int i = 0; i < n; ++i) {
-    reachable[static_cast<std::size_t>(i)] = true;
     const auto& row = code[static_cast<std::size_t>(i)];
-    if (row.ctrl && row.ctrl_op) {
+    if (reachable[static_cast<std::size_t>(i)] && row.ctrl && row.ctrl_op)
       saw_port_loop = true;
-      break;  // path B never falls through; rows after it never run
-    }
   }
 
   bool any_component = false;
@@ -209,6 +199,8 @@ Report lint_pfsm(const mbist_pfsm::PfsmProgram& program,
                "no reachable component row: the buffer performs no memory "
                "operations",
                "add SM rows before the loop-control tail");
+
+  add_lift_rejection(lift_pfsm(program), unit, report);
   return report;
 }
 

@@ -1,16 +1,18 @@
 #pragma once
 // Controller-program lint passes.
 //
-// Microcode (UC codes): the flow graph is derived from the one decode()
-// function both the behavioral controller and the synthesized decoder use
-// — successors of instruction i are i+1 (Next/LoopSelf/LoopCell/Pause and
-// the loop exits), {1, i+1} for Repeat (reset-to-1 path), {0, i+1} for
-// LoopData, {0} for LoopPort, {} for Terminate.  Back-edges (LoopCell to
-// the branch register) stay inside the already-visited op group and add no
-// reachability.  From that graph the pass finds dead code, fall-off-the-end
-// flows (instruction-counter exhaustion ends the test silently), empty or
-// nested Repeat windows (a single repeat bit livelocks on nesting), and
-// programs that never read.
+// Microcode (UC codes): the flow graph is the basic-block CFG of
+// lint/cfg.h, whose edges derive from the one decode() function both the
+// behavioral controller and the synthesized decoder use (LOOP_CELL edges
+// come from the branch-register dataflow, so they are exact even for
+// images that enter an op group mid-way).  From that graph the pass finds
+// dead code (per-instruction UC03 plus block-granular LT00),
+// fall-off-the-end flows (instruction-counter exhaustion ends the test
+// silently), empty or nested Repeat windows (a single repeat bit livelocks
+// on nesting), and programs that never read.  A final structure pass runs
+// the lifter (lint/lifter.h): images with no canonical march gain the
+// lifter's stable rejection code (LT02..LT07) with its reason and
+// counterexample trace.
 //
 // pFSM (PF codes): the upper buffer's rows chain linearly; a path-A row
 // loops to 0 per background, a path-B row loops to 0 per port and is the

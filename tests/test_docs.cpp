@@ -92,7 +92,9 @@ std::vector<DocExample> doc_examples(const char* relative,
 }
 
 // A ```lint-<kind>:<CODE>[:storage-depth=N][:buffer-depth=N][:against=SRC]
-// block from docs/LINT.md: linting `text` as `kind` must emit `code`.
+// block from a doc file: linting `text` as `kind` must emit `code`.
+// docs/LINT.md carries one block per code; docs/EQUIV.md uses the same
+// fence syntax for its control-flow-recovery walkthrough.
 struct LintExample {
   std::string kind;
   std::string code;
@@ -101,9 +103,9 @@ struct LintExample {
   lint::LintOptions options;
 };
 
-std::vector<LintExample> lint_doc_examples() {
-  const auto doc = read_file(std::string{PMBIST_SOURCE_DIR} +
-                             "/docs/LINT.md");
+std::vector<LintExample> lint_doc_examples(
+    const std::string& rel = "docs/LINT.md") {
+  const auto doc = read_file(std::string{PMBIST_SOURCE_DIR} + "/" + rel);
   std::vector<LintExample> examples;
   std::istringstream lines{doc};
   std::string line;
@@ -128,7 +130,7 @@ std::vector<LintExample> lint_doc_examples() {
         start = colon + 1;
       }
       if (fields.size() < 2) {
-        ADD_FAILURE() << "docs/LINT.md:" << lineno << ": " << line;
+        ADD_FAILURE() << rel << ":" << lineno << ": " << line;
         in_block = false;
         continue;
       }
@@ -137,7 +139,7 @@ std::vector<LintExample> lint_doc_examples() {
       for (std::size_t i = 2; i < fields.size(); ++i) {
         const auto eq = fields[i].find('=');
         if (eq == std::string::npos) {
-          ADD_FAILURE() << "docs/LINT.md:" << lineno << ": bad option "
+          ADD_FAILURE() << rel << ":" << lineno << ": bad option "
                         << fields[i];
           continue;
         }
@@ -155,7 +157,7 @@ std::vector<LintExample> lint_doc_examples() {
         else if (key == "profile")  // repo-relative path, read like --profile
           current.options.profile =
               read_file(std::string{PMBIST_SOURCE_DIR} + "/" + value);
-        else ADD_FAILURE() << "docs/LINT.md:" << lineno << ": unknown option "
+        else ADD_FAILURE() << rel << ":" << lineno << ": unknown option "
                            << key;
       }
     } else if (line.rfind("```", 0) == 0) {
@@ -392,18 +394,20 @@ TEST(DocExamples, ProfileErrorExamplesAreRejected) {
 }
 
 TEST(DocExamples, LintExamplesEmitTheirCode) {
-  for (const auto& e : lint_doc_examples()) {
-    SCOPED_TRACE("docs/LINT.md:" + std::to_string(e.line));
-    ASSERT_NE(lint::find_code(e.code), nullptr)
-        << "block names unregistered code " << e.code;
-    const auto report = lint::lint_text_as(lint_kind_of(e.kind), e.text,
-                                           "doc-example", e.options);
-    EXPECT_TRUE(report.has_code(e.code))
-        << "block does not trigger " << e.code << "; got:\n"
-        << lint::format_text(report);
-    // The auto-detector must agree with the block's declared kind, since
-    // `pmbist lint` relies on it.
-    EXPECT_EQ(lint::detect_kind(e.text), lint_kind_of(e.kind));
+  for (const char* rel : {"docs/LINT.md", "docs/EQUIV.md"}) {
+    for (const auto& e : lint_doc_examples(rel)) {
+      SCOPED_TRACE(std::string{rel} + ":" + std::to_string(e.line));
+      ASSERT_NE(lint::find_code(e.code), nullptr)
+          << "block names unregistered code " << e.code;
+      const auto report = lint::lint_text_as(lint_kind_of(e.kind), e.text,
+                                             "doc-example", e.options);
+      EXPECT_TRUE(report.has_code(e.code))
+          << "block does not trigger " << e.code << "; got:\n"
+          << lint::format_text(report);
+      // The auto-detector must agree with the block's declared kind, since
+      // `pmbist lint` relies on it.
+      EXPECT_EQ(lint::detect_kind(e.text), lint_kind_of(e.kind));
+    }
   }
 }
 

@@ -11,8 +11,10 @@
 #include "bist/session.h"
 #include "diag/transparent.h"
 #include "march/campaign.h"
+#include "lint/cfg.h"
 #include "lint/driver.h"
 #include "lint/equiv.h"
+#include "lint/fix.h"
 #include "lint/lifter.h"
 #include "lint/march_lint.h"
 #include "lint/program_lint.h"
@@ -417,12 +419,14 @@ TEST_P(FuzzLifterImages, RandomImagesLiftOrExplainDeterministically) {
   const auto b = lint::lift_ucode(program);
   EXPECT_EQ(a.ok, b.ok);
   EXPECT_EQ(a.why, b.why);
+  EXPECT_EQ(a.code, b.code);
   if (a.ok) {
     // Note an empty element list is legitimate: an image that is only a
     // loop tail (or an immediate TERMINATE) applies no ops at all.
     EXPECT_EQ(a.algorithm.elements(), b.algorithm.elements());
   } else {
     EXPECT_FALSE(a.why.empty());
+    EXPECT_NE(lint::find_code(a.code), nullptr) << a.code;
   }
 
   std::vector<std::uint16_t> pfsm_words(static_cast<std::size_t>(len(rng)));
@@ -432,12 +436,139 @@ TEST_P(FuzzLifterImages, RandomImagesLiftOrExplainDeterministically) {
   const auto q = lint::lift_pfsm(pfsm);
   EXPECT_EQ(p.ok, q.ok);
   EXPECT_EQ(p.why, q.why);
+  EXPECT_EQ(p.code, q.code);
   if (!p.ok) {
     EXPECT_FALSE(p.why.empty());
+    EXPECT_NE(lint::find_code(p.code), nullptr) << p.code;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLifterImages, ::testing::Range(1, 65));
+
+class FuzzCfgDifferential : public ::testing::TestWithParam<int> {};
+
+// Differential CFG fuzz: random *branchy* images — no-op strides, cell
+// loops, Repeat windows whose replay enters a group mid-way, mid-program
+// TERMINATEs leaving whole blocks unreachable — are analyzed and lifted,
+// and whenever the lift succeeds with full loop structure the image is
+// replayed on the cycle-accurate controller: the concrete op stream must
+// equal march::expand of the recovered algorithm.  Rejections must be
+// deterministic and carry a registered stable code; every image's CFG is
+// reducible (no controller flow field can encode an irreducible region);
+// and --fix removes exactly the unreachable blocks while preserving the
+// lifted algorithm.
+TEST_P(FuzzCfgDifferential, LiftedImagesReplayTheirAlgorithm) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 17389u);
+  std::uniform_int_distribution<int> segments(1, 5);
+  std::uniform_int_distribution<int> pick(0, 9);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  auto op_row = [&](unsigned flow) {
+    unsigned w = flow << 7;
+    w |= static_cast<unsigned>(coin(rng));        // addr_inc
+    w |= (coin(rng) ? 1u : 2u) << 5;              // read or write
+    if (coin(rng)) w |= 1u << 3;                  // data_inv
+    if (coin(rng)) w |= 1u << 4;                  // cmp_inv
+    if (coin(rng)) w |= 1u << 1;                  // addr_down
+    return static_cast<std::uint16_t>(w);
+  };
+
+  std::vector<std::uint16_t> words;
+  const int n = segments(rng);
+  for (int s = 0; s < n; ++s) {
+    switch (pick(rng)) {
+      case 0:  // single-op sweep
+        words.push_back(op_row(2));
+        break;
+      case 1:  // multi-op group closed by LOOP_CELL
+        for (int i = 0; i <= coin(rng); ++i) words.push_back(op_row(0));
+        words.push_back(op_row(1));
+        break;
+      case 2:  // no-op padding, sometimes address-stepping
+        words.push_back(static_cast<std::uint16_t>(coin(rng)));
+        break;
+      case 3:  // no-op sweep
+        words.push_back(coin(rng) ? 0x100 : 0x080);
+        break;
+      case 4:  // pause
+        words.push_back(0x200);
+        break;
+      case 5: {  // Repeat with a random complement mask
+        unsigned w = 0x180;
+        if (coin(rng)) w |= 1u << 1;
+        if (coin(rng)) w |= 1u << 3;
+        if (coin(rng)) w |= 1u << 4;
+        words.push_back(static_cast<std::uint16_t>(w));
+        break;
+      }
+      case 6:  // mid-program TERMINATE: the rest becomes unreachable
+        words.push_back(0x380);
+        break;
+      default:  // bare NEXT op rows (often draw LT04/LT05)
+        words.push_back(op_row(0));
+        break;
+    }
+  }
+  if (coin(rng)) words.push_back(0x284);
+  words.push_back(0x300);
+  if (pick(rng) == 0) words.push_back(op_row(0));  // unreachable garbage
+  const auto program =
+      mbist_ucode::MicrocodeProgram::from_image("fuzz-cfg", words);
+
+  // CFG invariants: reducible, and block reachability is consistent with
+  // per-instruction reachability.
+  const auto cfg = lint::build_ucode_cfg(program);
+  EXPECT_TRUE(cfg.reducible()) << program.listing();
+  for (const auto& block : cfg.blocks)
+    for (int i = block.first; i <= block.last; ++i)
+      EXPECT_EQ(cfg.reachable_insn[static_cast<std::size_t>(i)],
+                block.reachable)
+          << program.listing();
+
+  const auto a = lint::lift_ucode(program);
+  const auto b = lint::lift_ucode(program);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.why, b.why);
+  EXPECT_EQ(a.code, b.code);
+  EXPECT_EQ(a.trace, b.trace);
+
+  if (a.ok && a.full_structure()) {
+    // The ground-truth check: the recovered algorithm expands to exactly
+    // the op stream the hardware applies.
+    const MemoryGeometry probes[] = {
+        {.address_bits = 2, .word_bits = 1, .num_ports = 1},
+        {.address_bits = 3, .word_bits = 2, .num_ports = 2},
+    };
+    for (const auto& g : probes) {
+      mbist_ucode::MicrocodeController ctl{
+          {.geometry = g, .storage_depth = 64}};
+      ctl.load(program);
+      EXPECT_EQ(bist::collect_ops(ctl, 100'000'000),
+                march::expand(a.algorithm, g))
+          << program.listing() << a.algorithm.to_string();
+    }
+  } else if (!a.ok) {
+    EXPECT_FALSE(a.why.empty());
+    ASSERT_NE(lint::find_code(a.code), nullptr)
+        << "unregistered rejection code '" << a.code << "'";
+  }
+
+  // CFG-exact --fix: afterwards nothing is unreachable, and a liftable
+  // image lifts to the identical algorithm.
+  auto fixed = program;
+  (void)lint::fix_ucode(fixed);
+  const auto relint = lint::lint_ucode(fixed, {.storage_depth = 64});
+  EXPECT_FALSE(relint.has_code("LT00")) << lint::format_text(relint);
+  EXPECT_FALSE(relint.has_code("UC03")) << lint::format_text(relint);
+  if (a.ok) {
+    const auto after = lint::lift_ucode(fixed);
+    ASSERT_TRUE(after.ok) << after.why << "\n" << fixed.listing();
+    EXPECT_EQ(a.algorithm.elements(), after.algorithm.elements())
+        << program.listing();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCfgDifferential, ::testing::Range(1, 97));
 
 // --- packed-kernel differential fuzz ----------------------------------
 

@@ -15,10 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
+#include <initializer_list>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "lint/cfg.h"
 
 #include "field/manager.h"
 #include "field/profile.h"
@@ -566,6 +570,284 @@ TEST(ProgramLint, Pf03ModeRangeIsApiOnlyAndDetected) {
   const auto report = lint::lint_pfsm(program);
   EXPECT_TRUE(report.has_code("PF03")) << lint::format_text(report);
   EXPECT_TRUE(report.has_errors());
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow graph analysis (lint/cfg.h) and the CFG-based lifter: block
+// recovery, dominator/loop structure, the LT rejection codes, and the
+// strict-superset guarantee (every shape the old pattern-matcher accepted
+// still lifts; body-equivalent shapes it rejected now lift too).
+
+std::string ucode_hex(std::initializer_list<unsigned> words,
+                      const char* name = "crafted") {
+  std::string text = "; pmbist microcode image v1\n; name: ";
+  text += name;
+  text += '\n';
+  char buf[8];
+  for (const unsigned w : words) {
+    std::snprintf(buf, sizeof buf, "%03x\n", w);
+    text += buf;
+  }
+  return text;
+}
+
+mbist_ucode::MicrocodeProgram ucode_image(std::initializer_list<unsigned> w,
+                                          const char* name = "crafted") {
+  return mbist_ucode::MicrocodeProgram::from_hex_text(ucode_hex(w, name));
+}
+
+TEST(Cfg, RecoversBlocksDominatorsAndLoopsOfAssembledImages) {
+  const auto r = mbist_ucode::assemble(march::march_c());
+  const auto cfg = lint::build_ucode_cfg(r.program);
+  EXPECT_TRUE(cfg.reducible());
+  // Assembled images have no dead code: every instruction is reachable.
+  for (std::size_t i = 0; i < cfg.reachable_insn.size(); ++i)
+    EXPECT_TRUE(cfg.reachable_insn[i]) << "instruction " << i;
+  // The entry block dominates everything; March C has cell loops, a data
+  // loop and a port loop, so natural loops must have been recovered.
+  ASSERT_FALSE(cfg.rpo.empty());
+  const int entry = cfg.block_of[0];
+  for (const int b : cfg.rpo) EXPECT_TRUE(cfg.dominates(entry, b));
+  EXPECT_FALSE(cfg.loops.empty());
+  for (const auto& loop : cfg.loops) {
+    // Every loop body is dominated by its header (natural-loop property).
+    for (const int b : loop.body) EXPECT_TRUE(cfg.dominates(loop.header, b));
+  }
+}
+
+TEST(Cfg, EveryLibraryImageIsReducible) {
+  for (const auto& alg : march::all_algorithms()) {
+    for (const bool symmetric : {true, false}) {
+      SCOPED_TRACE(alg.name() + (symmetric ? " (folded)" : " (unfolded)"));
+      const auto r = mbist_ucode::assemble(
+          alg, {.symmetric_encoding = symmetric, .emit_loop_tail = true});
+      EXPECT_TRUE(lint::build_ucode_cfg(r.program).reducible());
+    }
+    if (!mbist_pfsm::is_mappable(alg)) continue;
+    const auto p = mbist_pfsm::compile(alg);
+    EXPECT_TRUE(lint::build_pfsm_cfg(p.program).reducible()) << alg.name();
+  }
+}
+
+TEST(Cfg, SyntheticIrreducibleRegionIsFlagged) {
+  // 0 -> {1, 2}, 1 -> {2}, 2 -> {1}: the 1 <-> 2 cycle has two entries, so
+  // neither node dominates the other and no natural loop explains the
+  // retreating edge.  No controller image can encode this shape (every
+  // backward flow targets 0, 1 or the branch register, all of which
+  // dominate their uses) — LT01 is pinned through the graph API instead.
+  const auto cfg = lint::build_cfg({{1, 2}, {2}, {1}});
+  EXPECT_FALSE(cfg.reducible());
+  ASSERT_FALSE(cfg.irreducible_edges.empty());
+  EXPECT_TRUE(cfg.loops.empty());
+  const auto* info = lint::find_code("LT01");
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->api_only);
+  EXPECT_EQ(info->severity, lint::Severity::Error);
+
+  // A self-loop with a second entry is still reducible (the header
+  // dominates itself): 0 -> {1}, 1 -> {1, 2}, 2 -> {}.
+  const auto self_loop = lint::build_cfg({{1}, {1, 2}, {}});
+  EXPECT_TRUE(self_loop.reducible());
+  ASSERT_EQ(self_loop.loops.size(), 1u);
+}
+
+TEST(Cfg, BranchValuesTrackLoopCellTargetsExactly) {
+  // 141 (LOOP_SELF) saves branch = 1; 021/048 chain; 0b1 (LOOP_CELL) loops
+  // back to the saved 1, not to its lexical predecessor.
+  const auto program = ucode_image({0x141, 0x021, 0x048, 0x0b1, 0x380});
+  const auto values = lint::ucode_branch_values(program.instructions());
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_EQ(values[3], (std::vector<int>{1}));
+  const auto succ = lint::ucode_successors(program.instructions());
+  EXPECT_EQ(succ[3], (std::vector<int>{1, 4}));
+}
+
+TEST(Lifter, StrictSupersetFormsNowLift) {
+  struct Form {
+    const char* label;
+    std::initializer_list<unsigned> words;
+    const char* want;  // march DSL the image must realize
+  };
+  const Form forms[] = {
+      // No-op NEXT padding between the data loop and the port loop.
+      {"padded", {0x141, 0x121, 0x284, 0x000, 0x300}, "up(w0); up(r0)"},
+      // A no-op cell loop (address stride) between two op groups.
+      {"nop stride",
+       {0x141, 0x001, 0x080, 0x121, 0x284, 0x300},
+       "up(w0); up(r0)"},
+      // A no-op LOOP_SELF sweep after the data loop.
+      {"trailing sweep",
+       {0x141, 0x121, 0x284, 0x100, 0x300},
+       "up(w0); up(r0)"},
+      // No-op padding falling into a masked Repeat row.
+      {"masked repeat",
+       {0x141, 0x121, 0x000, 0x19a, 0x284, 0x300},
+       "up(w0); up(r0); down(r1)"},
+  };
+  for (const auto& f : forms) {
+    SCOPED_TRACE(f.label);
+    const auto lifted = lint::lift_ucode(ucode_image(f.words, f.label));
+    ASSERT_TRUE(lifted.ok) << lifted.why;
+    EXPECT_TRUE(lifted.full_structure());
+    const auto verdict =
+        lint::check_equivalence(lifted, march::parse(f.want, "want"));
+    EXPECT_EQ(verdict.kind, lint::EquivKind::Equivalent)
+        << verdict.detail << "\n"
+        << lifted.algorithm.to_string();
+    // The forms lint clean too: no structural error is left to report.
+    EXPECT_FALSE(lint::lint_ucode(ucode_image(f.words, f.label)).has_errors());
+  }
+}
+
+TEST(Lifter, RejectionsCarryStableCodes) {
+  struct Case {
+    const char* label;
+    std::initializer_list<unsigned> words;
+    const char* code;
+  };
+  const Case cases[] = {
+      // Cell loop whose body re-runs the data-background loop row.
+      {"body crosses control", {0x141, 0x121, 0x284, 0x048, 0x0b1}, "LT02"},
+      // Nested Repeat livelocks the single repeat bit.
+      {"livelock", {0x141, 0x121, 0x182, 0x182, 0x380}, "LT03"},
+      // NEXT with addr-inc inside an op group.
+      {"mid-element step", {0x141, 0x021, 0x0c9, 0x380}, "LT04"},
+      // Real op falls into a control row without a cell loop.
+      {"unclosed group", {0x141, 0x020, 0x380}, "LT05"},
+      // Operation after the data-background loop.
+      {"op after data loop", {0x141, 0x121, 0x284, 0x121, 0x380}, "LT06"},
+      // Second data-background loop.
+      {"second data loop", {0x141, 0x121, 0x284, 0x284, 0x380}, "LT07"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.label);
+    const auto program = ucode_image(c.words, c.label);
+    const auto lifted = lint::lift_ucode(program);
+    ASSERT_FALSE(lifted.ok);
+    EXPECT_EQ(lifted.code, c.code) << lifted.why;
+    EXPECT_FALSE(lifted.why.empty());
+    // The structure pass routes the same code through the diagnostics
+    // engine, so `--json` consumers can key on it.
+    const auto report = lint::lint_ucode(program);
+    EXPECT_TRUE(report.has_code(c.code)) << lint::format_text(report);
+    EXPECT_TRUE(report.has_errors());
+  }
+}
+
+TEST(Lifter, CellLoopRejectionComesWithBothPassTraces) {
+  // After the data loop the branch register is stale (row 2): the cell
+  // loop at row 4 loops back across the LOOP_DATA row, so the loop-back
+  // pass cannot equal the first-cell pass.  The rejection names both.
+  const auto program = ucode_image({0x141, 0x121, 0x284, 0x048, 0x0b1});
+  const auto lifted = lint::lift_ucode(program);
+  ASSERT_FALSE(lifted.ok);
+  EXPECT_EQ(lifted.code, "LT02");
+  ASSERT_EQ(lifted.trace.size(), 2u);
+  EXPECT_NE(lifted.trace[0].find("first-cell pass"), std::string::npos)
+      << lifted.trace[0];
+  EXPECT_NE(lifted.trace[1].find("loop-back pass"), std::string::npos)
+      << lifted.trace[1];
+  // The trace reaches the rendered diagnostic.
+  const auto text = lint::format_text(lint::lint_ucode(program));
+  EXPECT_NE(text.find("first-cell pass"), std::string::npos) << text;
+}
+
+TEST(Lifter, RejectionCodeAndTraceFlowThroughEquiv) {
+  const auto program = ucode_image({0x141, 0x121, 0x284, 0x048, 0x0b1});
+  const auto lifted = lint::lift_ucode(program);
+  ASSERT_FALSE(lifted.ok);
+  const auto verdict = lint::check_equivalence(lifted, march::march_c());
+  EXPECT_EQ(verdict.kind, lint::EquivKind::Unliftable);
+  EXPECT_EQ(verdict.code, lifted.code);
+  EXPECT_EQ(verdict.trace, lifted.trace);
+
+  lint::LintOptions options;
+  options.against = "March C";
+  const auto report = lint::lint_text(program.to_hex_text(), "u", options);
+  EXPECT_TRUE(report.has_code("EQ01")) << lint::format_text(report);
+  const auto text = lint::format_text(report);
+  EXPECT_NE(text.find("not liftable"), std::string::npos) << text;
+  EXPECT_NE(text.find("LT02"), std::string::npos) << text;
+}
+
+TEST(ProgramLint, UnreachableBlockIsLt00AndFixRemovesItExactly) {
+  // Row 3 sits after TERMINATE: a whole basic block no flow edge reaches.
+  auto program = ucode_image({0x141, 0x121, 0x380, 0x048});
+  const auto report = lint::lint_ucode(program);
+  EXPECT_TRUE(report.has_code("LT00")) << lint::format_text(report);
+  EXPECT_TRUE(report.has_code("UC03")) << lint::format_text(report);
+
+  const auto before = lint::lift_ucode(program);
+  ASSERT_TRUE(before.ok) << before.why;
+  const auto outcome = lint::fix_ucode(program);
+  EXPECT_TRUE(outcome.changed);
+  EXPECT_EQ(program.size(), 3);
+  const auto after = lint::lift_ucode(program);
+  ASSERT_TRUE(after.ok) << after.why;
+  EXPECT_EQ(before.algorithm.elements(), after.algorithm.elements());
+  EXPECT_FALSE(lint::lint_ucode(program).has_code("LT00"));
+  EXPECT_FALSE(lint::lint_ucode(program).has_code("UC03"));
+}
+
+TEST(ProgramLint, HandwrittenExamplesLintLiftValidateAndFixCleanly) {
+  struct Example {
+    const char* file;
+    const char* want;  // march DSL the image must realize
+  };
+  const Example examples[] = {
+      {"examples/handwritten_padded.ucode.hex", "up(w0); up(r0)"},
+      {"examples/handwritten_nop_stride.ucode.hex", "up(w0); up(r0)"},
+      {"examples/handwritten_trailing_sweep.ucode.hex", "up(w0); up(r0)"},
+      {"examples/handwritten_masked_repeat.ucode.hex",
+       "up(w0); up(r0); down(r1)"},
+  };
+  for (const auto& ex : examples) {
+    SCOPED_TRACE(ex.file);
+    const auto text = read_repo_file(ex.file);
+    // Lints without errors (UC08 no-op-sweep warnings are the point of the
+    // shapes and stay warnings).
+    const auto report = lint::lint_text(text, ex.file);
+    EXPECT_FALSE(report.has_errors()) << lint::format_text(report);
+
+    // Lifts to the documented algorithm with full loop structure.
+    auto program = mbist_ucode::MicrocodeProgram::from_hex_text(text);
+    const auto lifted = lint::lift_ucode(program);
+    ASSERT_TRUE(lifted.ok) << lifted.why;
+    EXPECT_TRUE(lifted.full_structure());
+    EXPECT_EQ(lint::check_equivalence(lifted, march::parse(ex.want, "want"))
+                  .kind,
+              lint::EquivKind::Equivalent)
+        << lifted.algorithm.to_string();
+
+    // `--against` validation goes through the driver end to end.
+    lint::LintOptions options;
+    options.against = ex.want;
+    const auto against = lint::lint_text(text, ex.file, options);
+    EXPECT_TRUE(against.has_code("EQ04")) << lint::format_text(against);
+    EXPECT_FALSE(against.has_errors()) << lint::format_text(against);
+
+    // --fix round-trip under the semantic-diff guarantee: every row is
+    // reachable (CFG-exact removal finds nothing), the no-op-sweep fixer
+    // may compact the padding, and the lifted algorithm must survive.
+    const auto outcome = lint::fix_ucode(program);
+    EXPECT_EQ(outcome.summary.find("unreachable"), std::string::npos)
+        << outcome.summary;
+    const auto after = lint::lift_ucode(program);
+    ASSERT_TRUE(after.ok) << after.why;
+    EXPECT_EQ(lifted.algorithm.elements(), after.algorithm.elements());
+    EXPECT_FALSE(lint::lint_ucode(program).has_errors())
+        << lint::format_text(lint::lint_ucode(program));
+  }
+}
+
+TEST(Diagnostics, LtRegistryEntriesAreWellFormed) {
+  for (const char* code :
+       {"LT00", "LT02", "LT03", "LT04", "LT05", "LT06", "LT07"}) {
+    const auto* info = lint::find_code(code);
+    ASSERT_NE(info, nullptr) << code;
+    EXPECT_EQ(info->severity, lint::Severity::Error) << code;
+    EXPECT_FALSE(info->api_only) << code;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -63,6 +63,12 @@
 // <algorithm|dsl> is a library name ("March C+") or an inline DSL string
 // ("any(w0); up(r0,w1); ...").
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -73,6 +79,7 @@
 #include <vector>
 
 #include "bist/session.h"
+#include "common/json.h"
 #include "lint/certify.h"
 #include "lint/diagnostics.h"
 #include "lint/driver.h"
@@ -131,6 +138,9 @@ struct Options {
   int sessions = 2;     ///< serve: concurrent session workers
   int cache_mb = 64;    ///< serve: stream-cache byte budget in MiB
   std::string payload_dir;  ///< serve pipe mode: mirror payloads here
+  std::string req_kind = "lint";  ///< submit: request kind
+  std::string req_id = "cli";     ///< submit: client-chosen request id
+  std::string kernel_name;        ///< raw --kernel text (submit forwards it)
 };
 
 void print_usage(std::FILE* out) {
@@ -153,6 +163,8 @@ void print_usage(std::FILE* out) {
       "                  mission-profile inputs\n"
       "  serve           long-running BIST service (JSON requests in, JSON\n"
       "                  events out; docs/SERVE.md)\n"
+      "  submit          send one request to a running `pmbist serve --port`\n"
+      "                  and stream its events to stdout\n"
       "\n"
       "options:\n"
       "  --arch ucode|pfsm|hardwired   controller architecture\n"
@@ -205,6 +217,15 @@ void print_usage(std::FILE* out) {
       "  --certify          certify every soc/field schedule before replying\n"
       "                     (a violation fails the request with an error)\n"
       "\n"
+      "submit options (plus the flags of the mirrored command):\n"
+      "  --port N           the serve loopback TCP port (required)\n"
+      "  --req KIND         campaign|soc|field|lint|cancel|stats (default\n"
+      "                     lint); the positional argument is the lint\n"
+      "                     input, campaign algorithm, or cancel target\n"
+      "  --id ID            client-chosen request id (default cli)\n"
+      "                     exit code: the result event's exit field;\n"
+      "                     2 on error events, 1 on cancelled\n"
+      "\n"
       "exit codes: 0 success, 1 check failed, 2 usage/input error\n"
       "`pmbist --help` or `pmbist <command> --help` prints this text.\n");
 }
@@ -247,7 +268,8 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--samples") opt.samples = std::atoi(value());
     else if (arg == "--jobs") opt.jobs = std::atoi(value());
     else if (arg == "--kernel") {
-      const auto kernel = march::parse_kernel(value());
+      opt.kernel_name = value();
+      const auto kernel = march::parse_kernel(opt.kernel_name);
       if (!kernel) usage("--kernel expects scalar, packed or auto");
       opt.kernel = *kernel;
     }
@@ -272,6 +294,8 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--sessions") opt.sessions = std::atoi(value());
     else if (arg == "--cache-mb") opt.cache_mb = std::atoi(value());
     else if (arg == "--payload-dir") opt.payload_dir = value();
+    else if (arg == "--req") opt.req_kind = value();
+    else if (arg == "--id") opt.req_id = value();
     else usage(("unknown option " + arg).c_str());
   }
   return opt;
@@ -657,6 +681,177 @@ int cmd_serve(const Options& opt) {
   return 0;
 }
 
+/// Builds the serve request line a `pmbist submit` invocation stands for.
+/// Field names and defaults mirror src/serve/protocol.cpp exactly; fields
+/// a kind does not whitelist are never emitted (the server hard-errors on
+/// unknown fields).
+std::string submit_request_line(const Options& opt) {
+  namespace json = common::json;
+  const std::string& kind = opt.req_kind;
+  if (kind != "campaign" && kind != "soc" && kind != "field" &&
+      kind != "lint" && kind != "cancel" && kind != "stats")
+    usage(("--req expects campaign, soc, field, lint, cancel or stats, "
+           "not " + kind).c_str());
+
+  // Like cmd_lint's positional: a path when it opens, else inline text.
+  auto file_or_inline = [](const std::string& arg, std::string* unit) {
+    if (std::ifstream probe{arg}; probe) {
+      std::ostringstream os;
+      os << probe.rdbuf();
+      if (unit != nullptr) *unit = arg;
+      return os.str();
+    }
+    return arg;
+  };
+
+  json::Value req = json::Value::object();
+  req.set("id", json::Value::string(opt.req_id));
+  req.set("kind", json::Value::string(kind));
+  if (kind == "lint") {
+    if (opt.algorithm.empty())
+      usage("submit --req lint needs an input file or inline text");
+    std::string unit = "input";
+    req.set("input",
+            json::Value::string(file_or_inline(opt.algorithm, &unit)));
+    req.set("unit", json::Value::string(unit));
+    if (opt.json) req.set("json", json::Value::boolean(true));
+    req.set("storage_depth",
+            json::Value::number(static_cast<std::int64_t>(opt.storage_depth)));
+    req.set("buffer_depth",
+            json::Value::number(static_cast<std::int64_t>(opt.buffer_depth)));
+    if (!opt.against.empty())
+      req.set("against",
+              json::Value::string(file_or_inline(opt.against, nullptr)));
+    if (!opt.chip_file.empty())
+      req.set("chip", json::Value::string(read_file(opt.chip_file)));
+    if (!opt.profile_file.empty())
+      req.set("profile", json::Value::string(read_file(opt.profile_file)));
+    if (opt.certify) req.set("certify", json::Value::boolean(true));
+  } else if (kind == "campaign") {
+    if (opt.algorithm.empty())
+      usage("submit --req campaign needs an algorithm name or DSL string");
+    req.set("algorithm", json::Value::string(opt.algorithm));
+    req.set("addr_bits",
+            json::Value::number(static_cast<std::int64_t>(opt.addr_bits)));
+    req.set("word_bits",
+            json::Value::number(static_cast<std::int64_t>(opt.word_bits)));
+    req.set("ports",
+            json::Value::number(static_cast<std::int64_t>(opt.ports)));
+    req.set("samples",
+            json::Value::number(static_cast<std::int64_t>(opt.samples)));
+    req.set("seed", json::Value::number(opt.seed));
+    req.set("jobs", json::Value::number(static_cast<std::int64_t>(opt.jobs)));
+    if (!opt.kernel_name.empty())
+      req.set("kernel", json::Value::string(opt.kernel_name));
+    if (!opt.fault_class.empty()) {
+      json::Value classes = json::Value::array();
+      classes.push(json::Value::string(opt.fault_class));
+      req.set("classes", std::move(classes));
+    }
+  } else if (kind == "soc" || kind == "field") {
+    if (opt.chip_file.empty())
+      usage(("submit --req " + kind + " needs --chip FILE").c_str());
+    req.set("chip", json::Value::string(read_file(opt.chip_file)));
+    if (kind == "field") {
+      if (opt.profile_file.empty())
+        usage("submit --req field needs --profile FILE");
+      req.set("profile", json::Value::string(read_file(opt.profile_file)));
+    }
+    req.set("jobs", json::Value::number(static_cast<std::int64_t>(opt.jobs)));
+    if (kind == "soc" && opt.power_budget >= 0.0)
+      req.set("power_budget", json::Value::number(opt.power_budget));
+    req.set("max_failures",
+            json::Value::number(
+                static_cast<std::uint64_t>(opt.max_failures)));
+  } else if (kind == "cancel") {
+    if (opt.algorithm.empty())
+      usage("submit --req cancel needs the target session id");
+    req.set("target", json::Value::string(opt.algorithm));
+  }
+  // stats carries only id + kind.
+  return req.dump();
+}
+
+int cmd_submit(const Options& opt) {
+  if (opt.port < 0)
+    usage("submit needs --port N (the port a `pmbist serve --port` printed)");
+  const std::string line = submit_request_line(opt) + "\n";
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return 2;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opt.port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%d: %s\n",
+                 opt.port, std::strerror(errno));
+    ::close(fd);
+    return 2;
+  }
+  for (std::size_t off = 0; off < line.size();) {
+    const ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      std::fprintf(stderr, "error: send: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 2;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Half-close: the server drains this connection's sessions before closing
+  // its end, so reading to EOF is guaranteed to see every terminal event.
+  ::shutdown(fd, SHUT_WR);
+
+  int exit_code = 2;
+  bool terminal = false;
+  std::string pending;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = pending.find('\n')) != std::string::npos) {
+      const std::string event = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      std::fputs(event.c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);  // events stream live, not at exit
+      try {
+        const auto v = common::json::Value::parse(event);
+        const auto* name = v.find("event");
+        if (name == nullptr || !name->is_string()) continue;
+        if (name->as_string() == "result") {
+          const auto* exit_field = v.find("exit");
+          exit_code = exit_field != nullptr && exit_field->is_number()
+                          ? static_cast<int>(exit_field->as_i64())
+                          : 0;
+          terminal = true;
+        } else if (name->as_string() == "error") {
+          exit_code = 2;
+          terminal = true;
+        } else if (name->as_string() == "cancelled") {
+          exit_code = 1;
+          terminal = true;
+        }
+      } catch (const common::json::JsonError&) {
+        // A non-JSON line is the server's bug, not ours: pass it through
+        // verbatim and keep the connection-level exit semantics.
+      }
+    }
+  }
+  ::close(fd);
+  if (!terminal)
+    std::fprintf(stderr,
+                 "error: connection closed before a terminal event\n");
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -670,6 +865,7 @@ int main(int argc, char** argv) {
     if (opt.command == "soc") return cmd_soc(opt);
     if (opt.command == "field") return cmd_field(opt);
     if (opt.command == "serve") return cmd_serve(opt);
+    if (opt.command == "submit") return cmd_submit(opt);
     if (opt.algorithm.empty() && opt.command != "area" &&
         !(opt.command == "run" && !opt.program_file.empty()) &&
         opt.command != "export")

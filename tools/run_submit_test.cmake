@@ -1,0 +1,63 @@
+# ctest driver: boot a loopback `pmbist serve --port 0`, learn the
+# ephemeral port from its stderr banner, drive three `pmbist submit`
+# invocations against it (clean lint, failing lint, stats), and require
+# the streamed events to be byte-identical to the committed golden — the
+# submit/serve transport contract.  Inputs are passed as source-relative
+# paths (the script runs from ${SRC}), so the units inside the payloads
+# are machine-independent.
+#
+# Expects: -DPMBIST_CLI=<path> -DSRC=<repo source dir> -DGOLDEN=<file>
+#          -DWORK=<scratch dir>
+
+file(MAKE_DIRECTORY ${WORK})
+
+set(script [[
+set -u
+cli="$1"; work="$2"
+"$cli" serve --port 0 --sessions 1 2>"$work/serve.err" &
+srv=$!
+port=""
+for _ in $(seq 100); do
+  port=$(sed -n 's/^serving on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$work/serve.err")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "serve never printed its port banner" >&2
+  kill $srv 2>/dev/null
+  exit 70
+fi
+out="$work/submit_events.ndjson"
+: > "$out"
+"$cli" submit examples/handwritten_nop_stride.ucode.hex --req lint --id ok \
+    --against "up(w0); up(r0)" --port "$port" >> "$out"
+rc_ok=$?
+"$cli" submit tests/lint_cases/dead_code.ucode.hex --req lint --id bad \
+    --port "$port" >> "$out"
+rc_bad=$?
+"$cli" submit --req stats --id stats --port "$port" >> "$out"
+rc_stats=$?
+kill $srv 2>/dev/null
+wait $srv 2>/dev/null
+[ "$rc_ok" -eq 0 ] || { echo "clean lint submit exited $rc_ok" >&2; exit 71; }
+[ "$rc_bad" -eq 1 ] || { echo "failing lint submit exited $rc_bad" >&2; exit 72; }
+[ "$rc_stats" -eq 0 ] || { echo "stats submit exited $rc_stats" >&2; exit 73; }
+exit 0
+]])
+
+execute_process(
+  COMMAND bash -c "${script}" submit-test ${PMBIST_CLI} ${WORK}
+  WORKING_DIRECTORY ${SRC}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "submit transport script exited ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK}/submit_events.ndjson ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "submit events differ from golden ${GOLDEN}; "
+                      "inspect ${WORK}/submit_events.ndjson")
+endif()
