@@ -75,7 +75,9 @@ int main() {
   int lints = 0;
   for (int i = 0; i < kRequests; ++i) {
     json::Value req = json::Value::object();
-    req.set("id", json::Value::string("r" + std::to_string(i)));
+    std::string id = "r";
+    id += std::to_string(i);
+    req.set("id", json::Value::string(std::move(id)));
     if (i % 3 == 2) {
       req.set("kind", json::Value::string("lint"));
       req.set("input", json::Value::string(lint_inputs[i % 2]));

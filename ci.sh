@@ -6,11 +6,13 @@
 # corpus in tests/lint_cases/ must be rejected), a serve
 # pipe-transport smoke against the committed golden responses, a
 # ThreadSanitizer build that exercises the parallel engines (test_campaign +
-# test_soc + test_field + test_serve — test_campaign covers the packed
-# kernel under threads, test_serve the session pool and shared caches) for
+# test_soc + test_field + test_serve + test_backend — test_campaign covers
+# the packed kernel under threads, test_serve the session pool and shared
+# caches, test_backend the sharded memtest engine) for
 # data races, an Address+UndefinedBehaviorSanitizer build of
-# the linter, controller, fuzz, and campaign suites (the scalar/packed
-# equivalence sweep under ASan pins the packed kernel's lane bookkeeping),
+# the linter, controller, fuzz, campaign, and backend suites (the
+# scalar/packed equivalence sweep under ASan pins the packed kernel's lane
+# bookkeeping; test_backend pins the mmap'd hostram path),
 # and (when clang-tidy is installed) a
 # static-analysis pass over the lint subsystem.  Mirrors
 # .github/workflows/ci.yml so the pipeline can be reproduced locally with a
@@ -96,6 +98,9 @@ echo "== serve smoke: deterministic pipe transport vs committed golden =="
 ./build/tools/pmbist serve < tests/serve_golden/requests.ndjson \
   | diff - tests/serve_golden/responses.golden
 
+echo "== memtest smoke: march the host RAM (64 MiB, one pass) =="
+./build/tools/pmbist memtest --size 64M --passes 1 > /dev/null
+
 echo "== self-checking benches (determinism + scheduling gates included) =="
 ./build/bench/bench_fault_coverage
 ./build/bench/bench_campaign
@@ -103,17 +108,19 @@ echo "== self-checking benches (determinism + scheduling gates included) =="
 ./build/bench/bench_soc_schedule
 ./build/bench/bench_field
 ./build/bench/bench_serve
+./build/bench/bench_backend
 
 echo "== tsan: parallel engines + serve session pool =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMBIST_WERROR=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "${JOBS}" --target test_campaign --target test_soc \
-  --target test_field --target test_serve
+  --target test_field --target test_serve --target test_backend
 ./build-tsan/tests/test_campaign
 ./build-tsan/tests/test_soc
 ./build-tsan/tests/test_field
 ./build-tsan/tests/test_serve
+./build-tsan/tests/test_backend
 
 echo "== asan+ubsan: linter, controllers, fuzz, packed-kernel equivalence =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMBIST_WERROR=ON \
@@ -121,12 +128,13 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPMBIST_WERROR=ON \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "${JOBS}" \
   --target test_lint --target test_fuzz --target test_ucode --target test_pfsm \
-  --target test_campaign
+  --target test_campaign --target test_backend
 ./build-asan/tests/test_lint
 ./build-asan/tests/test_fuzz
 ./build-asan/tests/test_ucode
 ./build-asan/tests/test_pfsm
 ./build-asan/tests/test_campaign
+./build-asan/tests/test_backend
 
 if command -v clang-tidy > /dev/null; then
   echo "== clang-tidy: src/ tools/ tests/ =="

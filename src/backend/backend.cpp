@@ -1,0 +1,21 @@
+#include "backend/backend.h"
+
+namespace pmbist::backend {
+
+std::string_view to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Sim:
+      return "sim";
+    case BackendKind::HostRam:
+      return "hostram";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> parse_backend(std::string_view name) {
+  if (name == "sim") return BackendKind::Sim;
+  if (name == "hostram") return BackendKind::HostRam;
+  return std::nullopt;
+}
+
+}  // namespace pmbist::backend

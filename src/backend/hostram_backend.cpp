@@ -1,0 +1,118 @@
+#include "backend/hostram_backend.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace pmbist::backend {
+namespace {
+
+constexpr std::size_t kHugePageBytes = 2ull << 20;  // 2 MiB, the common size
+
+std::size_t round_up(std::size_t bytes, std::size_t unit) {
+  return (bytes + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+HostRamBackend::HostRamBackend(MemoryGeometry geometry, HostRamOptions options)
+    : MemoryBackend{geometry}, options_{options} {
+  if (geometry.num_ports != 1) {
+    throw BackendError{
+        "hostram backend models a single port (got " +
+        std::to_string(geometry.num_ports) +
+        "); multi-port semantics need the sim backend"};
+  }
+  open();
+}
+
+HostRamBackend::~HostRamBackend() { close(); }
+
+void HostRamBackend::open() {
+  if (words_ != nullptr) return;
+  const std::size_t bytes = geometry().num_words() * sizeof(Word);
+
+  void* mapping = MAP_FAILED;
+  huge_pages_ = false;
+  page_bytes_ = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  std::size_t mapped = round_up(bytes, page_bytes_);
+
+#ifdef MAP_HUGETLB
+  if (options_.request_huge_pages) {
+    const std::size_t huge = round_up(bytes, kHugePageBytes);
+    mapping = mmap(nullptr, huge, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (mapping != MAP_FAILED) {
+      huge_pages_ = true;
+      page_bytes_ = kHugePageBytes;
+      mapped = huge;
+    }
+  }
+#endif
+  if (mapping == MAP_FAILED) {
+    mapping = mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mapping == MAP_FAILED) {
+      throw BackendError{"hostram mmap of " + std::to_string(mapped) +
+                         " bytes failed: " + std::strerror(errno)};
+    }
+#ifdef MADV_HUGEPAGE
+    if (options_.request_huge_pages) {
+      // Best effort: let transparent huge pages coalesce the region.
+      (void)madvise(mapping, mapped, MADV_HUGEPAGE);
+    }
+#endif
+  }
+  words_ = static_cast<Word*>(mapping);
+  mapped_bytes_ = mapped;
+}
+
+void HostRamBackend::close() {
+  if (words_ == nullptr) return;
+  (void)munmap(words_, mapped_bytes_);
+  words_ = nullptr;
+  mapped_bytes_ = 0;
+}
+
+Capabilities HostRamBackend::capabilities() const {
+  return Capabilities{.behavioral = false,
+                      .direct_map = true,
+                      .huge_pages = huge_pages_,
+                      .page_bytes = page_bytes_};
+}
+
+Word HostRamBackend::read(int port, Address addr) {
+  assert(port == 0 && addr < geometry().num_words());
+  (void)port;
+  return words_[addr] & geometry().word_mask();
+}
+
+void HostRamBackend::write(int port, Address addr, Word data) {
+  assert(port == 0 && addr < geometry().num_words());
+  (void)port;
+  words_[addr] = data & geometry().word_mask();
+}
+
+void HostRamBackend::fence() {
+#if defined(__SANITIZE_THREAD__)
+  // TSan does not model free-standing fences (gcc -Wtsan); a seq-cst RMW
+  // on a private atomic has the same ordering strength and is visible to
+  // the race detector.
+  static std::atomic<int> sync{0};
+  sync.fetch_add(1, std::memory_order_seq_cst);
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+std::span<Word> HostRamBackend::mapped_words() {
+  if (words_ == nullptr) return {};
+  return {words_, geometry().num_words()};
+}
+
+}  // namespace pmbist::backend

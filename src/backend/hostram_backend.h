@@ -1,0 +1,66 @@
+#pragma once
+// HostRamBackend: march streams against real host memory.
+//
+// The backing store is a large mmap'd anonymous buffer — one 64-bit host
+// word per memory cell, zero-filled by the kernel.  Reads mask to the
+// geometry's word width; writes store the masked value, so the backend
+// honors the same access contract as the simulator (and produces the same
+// values the march expansion expects).
+//
+// Huge pages are a request, not a requirement: when
+// HostRamOptions::request_huge_pages is set the backend first tries
+// MAP_HUGETLB and, if the kernel refuses (no hugetlb pool configured),
+// falls back to a normal mapping plus madvise(MADV_HUGEPAGE) so
+// transparent huge pages can still coalesce it.  capabilities().huge_pages
+// reports what actually happened.
+//
+// fence() is a sequentially-consistent std::atomic_thread_fence — the
+// memtest engine issues one at every shard barrier so each march element's
+// stores are globally visible before the next element's loads.
+
+#include <cstddef>
+
+#include "backend/backend.h"
+
+namespace pmbist::backend {
+
+struct HostRamOptions {
+  /// Try MAP_HUGETLB first; fall back gracefully when unavailable.
+  bool request_huge_pages = false;
+};
+
+class HostRamBackend final : public MemoryBackend {
+ public:
+  /// Maps geometry.num_words() host words.  Throws BackendError when the
+  /// geometry needs more than one port (host RAM has no port semantics to
+  /// model) or the mapping fails outright.
+  explicit HostRamBackend(MemoryGeometry geometry, HostRamOptions options = {});
+  ~HostRamBackend() override;
+
+  [[nodiscard]] std::string_view name() const override { return "hostram"; }
+  [[nodiscard]] Capabilities capabilities() const override;
+
+  void open() override;
+  void close() override;
+  [[nodiscard]] bool is_open() const override { return words_ != nullptr; }
+
+  [[nodiscard]] Word read(int port, Address addr) override;
+  void write(int port, Address addr, Word data) override;
+  void fence() override;
+  void advance_time_ns(std::uint64_t ns) override { elapsed_ns_ += ns; }
+
+  [[nodiscard]] std::span<Word> mapped_words() override;
+
+  /// Simulated-time accumulator (pause phases advance it; nothing decays).
+  [[nodiscard]] std::uint64_t elapsed_ns() const { return elapsed_ns_; }
+
+ private:
+  HostRamOptions options_;
+  Word* words_ = nullptr;
+  std::size_t mapped_bytes_ = 0;
+  bool huge_pages_ = false;
+  std::size_t page_bytes_ = 0;
+  std::uint64_t elapsed_ns_ = 0;
+};
+
+}  // namespace pmbist::backend

@@ -1,0 +1,5 @@
+#include "backend/sim_backend.h"
+
+// SimBackend is header-only today; this translation unit anchors the
+// target so the library always has an object to archive.
+namespace pmbist::backend {}

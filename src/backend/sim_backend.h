@@ -1,0 +1,61 @@
+#pragma once
+// SimBackend: the behavioral simulator behind the MemoryBackend interface.
+//
+// Two modes:
+//   - borrowing: wraps an existing memsim::Memory (FaultyMemory,
+//     RepairedMemory, ...) without taking ownership.  This is how the
+//     memsim::Memory& overloads of bist::run_session / march::run_stream
+//     route through the interface — the wrapper forwards every virtual
+//     call one-to-one, so the access sequence the simulator observes is
+//     bit-identical to the pre-backend direct path.
+//   - owning: allocates a zero-filled SramModel for the given geometry.
+//     The memtest engine uses this so the sim and hostram paths start from
+//     the same all-zero contents and produce identical signatures.
+
+#include <memory>
+
+#include "backend/backend.h"
+#include "memsim/memory.h"
+
+namespace pmbist::backend {
+
+class SimBackend final : public MemoryBackend {
+ public:
+  /// Borrows `memory`; it must outlive the backend.
+  explicit SimBackend(memsim::Memory& memory)
+      : MemoryBackend{memory.geometry()}, memory_{&memory} {}
+
+  /// Owns a fresh SramModel filled with `fill` (masked to the word width).
+  SimBackend(MemoryGeometry geometry, Word fill)
+      : MemoryBackend{geometry},
+        owned_{std::make_unique<memsim::SramModel>(geometry, fill, true)},
+        memory_{owned_.get()} {}
+
+  [[nodiscard]] std::string_view name() const override { return "sim"; }
+
+  [[nodiscard]] Capabilities capabilities() const override {
+    return Capabilities{.behavioral = true,
+                        .direct_map = false,
+                        .huge_pages = false,
+                        .page_bytes = 0};
+  }
+
+  [[nodiscard]] Word read(int port, Address addr) override {
+    return memory_->read(port, addr);
+  }
+  void write(int port, Address addr, Word data) override {
+    memory_->write(port, addr, data);
+  }
+  void advance_time_ns(std::uint64_t ns) override {
+    memory_->advance_time_ns(ns);
+  }
+
+  /// The wrapped simulator (for peek/poke in tests and fault setup).
+  [[nodiscard]] memsim::Memory& memory() { return *memory_; }
+
+ private:
+  std::unique_ptr<memsim::SramModel> owned_;
+  memsim::Memory* memory_;
+};
+
+}  // namespace pmbist::backend

@@ -63,6 +63,10 @@ struct FieldOptions {
   bool repeat_passes = true;
   /// Signature register width for per-pass response compaction.
   int misr_width = 16;
+  /// Memory-under-test backend (backend/backend.h).  HostRam runs every
+  /// transparent pass against mmap'd host memory and requires a fault-free
+  /// chip — run() throws SocError when any instance injects faults.
+  backend::BackendKind backend = backend::BackendKind::Sim;
   /// Optional cooperative cancellation flag (common/cancel.h): polled
   /// between execution bursts; run() throws common::Cancelled once
   /// in-flight work drains.

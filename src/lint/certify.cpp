@@ -31,7 +31,12 @@ struct Interval {
 };
 
 std::string cycles_of(const Interval& iv) {
-  return "[" + std::to_string(iv.start) + ", " + std::to_string(iv.end) + ")";
+  std::string text = "[";
+  text += std::to_string(iv.start);
+  text += ", ";
+  text += std::to_string(iv.end);
+  text += ")";
+  return text;
 }
 
 /// SC02: within every named share group, session intervals must be

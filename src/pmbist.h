@@ -13,7 +13,10 @@
 //   march::analyze / evaluate_coverage qualification & fault simulation
 //   mbist_ucode::microcode_area etc.   silicon-overhead models (Tables 1-3)
 //   diag::* / repair::*                diagnostics, transparent test, BISR
+//   backend::run_memtest               march the host's own RAM (memtest)
 
+#include "backend/backend.h"
+#include "backend/memtest.h"
 #include "bist/controller.h"
 #include "bist/datapath.h"
 #include "bist/misr.h"

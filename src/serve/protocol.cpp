@@ -123,6 +123,27 @@ void parse_field(const json::Value& obj, Request& req) {
   req.max_failures = field_u64(obj, "max_failures", 1024, 1 << 24);
 }
 
+void parse_memtest(const json::Value& obj, Request& req) {
+  check_fields(obj, {"algorithm", "size_mb", "passes", "backgrounds", "jobs",
+                     "backend", "max_failures"});
+  req.algorithm = field_string(obj, "algorithm");
+  if (req.algorithm.empty()) req.algorithm = "March C";
+  // 16 GiB cap: the engine's own geometry bound, restated here so hostile
+  // requests fail at the protocol edge, before any mapping is attempted.
+  req.size_mb = field_u64(obj, "size_mb", 256, 16ull << 10);
+  if (req.size_mb == 0) fail("field 'size_mb' must be >= 1");
+  req.passes = field_int(obj, "passes", 1, 1, 1 << 10);
+  req.backgrounds = field_int(obj, "backgrounds", 0, 0, 7);
+  req.jobs = field_int(obj, "jobs", 0, 0, 1024);
+  if (const json::Value* b = obj.find("backend"); b != nullptr) {
+    if (!b->is_string()) fail("field 'backend' must be a string");
+    const auto parsed = backend::parse_backend(b->as_string());
+    if (!parsed) fail("unknown backend '" + b->as_string() + "'");
+    req.backend = *parsed;
+  }
+  req.max_failures = field_u64(obj, "max_failures", 1024, 1 << 24);
+}
+
 void parse_lint(const json::Value& obj, Request& req) {
   check_fields(obj, {"input", "unit", "json", "storage_depth", "buffer_depth",
                      "against", "chip", "profile", "certify"});
@@ -159,6 +180,7 @@ std::string_view to_string(RequestKind kind) {
     case RequestKind::Campaign: return "campaign";
     case RequestKind::Soc: return "soc";
     case RequestKind::Field: return "field";
+    case RequestKind::Memtest: return "memtest";
     case RequestKind::Lint: return "lint";
     case RequestKind::Cancel: return "cancel";
     case RequestKind::Stats: return "stats";
@@ -187,6 +209,9 @@ Request parse_request(const std::string& line) {
   } else if (kind == "field") {
     req.kind = RequestKind::Field;
     parse_field(doc, req);
+  } else if (kind == "memtest") {
+    req.kind = RequestKind::Memtest;
+    parse_memtest(doc, req);
   } else if (kind == "lint") {
     req.kind = RequestKind::Lint;
     parse_lint(doc, req);

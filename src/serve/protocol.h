@@ -2,9 +2,10 @@
 // Wire protocol of `pmbist serve` (docs/SERVE.md).
 //
 // Requests arrive as newline-delimited JSON objects; every request names a
-// client-chosen `id` and a `kind`.  The four work kinds mirror the one-shot
+// client-chosen `id` and a `kind`.  The five work kinds mirror the one-shot
 // CLI commands (campaign ~ `pmbist coverage`, soc ~ `pmbist soc`, field ~
-// `pmbist field`, lint ~ `pmbist lint`) with all file payloads inlined;
+// `pmbist field`, memtest ~ `pmbist memtest`, lint ~ `pmbist lint`) with
+// all file payloads inlined;
 // `cancel` aborts a running session between shards and `stats` reports the
 // server's cache counters.
 //
@@ -32,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.h"
 #include "march/kernel.h"
 #include "memsim/memory.h"
 
@@ -47,6 +49,7 @@ enum class RequestKind : std::uint8_t {
   Campaign,  ///< fault-simulation coverage matrix for one algorithm
   Soc,       ///< whole-chip scheduled BIST from an inline chip payload
   Field,     ///< in-field windowed BIST from inline chip + profile payloads
+  Memtest,   ///< host-RAM march sweep (~ pmbist memtest)
   Lint,      ///< static verification of an inline input
   Cancel,    ///< abort a running session by id
   Stats,     ///< cache hit/miss/eviction counters
@@ -78,6 +81,14 @@ struct Request {
   std::string profile;
   double power_budget = -1.0;  ///< < 0 = keep the chip payload's budget
   std::size_t max_failures = 1024;
+
+  // memtest (~ pmbist memtest); reuses `algorithm` (default March C) and
+  // `jobs`.  `size_mb` bounds the per-request mapping a client may ask of
+  // the serving host.
+  std::uint64_t size_mb = 256;
+  int passes = 1;
+  int backgrounds = 0;  ///< 0 = all standard backgrounds
+  backend::BackendKind backend = backend::BackendKind::HostRam;
 
   // lint (~ pmbist lint); all payloads inline.
   std::string input;

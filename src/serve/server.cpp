@@ -16,6 +16,7 @@
 #include <thread>
 #include <utility>
 
+#include "backend/memtest.h"
 #include "common/cancel.h"
 #include "common/hash.h"
 #include "common/json.h"
@@ -192,6 +193,7 @@ Server::ExecResult Server::execute(const Request& req, Session& session,
     case RequestKind::Campaign: return exec_campaign(req, session, sink);
     case RequestKind::Soc: return exec_soc(req, session, sink);
     case RequestKind::Field: return exec_field(req, session, sink);
+    case RequestKind::Memtest: return exec_memtest(req, session, sink);
     case RequestKind::Lint: return exec_lint(req);
     case RequestKind::Cancel:
     case RequestKind::Stats: break;  // handled synchronously in post()
@@ -281,6 +283,31 @@ Server::ExecResult Server::exec_field(const Request& req, Session& session,
         lint::certify_field(chip.description, chip.plan, profile, report),
         "field");
   return {report.all_healthy() ? 0 : 1, field::format_field_report(report)};
+}
+
+Server::ExecResult Server::exec_memtest(const Request& req, Session& session,
+                                        const Sink& sink) {
+  const auto alg = resolve_algorithm(req.algorithm);
+  const backend::MemtestOptions opts{
+      .size_bytes = req.size_mb << 20,
+      .passes = req.passes,
+      .backgrounds = req.backgrounds,
+      .jobs = req.jobs,
+      .backend = req.backend,
+      .max_failures = req.max_failures,
+      .cancel = &session.cancel,
+      .progress = [this, &req, &session, &sink](std::uint64_t done,
+                                                std::uint64_t total) {
+        session.done.store(static_cast<int>(done), std::memory_order_relaxed);
+        session.total.store(static_cast<int>(total), std::memory_order_relaxed);
+        emit(sink, event_progress(req.id, static_cast<int>(done),
+                                  static_cast<int>(total)));
+      }};
+  const auto report = backend::run_memtest(alg, opts);
+  // The engine reports cancellation by returning early; serve's contract
+  // is a `cancelled` terminal event, same as the other work kinds.
+  if (!report.completed) throw common::Cancelled{};
+  return {report.passed() ? 0 : 1, backend::format_memtest_report(report)};
 }
 
 Server::ExecResult Server::exec_lint(const Request& req) {

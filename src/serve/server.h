@@ -141,6 +141,8 @@ class Server {
                            const Sink& sink);
   ExecResult exec_soc(const Request& req, Session& session, const Sink& sink);
   ExecResult exec_field(const Request& req, Session& session, const Sink& sink);
+  ExecResult exec_memtest(const Request& req, Session& session,
+                          const Sink& sink);
   ExecResult exec_lint(const Request& req);
   [[nodiscard]] std::string stats_payload() const;
 

@@ -296,8 +296,10 @@ std::pair<std::string, FaultKv> fault_kv(const memsim::Fault& fault) {
       if (f.physical.empty()) {
         physical = "none";
       } else {
-        for (std::size_t i = 0; i < f.physical.size(); ++i)
-          physical += (i ? "," : "") + std::to_string(f.physical[i]);
+        for (std::size_t i = 0; i < f.physical.size(); ++i) {
+          if (i > 0) physical += ',';
+          physical += std::to_string(f.physical[i]);
+        }
       }
       return {"AF",
               {{"logical", std::to_string(f.logical)},
@@ -361,6 +363,12 @@ ChipFile parse_chip_text(const std::string& text,
         } catch (const std::exception&) {
           fail(lineno, "bad power budget '" + tokens[1] + "'");
         }
+      } else if (directive == "power_model") {
+        if (tokens.size() != 2 ||
+            (tokens[1] != "calibrated" && tokens[1] != "heuristic")) {
+          fail(lineno, "usage: power_model calibrated|heuristic");
+        }
+        chip.plan.set_power_calibrated(tokens[1] == "calibrated");
       } else if (directive == "mem") {
         if (tokens.size() < 3) fail(lineno, "usage: mem <name> addr_bits=N ...");
         const Args args{tokens, 2, lineno};
@@ -437,6 +445,7 @@ std::string to_chip_text(const SocDescription& chip, const TestPlan& plan) {
   os << "soc " << chip.name() << "\n";
   if (plan.power().budget > 0.0)
     os << "power_budget " << detail::real_text(plan.power().budget) << "\n";
+  if (plan.power().calibrated) os << "power_model calibrated\n";
   os << "\n";
   for (const auto& m : chip.memories()) {
     os << "mem " << m.name << " addr_bits=" << m.geometry.address_bits;

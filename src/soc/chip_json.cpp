@@ -169,7 +169,9 @@ ChipFile parse_chip_json(const std::string& text,
     fail("", e.what());
   }
   if (!root.is_object()) fail("", "top level must be an object");
-  check_keys(root, {"soc", "power_budget", "memories", "assignments"}, "");
+  check_keys(root, {"soc", "power_budget", "power_model", "memories",
+                    "assignments"},
+             "");
 
   ChipFile chip;
   if (const Value* name = root.find("soc")) {
@@ -182,6 +184,13 @@ ChipFile parse_chip_json(const std::string& text,
     } catch (const JsonError&) {
       fail("", "\"power_budget\" must be a number");
     }
+  }
+  if (const Value* model = root.find("power_model")) {
+    if (!model->is_string() || (model->as_string() != "calibrated" &&
+                                model->as_string() != "heuristic")) {
+      fail("", "\"power_model\" must be \"calibrated\" or \"heuristic\"");
+    }
+    chip.plan.set_power_calibrated(model->as_string() == "calibrated");
   }
 
   // Memories first (with faults deferred until the instance exists, same
@@ -248,6 +257,7 @@ std::string serialize_chip_json(const SocDescription& chip,
   os << "  \"soc\": " << quote(chip.name());
   if (plan.power().budget > 0.0)
     os << ",\n  \"power_budget\": " << detail::real_text(plan.power().budget);
+  if (plan.power().calibrated) os << ",\n  \"power_model\": \"calibrated\"";
   os << ",\n  \"memories\": [";
   for (std::size_t i = 0; i < chip.memories().size(); ++i) {
     const MemoryInstance& m = chip.memories()[i];

@@ -1,8 +1,10 @@
 #include "soc/plan.h"
 
+#include "bist/datapath.h"
 #include "march/library.h"
 #include "march/parser.h"
 #include "mbist_pfsm/compiler.h"
+#include "netlist/tech_library.h"
 
 namespace pmbist::soc {
 
@@ -40,10 +42,23 @@ TestPlan& TestPlan::assign(TestAssignment assignment) {
   return *this;
 }
 
+double PowerModel::calibrated_weight(const memsim::MemoryGeometry& g) {
+  // Reference point: the bit-oriented 1K geometry, whose heuristic weight
+  // is 11 (10 address bits + 1 data bit).  Calibration scales that anchor
+  // by the gate-equivalent ratio of the full BIST datapath (with the
+  // retention pause timer, the configuration the area tables report), so
+  // both models agree at the reference and diverge with real logic area.
+  static const double reference_ge =
+      bist::datapath_inventory(memsim::MemoryGeometry{}, true)
+          .total_ge(netlist::TechLibrary::cmos5s());
+  const double ge = bist::datapath_inventory(g, true).total_ge(
+      netlist::TechLibrary::cmos5s());
+  return default_weight(memsim::MemoryGeometry{}) * ge / reference_ge;
+}
+
 double TestPlan::effective_weight(const TestAssignment& a,
                                   const MemoryInstance& m) const {
-  return a.power_weight > 0.0 ? a.power_weight
-                              : PowerModel::default_weight(m.geometry);
+  return a.power_weight > 0.0 ? a.power_weight : power_.weight(m.geometry);
 }
 
 void TestPlan::validate(const SocDescription& chip) const {

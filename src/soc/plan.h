@@ -54,11 +54,29 @@ struct PowerModel {
   /// 0 = unconstrained.
   double budget = 0.0;
 
-  /// Default toggle weight of an active instance: one word's data bits plus
-  /// the address lines switch every test cycle.
+  /// Derive per-session toggle weights from the netlist area model
+  /// (calibrated_weight) instead of the word+address-bits heuristic.
+  /// Chip files select this with `power_model calibrated`.
+  bool calibrated = false;
+
+  /// Heuristic toggle weight of an active instance: one word's data bits
+  /// plus the address lines switch every test cycle.
   [[nodiscard]] static double default_weight(
       const memsim::MemoryGeometry& g) noexcept {
     return static_cast<double>(g.word_bits + g.address_bits);
+  }
+
+  /// Area-calibrated toggle weight: gate equivalents of the BIST datapath
+  /// built for this geometry (bist::datapath_inventory under the cmos5s
+  /// library), normalized so the reference bit-oriented 1K geometry keeps
+  /// its heuristic weight — larger datapaths toggle proportionally more
+  /// logic per cycle.  Deterministic, and serialized losslessly by
+  /// schedule_io, so calibrated schedules re-certify byte-exactly.
+  [[nodiscard]] static double calibrated_weight(const memsim::MemoryGeometry& g);
+
+  /// The active weight function (heuristic or calibrated).
+  [[nodiscard]] double weight(const memsim::MemoryGeometry& g) const {
+    return calibrated ? calibrated_weight(g) : default_weight(g);
   }
 
   friend bool operator==(const PowerModel&, const PowerModel&) = default;
@@ -76,6 +94,9 @@ class TestPlan {
   }
   [[nodiscard]] const PowerModel& power() const noexcept { return power_; }
   void set_power_budget(double budget) { power_.budget = budget; }
+  void set_power_calibrated(bool calibrated) {
+    power_.calibrated = calibrated;
+  }
 
   /// Effective toggle weight of one assignment against its instance.
   [[nodiscard]] double effective_weight(const TestAssignment& a,

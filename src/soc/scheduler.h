@@ -34,6 +34,7 @@
 #include <memory>
 #include <optional>
 
+#include "backend/backend.h"
 #include "bist/session.h"
 #include "repair/redundancy.h"
 #include "soc/plan.h"
@@ -49,6 +50,12 @@ struct SchedulerOptions {
   std::size_t max_failures = 1024;
   /// Runaway-controller bound per session.
   std::uint64_t max_cycles = 1'000'000'000;
+  /// Memory-under-test backend.  Sim is the behavioral simulator (the only
+  /// choice when the chip injects faults); HostRam runs every session
+  /// against mmap'd host memory — run() throws SocError if any instance
+  /// carries faults then.  Verdicts and schedules are identical across
+  /// backends on a fault-free chip.
+  backend::BackendKind backend = backend::BackendKind::Sim;
   /// Queue BISR retests as a second scheduling pass (sessions flagged
   /// `retest`, started after the first pass drains, under the same share
   /// group and power constraints) instead of an immediate same-seat rerun.

@@ -16,8 +16,11 @@
 // docs/KERNEL.md blocks
 // tagged ```kernel-check:class=...:n=...:seed=... hold a march DSL body
 // whose campaign is run under both the scalar and the packed kernel and
-// must produce byte-identical detection records.  The docs and the tools
-// cannot drift apart without this test failing.
+// must produce byte-identical detection records.  docs/BACKEND.md blocks
+// tagged ```memtest-check:size=...[:backgrounds=N] hold a march DSL body
+// run through the memtest engine on both the sim and the hostram backend
+// and must PASS with identical signatures and op counts.  The docs and
+// the tools cannot drift apart without this test failing.
 
 #include <gtest/gtest.h>
 
@@ -28,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/memtest.h"
 #include "common/json.h"
 #include "field/profile.h"
 #include "lint/diagnostics.h"
@@ -251,6 +255,73 @@ std::vector<KernelExample> kernel_doc_examples() {
     }
   }
   EXPECT_FALSE(in_block) << "unterminated kernel-check code fence";
+  return examples;
+}
+
+// A ```memtest-check:size=BYTES[:backgrounds=N] block from
+// docs/BACKEND.md: the march DSL body is run through the memtest engine
+// on both backends, which must agree.
+struct MemtestExample {
+  std::uint64_t size_bytes = 0;
+  int backgrounds = 1;
+  std::string text;
+  std::size_t line = 0;  // 1-based line of the opening fence
+};
+
+std::vector<MemtestExample> memtest_doc_examples() {
+  const auto doc = read_file(std::string{PMBIST_SOURCE_DIR} +
+                             "/docs/BACKEND.md");
+  std::vector<MemtestExample> examples;
+  std::istringstream lines{doc};
+  std::string line;
+  std::size_t lineno = 0;
+  bool in_block = false;
+  MemtestExample current;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (!in_block) {
+      if (line.rfind("```memtest-check:", 0) != 0) continue;
+      in_block = true;
+      current = MemtestExample{};
+      current.line = lineno;
+      // Split the "key=value[:key=value]..." info fields.
+      std::string info = line.substr(17);  // after "```memtest-check:"
+      std::vector<std::string> fields;
+      std::size_t start = 0;
+      while (start <= info.size()) {
+        const auto colon = info.find(':', start);
+        fields.push_back(info.substr(start, colon - start));
+        if (colon == std::string::npos) break;
+        start = colon + 1;
+      }
+      for (const auto& field : fields) {
+        const auto eq = field.find('=');
+        if (eq == std::string::npos) {
+          ADD_FAILURE() << "docs/BACKEND.md:" << lineno << ": bad option "
+                        << field;
+          continue;
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "size") {
+          const auto bytes = backend::parse_size_bytes(value);
+          EXPECT_TRUE(bytes.has_value())
+              << "docs/BACKEND.md:" << lineno << ": bad size " << value;
+          current.size_bytes = bytes.value_or(0);
+        } else if (key == "backgrounds")
+          current.backgrounds = std::atoi(value.c_str());
+        else ADD_FAILURE() << "docs/BACKEND.md:" << lineno
+                           << ": unknown option " << key;
+      }
+    } else if (line.rfind("```", 0) == 0) {
+      in_block = false;
+      examples.push_back(current);
+    } else {
+      current.text += line;
+      current.text += '\n';
+    }
+  }
+  EXPECT_FALSE(in_block) << "unterminated memtest-check code fence";
   return examples;
 }
 
@@ -551,6 +622,59 @@ TEST(DocExamples, KernelCheckExamplesAgreeAcrossKernels) {
     EXPECT_EQ(scalar.records, packed.records);
     // And the examples are meaningful campaigns, not vacuous ones.
     EXPECT_GT(packed.detected(), 0);
+  }
+}
+
+TEST(DocExamples, BackendDocExists) {
+  // BACKEND.md documents the pluggable backend; pin the cross references
+  // so a rename breaks loudly.
+  const auto doc = read_file(std::string{PMBIST_SOURCE_DIR} +
+                             "/docs/BACKEND.md");
+  EXPECT_NE(doc.find("MemoryBackend"), std::string::npos);
+  EXPECT_NE(doc.find("SimBackend"), std::string::npos);
+  EXPECT_NE(doc.find("HostRamBackend"), std::string::npos);
+  EXPECT_NE(doc.find("--backend sim|hostram"), std::string::npos);
+  EXPECT_NE(doc.find("pmbist memtest"), std::string::npos);
+  EXPECT_NE(doc.find("mapped_words"), std::string::npos);
+  EXPECT_NE(doc.find("BENCH_backend.json"), std::string::npos);
+}
+
+TEST(DocExamples, BackendDocHasExamples) {
+  EXPECT_GE(memtest_doc_examples().size(), 3u);
+}
+
+TEST(DocExamples, MemtestCheckExamplesAgreeAcrossBackends) {
+  for (const auto& e : memtest_doc_examples()) {
+    SCOPED_TRACE("docs/BACKEND.md:" + std::to_string(e.line));
+    ASSERT_GT(e.size_bytes, 0u) << "block needs size=<bytes>";
+
+    // The body is an ordinary march DSL algorithm.
+    march::MarchAlgorithm alg{"", {}};
+    ASSERT_NO_THROW(alg = march::parse(e.text, "doc-example")) << e.text;
+
+    auto run = [&](backend::BackendKind kind) {
+      backend::MemtestOptions opts;
+      opts.size_bytes = e.size_bytes;
+      opts.backgrounds = e.backgrounds;
+      opts.jobs = 2;
+      opts.backend = kind;
+      return backend::run_memtest(alg, opts);
+    };
+    const auto sim = run(backend::BackendKind::Sim);
+    const auto host = run(backend::BackendKind::HostRam);
+
+    // The documented contract: identical deterministic reports (past the
+    // header line, which names the backend), PASS.
+    auto body = [](const backend::MemtestReport& r) {
+      const auto text = backend::format_memtest_report(r);
+      return text.substr(text.find('\n') + 1);
+    };
+    EXPECT_EQ(body(sim), body(host));
+    EXPECT_EQ(sim.signature, host.signature);
+    EXPECT_EQ(sim.reads, host.reads);
+    EXPECT_EQ(sim.writes, host.writes);
+    EXPECT_TRUE(sim.passed());
+    EXPECT_TRUE(host.passed());
   }
 }
 

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "backend/memtest.h"
 #include "common/json.h"
 #include "field/manager.h"
 #include "field/profile.h"
@@ -142,6 +143,31 @@ TEST(ServeProtocol, LintDefaultsMirrorTheCli) {
   EXPECT_EQ(req.buffer_depth, 16);
 }
 
+TEST(ServeProtocol, MemtestDefaultsMirrorTheCli) {
+  const auto req =
+      serve::parse_request(R"({"id":"m","kind":"memtest"})");
+  EXPECT_EQ(req.kind, serve::RequestKind::Memtest);
+  EXPECT_EQ(req.algorithm, "March C");
+  EXPECT_EQ(req.size_mb, 256u);
+  EXPECT_EQ(req.passes, 1);
+  EXPECT_EQ(req.backgrounds, 0);
+  EXPECT_EQ(req.backend, backend::BackendKind::HostRam);
+  EXPECT_EQ(req.jobs, 0);
+
+  const auto full = serve::parse_request(
+      R"({"id":"m","kind":"memtest","algorithm":"MATS+","size_mb":64,)"
+      R"("passes":2,"backgrounds":3,"jobs":4,"backend":"sim",)"
+      R"("max_failures":8})");
+  EXPECT_EQ(full.algorithm, "MATS+");
+  EXPECT_EQ(full.size_mb, 64u);
+  EXPECT_EQ(full.passes, 2);
+  EXPECT_EQ(full.backgrounds, 3);
+  EXPECT_EQ(full.jobs, 4);
+  EXPECT_EQ(full.backend, backend::BackendKind::Sim);
+  EXPECT_EQ(full.max_failures, 8u);
+  EXPECT_EQ(serve::to_string(full.kind), std::string{"memtest"});
+}
+
 TEST(ServeProtocol, RejectsMalformedRequests) {
   const char* bad[] = {
       "",                                             // empty
@@ -161,6 +187,13 @@ TEST(ServeProtocol, RejectsMalformedRequests) {
       R"({"id":"x","kind":"cancel"})",                // missing target
       R"({"id":"x","kind":"soc","chip":"a","bogus":true})",
       R"({"id":1,"kind":"stats"})",                   // id must be a string
+      R"({"id":"x","kind":"memtest","sizemb":4})",    // unknown field
+      R"({"id":"x","kind":"memtest","huge_pages":true})",  // CLI-only flag
+      R"({"id":"x","kind":"memtest","size_mb":0})",   // empty buffer
+      R"({"id":"x","kind":"memtest","size_mb":32768})",  // over the 16G cap
+      R"({"id":"x","kind":"memtest","passes":0})",
+      R"({"id":"x","kind":"memtest","backgrounds":8})",
+      R"({"id":"x","kind":"memtest","backend":"dram"})",  // unknown backend
   };
   for (const char* line : bad)
     EXPECT_THROW((void)serve::parse_request(line), serve::ProtocolError)
@@ -272,6 +305,26 @@ TEST(ServeEquivalence, LintPayloadMatchesFormatCli) {
   EXPECT_EQ(event_field(events[1], "payload"),
             lint::format_cli(report, "input", false));
   EXPECT_EQ(event_field(events[1], "exit"), report.has_errors() ? "1" : "0");
+}
+
+TEST(ServeEquivalence, MemtestPayloadMatchesEngineOutput) {
+  serve::Server server{{.sessions = 1}};
+  const auto events = server.call(
+      R"({"id":"m1","kind":"memtest","algorithm":"MATS+","size_mb":1,)"
+      R"("backgrounds":1,"jobs":1,"backend":"sim"})");
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(event_field(events.front(), "event"), "accepted");
+  EXPECT_EQ(event_field(events.back(), "event"), "result");
+
+  backend::MemtestOptions opts;
+  opts.size_bytes = 1ull << 20;
+  opts.backgrounds = 1;
+  opts.jobs = 1;
+  opts.backend = backend::BackendKind::Sim;
+  const auto report = backend::run_memtest(march::by_name("MATS+"), opts);
+  EXPECT_EQ(event_field(events.back(), "payload"),
+            backend::format_memtest_report(report));
+  EXPECT_EQ(event_field(events.back(), "exit"), report.passed() ? "0" : "1");
 }
 
 TEST(ServeEquivalence, SocPayloadMatchesFormatSocReport) {

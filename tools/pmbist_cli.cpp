@@ -34,6 +34,15 @@
 //       (docs/FIELD.md).  Without --chip/--profile, runs the built-in
 //       demo chip against the built-in demo profile.  --certify and
 //       --emit-schedule work as in `soc` (.fieldsched file).
+//   pmbist memtest   [<algorithm|dsl>] [--size BYTES[K|M|G]] [--passes N]
+//                    [--backgrounds N] [--jobs N] [--backend sim|hostram]
+//                    [--huge-pages] [--inject]
+//       March-test a large block of host RAM (docs/BACKEND.md): expand
+//       the algorithm (default March C) into a march stream and execute
+//       it against an mmap'd buffer, sharded across worker threads.
+//       The deterministic report (signature, op counts, verdict) goes to
+//       stdout; sustained read/write GB/s go to stderr.  --inject flips
+//       one bit mid-run as a self-test (the run must FAIL).
 //   pmbist lint      <file|algorithm|dsl> [--json] [--storage-depth N]
 //                    [--buffer-depth N] [--chip FILE] [--profile FILE]
 //                    [--certify]
@@ -68,6 +77,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -78,6 +88,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/memtest.h"
 #include "bist/session.h"
 #include "common/json.h"
 #include "lint/certify.h"
@@ -141,6 +152,12 @@ struct Options {
   std::string req_kind = "lint";  ///< submit: request kind
   std::string req_id = "cli";     ///< submit: client-chosen request id
   std::string kernel_name;        ///< raw --kernel text (submit forwards it)
+  std::string size_spec = "256M";  ///< memtest: buffer size text
+  int passes = 1;                  ///< memtest: full sweeps of the buffer
+  int backgrounds = 0;      ///< memtest: data backgrounds (0 = all standard)
+  std::string backend_name;  ///< soc/field/memtest: --backend sim|hostram
+  bool huge_pages = false;   ///< memtest: request huge pages (hostram)
+  bool inject = false;       ///< memtest: flip one bit mid-run (self-test)
 };
 
 void print_usage(std::FILE* out) {
@@ -159,6 +176,7 @@ void print_usage(std::FILE* out) {
       "  export-decoder  microcode decoder + pFSM lower controller Verilog\n"
       "  soc             whole-chip scheduled BIST from a chip file\n"
       "  field           in-field transparent BIST inside idle windows\n"
+      "  memtest         march-test a block of host RAM (docs/BACKEND.md)\n"
       "  lint            static verifier for march / ucode / pFSM / chip /\n"
       "                  mission-profile inputs\n"
       "  serve           long-running BIST service (JSON requests in, JSON\n"
@@ -183,6 +201,8 @@ void print_usage(std::FILE* out) {
       "  --certify          re-verify the schedule with the certificate\n"
       "                     checker (report on stderr; exit 1 on errors)\n"
       "  --emit-schedule F  write the computed schedule to F (.schedule)\n"
+      "  --backend sim|hostram  memory-under-test backend (default sim;\n"
+      "                     hostram needs a fault-free chip)\n"
       "\n"
       "field options:\n"
       "  --chip FILE        chip description (docs/SOC.md; default: demo)\n"
@@ -191,6 +211,19 @@ void print_usage(std::FILE* out) {
       "  --certify          re-verify the session table with the certificate\n"
       "                     checker (report on stderr; exit 1 on errors)\n"
       "  --emit-schedule F  write the session table to F (.fieldsched)\n"
+      "  --backend sim|hostram  memory-under-test backend (default sim;\n"
+      "                     hostram needs a fault-free chip)\n"
+      "\n"
+      "memtest options (positional algorithm defaults to March C):\n"
+      "  --size BYTES       buffer size, K/M/G suffixes (default 256M);\n"
+      "                     rounded down to a power-of-two word count\n"
+      "  --passes N         full sweeps of the buffer (default 1)\n"
+      "  --backgrounds N    data backgrounds, 0 = all 7 standard (default)\n"
+      "  --backend sim|hostram  hostram (default) maps anonymous host\n"
+      "                     memory; sim runs the behavioral simulator\n"
+      "  --huge-pages       ask for huge pages (graceful fallback)\n"
+      "  --inject           flip one bit mid-run; the run must FAIL\n"
+      "  --max-failures N   mismatch-log capacity (default 1024)\n"
       "\n"
       "lint options:\n"
       "  --json             machine-readable diagnostics on stdout\n"
@@ -219,9 +252,10 @@ void print_usage(std::FILE* out) {
       "\n"
       "submit options (plus the flags of the mirrored command):\n"
       "  --port N           the serve loopback TCP port (required)\n"
-      "  --req KIND         campaign|soc|field|lint|cancel|stats (default\n"
-      "                     lint); the positional argument is the lint\n"
-      "                     input, campaign algorithm, or cancel target\n"
+      "  --req KIND         campaign|soc|field|memtest|lint|cancel|stats\n"
+      "                     (default lint); the positional argument is the\n"
+      "                     lint input, campaign/memtest algorithm, or\n"
+      "                     cancel target\n"
       "  --id ID            client-chosen request id (default cli)\n"
       "                     exit code: the result event's exit field;\n"
       "                     2 on error events, 1 on cancelled\n"
@@ -296,9 +330,26 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--payload-dir") opt.payload_dir = value();
     else if (arg == "--req") opt.req_kind = value();
     else if (arg == "--id") opt.req_id = value();
+    else if (arg == "--size") opt.size_spec = value();
+    else if (arg == "--passes") opt.passes = std::atoi(value());
+    else if (arg == "--backgrounds") opt.backgrounds = std::atoi(value());
+    else if (arg == "--backend") opt.backend_name = value();
+    else if (arg == "--huge-pages") opt.huge_pages = true;
+    else if (arg == "--inject") opt.inject = true;
     else usage(("unknown option " + arg).c_str());
   }
   return opt;
+}
+
+/// Resolves a `--backend` flag; empty text keeps the command's default.
+backend::BackendKind backend_of(const Options& opt,
+                                backend::BackendKind fallback) {
+  if (opt.backend_name.empty()) return fallback;
+  const auto parsed = backend::parse_backend(opt.backend_name);
+  if (!parsed)
+    usage(("--backend expects sim or hostram, not " + opt.backend_name)
+              .c_str());
+  return *parsed;
 }
 
 march::MarchAlgorithm resolve_algorithm(const std::string& name) {
@@ -602,7 +653,9 @@ int cmd_soc(const Options& opt) {
 
   const auto result = soc::run_soc(
       chip.description, chip.plan,
-      {.jobs = opt.jobs, .max_failures = opt.max_failures});
+      {.jobs = opt.jobs,
+       .max_failures = opt.max_failures,
+       .backend = backend_of(opt, backend::BackendKind::Sim)});
 
   // The report body is shared with the serve layer (byte-identical serve
   // payloads); wall time is host noise, so it goes to stderr.
@@ -639,7 +692,9 @@ int cmd_field(const Options& opt) {
 
   const auto report = field::run_field(
       chip.description, chip.plan, profile,
-      {.jobs = opt.jobs, .max_failures = opt.max_failures});
+      {.jobs = opt.jobs,
+       .max_failures = opt.max_failures,
+       .backend = backend_of(opt, backend::BackendKind::Sim)});
 
   // Shared with the serve layer, same as cmd_soc.
   std::fputs(field::format_field_report(report).c_str(), stdout);
@@ -653,6 +708,32 @@ int cmd_field(const Options& opt) {
           "field schedule"))
     return 1;
   return report.all_healthy() ? 0 : 1;
+}
+
+int cmd_memtest(const Options& opt) {
+  const auto alg = resolve_algorithm(
+      opt.algorithm.empty() ? "March C" : opt.algorithm);
+  const auto size = backend::parse_size_bytes(opt.size_spec);
+  if (!size)
+    usage(("--size expects BYTES with an optional K/M/G suffix, not " +
+           opt.size_spec)
+              .c_str());
+  backend::MemtestOptions mopts;
+  mopts.size_bytes = *size;
+  mopts.passes = opt.passes;
+  mopts.backgrounds = opt.backgrounds;
+  mopts.jobs = opt.jobs;
+  mopts.backend = backend_of(opt, backend::BackendKind::HostRam);
+  mopts.huge_pages = opt.huge_pages;
+  mopts.max_failures = opt.max_failures;
+  mopts.inject_error = opt.inject;
+  const auto report = backend::run_memtest(alg, mopts);
+  // The deterministic report is shared with the serve layer (byte-identical
+  // payloads); throughput is host noise, so it goes to stderr like the
+  // soc/field wall line.
+  std::fputs(backend::format_memtest_report(report).c_str(), stdout);
+  std::fputs(backend::format_memtest_throughput(report).c_str(), stderr);
+  return report.passed() ? 0 : 1;
 }
 
 int cmd_serve(const Options& opt) {
@@ -689,9 +770,10 @@ std::string submit_request_line(const Options& opt) {
   namespace json = common::json;
   const std::string& kind = opt.req_kind;
   if (kind != "campaign" && kind != "soc" && kind != "field" &&
-      kind != "lint" && kind != "cancel" && kind != "stats")
-    usage(("--req expects campaign, soc, field, lint, cancel or stats, "
-           "not " + kind).c_str());
+      kind != "memtest" && kind != "lint" && kind != "cancel" &&
+      kind != "stats")
+    usage(("--req expects campaign, soc, field, memtest, lint, cancel or "
+           "stats, not " + kind).c_str());
 
   // Like cmd_lint's positional: a path when it opens, else inline text.
   auto file_or_inline = [](const std::string& arg, std::string* unit) {
@@ -760,6 +842,26 @@ std::string submit_request_line(const Options& opt) {
     req.set("jobs", json::Value::number(static_cast<std::int64_t>(opt.jobs)));
     if (kind == "soc" && opt.power_budget >= 0.0)
       req.set("power_budget", json::Value::number(opt.power_budget));
+    req.set("max_failures",
+            json::Value::number(
+                static_cast<std::uint64_t>(opt.max_failures)));
+  } else if (kind == "memtest") {
+    if (!opt.algorithm.empty())
+      req.set("algorithm", json::Value::string(opt.algorithm));
+    const auto size = backend::parse_size_bytes(opt.size_spec);
+    if (!size)
+      usage(("--size expects BYTES with an optional K/M/G suffix, not " +
+             opt.size_spec)
+                .c_str());
+    const std::uint64_t size_mb = std::max<std::uint64_t>(1, *size >> 20);
+    req.set("size_mb", json::Value::number(size_mb));
+    req.set("passes",
+            json::Value::number(static_cast<std::int64_t>(opt.passes)));
+    req.set("backgrounds",
+            json::Value::number(static_cast<std::int64_t>(opt.backgrounds)));
+    req.set("jobs", json::Value::number(static_cast<std::int64_t>(opt.jobs)));
+    if (!opt.backend_name.empty())
+      req.set("backend", json::Value::string(opt.backend_name));
     req.set("max_failures",
             json::Value::number(
                 static_cast<std::uint64_t>(opt.max_failures)));
@@ -864,6 +966,7 @@ int main(int argc, char** argv) {
     if (opt.command == "export-decoder") return cmd_export_decoder();
     if (opt.command == "soc") return cmd_soc(opt);
     if (opt.command == "field") return cmd_field(opt);
+    if (opt.command == "memtest") return cmd_memtest(opt);
     if (opt.command == "serve") return cmd_serve(opt);
     if (opt.command == "submit") return cmd_submit(opt);
     if (opt.algorithm.empty() && opt.command != "area" &&
